@@ -1,0 +1,53 @@
+// Appendix A.2.3 — pre-diversification pruning influence.
+//
+// Starts from ~8K unionable tuples and compares DUST's per-query runtime
+// and effectiveness with pruning (s = 2500) vs without. Paper: 990s -> 85s
+// per query without hurting effectiveness.
+#include "bench/bench_util.h"
+#include "diversify/dust_diversifier.h"
+#include "diversify/metrics.h"
+#include "util/stopwatch.h"
+
+using namespace dust;
+
+int main() {
+  bench::PrintHeader("A.2.3 reproduction: pruning influence on DUST");
+  const size_t kDim = 48;
+  const size_t kK = 100;
+  std::vector<la::Vec> query = bench::SyntheticTupleCloud(40, kDim, 6, 3);
+  std::vector<la::Vec> lake = bench::SyntheticTupleCloud(8000, kDim, 40, 5);
+  // Provenance: 20 synthetic tables of 400 tuples each (pruning is
+  // per-table, Sec. 5.1).
+  std::vector<size_t> table_of(lake.size());
+  for (size_t i = 0; i < lake.size(); ++i) table_of[i] = i / 400;
+
+  diversify::DiversifyInput input;
+  input.query = &query;
+  input.lake = &lake;
+  input.table_of = &table_of;
+
+  bench::PrintRow({"Config", "Time(s)", "AvgDiv", "MinDiv"});
+  for (bool pruning : {true, false}) {
+    diversify::DustDiversifierConfig config;
+    config.enable_pruning = pruning;
+    config.prune_s = 2500;
+    diversify::DustDiversifier dust(config);
+    Stopwatch watch;
+    std::vector<size_t> selected = dust.SelectDiverse(input, kK);
+    double seconds = watch.Seconds();
+    std::vector<la::Vec> points;
+    for (size_t i : selected) points.push_back(lake[i]);
+    diversify::DiversityScores scores =
+        diversify::ScoreDiversity(query, points, input.metric);
+    bench::PrintRow({pruning ? "pruned s=2500" : "no pruning (8000)",
+                     bench::Fmt("%.3f", seconds),
+                     bench::Fmt("%.4f", scores.average),
+                     bench::Fmt("%.4f", scores.min)});
+  }
+
+  std::printf(
+      "\nPaper shape (A.2.3): pruning cuts per-query time ~11x (990s->85s)\n"
+      "without hurting effectiveness; expect a large speedup here with\n"
+      "near-identical diversity scores.\n");
+  return 0;
+}

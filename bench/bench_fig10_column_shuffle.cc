@@ -1,0 +1,84 @@
+// Fig. 10 (Appendix A.2.1) — DUST embedding robustness to column order.
+//
+// Encodes test tuples with a trained DUST (RoBERTa) model, randomly
+// permutes each tuple's column order, re-encodes, and reports the
+// distribution of cosine similarities (paper: mean 0.98, std 0.04).
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "datagen/finetune_pairs.h"
+#include "datagen/tus_generator.h"
+#include "la/distance.h"
+#include "nn/trainer.h"
+#include "table/serialize.h"
+
+using namespace dust;
+
+int main() {
+  bench::PrintHeader(
+      "Fig. 10 reproduction: cosine(original, column-shuffled) distribution");
+
+  datagen::TusConfig tus;
+  tus.num_queries = 8;
+  tus.base_rows = 80;
+  datagen::Benchmark benchmark = datagen::GenerateTus(tus);
+  datagen::FinetunePairsConfig pairs_config;
+  pairs_config.total_pairs = 1500;
+  nn::PairDataset pairs = datagen::BuildFinetunePairs(benchmark, pairs_config);
+
+  nn::DustModelConfig model_config;
+  model_config.feature_dim = 2048;
+  model_config.hidden_dim = 64;
+  model_config.embedding_dim = 64;
+  nn::DustModel model(model_config);
+  nn::TrainerConfig trainer;
+  trainer.max_epochs = 15;
+  trainer.patience = 4;
+  nn::TrainDustModel(&model, pairs.train, pairs.validation, trainer);
+
+  // Shuffle column order of sampled lake tuples; compare embeddings.
+  Rng rng(2025);
+  std::vector<double> sims;
+  for (const datagen::GeneratedTable& t : benchmark.lake) {
+    for (size_t r = 0; r < t.data.num_rows(); r += 7) {
+      std::vector<std::string> headers = t.data.ColumnNames();
+      std::vector<table::Value> values = t.data.Row(r);
+      std::string original = table::SerializeTuple(headers, values);
+
+      std::vector<size_t> perm = rng.Permutation(headers.size());
+      std::vector<std::string> shuffled_headers;
+      std::vector<table::Value> shuffled_values;
+      for (size_t j : perm) {
+        shuffled_headers.push_back(headers[j]);
+        shuffled_values.push_back(values[j]);
+      }
+      std::string shuffled =
+          table::SerializeTuple(shuffled_headers, shuffled_values);
+
+      sims.push_back(la::CosineSimilarity(model.EncodeSerialized(original),
+                                          model.EncodeSerialized(shuffled)));
+    }
+  }
+
+  double mean = 0.0;
+  for (double s : sims) mean += s;
+  mean /= static_cast<double>(sims.size());
+  double var = 0.0;
+  for (double s : sims) var += (s - mean) * (s - mean);
+  var /= static_cast<double>(sims.size());
+
+  // Histogram over [0, 1].
+  std::vector<size_t> hist(10, 0);
+  for (double s : sims) {
+    int bin = static_cast<int>(std::max(0.0, std::min(0.999, s)) * 10);
+    ++hist[static_cast<size_t>(bin)];
+  }
+  std::printf("tuples: %zu   mean similarity: %.3f   std: %.3f\n", sims.size(),
+              mean, std::sqrt(var));
+  std::printf("histogram [0.0-1.0, 10 bins]: ");
+  for (size_t h : hist) std::printf("%zu ", h);
+  std::printf(
+      "\n\nPaper: mean 0.98, std 0.04 — embeddings are robust to column\n"
+      "permutations. Expected shape: mean near 1, mass in the top bins.\n");
+  return 0;
+}

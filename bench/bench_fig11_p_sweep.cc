@@ -1,0 +1,93 @@
+// Fig. 11 (Appendix A.2.2) — impact of the candidate multiplier p.
+//
+// Sweeps p in {1..5} on SANTOS-style and UGEN-style workloads and reports
+// the per-step % change of Average and Max-Min diversity relative to the
+// previous p. Paper: beyond p = 2 the improvement is negative (Max-Min) or
+// insignificant (Average) — hence p = 2.
+#include "bench/bench_util.h"
+#include "datagen/santos_generator.h"
+#include "datagen/ugen_generator.h"
+#include "diversify/dust_diversifier.h"
+#include "diversify/metrics.h"
+
+using namespace dust;
+
+namespace {
+
+struct SweepPoint {
+  double avg = 0.0;
+  double min = 0.0;
+};
+
+void RunSweep(const std::string& name, const datagen::Benchmark& benchmark,
+              size_t k) {
+  auto encoder = bench::MakeBenchEncoder(48);
+  std::vector<SweepPoint> points(6);  // p = 1..5 at indices 1..5
+  std::vector<size_t> counts(6, 0);
+
+  for (size_t q = 0; q < benchmark.queries.size(); ++q) {
+    bench::EncodedQueryWorkload workload =
+        bench::EncodeWorkload(benchmark, q, *encoder);
+    if (workload.lake.size() < k || workload.query.empty()) continue;
+    diversify::DiversifyInput input;
+    input.query = &workload.query;
+    input.lake = &workload.lake;
+    input.table_of = &workload.table_of;
+    for (size_t p = 1; p <= 5; ++p) {
+      diversify::DustDiversifierConfig config;
+      config.p = p;
+      diversify::DustDiversifier dust(config);
+      std::vector<size_t> selected = dust.SelectDiverse(input, k);
+      std::vector<la::Vec> sel_points;
+      for (size_t i : selected) sel_points.push_back(workload.lake[i]);
+      diversify::DiversityScores scores = diversify::ScoreDiversity(
+          workload.query, sel_points, input.metric);
+      points[p].avg += scores.average;
+      points[p].min += scores.min;
+      ++counts[p];
+    }
+  }
+
+  std::printf("\n--- %s (k=%zu) ---\n", name.c_str(), k);
+  bench::PrintRow({"p", "AvgDiv", "MinDiv", "dAvg%", "dMin%"});
+  for (size_t p = 1; p <= 5; ++p) {
+    if (counts[p] == 0) continue;
+    double avg = points[p].avg / counts[p];
+    double min = points[p].min / counts[p];
+    std::string d_avg = "-";
+    std::string d_min = "-";
+    if (p > 1 && counts[p - 1] > 0) {
+      double prev_avg = points[p - 1].avg / counts[p - 1];
+      double prev_min = points[p - 1].min / counts[p - 1];
+      d_avg = bench::Fmt("%+.1f", 100.0 * (avg - prev_avg) /
+                                      (prev_avg + 1e-12));
+      d_min = bench::Fmt("%+.1f", 100.0 * (min - prev_min) /
+                                      (prev_min + 1e-12));
+    }
+    bench::PrintRow({std::to_string(p), bench::Fmt("%.4f", avg),
+                     bench::Fmt("%.4f", min), d_avg, d_min});
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Fig. 11 reproduction: impact of p in Algorithm 2");
+  {
+    datagen::SantosConfig config;
+    config.num_queries = 6;
+    config.unionable_per_query = 8;
+    config.base_rows = 250;
+    RunSweep("SANTOS", datagen::GenerateSantos(config), /*k=*/60);
+  }
+  {
+    datagen::UgenConfig config;
+    config.num_queries = 8;
+    RunSweep("UGEN-V1", datagen::GenerateUgen(config), /*k=*/30);
+  }
+  std::printf(
+      "\nPaper shape (Fig. 11): the largest Max-Min gain is p=1 -> 2; past\n"
+      "p=2 Max-Min deltas turn negative and Average deltas are negligible,\n"
+      "so DUST fixes p=2.\n");
+  return 0;
+}

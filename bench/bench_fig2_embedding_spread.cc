@@ -1,0 +1,120 @@
+// Fig. 2 — table vs tuple embedding spread.
+//
+// The paper plots PCA projections of table embeddings (left) and tuple
+// embeddings (right) for 5 sets of unionable tables from Open Data, and
+// argues that tuples spread much more than tables. We reproduce the
+// quantitative content: after projecting to 2D with PCA, tuples show a much
+// larger intra-set spread than tables, and the table-level inter/intra
+// separation is weaker.
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "datagen/santos_generator.h"
+#include "embed/starmie_encoder.h"
+#include "la/distance.h"
+#include "la/pca.h"
+
+using namespace dust;
+
+namespace {
+
+struct SpreadStats {
+  double intra = 0.0;  // mean distance to own set centroid (2D PCA space)
+  double inter = 0.0;  // mean distance between set centroids
+};
+
+SpreadStats ComputeSpread(const std::vector<la::Vec>& points,
+                          const std::vector<size_t>& set_of,
+                          size_t num_sets) {
+  la::PcaResult pca = la::ComputePca(points, 2);
+  std::vector<la::Vec> centroids(num_sets, la::Vec(2, 0.0f));
+  std::vector<size_t> counts(num_sets, 0);
+  for (size_t i = 0; i < points.size(); ++i) {
+    la::AddInPlace(&centroids[set_of[i]], pca.projected[i]);
+    ++counts[set_of[i]];
+  }
+  for (size_t s = 0; s < num_sets; ++s) {
+    if (counts[s] > 0) {
+      la::ScaleInPlace(&centroids[s], 1.0f / static_cast<float>(counts[s]));
+    }
+  }
+  SpreadStats stats;
+  for (size_t i = 0; i < points.size(); ++i) {
+    stats.intra += la::EuclideanDistance(pca.projected[i],
+                                         centroids[set_of[i]]);
+  }
+  stats.intra /= static_cast<double>(points.size());
+  size_t pairs = 0;
+  for (size_t a = 0; a < num_sets; ++a) {
+    for (size_t b = a + 1; b < num_sets; ++b) {
+      stats.inter += la::EuclideanDistance(centroids[a], centroids[b]);
+      ++pairs;
+    }
+  }
+  if (pairs > 0) stats.inter /= static_cast<double>(pairs);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Fig. 2 reproduction: table vs tuple embedding spread");
+
+  datagen::SantosConfig config;
+  config.num_queries = 5;  // 5 unionable sets, as in the figure
+  config.unionable_per_query = 8;
+  config.base_rows = 120;
+  datagen::Benchmark benchmark = datagen::GenerateSantos(config);
+
+  // --- Table embeddings: Starmie-style table profiles. ---
+  embed::StarmieConfig starmie_config;
+  starmie_config.dim = 48;
+  embed::StarmieEncoder starmie(starmie_config);
+  std::vector<la::Vec> table_points;
+  std::vector<size_t> table_set;
+  for (size_t q = 0; q < 5; ++q) {
+    for (size_t t : benchmark.unionable[q]) {
+      std::vector<la::Vec> cols = starmie.EncodeTable(benchmark.lake[t].data);
+      la::Vec profile = la::Mean(cols);
+      la::NormalizeInPlace(&profile);
+      table_points.push_back(profile);
+      table_set.push_back(q);
+    }
+  }
+
+  // --- Tuple embeddings (sampled rows of the same tables). ---
+  auto encoder = bench::MakeBenchEncoder(48);
+  std::vector<la::Vec> tuple_points;
+  std::vector<size_t> tuple_set;
+  for (size_t q = 0; q < 5; ++q) {
+    for (size_t t : benchmark.unionable[q]) {
+      const table::Table& tab = benchmark.lake[t].data;
+      size_t step = std::max<size_t>(1, tab.num_rows() / 8);
+      for (size_t r = 0; r < tab.num_rows(); r += step) {
+        tuple_points.push_back(
+            encoder->EncodeSerialized(table::SerializeTableRow(tab, r)));
+        tuple_set.push_back(q);
+      }
+    }
+  }
+
+  SpreadStats tables = ComputeSpread(table_points, table_set, 5);
+  SpreadStats tuples = ComputeSpread(tuple_points, tuple_set, 5);
+
+  bench::PrintRow({"Level", "IntraSpread", "InterCentroid", "Intra/Inter"});
+  bench::PrintRow({"Tables", bench::Fmt("%.4f", tables.intra),
+                   bench::Fmt("%.4f", tables.inter),
+                   bench::Fmt("%.3f", tables.intra / (tables.inter + 1e-9))});
+  bench::PrintRow({"Tuples", bench::Fmt("%.4f", tuples.intra),
+                   bench::Fmt("%.4f", tuples.inter),
+                   bench::Fmt("%.3f", tuples.intra / (tuples.inter + 1e-9))});
+
+  std::printf(
+      "\nPaper claim: tuples are spread around the embedding space much\n"
+      "more than tables (diversifying tables has limited effect). Expected\n"
+      "shape: Tuples' intra-set spread and intra/inter ratio exceed the\n"
+      "Tables'. Measured ratio factor: %.2fx\n",
+      (tuples.intra / (tuples.inter + 1e-9)) /
+          (tables.intra / (tables.inter + 1e-9) + 1e-9));
+  return 0;
+}

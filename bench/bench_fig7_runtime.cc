@@ -1,0 +1,70 @@
+// Fig. 7 — diversification runtime scaling.
+//  (a) runtime vs number of input unionable tuples s (k = 100);
+//  (b) runtime vs number of output tuples k (fixed s).
+// GMC is Θ(k·s²) (quadratic curve, grows with k); DUST and CLT are
+// dominated by the distance matrix (shallow curve, flat in k).
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "diversify/clt.h"
+#include "diversify/dust_diversifier.h"
+#include "diversify/gmc.h"
+#include "util/stopwatch.h"
+
+using namespace dust;
+
+namespace {
+
+double TimeOne(diversify::Diversifier* diversifier,
+               const std::vector<la::Vec>& query,
+               const std::vector<la::Vec>& lake, size_t k) {
+  diversify::DiversifyInput input;
+  input.query = &query;
+  input.lake = &lake;
+  Stopwatch watch;
+  std::vector<size_t> selected = diversifier->SelectDiverse(input, k);
+  (void)selected;
+  return watch.Seconds();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Fig. 7 reproduction: diversification runtime scaling");
+  const size_t kDim = 48;
+  std::vector<la::Vec> query = bench::SyntheticTupleCloud(20, kDim, 4, 11);
+
+  diversify::GmcDiversifier gmc;
+  diversify::CltDiversifier clt;
+  diversify::DustDiversifierConfig dust_config;
+  dust_config.prune_s = 1 << 30;  // pruning off: s is the clustering input
+  diversify::DustDiversifier dust(dust_config);
+
+  std::printf("\n(a) runtime vs number of input unionable tuples (k=100)\n");
+  bench::PrintRow({"s", "GMC(s)", "CLT(s)", "DUST(s)"});
+  for (size_t s : {1000u, 2000u, 3000u, 4000u, 5000u, 6000u}) {
+    std::vector<la::Vec> lake = bench::SyntheticTupleCloud(s, kDim, 24, 7);
+    double t_gmc = TimeOne(&gmc, query, lake, 100);
+    double t_clt = TimeOne(&clt, query, lake, 100);
+    double t_dust = TimeOne(&dust, query, lake, 100);
+    bench::PrintRow({std::to_string(s), bench::Fmt("%.3f", t_gmc),
+                     bench::Fmt("%.3f", t_clt), bench::Fmt("%.3f", t_dust)});
+  }
+
+  std::printf("\n(b) runtime vs number of output tuples (s=2500)\n");
+  bench::PrintRow({"k", "GMC(s)", "CLT(s)", "DUST(s)"});
+  std::vector<la::Vec> lake = bench::SyntheticTupleCloud(2500, kDim, 24, 9);
+  for (size_t k : {100u, 200u, 300u, 400u, 500u}) {
+    double t_gmc = TimeOne(&gmc, query, lake, k);
+    double t_clt = TimeOne(&clt, query, lake, k);
+    double t_dust = TimeOne(&dust, query, lake, k);
+    bench::PrintRow({std::to_string(k), bench::Fmt("%.3f", t_gmc),
+                     bench::Fmt("%.3f", t_clt), bench::Fmt("%.3f", t_dust)});
+  }
+
+  std::printf(
+      "\nPaper shape (Fig. 7): GMC grows quadratically with s and strongly\n"
+      "with k; DUST's curve is shallow in s and essentially flat in k,\n"
+      "tracking the clustering baseline CLT.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Fig. 8 — IMDB case study: novel unique values added per column.
+//
+// D3L and Starmie (bag-)union their top tables until k tuples are gathered
+// (SQL LIMIT k); the -D variants set-union (duplicates removed) first. DUST
+// returns k diverse tuples. For each k, we count how many values absent
+// from the query table each method adds to selected columns.
+#include <unordered_set>
+
+#include "bench/bench_util.h"
+#include "core/pipeline.h"
+#include "datagen/imdb_generator.h"
+#include "search/embedding_search.h"
+#include "search/overlap_search.h"
+#include "table/union.h"
+
+using namespace dust;
+
+namespace {
+
+// Unique non-null values of one column.
+std::unordered_set<std::string> ColumnValues(const table::Table& t, int col) {
+  std::unordered_set<std::string> values;
+  if (col < 0) return values;
+  for (const table::Value& v : t.column(static_cast<size_t>(col)).values) {
+    if (!v.is_null()) values.insert(v.text());
+  }
+  return values;
+}
+
+// Counts values of column position `col` in `result` that are absent from
+// `query`. IMDB variants keep the 13-column schema in order, so positions
+// are comparable even though variants rename headers to synonyms.
+size_t NovelValues(const table::Table& result, const table::Table& query,
+                   int col) {
+  std::unordered_set<std::string> base = ColumnValues(query, col);
+  std::unordered_set<std::string> found = ColumnValues(result, col);
+  size_t novel = 0;
+  for (const std::string& v : found) {
+    if (!base.count(v)) ++novel;
+  }
+  return novel;
+}
+
+// Unions the ranked tables (bag or set) and applies LIMIT k (Sec. 6.6).
+table::Table UnionTopTables(const std::vector<search::TableHit>& hits,
+                            const std::vector<const table::Table*>& lake,
+                            size_t k, bool deduplicate) {
+  std::vector<const table::Table*> chosen;
+  size_t rows = 0;
+  for (const search::TableHit& hit : hits) {
+    chosen.push_back(lake[hit.table_index]);
+    rows += lake[hit.table_index]->num_rows();
+    if (rows >= k) break;
+  }
+  auto unioned = deduplicate ? table::SetUnion(chosen, "u")
+                             : table::BagUnion(chosen, "u");
+  DUST_CHECK(unioned.ok());
+  table::Table result = std::move(unioned).value();
+  if (result.num_rows() > k) {
+    std::vector<size_t> first_k(k);
+    for (size_t i = 0; i < k; ++i) first_k[i] = i;
+    result = result.SelectRows(first_k);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Fig. 8 reproduction: IMDB case study, novel unique values per column");
+
+  datagen::ImdbConfig config;
+  datagen::Benchmark benchmark = datagen::GenerateImdb(config);
+  const table::Table& query = benchmark.queries[0].data;
+  std::vector<const table::Table*> lake;
+  for (const auto& t : benchmark.lake) lake.push_back(&t.data);
+
+  // Rankings from both search engines (the case-study lake is all
+  // unionable, so rankings mostly reflect redundancy).
+  search::OverlapUnionSearch d3l;
+  d3l.IndexLake(lake);
+  auto d3l_hits = d3l.SearchTables(query, lake.size());
+  search::EmbeddingUnionSearch starmie_search;
+  starmie_search.IndexLake(lake);
+  auto starmie_hits = starmie_search.SearchTables(query, lake.size());
+
+  core::PipelineConfig pipeline_config;
+  pipeline_config.num_tables = 10;
+  core::DustPipeline pipeline(pipeline_config, bench::MakeBenchEncoder(48));
+  pipeline.IndexLake(lake);
+
+  const std::vector<std::pair<const char*, int>> kColumns = {
+      {"Title", 0}, {"Director", 1}, {"Filming Location", 4}};
+  for (const auto& [label, column] : kColumns) {
+    std::printf("\n--- novel unique values in column \"%s\" ---\n", label);
+    bench::PrintRow({"k", "D3L", "D3L-D", "Starmie", "Starmie-D", "DUST"});
+    for (size_t k : {10u, 20u, 30u, 40u, 50u}) {
+      table::Table d3l_out = UnionTopTables(d3l_hits, lake, k, false);
+      table::Table d3l_d_out = UnionTopTables(d3l_hits, lake, k, true);
+      table::Table st_out = UnionTopTables(starmie_hits, lake, k, false);
+      table::Table st_d_out = UnionTopTables(starmie_hits, lake, k, true);
+      auto dust_result = pipeline.Run(query, k);
+      DUST_CHECK(dust_result.ok());
+      bench::PrintRow(
+          {std::to_string(k),
+           std::to_string(NovelValues(d3l_out, query, column)),
+           std::to_string(NovelValues(d3l_d_out, query, column)),
+           std::to_string(NovelValues(st_out, query, column)),
+           std::to_string(NovelValues(st_d_out, query, column)),
+           std::to_string(NovelValues(dust_result.value().output, query,
+                                      column))});
+    }
+  }
+
+  std::printf(
+      "\nPaper shape (Fig. 8): DUST adds the most novel values (~25%% more\n"
+      "unique titles than Starmie-D); D3L ~ Starmie; deduplication (-D)\n"
+      "helps the baselines only partially.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels: distance
+// computations, NN-chain clustering, the vector indexes, and tuple
+// encoding.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "cluster/agglomerative.h"
+#include "index/flat_index.h"
+#include "index/ivf_index.h"
+#include "index/lsh_index.h"
+#include "la/distance.h"
+
+using namespace dust;
+
+namespace {
+
+void BM_CosineDistance(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  auto points = bench::SyntheticTupleCloud(2, dim, 1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::CosineDistance(points[0], points[1]));
+  }
+}
+BENCHMARK(BM_CosineDistance)->Arg(64)->Arg(256)->Arg(768);
+
+void BM_DistanceMatrix(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto points = bench::SyntheticTupleCloud(n, 64, 8, 2);
+  for (auto _ : state) {
+    la::DistanceMatrix m(points, la::Metric::kCosine);
+    benchmark::DoNotOptimize(m.at(0, n - 1));
+  }
+}
+BENCHMARK(BM_DistanceMatrix)->Arg(200)->Arg(500)->Arg(1000);
+
+void BM_NnChainClustering(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto points = bench::SyntheticTupleCloud(n, 64, 10, 3);
+  la::DistanceMatrix matrix(points, la::Metric::kCosine);
+  for (auto _ : state) {
+    la::DistanceMatrix copy = matrix;
+    cluster::Dendrogram d = cluster::AgglomerativeCluster(
+        std::move(copy), cluster::Linkage::kAverage);
+    benchmark::DoNotOptimize(d.merges.size());
+  }
+}
+BENCHMARK(BM_NnChainClustering)->Arg(200)->Arg(500)->Arg(1000);
+
+void BM_IndexSearch(benchmark::State& state) {
+  size_t which = static_cast<size_t>(state.range(0));
+  auto points = bench::SyntheticTupleCloud(5000, 64, 16, 4);
+  std::unique_ptr<index::VectorIndex> idx;
+  if (which == 0) {
+    idx = std::make_unique<index::FlatIndex>(64, la::Metric::kCosine);
+  } else if (which == 1) {
+    index::IvfConfig config;
+    config.nlist = 32;
+    config.nprobe = 4;
+    idx = std::make_unique<index::IvfFlatIndex>(64, la::Metric::kCosine, config);
+  } else {
+    idx = std::make_unique<index::LshIndex>(64, la::Metric::kCosine);
+  }
+  idx->AddAll(points);
+  la::Vec query = bench::SyntheticTupleCloud(1, 64, 1, 5)[0];
+  // Warm any lazy training outside the timed loop.
+  benchmark::DoNotOptimize(idx->Search(query, 10).size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx->Search(query, 10).size());
+  }
+}
+BENCHMARK(BM_IndexSearch)->Arg(0)->Arg(1)->Arg(2);  // flat, ivf, lsh
+
+void BM_TupleEncoding(benchmark::State& state) {
+  auto encoder = bench::MakeBenchEncoder(64);
+  std::string serialized =
+      "[CLS] Park Name Chippewa Park [SEP] City Brandon, MN [SEP] Country "
+      "USA [SEP] Supervisor Tim Erickson [SEP]";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder->EncodeSerialized(serialized).size());
+  }
+}
+BENCHMARK(BM_TupleEncoding);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,160 @@
+// Table 2 — tuple diversification effectiveness and efficiency.
+//
+// For each query of the SANTOS-style (k=100) and UGEN-style (k=30)
+// benchmarks, runs GMC, GNE (UGEN only — it does not scale), CLT and DUST
+// on the same unionable-tuple embeddings, counts per-query wins on Average
+// Diversity (Eq. 1) and Min Diversity (Eq. 2), and reports mean per-query
+// time. Also runs the random-baseline comparison of Sec. 6.4.3.
+#include <map>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "datagen/santos_generator.h"
+#include "datagen/ugen_generator.h"
+#include "diversify/clt.h"
+#include "diversify/dust_diversifier.h"
+#include "diversify/gmc.h"
+#include "diversify/gne.h"
+#include "diversify/metrics.h"
+#include "diversify/random_div.h"
+#include "util/stopwatch.h"
+
+using namespace dust;
+
+namespace {
+
+struct MethodTally {
+  size_t avg_wins = 0;
+  size_t min_wins = 0;
+  double total_seconds = 0.0;
+  size_t runs = 0;
+};
+
+struct QueryResult {
+  double avg = 0.0;
+  double min = 0.0;
+  double seconds = 0.0;
+};
+
+QueryResult RunOne(diversify::Diversifier* diversifier,
+                   const bench::EncodedQueryWorkload& workload, size_t k) {
+  diversify::DiversifyInput input;
+  input.query = &workload.query;
+  input.lake = &workload.lake;
+  input.table_of = &workload.table_of;
+  Stopwatch watch;
+  std::vector<size_t> selected = diversifier->SelectDiverse(input, k);
+  QueryResult result;
+  result.seconds = watch.Seconds();
+  std::vector<la::Vec> points;
+  points.reserve(selected.size());
+  for (size_t i : selected) points.push_back(workload.lake[i]);
+  diversify::DiversityScores scores =
+      diversify::ScoreDiversity(workload.query, points, input.metric);
+  result.avg = scores.average;
+  result.min = scores.min;
+  return result;
+}
+
+void RunBenchmark(const std::string& name, const datagen::Benchmark& benchmark,
+                  size_t k, bool include_gne) {
+  auto encoder = bench::MakeBenchEncoder(48);
+
+  std::vector<std::pair<std::string, std::unique_ptr<diversify::Diversifier>>>
+      methods;
+  methods.emplace_back("GMC", std::make_unique<diversify::GmcDiversifier>());
+  if (include_gne) {
+    methods.emplace_back("GNE", std::make_unique<diversify::GneDiversifier>());
+  }
+  methods.emplace_back("CLT", std::make_unique<diversify::CltDiversifier>());
+  methods.emplace_back("DUST", std::make_unique<diversify::DustDiversifier>());
+
+  std::map<std::string, MethodTally> tally;
+  size_t dust_beats_random_avg = 0;
+  size_t dust_beats_random_min = 0;
+  size_t queries_run = 0;
+
+  for (size_t q = 0; q < benchmark.queries.size(); ++q) {
+    bench::EncodedQueryWorkload workload =
+        bench::EncodeWorkload(benchmark, q, *encoder);
+    if (workload.lake.size() < k || workload.query.empty()) continue;
+    ++queries_run;
+
+    std::string best_avg;
+    std::string best_min;
+    double best_avg_score = -1.0;
+    double best_min_score = -1.0;
+    QueryResult dust_result;
+    for (auto& [label, method] : methods) {
+      QueryResult result = RunOne(method.get(), workload, k);
+      MethodTally& t = tally[label];
+      t.total_seconds += result.seconds;
+      ++t.runs;
+      if (result.avg > best_avg_score) {
+        best_avg_score = result.avg;
+        best_avg = label;
+      }
+      if (result.min > best_min_score) {
+        best_min_score = result.min;
+        best_min = label;
+      }
+      if (label == "DUST") dust_result = result;
+    }
+    ++tally[best_avg].avg_wins;
+    ++tally[best_min].min_wins;
+
+    // Random baseline: best of 5 seeds per metric (Sec. 6.4.3).
+    double random_best_avg = -1.0;
+    double random_best_min = -1.0;
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      diversify::RandomDiversifier random(seed * 17);
+      QueryResult r = RunOne(&random, workload, k);
+      random_best_avg = std::max(random_best_avg, r.avg);
+      random_best_min = std::max(random_best_min, r.min);
+    }
+    if (dust_result.avg > random_best_avg) ++dust_beats_random_avg;
+    if (dust_result.min > random_best_min) ++dust_beats_random_min;
+  }
+
+  std::printf("\n--- %s (k=%zu, %zu queries) ---\n", name.c_str(), k,
+              queries_run);
+  bench::PrintRow({"Method", "#Average", "#Min", "Time(s)"});
+  for (auto& [label, method] : methods) {
+    const MethodTally& t = tally[label];
+    bench::PrintRow({label, std::to_string(t.avg_wins),
+                     std::to_string(t.min_wins),
+                     bench::Fmt("%.3f", t.runs ? t.total_seconds / t.runs : 0)});
+  }
+  std::printf("DUST beats best-of-5 random: Average %zu/%zu, Min %zu/%zu\n",
+              dust_beats_random_avg, queries_run, dust_beats_random_min,
+              queries_run);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table 2 reproduction: diversification wins per query + mean time");
+
+  {
+    datagen::SantosConfig config;
+    config.num_queries = 8;
+    config.unionable_per_query = 10;
+    config.base_rows = 400;
+    RunBenchmark("SANTOS", datagen::GenerateSantos(config), /*k=*/100,
+                 /*include_gne=*/false);
+  }
+  {
+    datagen::UgenConfig config;
+    config.num_queries = 10;
+    RunBenchmark("UGEN-V1", datagen::GenerateUgen(config), /*k=*/30,
+                 /*include_gne=*/true);
+  }
+
+  std::printf(
+      "\nPaper shape (Table 2): DUST wins the most queries on both metrics\n"
+      "in both benchmarks (Min especially); GMC is the slowest feasible\n"
+      "baseline on SANTOS (DUST >6x faster); GNE is only feasible on\n"
+      "UGEN-V1 and loses there; DUST ~ CLT runtime.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "align/alignment_metrics.h"
+
+#include "util/string_util.h"
+
+namespace dust::align {
+
+namespace {
+
+std::string ColumnKey(const ColumnId& id) {
+  return std::to_string(id.table_index) + "." + std::to_string(id.column_index);
+}
+
+std::string PairKey(const ColumnId& a, const ColumnId& b) {
+  std::string ka = ColumnKey(a);
+  std::string kb = ColumnKey(b);
+  if (kb < ka) std::swap(ka, kb);
+  return ka + "|" + kb;
+}
+
+}  // namespace
+
+std::set<std::string> AlignmentPairSet(
+    const std::vector<std::vector<ColumnId>>& lake_per_query_column) {
+  std::set<std::string> pairs;
+  for (size_t qc = 0; qc < lake_per_query_column.size(); ++qc) {
+    ColumnId query_id{0, qc};
+    const std::vector<ColumnId>& members = lake_per_query_column[qc];
+    if (members.empty()) {
+      pairs.insert(PairKey(query_id, query_id));  // unmatched query column
+      continue;
+    }
+    for (size_t i = 0; i < members.size(); ++i) {
+      pairs.insert(PairKey(query_id, members[i]));
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        pairs.insert(PairKey(members[i], members[j]));
+      }
+    }
+  }
+  return pairs;
+}
+
+std::set<std::string> AlignmentPairSet(const AlignmentResult& result,
+                                       size_t num_query_columns) {
+  std::vector<std::vector<ColumnId>> lake_per_query(num_query_columns);
+  for (const AlignmentCluster& cluster : result.clusters) {
+    if (cluster.query_column < num_query_columns) {
+      lake_per_query[cluster.query_column] = cluster.lake_members;
+    }
+  }
+  return AlignmentPairSet(lake_per_query);
+}
+
+PrecisionRecallF1 ScoreAlignment(const AlignmentResult& result,
+                                 const AlignmentGroundTruth& truth) {
+  std::set<std::string> truth_pairs = AlignmentPairSet(truth.aligned_lake);
+  std::set<std::string> method_pairs =
+      AlignmentPairSet(result, truth.aligned_lake.size());
+
+  size_t intersection = 0;
+  for (const std::string& p : method_pairs) {
+    if (truth_pairs.count(p) > 0) ++intersection;
+  }
+  PrecisionRecallF1 out;
+  if (!method_pairs.empty()) {
+    out.precision = static_cast<double>(intersection) /
+                    static_cast<double>(method_pairs.size());
+  }
+  if (!truth_pairs.empty()) {
+    out.recall = static_cast<double>(intersection) /
+                 static_cast<double>(truth_pairs.size());
+  }
+  if (out.precision + out.recall > 0.0) {
+    out.f1 = 2.0 * out.precision * out.recall / (out.precision + out.recall);
+  }
+  return out;
+}
+
+}  // namespace dust::align

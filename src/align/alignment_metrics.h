@@ -1,0 +1,48 @@
+// Column-alignment evaluation (Sec. 6.2.2): Precision / Recall / F1 over
+// alignment pairs. The ground truth contains (a) each query column paired
+// with every lake column that truly aligns to it, (b) pairs of lake columns
+// sharing the same aligning query column, and (c) each unmatched query
+// column as a singleton. Method pairs are formed identically from the
+// clusters a method produces.
+#ifndef DUST_ALIGN_ALIGNMENT_METRICS_H_
+#define DUST_ALIGN_ALIGNMENT_METRICS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "align/holistic_aligner.h"
+
+namespace dust::align {
+
+/// Ground-truth alignment: per query column, the lake columns that truly
+/// align to it (empty set = unmatched query column).
+struct AlignmentGroundTruth {
+  /// aligned_lake[qc] = lake ColumnIds (table_index >= 1) aligned to query
+  /// column qc.
+  std::vector<std::vector<ColumnId>> aligned_lake;
+};
+
+struct PrecisionRecallF1 {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Canonical pair-set of an alignment grouping: for each group {q} ∪ L it
+/// emits (q,l) for every l in L, (l1,l2) for every lake pair in L, and the
+/// singleton (q,q) when L is empty.
+std::set<std::string> AlignmentPairSet(
+    const std::vector<std::vector<ColumnId>>& lake_per_query_column);
+
+/// Pair set of a method's AlignmentResult.
+std::set<std::string> AlignmentPairSet(const AlignmentResult& result,
+                                       size_t num_query_columns);
+
+/// P/R/F1 of `result` against `truth`.
+PrecisionRecallF1 ScoreAlignment(const AlignmentResult& result,
+                                 const AlignmentGroundTruth& truth);
+
+}  // namespace dust::align
+
+#endif  // DUST_ALIGN_ALIGNMENT_METRICS_H_

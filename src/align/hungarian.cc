@@ -1,0 +1,92 @@
+#include "align/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/status.h"
+
+namespace dust::align {
+
+MatchingResult MaxWeightBipartiteMatching(const std::vector<double>& weights,
+                                          size_t rows, size_t cols) {
+  DUST_CHECK(weights.size() == rows * cols);
+  // Pad to a square cost matrix and minimize cost = (max_weight - weight);
+  // padded cells get cost max_weight (i.e., weight 0).
+  size_t n = std::max(rows, cols);
+  double max_w = 0.0;
+  for (double w : weights) max_w = std::max(max_w, w);
+
+  // cost[i][j], 1-indexed internally for the potentials formulation.
+  auto cost = [&](size_t i, size_t j) -> double {
+    if (i < rows && j < cols) {
+      double w = std::max(0.0, weights[i * cols + j]);
+      return max_w - w;
+    }
+    return max_w;  // padding: equivalent to weight 0
+  };
+
+  // Jonker-Volgenant style Hungarian with potentials, O(n^3).
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<size_t> p(n + 1, 0);    // p[j]: row matched to column j
+  std::vector<size_t> way(n + 1, 0);  // alternating path bookkeeping
+
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      size_t i0 = p[j0];
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the path.
+    do {
+      size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  MatchingResult result;
+  result.match_of_row.assign(rows, -1);
+  for (size_t j = 1; j <= n; ++j) {
+    size_t i = p[j];
+    if (i == 0) continue;
+    size_t row = i - 1;
+    size_t col = j - 1;
+    if (row < rows && col < cols) {
+      double w = weights[row * cols + col];
+      if (w > 0.0) {
+        result.match_of_row[row] = static_cast<int>(col);
+        result.total_weight += w;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dust::align

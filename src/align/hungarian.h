@@ -1,0 +1,28 @@
+// Maximum-weight bipartite matching (Hungarian algorithm / Kuhn-Munkres).
+// Used by the Starmie-style baselines: Starmie scores table unionability by
+// the max-weight bipartite matching between query and candidate column
+// embeddings (Sec. 6.2.3), and Starmie (B) aligns columns pairwise with it.
+#ifndef DUST_ALIGN_HUNGARIAN_H_
+#define DUST_ALIGN_HUNGARIAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dust::align {
+
+struct MatchingResult {
+  /// match_of_row[i] = matched column index, or -1 if unmatched.
+  std::vector<int> match_of_row;
+  /// Total weight of the matching.
+  double total_weight = 0.0;
+};
+
+/// Maximum-weight matching of a rows x cols weight matrix (row-major).
+/// Negative weights are treated as "do not match" (the pair stays
+/// unmatched rather than contributing negatively).
+MatchingResult MaxWeightBipartiteMatching(const std::vector<double>& weights,
+                                          size_t rows, size_t cols);
+
+}  // namespace dust::align
+
+#endif  // DUST_ALIGN_HUNGARIAN_H_

@@ -1,0 +1,31 @@
+#include "align/tuple_builder.h"
+
+namespace dust::align {
+
+Result<UnionableTuples> BuildUnionableTuples(
+    const table::Table& query,
+    const std::vector<const table::Table*>& lake_tables,
+    const AlignmentResult& alignment) {
+  if (alignment.lake_mappings.size() != lake_tables.size()) {
+    return Status::InvalidArgument(
+        "alignment does not cover the given lake tables");
+  }
+  UnionableTuples out;
+  Result<table::Table> unioned =
+      table::OuterUnion(lake_tables, alignment.lake_mappings,
+                        alignment.target_headers, &out.provenance);
+  if (!unioned.ok()) return unioned.status();
+  out.unioned = std::move(unioned).value();
+
+  out.serialized.reserve(out.unioned.num_rows());
+  for (size_t r = 0; r < out.unioned.num_rows(); ++r) {
+    out.serialized.push_back(table::SerializeTableRow(out.unioned, r));
+  }
+  out.query_serialized.reserve(query.num_rows());
+  for (size_t r = 0; r < query.num_rows(); ++r) {
+    out.query_serialized.push_back(table::SerializeTableRow(query, r));
+  }
+  return out;
+}
+
+}  // namespace dust::align

@@ -1,0 +1,39 @@
+// "Creating Unionable Tuples" (Sec. 3.3): given a column alignment, outer-
+// unions the unionable tables into the query schema and serializes each
+// resulting tuple for embedding (aligned columns adopt the query headers;
+// null-padded cells are skipped, Example 4).
+#ifndef DUST_ALIGN_TUPLE_BUILDER_H_
+#define DUST_ALIGN_TUPLE_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "align/holistic_aligner.h"
+#include "table/serialize.h"
+#include "table/table.h"
+#include "table/union.h"
+
+namespace dust::align {
+
+/// The unionable tuple set of one query: the outer-unioned table plus each
+/// tuple's serialization and provenance.
+struct UnionableTuples {
+  /// Outer union of the lake tables under the query schema.
+  table::Table unioned;
+  /// (lake table index, row) of each unioned row.
+  std::vector<table::TupleRef> provenance;
+  /// Serialized form of each unioned row (query-header order).
+  std::vector<std::string> serialized;
+  /// Serialized form of each query row (same headers/order).
+  std::vector<std::string> query_serialized;
+};
+
+/// Builds the unionable tuple set from an alignment.
+Result<UnionableTuples> BuildUnionableTuples(
+    const table::Table& query,
+    const std::vector<const table::Table*>& lake_tables,
+    const AlignmentResult& alignment);
+
+}  // namespace dust::align
+
+#endif  // DUST_ALIGN_TUPLE_BUILDER_H_

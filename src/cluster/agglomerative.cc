@@ -1,0 +1,201 @@
+#include "cluster/agglomerative.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/status.h"
+
+namespace dust::cluster {
+
+namespace {
+
+// Union-find with path compression used to replay merges when cutting.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+Dendrogram AgglomerativeCluster(la::DistanceMatrix distances, Linkage linkage) {
+  const size_t n = distances.size();
+  Dendrogram dendrogram;
+  dendrogram.num_leaves = n;
+  if (n <= 1) return dendrogram;
+
+  // Active-cluster bookkeeping. Cluster slots reuse the row of one member
+  // (so a slot index is always a leaf index belonging to that cluster).
+  std::vector<bool> active(n, true);
+  std::vector<size_t> size(n, 1);
+
+  // NN-chain stack.
+  std::vector<size_t> chain;
+  chain.reserve(n);
+
+  struct RawMerge {
+    size_t slot_a, slot_b;  // slot == a leaf index belonging to each cluster
+    float distance;
+  };
+  std::vector<RawMerge> raw;
+  raw.reserve(n - 1);
+
+  size_t remaining = n;
+
+  auto nearest_active = [&](size_t x) {
+    float best = std::numeric_limits<float>::infinity();
+    size_t arg = x;
+    for (size_t y = 0; y < n; ++y) {
+      if (!active[y] || y == x) continue;
+      float d = distances.at(x, y);
+      if (d < best || (d == best && y < arg)) {
+        best = d;
+        arg = y;
+      }
+    }
+    return std::make_pair(arg, best);
+  };
+
+  while (remaining > 1) {
+    if (chain.empty()) {
+      // Start a new chain from the lowest-index active cluster.
+      for (size_t x = 0; x < n; ++x) {
+        if (active[x]) {
+          chain.push_back(x);
+          break;
+        }
+      }
+    }
+    while (true) {
+      size_t top = chain.back();
+      auto [nn, d] = nearest_active(top);
+      // Prefer the chain predecessor on ties so reciprocity is detected.
+      if (chain.size() >= 2) {
+        size_t prev = chain[chain.size() - 2];
+        if (distances.at(top, prev) == d) nn = prev;
+      }
+      if (chain.size() >= 2 && nn == chain[chain.size() - 2]) {
+        // Reciprocal nearest neighbors: merge top and nn.
+        size_t a = top;
+        size_t b = nn;
+        chain.pop_back();
+        chain.pop_back();
+
+        float d_ab = distances.at(a, b);
+        size_t new_size = size[a] + size[b];
+        raw.push_back({a, b, d_ab});
+
+        // Merge b's slot into a's slot; Lance-Williams updates row a.
+        for (size_t c = 0; c < n; ++c) {
+          if (!active[c] || c == a || c == b) continue;
+          float updated = LanceWilliams(linkage, distances.at(a, c),
+                                        distances.at(b, c), d_ab, size[a],
+                                        size[b], size[c]);
+          distances.set(a, c, updated);
+        }
+        active[b] = false;
+        size[a] = new_size;
+        --remaining;
+        break;
+      }
+      chain.push_back(nn);
+    }
+  }
+
+  // NN-chain emits merges out of distance order. Sort ascending (stable for
+  // determinism on ties) and re-derive cluster ids with a union-find over
+  // leaf representatives (scipy's "label" step): merge i in sorted order
+  // creates id n+i and can only reference earlier ids.
+  std::vector<size_t> order(raw.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return raw[x].distance < raw[y].distance;
+  });
+
+  UnionFind uf(n);
+  std::vector<size_t> root_dendro_id(n);
+  std::iota(root_dendro_id.begin(), root_dendro_id.end(), 0);
+  std::vector<size_t> root_size(n, 1);
+
+  dendrogram.merges.reserve(raw.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    const RawMerge& m = raw[order[i]];
+    size_t ra = uf.Find(m.slot_a);
+    size_t rb = uf.Find(m.slot_b);
+    DUST_CHECK(ra != rb);
+    Merge merge;
+    merge.a = root_dendro_id[ra];
+    merge.b = root_dendro_id[rb];
+    if (merge.a > merge.b) std::swap(merge.a, merge.b);
+    merge.distance = m.distance;
+    merge.size = root_size[ra] + root_size[rb];
+    uf.Union(ra, rb);
+    size_t root = uf.Find(ra);
+    root_dendro_id[root] = n + i;
+    root_size[root] = merge.size;
+    dendrogram.merges.push_back(merge);
+  }
+  return dendrogram;
+}
+
+Dendrogram AgglomerativeCluster(const std::vector<la::Vec>& points,
+                                la::Metric metric, Linkage linkage) {
+  return AgglomerativeCluster(la::DistanceMatrix(points, metric), linkage);
+}
+
+std::vector<size_t> CutDendrogram(const Dendrogram& dendrogram, size_t k) {
+  const size_t n = dendrogram.num_leaves;
+  DUST_CHECK(k >= 1 && k <= std::max<size_t>(n, 1));
+  std::vector<size_t> labels(n, 0);
+  if (n == 0) return labels;
+
+  UnionFind uf(n);
+  // Track, for each dendrogram node id, a representative leaf.
+  std::vector<size_t> rep(n + dendrogram.merges.size());
+  std::iota(rep.begin(), rep.begin() + n, 0);
+
+  size_t merges_to_apply = n - k;
+  for (size_t i = 0; i < dendrogram.merges.size(); ++i) {
+    const Merge& m = dendrogram.merges[i];
+    size_t ra = rep[m.a];
+    size_t rb = rep[m.b];
+    if (i < merges_to_apply) uf.Union(ra, rb);
+    rep[n + i] = ra;
+  }
+
+  // Dense relabeling ordered by first occurrence.
+  std::vector<int> root_to_label(n, -1);
+  size_t next_label = 0;
+  for (size_t x = 0; x < n; ++x) {
+    size_t root = uf.Find(x);
+    if (root_to_label[root] < 0) {
+      root_to_label[root] = static_cast<int>(next_label++);
+    }
+    labels[x] = static_cast<size_t>(root_to_label[root]);
+  }
+  DUST_CHECK(next_label == k);
+  return labels;
+}
+
+std::vector<std::vector<size_t>> GroupByLabel(const std::vector<size_t>& labels) {
+  size_t k = 0;
+  for (size_t label : labels) k = std::max(k, label + 1);
+  std::vector<std::vector<size_t>> groups(k);
+  for (size_t i = 0; i < labels.size(); ++i) groups[labels[i]].push_back(i);
+  return groups;
+}
+
+}  // namespace dust::cluster

@@ -1,0 +1,96 @@
+#include "cluster/constrained.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/status.h"
+
+namespace dust::cluster {
+
+ConstrainedDendrogram ConstrainedAgglomerative(
+    const la::DistanceMatrix& distances, const std::vector<size_t>& group_of,
+    Linkage linkage) {
+  const size_t n = distances.size();
+  DUST_CHECK(group_of.size() == n);
+  ConstrainedDendrogram out;
+  if (n == 0) return out;
+
+  // Mutable working distance matrix (cluster-cluster).
+  la::DistanceMatrix work = distances;
+  std::vector<bool> active(n, true);
+  std::vector<size_t> size(n, 1);
+  std::vector<size_t> labels(n);
+  std::iota(labels.begin(), labels.end(), 0);
+  // members[slot] lists item indices in that cluster (for constraint checks).
+  std::vector<std::vector<size_t>> members(n);
+  for (size_t i = 0; i < n; ++i) members[i] = {i};
+
+  auto violates = [&](size_t a, size_t b) {
+    for (size_t x : members[a]) {
+      for (size_t y : members[b]) {
+        if (group_of[x] == group_of[y]) return true;
+      }
+    }
+    return false;
+  };
+
+  auto record_level = [&] {
+    FlatClustering level;
+    level.labels.resize(n);
+    // Dense relabeling by first occurrence.
+    std::vector<int> slot_to_label(n, -1);
+    size_t next = 0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t slot = labels[i];
+      if (slot_to_label[slot] < 0) slot_to_label[slot] = static_cast<int>(next++);
+      level.labels[i] = static_cast<size_t>(slot_to_label[slot]);
+    }
+    level.num_clusters = next;
+    out.levels.push_back(std::move(level));
+  };
+
+  record_level();  // n singleton clusters
+
+  size_t remaining = n;
+  while (remaining > 1) {
+    // Find the closest admissible pair of active clusters.
+    float best = std::numeric_limits<float>::infinity();
+    size_t best_a = n;
+    size_t best_b = n;
+    for (size_t a = 0; a < n; ++a) {
+      if (!active[a]) continue;
+      for (size_t b = a + 1; b < n; ++b) {
+        if (!active[b]) continue;
+        float d = work.at(a, b);
+        if (d < best && !violates(a, b)) {
+          best = d;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_a == n) break;  // all remaining merges violate constraints
+
+    float d_ab = work.at(best_a, best_b);
+    for (size_t c = 0; c < n; ++c) {
+      if (!active[c] || c == best_a || c == best_b) continue;
+      float updated =
+          LanceWilliams(linkage, work.at(best_a, c), work.at(best_b, c), d_ab,
+                        size[best_a], size[best_b], size[c]);
+      work.set(best_a, c, updated);
+    }
+    active[best_b] = false;
+    size[best_a] += size[best_b];
+    for (size_t x : members[best_b]) members[best_a].push_back(x);
+    members[best_b].clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (labels[i] == best_b) labels[i] = best_a;
+    }
+    --remaining;
+    record_level();
+  }
+  return out;
+}
+
+}  // namespace dust::cluster

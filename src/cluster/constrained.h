@@ -1,0 +1,41 @@
+// Constrained agglomerative clustering for column alignment (Sec. 3.3):
+// "no two columns from the same table should be aligned together", enforced
+// as cannot-link constraints between items sharing a group id. The item
+// count is small (columns of a handful of tables), so a naive O(n^3)
+// agglomeration is used rather than NN-chain (which cannot honor
+// constraints without losing reducibility).
+#ifndef DUST_CLUSTER_CONSTRAINED_H_
+#define DUST_CLUSTER_CONSTRAINED_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/linkage.h"
+#include "la/distance.h"
+
+namespace dust::cluster {
+
+/// A flat clustering: labels[i] in [0, num_clusters).
+struct FlatClustering {
+  std::vector<size_t> labels;
+  size_t num_clusters = 0;
+};
+
+/// Hierarchy of flat clusterings produced by constrained agglomeration:
+/// levels[j] has (initial_clusters - j) clusters. Agglomeration stops early
+/// when every remaining merge would violate a constraint.
+struct ConstrainedDendrogram {
+  std::vector<FlatClustering> levels;
+};
+
+/// Agglomerates items under `linkage`, never merging two clusters that both
+/// contain an item from the same group (`group_of[i]`; use distinct groups
+/// to disable constraints). Returns every level of the hierarchy so the
+/// caller can pick the cluster count maximizing Silhouette (Sec. 3.3).
+ConstrainedDendrogram ConstrainedAgglomerative(
+    const la::DistanceMatrix& distances, const std::vector<size_t>& group_of,
+    Linkage linkage);
+
+}  // namespace dust::cluster
+
+#endif  // DUST_CLUSTER_CONSTRAINED_H_

@@ -1,0 +1,108 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "la/distance.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dust::cluster {
+
+namespace {
+
+// k-means++ seeding: first centroid uniform, then each next centroid drawn
+// with probability proportional to squared distance to the closest chosen.
+std::vector<la::Vec> PlusPlusInit(const std::vector<la::Vec>& points, size_t k,
+                                  Rng* rng) {
+  std::vector<la::Vec> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng->NextBelow(points.size())]);
+  std::vector<double> d2(points.size(),
+                         std::numeric_limits<double>::infinity());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      double d = la::SquaredEuclideanDistance(points[i], centroids.back());
+      d2[i] = std::min(d2[i], d);
+      total += d2[i];
+    }
+    if (total <= 0.0) {
+      // All points coincide with existing centroids; fall back to uniform.
+      centroids.push_back(points[rng->NextBelow(points.size())]);
+      continue;
+    }
+    double target = rng->NextDouble() * total;
+    double cum = 0.0;
+    size_t chosen = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      cum += d2[i];
+      if (cum >= target) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KmeansResult Kmeans(const std::vector<la::Vec>& points, size_t k,
+                    const KmeansOptions& options) {
+  DUST_CHECK(!points.empty());
+  DUST_CHECK(k >= 1);
+  const size_t n = points.size();
+  const size_t dim = points[0].size();
+  k = std::min(k, n);
+
+  Rng rng(options.seed);
+  KmeansResult result;
+  result.centroids = PlusPlusInit(points, k, &rng);
+  result.assignments.assign(n, 0);
+
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    double inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      size_t arg = 0;
+      for (size_t c = 0; c < k; ++c) {
+        double d = la::SquaredEuclideanDistance(points[i], result.centroids[c]);
+        if (d < best) {
+          best = d;
+          arg = c;
+        }
+      }
+      result.assignments[i] = arg;
+      inertia += best;
+    }
+    result.inertia = inertia;
+
+    // Update step.
+    std::vector<la::Vec> sums(k, la::Vec(dim, 0.0f));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      la::AddInPlace(&sums[result.assignments[i]], points[i]);
+      ++counts[result.assignments[i]];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        result.centroids[c] = points[rng.NextBelow(n)];
+        continue;
+      }
+      la::ScaleInPlace(&sums[c], 1.0f / static_cast<float>(counts[c]));
+      result.centroids[c] = std::move(sums[c]);
+    }
+
+    if (prev_inertia - inertia < options.tolerance) break;
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace dust::cluster

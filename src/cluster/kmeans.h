@@ -1,0 +1,34 @@
+// Lloyd's k-means with k-means++ seeding. Serves as the coarse quantizer of
+// the IVF index (faiss-style) and as an alternative candidate clusterer.
+#ifndef DUST_CLUSTER_KMEANS_H_
+#define DUST_CLUSTER_KMEANS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "la/vector_ops.h"
+
+namespace dust::cluster {
+
+struct KmeansResult {
+  std::vector<la::Vec> centroids;   // k centroids
+  std::vector<size_t> assignments;  // per-point centroid index
+  double inertia = 0.0;             // sum of squared distances to centroids
+  size_t iterations = 0;
+};
+
+struct KmeansOptions {
+  size_t max_iterations = 50;
+  double tolerance = 1e-5;  // stop when inertia improves less than this
+  uint64_t seed = 42;
+};
+
+/// Clusters `points` into `k` groups (k >= 1; if k >= n each point gets its
+/// own centroid). Squared Euclidean objective; deterministic given the seed.
+KmeansResult Kmeans(const std::vector<la::Vec>& points, size_t k,
+                    const KmeansOptions& options = {});
+
+}  // namespace dust::cluster
+
+#endif  // DUST_CLUSTER_KMEANS_H_

@@ -1,0 +1,27 @@
+// Linkage criteria for agglomerative clustering, updated with the
+// Lance-Williams recurrence so cluster-cluster distances never require
+// revisiting the raw points.
+#ifndef DUST_CLUSTER_LINKAGE_H_
+#define DUST_CLUSTER_LINKAGE_H_
+
+#include <cstddef>
+#include <string>
+
+namespace dust::cluster {
+
+/// Linkage criterion. The paper's experiments use average linkage
+/// (Sec. 6.2.1); the others support the linkage ablation bench.
+/// kWard expects squared-Euclidean input distances.
+enum class Linkage { kSingle, kComplete, kAverage, kWard };
+
+const char* LinkageName(Linkage linkage);
+Linkage LinkageFromName(const std::string& name);
+
+/// Lance-Williams update: distance between cluster (a ∪ b) and cluster c,
+/// given d(a,c), d(b,c), d(a,b) and the cluster sizes.
+float LanceWilliams(Linkage linkage, float d_ac, float d_bc, float d_ab,
+                    size_t size_a, size_t size_b, size_t size_c);
+
+}  // namespace dust::cluster
+
+#endif  // DUST_CLUSTER_LINKAGE_H_

@@ -1,0 +1,58 @@
+#include "cluster/medoid.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "cluster/agglomerative.h"
+#include "util/status.h"
+
+namespace dust::cluster {
+
+size_t MedoidOf(const std::vector<size_t>& members,
+                const la::DistanceMatrix& distances) {
+  DUST_CHECK(!members.empty());
+  double best = std::numeric_limits<double>::infinity();
+  size_t arg = members[0];
+  for (size_t i : members) {
+    double sum = 0.0;
+    for (size_t j : members) sum += distances.at(i, j);
+    if (sum < best) {
+      best = sum;
+      arg = i;
+    }
+  }
+  return arg;
+}
+
+size_t MedoidOfPoints(const std::vector<la::Vec>& points,
+                      const std::vector<size_t>& members, la::Metric metric) {
+  DUST_CHECK(!members.empty());
+  double best = std::numeric_limits<double>::infinity();
+  size_t arg = members[0];
+  for (size_t i : members) {
+    double sum = 0.0;
+    for (size_t j : members) {
+      if (i != j) sum += la::Distance(metric, points[i], points[j]);
+    }
+    if (sum < best) {
+      best = sum;
+      arg = i;
+    }
+  }
+  return arg;
+}
+
+std::vector<size_t> ClusterMedoids(const std::vector<la::Vec>& points,
+                                   const std::vector<size_t>& labels,
+                                   la::Metric metric) {
+  std::vector<std::vector<size_t>> groups = GroupByLabel(labels);
+  std::vector<size_t> medoids;
+  medoids.reserve(groups.size());
+  for (const auto& members : groups) {
+    if (members.empty()) continue;
+    medoids.push_back(MedoidOfPoints(points, members, metric));
+  }
+  return medoids;
+}
+
+}  // namespace dust::cluster

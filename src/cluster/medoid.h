@@ -1,0 +1,31 @@
+// Medoid selection: the central-most member of a cluster (Sec. 5.2 selects
+// each cluster's medoid as its candidate diverse tuple, which is more robust
+// to outliers than e.g. the point nearest the centroid).
+#ifndef DUST_CLUSTER_MEDOID_H_
+#define DUST_CLUSTER_MEDOID_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "la/distance.h"
+
+namespace dust::cluster {
+
+/// Index (into `members`' values) of the member minimizing the sum of
+/// distances to the other members. Ties break to the lowest index.
+size_t MedoidOf(const std::vector<size_t>& members,
+                const la::DistanceMatrix& distances);
+
+/// Medoid computed directly from points (no precomputed matrix); O(m^2 d).
+size_t MedoidOfPoints(const std::vector<la::Vec>& points,
+                      const std::vector<size_t>& members, la::Metric metric);
+
+/// Medoids of every cluster in a labeling: result[c] is the point index of
+/// cluster c's medoid. Empty clusters are skipped (not represented).
+std::vector<size_t> ClusterMedoids(const std::vector<la::Vec>& points,
+                                   const std::vector<size_t>& labels,
+                                   la::Metric metric);
+
+}  // namespace dust::cluster
+
+#endif  // DUST_CLUSTER_MEDOID_H_

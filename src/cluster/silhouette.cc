@@ -1,0 +1,59 @@
+#include "cluster/silhouette.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/status.h"
+
+namespace dust::cluster {
+
+std::vector<double> SilhouetteSamples(const la::DistanceMatrix& distances,
+                                      const std::vector<size_t>& labels) {
+  const size_t n = distances.size();
+  DUST_CHECK(labels.size() == n);
+  size_t k = 0;
+  for (size_t label : labels) k = std::max(k, label + 1);
+
+  std::vector<size_t> cluster_size(k, 0);
+  for (size_t label : labels) ++cluster_size[label];
+
+  std::vector<double> samples(n, 0.0);
+  // sums[c] accumulates the distance from item i to all members of cluster c.
+  std::vector<double> sums(k);
+  for (size_t i = 0; i < n; ++i) {
+    if (cluster_size[labels[i]] <= 1) {
+      samples[i] = 0.0;  // singleton convention
+      continue;
+    }
+    std::fill(sums.begin(), sums.end(), 0.0);
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sums[labels[j]] += distances.at(i, j);
+    }
+    double a = sums[labels[i]] / static_cast<double>(cluster_size[labels[i]] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < k; ++c) {
+      if (c == labels[i] || cluster_size[c] == 0) continue;
+      b = std::min(b, sums[c] / static_cast<double>(cluster_size[c]));
+    }
+    if (!std::isfinite(b)) {
+      samples[i] = 0.0;  // only one non-empty cluster
+      continue;
+    }
+    double denom = std::max(a, b);
+    samples[i] = (denom > 0.0) ? (b - a) / denom : 0.0;
+  }
+  return samples;
+}
+
+double SilhouetteScore(const la::DistanceMatrix& distances,
+                       const std::vector<size_t>& labels) {
+  if (distances.size() < 2) return 0.0;
+  std::vector<double> samples = SilhouetteSamples(distances, labels);
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+}  // namespace dust::cluster

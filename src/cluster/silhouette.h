@@ -1,0 +1,26 @@
+// Silhouette coefficient (Rousseeuw 1987) — the cluster-quality score used
+// to select the number of clusters during column alignment (Sec. 3.3,
+// following Khatiwada et al. [26]).
+#ifndef DUST_CLUSTER_SILHOUETTE_H_
+#define DUST_CLUSTER_SILHOUETTE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "la/distance.h"
+
+namespace dust::cluster {
+
+/// Mean silhouette over all items. Requires >= 2 clusters and >= 2 items;
+/// items in singleton clusters contribute 0 (scikit-learn convention).
+/// Returns a value in [-1, 1]; higher is better.
+double SilhouetteScore(const la::DistanceMatrix& distances,
+                       const std::vector<size_t>& labels);
+
+/// Per-item silhouette values.
+std::vector<double> SilhouetteSamples(const la::DistanceMatrix& distances,
+                                      const std::vector<size_t>& labels);
+
+}  // namespace dust::cluster
+
+#endif  // DUST_CLUSTER_SILHOUETTE_H_

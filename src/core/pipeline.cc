@@ -1,0 +1,128 @@
+#include "core/pipeline.h"
+
+#include "embed/column_embedder.h"
+#include "search/embedding_search.h"
+#include "search/overlap_search.h"
+#include "util/stopwatch.h"
+
+namespace dust::core {
+
+DustPipeline::DustPipeline(PipelineConfig config,
+                           std::shared_ptr<embed::TupleEncoder> tuple_encoder)
+    : config_(std::move(config)), tuple_encoder_(std::move(tuple_encoder)) {
+  DUST_CHECK(tuple_encoder_ != nullptr);
+  if (config_.engine == "d3l") {
+    search::OverlapSearchConfig overlap;
+    overlap.embedding_dim = config_.embedding_dim;
+    overlap.seed = config_.seed;
+    search_ = std::make_unique<search::OverlapUnionSearch>(overlap);
+  } else {
+    search::EmbeddingSearchConfig embedding;
+    embedding.encoder.dim = config_.embedding_dim;
+    embedding.encoder.seed = config_.seed;
+    search_ = std::make_unique<search::EmbeddingUnionSearch>(embedding);
+  }
+}
+
+void DustPipeline::IndexLake(const std::vector<const table::Table*>& lake) {
+  lake_ = lake;
+  search_->IndexLake(lake);
+}
+
+Result<PipelineResult> DustPipeline::Run(const table::Table& query,
+                                         size_t k) const {
+  if (lake_.empty()) {
+    return Status::FailedPrecondition("IndexLake was not called");
+  }
+  if (query.num_columns() == 0) {
+    return Status::InvalidArgument("query table has no columns");
+  }
+  PipelineResult result;
+  Stopwatch watch;
+
+  // --- SearchTables (Algorithm 1, line 3) ---
+  result.tables = search_->SearchTables(query, config_.num_tables);
+  result.timings.search_seconds = watch.Seconds();
+  if (result.tables.empty()) {
+    return Status::NotFound("no unionable tables found");
+  }
+  // Drop weakly-unionable tables; always keep the top hit.
+  while (result.tables.size() > 1 &&
+         result.tables.back().score < config_.min_table_score) {
+    result.tables.pop_back();
+  }
+
+  // --- AlignColumns (line 5) ---
+  watch.Restart();
+  std::vector<const table::Table*> retrieved;
+  retrieved.reserve(result.tables.size());
+  for (const search::TableHit& hit : result.tables) {
+    retrieved.push_back(lake_[hit.table_index]);
+  }
+  auto encoder = embed::MakeEmbedder(
+      config_.column_model,
+      embed::DefaultConfigFor(config_.column_model, config_.embedding_dim,
+                              config_.seed));
+  embed::ColumnEmbedder column_embedder(std::move(encoder),
+                                        config_.column_serialization);
+  std::vector<const table::Table*> all_tables;
+  all_tables.push_back(&query);
+  for (const table::Table* t : retrieved) all_tables.push_back(t);
+  std::vector<std::vector<la::Vec>> column_embeddings =
+      column_embedder.EmbedTables(all_tables);
+  align::HolisticAligner aligner(config_.aligner);
+  result.alignment = aligner.Align(query, retrieved, column_embeddings);
+
+  Result<align::UnionableTuples> tuples =
+      align::BuildUnionableTuples(query, retrieved, result.alignment);
+  if (!tuples.ok()) return tuples.status();
+  const align::UnionableTuples& unionable = tuples.value();
+  result.timings.align_seconds = watch.Seconds();
+
+  if (unionable.unioned.num_rows() == 0) {
+    return Status::NotFound("alignment produced no unionable tuples");
+  }
+
+  // --- EmbedTuples (line 7) ---
+  watch.Restart();
+  std::vector<la::Vec> lake_embeddings;
+  lake_embeddings.reserve(unionable.serialized.size());
+  for (const std::string& ser : unionable.serialized) {
+    lake_embeddings.push_back(tuple_encoder_->EncodeSerialized(ser));
+  }
+  std::vector<la::Vec> query_embeddings;
+  query_embeddings.reserve(unionable.query_serialized.size());
+  for (const std::string& ser : unionable.query_serialized) {
+    query_embeddings.push_back(tuple_encoder_->EncodeSerialized(ser));
+  }
+  result.timings.embed_seconds = watch.Seconds();
+
+  // --- DiversifyTuples (line 8, Algorithm 2) ---
+  watch.Restart();
+  std::vector<size_t> table_of(unionable.provenance.size());
+  for (size_t i = 0; i < unionable.provenance.size(); ++i) {
+    table_of[i] = unionable.provenance[i].table_index;
+  }
+  diversify::DiversifyInput input;
+  input.query = &query_embeddings;
+  input.lake = &lake_embeddings;
+  input.metric = config_.metric;
+  input.table_of = &table_of;
+  diversify::DustDiversifier diversifier(config_.diversifier);
+  std::vector<size_t> selected = diversifier.SelectDiverse(input, k);
+  result.timings.diversify_seconds = watch.Seconds();
+
+  // Materialize the output table with lake-level provenance.
+  result.output = unionable.unioned.SelectRows(selected);
+  result.output.set_name("dust_output");
+  result.provenance.reserve(selected.size());
+  for (size_t i : selected) {
+    table::TupleRef ref = unionable.provenance[i];
+    // Map the retrieved-table index back to the lake index.
+    ref.table_index = result.tables[ref.table_index].table_index;
+    result.provenance.push_back(ref);
+  }
+  return result;
+}
+
+}  // namespace dust::core

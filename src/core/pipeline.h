@@ -1,0 +1,87 @@
+// DustPipeline — Algorithm 1 end to end.
+//
+//   D' ← SearchTables(Q, D)         table union search (src/search)
+//   T  ← AlignColumns(Q, D')        holistic alignment + outer union
+//   E  ← EmbedTuples(Q, T)          fine-tuned tuple encoder (src/nn)
+//   F  ← DiversifyTuples(E_Q, E_T)  Algorithm 2 (src/diversify)
+//
+// The pipeline owns the search engine and aligner; the tuple encoder is
+// injected (DustModel or any pretrained encoder) so experiments can swap
+// representations.
+#ifndef DUST_CORE_PIPELINE_H_
+#define DUST_CORE_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "align/holistic_aligner.h"
+#include "align/tuple_builder.h"
+#include "diversify/dust_diversifier.h"
+#include "embed/tuple_encoder.h"
+#include "search/union_search.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace dust::core {
+
+struct PipelineConfig {
+  /// Top-N unionable tables retrieved by the search phase.
+  size_t num_tables = 10;
+  /// Tables scoring below this are dropped after search (at least the best
+  /// table is always kept). Keeps weakly-unionable tables from polluting
+  /// the outer union with null-padded "diverse" junk.
+  double min_table_score = 0.25;
+  /// Union search engine: "starmie" (embedding) or "d3l" (overlap).
+  std::string engine = "starmie";
+  /// Column embedding used for alignment (Column-level RoBERTa wins
+  /// Table 1 and is DUST's choice, Sec. 6.2.4).
+  embed::ModelFamily column_model = embed::ModelFamily::kRoberta;
+  embed::ColumnSerialization column_serialization =
+      embed::ColumnSerialization::kColumnLevel;
+  size_t embedding_dim = 64;
+  uint64_t seed = 1234;
+  align::AlignerConfig aligner;
+  diversify::DustDiversifierConfig diversifier;
+  la::Metric metric = la::Metric::kCosine;
+};
+
+struct PipelineResult {
+  /// The retrieved unionable tables, best first.
+  std::vector<search::TableHit> tables;
+  align::AlignmentResult alignment;
+  /// The k selected diverse tuples under the query schema.
+  table::Table output;
+  /// Provenance of each output row: (index into the *lake*, row index).
+  std::vector<table::TupleRef> provenance;
+  struct Timings {
+    double search_seconds = 0.0;
+    double align_seconds = 0.0;
+    double embed_seconds = 0.0;
+    double diversify_seconds = 0.0;
+  } timings;
+};
+
+/// End-to-end diverse unionable tuple search.
+class DustPipeline {
+ public:
+  DustPipeline(PipelineConfig config,
+               std::shared_ptr<embed::TupleEncoder> tuple_encoder);
+
+  /// Indexes the data lake once (search-phase indexes).
+  void IndexLake(const std::vector<const table::Table*>& lake);
+
+  /// Runs Algorithm 1 for one query, returning `k` diverse tuples.
+  Result<PipelineResult> Run(const table::Table& query, size_t k) const;
+
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  PipelineConfig config_;
+  std::shared_ptr<embed::TupleEncoder> tuple_encoder_;
+  std::unique_ptr<search::UnionSearch> search_;
+  std::vector<const table::Table*> lake_;
+};
+
+}  // namespace dust::core
+
+#endif  // DUST_CORE_PIPELINE_H_

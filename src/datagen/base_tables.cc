@@ -1,0 +1,378 @@
+#include "datagen/base_tables.h"
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace dust::datagen {
+
+namespace {
+
+FieldSpec Entity(const std::string& header, Pool pool, std::string suffix,
+                 std::vector<std::string> synonyms) {
+  FieldSpec f;
+  f.header = header;
+  f.kind = FieldKind::kEntityName;
+  f.pool_a = pool;
+  f.entity_suffix = std::move(suffix);
+  f.synonyms = std::move(synonyms);
+  f.synonyms.insert(f.synonyms.begin(), header);
+  return f;
+}
+
+FieldSpec Simple(const std::string& header, FieldKind kind,
+                 std::vector<std::string> synonyms, Pool pool = Pool::kColors,
+                 double min_value = 0, double max_value = 100) {
+  FieldSpec f;
+  f.header = header;
+  f.kind = kind;
+  f.pool_a = pool;
+  f.min_value = min_value;
+  f.max_value = max_value;
+  f.synonyms = std::move(synonyms);
+  f.synonyms.insert(f.synonyms.begin(), header);
+  return f;
+}
+
+std::vector<DomainSpec> BuildDomains() {
+  std::vector<DomainSpec> domains;
+
+  {
+    DomainSpec d;
+    d.name = "parks";
+    d.fields = {
+        Entity("Park Name", Pool::kParkWords, "Park", {"Park", "Name of Park"}),
+        Simple("Supervisor", FieldKind::kPersonName, {"Supervised By", "Manager"}),
+        Simple("City", FieldKind::kCity, {"Park City", "Location"}),
+        Simple("Country", FieldKind::kCountry, {"Park Country", "Nation"}),
+        Simple("Park Phone", FieldKind::kPhone, {"Phone", "Contact Number"}),
+        Simple("Area Acres", FieldKind::kNumber, {"Acres", "Size"},
+               Pool::kColors, 2, 900),
+        Simple("Opened", FieldKind::kYear, {"Year Opened", "Established"}),
+    };
+    d.related_pairs = {{2, 3}, {0, 1}};
+    domains.push_back(d);
+  }
+  {
+    DomainSpec d;
+    d.name = "paintings";
+    d.fields = {
+        Entity("Painting", Pool::kPaintingWords, "", {"Title", "Artwork"}),
+        Simple("Medium", FieldKind::kCategory, {"Materials", "Technique"},
+               Pool::kArtMediums),
+        Simple("Dimensions", FieldKind::kNumber, {"Size cm", "Width cm"},
+               Pool::kColors, 20, 400),
+        Simple("Date", FieldKind::kYear, {"Year", "Created"}),
+        Simple("Country", FieldKind::kCountry, {"Origin", "Nation"}),
+        Simple("Artist", FieldKind::kPersonName, {"Painter", "Created By"}),
+    };
+    d.related_pairs = {{0, 5}, {3, 4}};
+    domains.push_back(d);
+  }
+  {
+    DomainSpec d;
+    d.name = "movies";
+    d.fields = {
+        Entity("Title", Pool::kMovieWords, "", {"Movie Title", "Film"}),
+        Simple("Director", FieldKind::kPersonName, {"Directed By", "Filmmaker"}),
+        Simple("Genre", FieldKind::kCategory, {"Category", "Type"}, Pool::kGenres),
+        Simple("Budget", FieldKind::kMoney, {"Budget USD", "Cost"},
+               Pool::kColors, 100000, 200000000),
+        Simple("Filming Location", FieldKind::kCity, {"Location", "Filmed In"}),
+        Simple("Language", FieldKind::kCategory, {"Languages", "Spoken Language"},
+               Pool::kLanguages),
+        Simple("Release Year", FieldKind::kYear, {"Year", "Released"}),
+        Simple("Runtime Min", FieldKind::kNumber, {"Runtime", "Length Min"},
+               Pool::kColors, 70, 210),
+    };
+    d.related_pairs = {{0, 1}, {4, 5}};
+    domains.push_back(d);
+  }
+  {
+    DomainSpec d;
+    d.name = "mythology";
+    d.fields = {
+        Entity("Myth", Pool::kMythCreatures, "", {"Creature", "Being"}),
+        Simple("Definition", FieldKind::kCategory, {"Description", "Meaning"},
+               Pool::kAdjectives),
+        Simple("Synonyms", FieldKind::kCategory, {"Also Known As", "Aliases"},
+               Pool::kMythCreatures),
+        Simple("Origin", FieldKind::kCategory, {"Culture", "Mythology"},
+               Pool::kMythOrigins),
+    };
+    d.related_pairs = {{0, 3}};
+    domains.push_back(d);
+  }
+  {
+    DomainSpec d;
+    d.name = "weather";
+    d.fields = {
+        Entity("Station", Pool::kWeatherWords, "Station", {"Station Name", "Site"}),
+        Simple("City", FieldKind::kCity, {"Location", "Town"}),
+        Simple("Temp C", FieldKind::kNumber, {"Temperature", "Mean Temp"},
+               Pool::kColors, -30, 45),
+        Simple("Rain mm", FieldKind::kNumber, {"Precipitation", "Rainfall"},
+               Pool::kColors, 0, 400),
+        Simple("Recorded", FieldKind::kDate, {"Date", "Observation Date"}),
+    };
+    d.related_pairs = {{0, 1}};
+    domains.push_back(d);
+  }
+  {
+    DomainSpec d;
+    d.name = "restaurants";
+    d.fields = {
+        Entity("Restaurant", Pool::kDishWords, "Kitchen", {"Name", "Venue"}),
+        Simple("Cuisine", FieldKind::kCategory, {"Food Type", "Style"},
+               Pool::kCuisines),
+        Simple("Chef", FieldKind::kPersonName, {"Head Chef", "Owner"}),
+        Simple("City", FieldKind::kCity, {"Location", "Address City"}),
+        Simple("Rating", FieldKind::kNumber, {"Stars", "Score"}, Pool::kColors,
+               1, 5),
+        Simple("Phone", FieldKind::kPhone, {"Contact", "Telephone"}),
+    };
+    d.related_pairs = {{0, 2}, {1, 3}};
+    domains.push_back(d);
+  }
+  {
+    DomainSpec d;
+    d.name = "universities";
+    d.fields = {
+        Entity("University", Pool::kUniversityWords, "University",
+               {"Institution", "School"}),
+        Simple("Field", FieldKind::kCategory, {"Department", "Discipline"},
+               Pool::kAcademicFields),
+        Simple("City", FieldKind::kCity, {"Campus City", "Location"}),
+        Simple("Country", FieldKind::kCountry, {"Nation", "Country Name"}),
+        Simple("Enrollment", FieldKind::kNumber, {"Students", "Student Count"},
+               Pool::kColors, 800, 60000),
+        Simple("Founded", FieldKind::kYear, {"Year Founded", "Established"}),
+    };
+    d.related_pairs = {{2, 3}};
+    domains.push_back(d);
+  }
+  {
+    DomainSpec d;
+    d.name = "sports";
+    d.fields = {
+        Entity("Team", Pool::kSportsWords, "", {"Team Name", "Club"}),
+        Simple("League", FieldKind::kCategory, {"Division", "Conference"},
+               Pool::kSportsLeagues),
+        Simple("Coach", FieldKind::kPersonName, {"Head Coach", "Manager"}),
+        Simple("City", FieldKind::kCity, {"Home City", "Based In"}),
+        Simple("Wins", FieldKind::kNumber, {"Win Count", "Victories"},
+               Pool::kColors, 0, 120),
+        Simple("Season", FieldKind::kYear, {"Year", "Season Year"}),
+    };
+    d.related_pairs = {{0, 3}};
+    domains.push_back(d);
+  }
+  {
+    DomainSpec d;
+    d.name = "books";
+    d.fields = {
+        Entity("Book", Pool::kBookWords, "", {"Title", "Book Title"}),
+        Simple("Author", FieldKind::kPersonName, {"Written By", "Writer"}),
+        Simple("Publisher", FieldKind::kCategory, {"Press", "Imprint"},
+               Pool::kPublishers),
+        Simple("Pages", FieldKind::kNumber, {"Page Count", "Length"},
+               Pool::kColors, 80, 1200),
+        Simple("Published", FieldKind::kYear, {"Year", "Pub Year"}),
+        Simple("Language", FieldKind::kCategory, {"Written In", "Lang"},
+               Pool::kLanguages),
+    };
+    d.related_pairs = {{0, 1}};
+    domains.push_back(d);
+  }
+  {
+    DomainSpec d;
+    d.name = "cars";
+    d.fields = {
+        Entity("Model", Pool::kCarMakes, "", {"Car Model", "Vehicle"}),
+        Simple("Trim", FieldKind::kCategory, {"Edition", "Variant"},
+               Pool::kCarWords),
+        Simple("Price", FieldKind::kMoney, {"MSRP", "List Price"},
+               Pool::kColors, 14000, 160000),
+        Simple("Year", FieldKind::kYear, {"Model Year", "Produced"}),
+        Simple("Color", FieldKind::kCategory, {"Paint", "Exterior Color"},
+               Pool::kColors),
+    };
+    d.related_pairs = {{0, 1}};
+    domains.push_back(d);
+  }
+  {
+    DomainSpec d;
+    d.name = "birds";
+    d.fields = {
+        Entity("Species", Pool::kBirdWords, "", {"Bird", "Common Name"}),
+        Simple("Color", FieldKind::kCategory, {"Plumage", "Primary Color"},
+               Pool::kColors),
+        Simple("Wingspan cm", FieldKind::kNumber, {"Wingspan", "Span"},
+               Pool::kColors, 12, 310),
+        Simple("Region", FieldKind::kCountry, {"Range", "Found In"}),
+        Simple("Observed", FieldKind::kDate, {"Sighting Date", "Date"}),
+    };
+    d.related_pairs = {{0, 3}};
+    domains.push_back(d);
+  }
+  {
+    DomainSpec d;
+    d.name = "employees";
+    d.fields = {
+        Simple("Employee", FieldKind::kPersonName, {"Name", "Staff Member"}),
+        Simple("Department", FieldKind::kCategory, {"Division", "Unit"},
+               Pool::kAcademicFields),
+        Simple("City", FieldKind::kCity, {"Office", "Office City"}),
+        Simple("Salary", FieldKind::kMoney, {"Pay", "Annual Salary"},
+               Pool::kColors, 32000, 240000),
+        Simple("Hired", FieldKind::kDate, {"Start Date", "Hire Date"}),
+        Simple("Phone", FieldKind::kPhone, {"Extension", "Work Phone"}),
+    };
+    d.related_pairs = {{0, 1}};
+    domains.push_back(d);
+  }
+
+  // Assign globally unique concept ids.
+  int next_concept = 0;
+  for (DomainSpec& domain : domains) {
+    for (FieldSpec& field : domain.fields) field.concept_id = next_concept++;
+  }
+  return domains;
+}
+
+}  // namespace
+
+const std::vector<DomainSpec>& BuiltinDomains() {
+  static const std::vector<DomainSpec>* domains =
+      new std::vector<DomainSpec>(BuildDomains());
+  return *domains;
+}
+
+DomainSpec AlternateDomain(const DomainSpec& domain, int concept_base) {
+  // Same topic vocabulary, different relation: rotated field kinds, new
+  // headers, fresh concepts. E.g. "parks" -> park *events* with attendance.
+  DomainSpec alt;
+  alt.name = domain.name + "_alt";
+  int next_concept = concept_base;
+  for (size_t i = 0; i < domain.fields.size(); ++i) {
+    const FieldSpec& src = domain.fields[i];
+    FieldSpec f = src;
+    f.header = src.header + " Ref";
+    f.synonyms = {f.header, src.header + " Code"};
+    // Rotate kinds so values look topic-adjacent but do not align:
+    switch (src.kind) {
+      case FieldKind::kEntityName:
+        f.kind = FieldKind::kCategory;  // references entities as categories
+        break;
+      case FieldKind::kCity:
+        f.kind = FieldKind::kCountry;
+        f.header = "Region";
+        f.synonyms = {"Region", "Zone"};
+        break;
+      case FieldKind::kNumber:
+      case FieldKind::kMoney:
+        f.kind = FieldKind::kNumber;
+        f.min_value = src.min_value * 10 + 1000;
+        f.max_value = src.max_value * 10 + 2000;
+        f.header = src.header + " Index";
+        f.synonyms = {f.header};
+        break;
+      default:
+        f.kind = FieldKind::kCategory;
+        f.pool_a = Pool::kAdjectives;
+        break;
+    }
+    f.concept_id = next_concept++;
+    alt.fields.push_back(std::move(f));
+  }
+  return alt;
+}
+
+table::Value GenerateValue(const FieldSpec& field, Rng* rng) {
+  switch (field.kind) {
+    case FieldKind::kEntityName: {
+      std::string name = RandomWord(field.pool_a, rng);
+      if (rng->NextBernoulli(0.35)) {
+        name = RandomWord(Pool::kAdjectives, rng) + " " + name;
+      }
+      if (!field.entity_suffix.empty()) name += " " + field.entity_suffix;
+      return table::Value(name);
+    }
+    case FieldKind::kPersonName:
+      return table::Value(RandomPersonName(rng));
+    case FieldKind::kCity:
+      return table::Value(RandomCityString(rng));
+    case FieldKind::kCountry:
+      return table::Value(RandomWord(Pool::kCountries, rng));
+    case FieldKind::kCategory:
+      return table::Value(RandomWord(field.pool_a, rng));
+    case FieldKind::kNumber: {
+      double v = field.min_value +
+                 rng->NextDouble() * (field.max_value - field.min_value);
+      return table::Value(StrFormat("%.1f", v));
+    }
+    case FieldKind::kMoney: {
+      double v = field.min_value +
+                 rng->NextDouble() * (field.max_value - field.min_value);
+      return table::Value(StrFormat("%.0f", v));
+    }
+    case FieldKind::kPhone:
+      return table::Value(RandomPhone(rng));
+    case FieldKind::kDate:
+      return table::Value(RandomDate(rng));
+    case FieldKind::kYear:
+      return table::Value(
+          StrFormat("%d", static_cast<int>(rng->NextInt(1950, 2024))));
+  }
+  return table::Value::Null();
+}
+
+table::Table GenerateBaseTable(const DomainSpec& domain, size_t rows,
+                               Rng* rng) {
+  table::Table t(domain.name + "_base");
+  for (const FieldSpec& field : domain.fields) t.AddColumn(field.header);
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<table::Value> row;
+    row.reserve(domain.fields.size());
+    for (const FieldSpec& field : domain.fields) {
+      row.push_back(GenerateValue(field, rng));
+    }
+    DUST_CHECK(t.AddRow(std::move(row)).ok());
+  }
+  return t;
+}
+
+GeneratedTable MakeVariant(const table::Table& base, const DomainSpec& domain,
+                           size_t base_id,
+                           const std::vector<size_t>& keep_columns,
+                           const std::vector<size_t>& rows,
+                           const std::string& variant_name, Rng* rng) {
+  GeneratedTable out;
+  out.base_id = base_id;
+  table::Table projected = base.ProjectColumns(keep_columns);
+  table::Table selected = projected.SelectRows(rows);
+  selected.set_name(variant_name);
+  // Synonym headers make alignment non-trivial (Fig. 1's "Supervised by").
+  for (size_t j = 0; j < keep_columns.size(); ++j) {
+    const FieldSpec& field = domain.fields[keep_columns[j]];
+    const std::vector<std::string>& synonyms = field.synonyms;
+    selected.column(j).name = synonyms[rng->NextBelow(synonyms.size())];
+    out.column_concepts.push_back(field.concept_id);
+  }
+  out.data = std::move(selected);
+  return out;
+}
+
+static Benchmark::Stats ComputeStats(const std::vector<GeneratedTable>& tables) {
+  Benchmark::Stats stats;
+  stats.tables = tables.size();
+  for (const GeneratedTable& t : tables) {
+    stats.columns += t.data.num_columns();
+    stats.tuples += t.data.num_rows();
+  }
+  return stats;
+}
+
+Benchmark::Stats Benchmark::LakeStats() const { return ComputeStats(lake); }
+Benchmark::Stats Benchmark::QueryStats() const { return ComputeStats(queries); }
+
+}  // namespace dust::datagen

@@ -1,0 +1,104 @@
+// Topic-domain schemas and base-table generation.
+//
+// Every synthetic benchmark follows the TUS construction recipe (Sec. 6.1):
+// base tables per topic; lake/query tables are row-selections and column-
+// projections of a base table; tables from the same base are unionable.
+// Each field carries a global concept id — two columns truly align iff they
+// share a concept — which supplies the alignment ground truth of Table 1.
+#ifndef DUST_DATAGEN_BASE_TABLES_H_
+#define DUST_DATAGEN_BASE_TABLES_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/vocab.h"
+#include "table/table.h"
+#include "util/rng.h"
+
+namespace dust::datagen {
+
+/// Value generator kind of one field.
+enum class FieldKind {
+  kEntityName,  // "<pool_a word> <suffix>" style titles/names
+  kPersonName,
+  kCity,
+  kCountry,
+  kCategory,    // uniform draw from pool_a
+  kNumber,      // uniform numeric in [min_value, max_value]
+  kMoney,
+  kPhone,
+  kDate,
+  kYear,
+};
+
+struct FieldSpec {
+  std::string header;
+  /// Header variants used when generating table variants ("Country" vs
+  /// "Park Country" vs "Nation"); includes `header` itself.
+  std::vector<std::string> synonyms;
+  FieldKind kind = FieldKind::kCategory;
+  Pool pool_a = Pool::kColors;
+  /// Suffix appended to entity names ("Park", "University", "").
+  std::string entity_suffix;
+  double min_value = 0.0;
+  double max_value = 100.0;
+  /// Globally unique alignment concept (assigned by BuiltinDomains).
+  int concept_id = -1;
+};
+
+struct DomainSpec {
+  std::string name;  // topic, e.g. "parks"
+  std::vector<FieldSpec> fields;
+  /// Indices of field pairs sharing a binary relationship (kept together by
+  /// the SANTOS generator's projections).
+  std::vector<std::pair<size_t, size_t>> related_pairs;
+};
+
+/// The built-in topic domains (12), with globally unique concept ids.
+const std::vector<DomainSpec>& BuiltinDomains();
+
+/// A sibling schema on the same topic with fresh concept ids and different
+/// headers/structure — the UGEN-V1 "same topic but non-unionable" tables.
+DomainSpec AlternateDomain(const DomainSpec& domain, int concept_base);
+
+/// Generates one value for `field`.
+table::Value GenerateValue(const FieldSpec& field, Rng* rng);
+
+/// Generates a base table of `rows` rows for `domain`.
+table::Table GenerateBaseTable(const DomainSpec& domain, size_t rows, Rng* rng);
+
+/// A generated table plus its provenance metadata.
+struct GeneratedTable {
+  table::Table data;
+  size_t base_id = 0;                 // which base table it came from
+  std::vector<int> column_concepts;   // concept id per column
+};
+
+/// A full synthetic benchmark: lake + queries + unionability ground truth.
+struct Benchmark {
+  std::string name;
+  std::vector<GeneratedTable> lake;
+  std::vector<GeneratedTable> queries;
+  /// unionable[q] = indices of lake tables unionable with query q.
+  std::vector<std::vector<size_t>> unionable;
+
+  struct Stats {
+    size_t tables = 0;
+    size_t columns = 0;
+    size_t tuples = 0;
+  };
+  Stats LakeStats() const;
+  Stats QueryStats() const;
+};
+
+/// Derives a variant (row selection + column projection, with synonym
+/// headers) of `base`. `keep_columns` lists the base column indices to keep
+/// (in order); `rows` lists the base row indices to keep.
+GeneratedTable MakeVariant(const table::Table& base, const DomainSpec& domain,
+                           size_t base_id, const std::vector<size_t>& keep_columns,
+                           const std::vector<size_t>& rows,
+                           const std::string& variant_name, Rng* rng);
+
+}  // namespace dust::datagen
+
+#endif  // DUST_DATAGEN_BASE_TABLES_H_

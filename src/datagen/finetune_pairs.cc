@@ -1,0 +1,224 @@
+#include "datagen/finetune_pairs.h"
+
+#include <algorithm>
+
+#include "table/serialize.h"
+#include "util/status.h"
+
+namespace dust::datagen {
+
+namespace {
+
+// Split id per lake table: 0 train, 1 validation, 2 test. Tables (and hence
+// tuples) never cross splits — the no-leakage guarantee of Sec. 6.1.1.
+std::vector<int> AssignSplits(size_t num_tables,
+                              const FinetunePairsConfig& config, Rng* rng) {
+  std::vector<int> split(num_tables, 0);
+  for (size_t t = 0; t < num_tables; ++t) {
+    double u = rng->NextDouble();
+    if (u < config.train_fraction) {
+      split[t] = 0;
+    } else if (u < config.train_fraction + config.validation_fraction) {
+      split[t] = 1;
+    } else {
+      split[t] = 2;
+    }
+  }
+  return split;
+}
+
+// Groups lake tables by base id (same base = unionable family).
+std::vector<std::vector<size_t>> GroupByBase(const Benchmark& benchmark) {
+  size_t max_base = 0;
+  for (const GeneratedTable& t : benchmark.lake) {
+    max_base = std::max(max_base, t.base_id + 1);
+  }
+  std::vector<std::vector<size_t>> groups(max_base);
+  for (size_t i = 0; i < benchmark.lake.size(); ++i) {
+    groups[benchmark.lake[i].base_id].push_back(i);
+  }
+  return groups;
+}
+
+std::string SerializeRow(const Benchmark& benchmark, size_t table, size_t row) {
+  return table::SerializeTableRow(benchmark.lake[table].data, row);
+}
+
+// Serializes a row over a random column subset (probability `p_subset`).
+// Real benchmark tuples often expose only a few columns, which makes some
+// positives ambiguous (little shared schema) and some negatives hard
+// (only generic columns like City/Country left) — without this the
+// classification task is trivially separable by header tokens.
+std::string SerializeRowMaybeSubset(const Benchmark& benchmark, size_t table,
+                                    size_t row, double p_subset, Rng* rng) {
+  const table::Table& t = benchmark.lake[table].data;
+  if (t.num_columns() <= 2 || !rng->NextBernoulli(p_subset)) {
+    return table::SerializeTableRow(t, row);
+  }
+  size_t keep = 1 + rng->NextBelow(t.num_columns() - 1);
+  std::vector<size_t> cols = rng->SampleWithoutReplacement(t.num_columns(), keep);
+  std::sort(cols.begin(), cols.end());
+  std::vector<std::string> headers;
+  std::vector<table::Value> values;
+  for (size_t j : cols) {
+    headers.push_back(t.column(j).name);
+    values.push_back(t.at(row, j));
+  }
+  return table::SerializeTuple(headers, values);
+}
+
+// Light perturbation of a serialized tuple: lowercase one random word-ish
+// segment and drop another (entity-matching positives are noisy copies).
+std::string Perturb(const std::string& serialized, Rng* rng) {
+  std::string out = serialized;
+  if (out.size() > 12) {
+    size_t pos = 6 + rng->NextBelow(out.size() - 10);
+    out[pos] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(out[pos])));
+    size_t pos2 = 6 + rng->NextBelow(out.size() - 10);
+    if (out[pos2] != '[' && out[pos2] != ']') out[pos2] = ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
+nn::PairDataset BuildFinetunePairs(const Benchmark& benchmark,
+                                   const FinetunePairsConfig& config) {
+  Rng rng(config.seed);
+  nn::PairDataset dataset;
+  std::vector<int> split = AssignSplits(benchmark.lake.size(), config, &rng);
+  std::vector<std::vector<size_t>> by_base = GroupByBase(benchmark);
+
+  // Per split: lists of usable tables grouped by base.
+  auto tables_in_split = [&](int s) {
+    std::vector<size_t> tables;
+    for (size_t t = 0; t < benchmark.lake.size(); ++t) {
+      if (split[t] == s && benchmark.lake[t].data.num_rows() >= 2) {
+        tables.push_back(t);
+      }
+    }
+    return tables;
+  };
+
+  for (int s = 0; s < 3; ++s) {
+    std::vector<size_t> tables = tables_in_split(s);
+    if (tables.size() < 2) continue;
+    double fraction = (s == 0) ? config.train_fraction
+                      : (s == 1) ? config.validation_fraction
+                                 : (1.0 - config.train_fraction -
+                                    config.validation_fraction);
+    size_t budget = static_cast<size_t>(
+        static_cast<double>(config.total_pairs) * fraction);
+    size_t positives = budget / 2;
+    size_t negatives = budget - positives;
+
+    std::vector<nn::TuplePair>* out =
+        (s == 0) ? &dataset.train
+        : (s == 1) ? &dataset.validation
+                   : &dataset.test;
+
+    // Positives: same table (50%) or same base, different tables.
+    for (size_t i = 0; i < positives; ++i) {
+      nn::TuplePair pair;
+      pair.label = 1;
+      size_t t1 = tables[rng.NextBelow(tables.size())];
+      size_t t2 = t1;
+      if (rng.NextBernoulli(0.5)) {
+        // A sibling from the same base within this split, if any.
+        std::vector<size_t> siblings;
+        for (size_t cand : by_base[benchmark.lake[t1].base_id]) {
+          if (cand != t1 && split[cand] == s &&
+              benchmark.lake[cand].data.num_rows() >= 1) {
+            siblings.push_back(cand);
+          }
+        }
+        if (!siblings.empty()) t2 = siblings[rng.NextBelow(siblings.size())];
+      }
+      size_t r1 = rng.NextBelow(benchmark.lake[t1].data.num_rows());
+      size_t r2 = rng.NextBelow(benchmark.lake[t2].data.num_rows());
+      if (t1 == t2 && benchmark.lake[t1].data.num_rows() >= 2) {
+        while (r2 == r1) r2 = rng.NextBelow(benchmark.lake[t1].data.num_rows());
+      }
+      pair.serialized_a = SerializeRowMaybeSubset(benchmark, t1, r1, 0.5, &rng);
+      pair.serialized_b = SerializeRowMaybeSubset(benchmark, t2, r2, 0.5, &rng);
+      out->push_back(std::move(pair));
+    }
+    // Negatives: two tables from different bases.
+    size_t made = 0;
+    size_t attempts = 0;
+    while (made < negatives && attempts < negatives * 20) {
+      ++attempts;
+      size_t t1 = tables[rng.NextBelow(tables.size())];
+      size_t t2 = tables[rng.NextBelow(tables.size())];
+      if (benchmark.lake[t1].base_id == benchmark.lake[t2].base_id) continue;
+      nn::TuplePair pair;
+      pair.label = 0;
+      pair.serialized_a = SerializeRowMaybeSubset(
+          benchmark, t1, rng.NextBelow(benchmark.lake[t1].data.num_rows()),
+          0.5, &rng);
+      pair.serialized_b = SerializeRowMaybeSubset(
+          benchmark, t2, rng.NextBelow(benchmark.lake[t2].data.num_rows()),
+          0.5, &rng);
+      out->push_back(std::move(pair));
+      ++made;
+    }
+    rng.Shuffle(out);
+  }
+  return dataset;
+}
+
+nn::PairDataset BuildEntityMatchingPairs(const Benchmark& benchmark,
+                                         const FinetunePairsConfig& config) {
+  Rng rng(config.seed ^ 0xD1770ULL);
+  nn::PairDataset dataset;
+  std::vector<int> split = AssignSplits(benchmark.lake.size(), config, &rng);
+
+  for (int s = 0; s < 3; ++s) {
+    std::vector<size_t> tables;
+    for (size_t t = 0; t < benchmark.lake.size(); ++t) {
+      if (split[t] == s && benchmark.lake[t].data.num_rows() >= 2) {
+        tables.push_back(t);
+      }
+    }
+    if (tables.empty()) continue;
+    double fraction = (s == 0) ? config.train_fraction
+                      : (s == 1) ? config.validation_fraction
+                                 : (1.0 - config.train_fraction -
+                                    config.validation_fraction);
+    size_t budget = static_cast<size_t>(
+        static_cast<double>(config.total_pairs) * fraction);
+    std::vector<nn::TuplePair>* out =
+        (s == 0) ? &dataset.train
+        : (s == 1) ? &dataset.validation
+                   : &dataset.test;
+    for (size_t i = 0; i < budget; ++i) {
+      nn::TuplePair pair;
+      size_t t1 = tables[rng.NextBelow(tables.size())];
+      size_t r1 = rng.NextBelow(benchmark.lake[t1].data.num_rows());
+      std::string a = SerializeRow(benchmark, t1, r1);
+      if (i % 2 == 0) {
+        // Positive: the same entity, lightly perturbed.
+        pair.label = 1;
+        pair.serialized_a = a;
+        pair.serialized_b = Perturb(a, &rng);
+      } else {
+        // Negative: any other tuple (possibly from a unionable table —
+        // that is exactly why Ditto's signal differs from unionability).
+        pair.label = 0;
+        size_t t2 = tables[rng.NextBelow(tables.size())];
+        size_t r2 = rng.NextBelow(benchmark.lake[t2].data.num_rows());
+        if (t1 == t2 && r1 == r2) {
+          r2 = (r2 + 1) % benchmark.lake[t2].data.num_rows();
+        }
+        pair.serialized_a = a;
+        pair.serialized_b = SerializeRow(benchmark, t2, r2);
+      }
+      out->push_back(std::move(pair));
+    }
+    rng.Shuffle(out);
+  }
+  return dataset;
+}
+
+}  // namespace dust::datagen

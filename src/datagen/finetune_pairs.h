@@ -1,0 +1,36 @@
+// Fine-tuning pair datasets (Sec. 6.1.1, "TUS Fine-tuning Benchmark").
+//
+// Unionability pairs: label 1 for two tuples from the same table or a pair
+// of unionable tables, label 0 for tuples from non-unionable tables.
+// Balanced; split 70:15:15 by *table* so no tuple leaks across splits.
+//
+// Entity-matching pairs (for the Ditto baseline of Sec. 6.3.2): label 1 for
+// a tuple and a lightly perturbed copy of itself, label 0 for two distinct
+// tuples — the different training signal that leaves Ditto mid-pack on
+// unionability.
+#ifndef DUST_DATAGEN_FINETUNE_PAIRS_H_
+#define DUST_DATAGEN_FINETUNE_PAIRS_H_
+
+#include "datagen/base_tables.h"
+#include "nn/trainer.h"
+
+namespace dust::datagen {
+
+struct FinetunePairsConfig {
+  size_t total_pairs = 6000;  // 60K in the paper, scaled for one core
+  double train_fraction = 0.70;
+  double validation_fraction = 0.15;
+  uint64_t seed = 5;
+};
+
+/// Unionability-labelled pairs from a TUS-style benchmark.
+nn::PairDataset BuildFinetunePairs(const Benchmark& benchmark,
+                                   const FinetunePairsConfig& config);
+
+/// Entity-matching-labelled pairs (Ditto's task) from the same tables.
+nn::PairDataset BuildEntityMatchingPairs(const Benchmark& benchmark,
+                                         const FinetunePairsConfig& config);
+
+}  // namespace dust::datagen
+
+#endif  // DUST_DATAGEN_FINETUNE_PAIRS_H_

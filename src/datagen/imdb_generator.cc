@@ -1,0 +1,102 @@
+#include "datagen/imdb_generator.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace dust::datagen {
+
+namespace {
+
+// The 13-column movie schema of the case study (title, director, genre,
+// budget, filming location, language, and more — Sec. 6.6).
+DomainSpec ImdbDomain() {
+  const std::vector<DomainSpec>& domains = BuiltinDomains();
+  for (const DomainSpec& d : domains) {
+    if (d.name == "movies") {
+      DomainSpec imdb = d;  // reuse movie concepts for the shared columns
+      imdb.name = "imdb";
+      int extra_concept = 20000;
+      auto add = [&](FieldSpec f) {
+        f.concept_id = extra_concept++;
+        imdb.fields.push_back(std::move(f));
+      };
+      FieldSpec writer;
+      writer.header = "Writer";
+      writer.synonyms = {"Writer", "Screenplay"};
+      writer.kind = FieldKind::kPersonName;
+      add(writer);
+      FieldSpec star;
+      star.header = "Lead Actor";
+      star.synonyms = {"Lead Actor", "Star"};
+      star.kind = FieldKind::kPersonName;
+      add(star);
+      FieldSpec country;
+      country.header = "Country";
+      country.synonyms = {"Country", "Production Country"};
+      country.kind = FieldKind::kCountry;
+      add(country);
+      FieldSpec rating;
+      rating.header = "IMDB Rating";
+      rating.synonyms = {"IMDB Rating", "Score"};
+      rating.kind = FieldKind::kNumber;
+      rating.min_value = 1.0;
+      rating.max_value = 10.0;
+      add(rating);
+      FieldSpec votes;
+      votes.header = "Votes";
+      votes.synonyms = {"Votes", "Vote Count"};
+      votes.kind = FieldKind::kNumber;
+      votes.min_value = 100;
+      votes.max_value = 900000;
+      add(votes);
+      return imdb;  // 8 movie fields + 5 extras = 13 columns
+    }
+  }
+  DUST_CHECK(false);
+  return domains[0];
+}
+
+}  // namespace
+
+Benchmark GenerateImdb(const ImdbConfig& config) {
+  Rng rng(config.seed);
+  Benchmark benchmark;
+  benchmark.name = "IMDB";
+  DomainSpec domain = ImdbDomain();
+  table::Table base = GenerateBaseTable(domain, config.base_movies, &rng);
+
+  std::vector<size_t> all_columns(domain.fields.size());
+  for (size_t j = 0; j < all_columns.size(); ++j) all_columns[j] = j;
+
+  std::vector<size_t> query_rows =
+      rng.SampleWithoutReplacement(base.num_rows(), config.query_rows);
+  std::sort(query_rows.begin(), query_rows.end());
+  benchmark.queries.push_back(MakeVariant(base, domain, 0, all_columns,
+                                          query_rows, "imdb_query", &rng));
+  benchmark.unionable.resize(1);
+
+  for (size_t v = 0; v < config.num_lake_tables; ++v) {
+    size_t overlap =
+        static_cast<size_t>(config.overlap_fraction *
+                            static_cast<double>(config.lake_rows));
+    overlap = std::min(overlap, query_rows.size());
+    std::vector<size_t> rows;
+    // Overlapping rows come from the query's own sample...
+    std::vector<size_t> pick =
+        rng.SampleWithoutReplacement(query_rows.size(), overlap);
+    for (size_t p : pick) rows.push_back(query_rows[p]);
+    // ...the rest from the whole base.
+    while (rows.size() < std::min(config.lake_rows, base.num_rows())) {
+      rows.push_back(rng.NextBelow(base.num_rows()));
+    }
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    benchmark.unionable[0].push_back(benchmark.lake.size());
+    benchmark.lake.push_back(MakeVariant(base, domain, 0, all_columns, rows,
+                                         StrFormat("imdb_lake_%zu", v), &rng));
+  }
+  return benchmark;
+}
+
+}  // namespace dust::datagen

@@ -1,0 +1,28 @@
+// IMDB case-study generator (Sec. 6.6): a movie dataset of ~500 recent
+// movies; a query table and 20 unionable tables are row samples with heavy
+// overlap. Fig. 8 counts the novel unique values each discovery method
+// adds per column.
+#ifndef DUST_DATAGEN_IMDB_GENERATOR_H_
+#define DUST_DATAGEN_IMDB_GENERATOR_H_
+
+#include "datagen/base_tables.h"
+
+namespace dust::datagen {
+
+struct ImdbConfig {
+  size_t base_movies = 500;
+  size_t num_lake_tables = 20;
+  size_t query_rows = 50;
+  size_t lake_rows = 97;  // paper: tables average 97 tuples
+  /// Fraction of each lake table's rows drawn from the query's rows
+  /// (the redundancy that penalizes similarity-based search).
+  double overlap_fraction = 0.45;
+  uint64_t seed = 4;
+};
+
+/// A single-query benchmark over the movie domain (13 columns).
+Benchmark GenerateImdb(const ImdbConfig& config);
+
+}  // namespace dust::datagen
+
+#endif  // DUST_DATAGEN_IMDB_GENERATOR_H_

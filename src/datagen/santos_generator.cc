@@ -1,0 +1,23 @@
+#include "datagen/santos_generator.h"
+
+namespace dust::datagen {
+
+Benchmark GenerateSantos(const SantosConfig& config) {
+  TusConfig tus;
+  tus.name = "SANTOS";
+  tus.num_queries = config.num_queries;
+  tus.unionable_per_query = config.unionable_per_query;
+  tus.base_rows = config.base_rows;
+  // Larger row samples (SANTOS tables are bigger, Fig. 5) and projections
+  // closed under the binary relationships.
+  tus.row_sample_min = 0.35;
+  tus.row_sample_max = 0.8;
+  tus.column_keep_min = 0.55;
+  tus.column_keep_max = 0.95;
+  tus.keep_related_pairs = true;
+  tus.near_copy_fraction = 0.3;
+  tus.seed = config.seed;
+  return GenerateTus(tus);
+}
+
+}  // namespace dust::datagen

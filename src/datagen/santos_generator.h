@@ -1,0 +1,23 @@
+// SANTOS-style benchmark generator (Sec. 6.1.2): follows the TUS recipe but
+// projections preserve the domains' binary relationships (a unionable table
+// shares at least one related column pair with the query), tables are
+// larger, and numeric columns are more prevalent.
+#ifndef DUST_DATAGEN_SANTOS_GENERATOR_H_
+#define DUST_DATAGEN_SANTOS_GENERATOR_H_
+
+#include "datagen/tus_generator.h"
+
+namespace dust::datagen {
+
+struct SantosConfig {
+  size_t num_queries = 10;
+  size_t unionable_per_query = 10;
+  size_t base_rows = 400;
+  uint64_t seed = 2;
+};
+
+Benchmark GenerateSantos(const SantosConfig& config);
+
+}  // namespace dust::datagen
+
+#endif  // DUST_DATAGEN_SANTOS_GENERATOR_H_

@@ -1,0 +1,143 @@
+#include "datagen/tus_generator.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace dust::datagen {
+
+namespace {
+
+// Chooses the base-column subset for one variant. The entity (first) column
+// is always kept so variants stay recognizable; related pairs are kept
+// together when requested.
+std::vector<size_t> ChooseColumns(const DomainSpec& domain, double keep_min,
+                                  double keep_max, bool keep_related_pairs,
+                                  Rng* rng) {
+  size_t n = domain.fields.size();
+  double keep_frac = keep_min + rng->NextDouble() * (keep_max - keep_min);
+  size_t keep = std::max<size_t>(2, static_cast<size_t>(keep_frac * n + 0.5));
+  keep = std::min(keep, n);
+
+  std::vector<size_t> order = rng->Permutation(n);
+  std::vector<char> chosen(n, 0);
+  chosen[0] = 1;  // entity column
+  size_t count = 1;
+  for (size_t idx : order) {
+    if (count >= keep) break;
+    if (!chosen[idx]) {
+      chosen[idx] = 1;
+      ++count;
+    }
+  }
+  if (keep_related_pairs) {
+    // Close the projection under the domain's binary relationships.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [a, b] : domain.related_pairs) {
+        if (chosen[a] != chosen[b]) {
+          chosen[a] = chosen[b] = 1;
+          changed = true;
+        }
+      }
+    }
+  }
+  std::vector<size_t> keep_columns;
+  for (size_t j = 0; j < n; ++j) {
+    if (chosen[j]) keep_columns.push_back(j);
+  }
+  return keep_columns;
+}
+
+std::vector<size_t> SampleRows(size_t base_rows, double frac_min,
+                               double frac_max, Rng* rng) {
+  double frac = frac_min + rng->NextDouble() * (frac_max - frac_min);
+  size_t count =
+      std::max<size_t>(3, static_cast<size_t>(frac * base_rows + 0.5));
+  count = std::min(count, base_rows);
+  std::vector<size_t> rows = rng->SampleWithoutReplacement(base_rows, count);
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace
+
+Benchmark GenerateTus(const TusConfig& config) {
+  const std::vector<DomainSpec>& domains = BuiltinDomains();
+  Rng rng(config.seed);
+  Benchmark benchmark;
+  benchmark.name = config.name;
+
+  // One base table per domain.
+  std::vector<table::Table> bases;
+  bases.reserve(domains.size());
+  for (const DomainSpec& domain : domains) {
+    bases.push_back(GenerateBaseTable(domain, config.base_rows, &rng));
+  }
+
+  size_t num_queries = std::min(config.num_queries, domains.size());
+  benchmark.unionable.resize(num_queries);
+
+  for (size_t q = 0; q < num_queries; ++q) {
+    const DomainSpec& domain = domains[q];
+    const table::Table& base = bases[q];
+
+    // Query table: its own variant.
+    std::vector<size_t> query_cols =
+        ChooseColumns(domain, 0.7, 1.0, config.keep_related_pairs, &rng);
+    std::vector<size_t> query_rows =
+        SampleRows(base.num_rows(), config.row_sample_min,
+                   config.row_sample_max, &rng);
+    benchmark.queries.push_back(
+        MakeVariant(base, domain, q, query_cols, query_rows,
+                    StrFormat("%s_query", domain.name.c_str()), &rng));
+
+    // Unionable lake tables from the same base.
+    for (size_t v = 0; v < config.unionable_per_query; ++v) {
+      std::vector<size_t> cols =
+          ChooseColumns(domain, config.column_keep_min, config.column_keep_max,
+                        config.keep_related_pairs, &rng);
+      std::vector<size_t> rows;
+      bool near_copy =
+          rng.NextDouble() < config.near_copy_fraction && !query_rows.empty();
+      if (near_copy) {
+        // Mostly the query's own rows plus a few fresh ones: the redundant
+        // near-duplicate tables that plague similarity-based search.
+        rows = query_rows;
+        size_t extra = std::max<size_t>(1, query_rows.size() / 8);
+        for (size_t e = 0; e < extra; ++e) {
+          rows.push_back(rng.NextBelow(base.num_rows()));
+        }
+        std::sort(rows.begin(), rows.end());
+        rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+      } else {
+        rows = SampleRows(base.num_rows(), config.row_sample_min,
+                          config.row_sample_max, &rng);
+      }
+      benchmark.unionable[q].push_back(benchmark.lake.size());
+      benchmark.lake.push_back(MakeVariant(
+          base, domain, q, cols, rows,
+          StrFormat("%s_lake_%zu", domain.name.c_str(), v), &rng));
+    }
+  }
+
+  // Distractor tables from the remaining (non-query) bases.
+  for (size_t b = num_queries; b < domains.size(); ++b) {
+    for (size_t v = 0; v < config.distractors_per_base; ++v) {
+      std::vector<size_t> cols =
+          ChooseColumns(domains[b], config.column_keep_min,
+                        config.column_keep_max, config.keep_related_pairs, &rng);
+      std::vector<size_t> rows =
+          SampleRows(bases[b].num_rows(), config.row_sample_min,
+                     config.row_sample_max, &rng);
+      benchmark.lake.push_back(MakeVariant(
+          bases[b], domains[b], b, cols, rows,
+          StrFormat("%s_lake_%zu", domains[b].name.c_str(), v), &rng));
+    }
+  }
+  return benchmark;
+}
+
+}  // namespace dust::datagen

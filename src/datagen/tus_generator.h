@@ -1,0 +1,35 @@
+// TUS-style benchmark generator (Sec. 6.1.1): lake and query tables are
+// row-selections + column-projections of non-unionable base tables; tables
+// from the same base are unionable. A controllable fraction of lake tables
+// are near-copies of the query's rows — the data lake redundancy the paper
+// documents (≈90% duplication [45]).
+#ifndef DUST_DATAGEN_TUS_GENERATOR_H_
+#define DUST_DATAGEN_TUS_GENERATOR_H_
+
+#include "datagen/base_tables.h"
+
+namespace dust::datagen {
+
+struct TusConfig {
+  size_t num_queries = 10;
+  size_t unionable_per_query = 8;   // lake tables per query's base
+  size_t distractors_per_base = 2;  // lake tables from unused bases
+  size_t base_rows = 150;
+  double row_sample_min = 0.25;     // variant row-sample fraction range
+  double row_sample_max = 0.6;
+  double column_keep_min = 0.6;     // variant column-keep fraction range
+  double column_keep_max = 1.0;
+  /// Fraction of each query's unionable tables built to heavily overlap the
+  /// query's own rows (near-copies).
+  double near_copy_fraction = 0.35;
+  uint64_t seed = 1;
+  /// Respect related column pairs when projecting (the SANTOS twist).
+  bool keep_related_pairs = false;
+  std::string name = "TUS-Sampled";
+};
+
+Benchmark GenerateTus(const TusConfig& config);
+
+}  // namespace dust::datagen
+
+#endif  // DUST_DATAGEN_TUS_GENERATOR_H_

@@ -1,0 +1,76 @@
+#include "datagen/ugen_generator.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace dust::datagen {
+
+Benchmark GenerateUgen(const UgenConfig& config) {
+  const std::vector<DomainSpec>& domains = BuiltinDomains();
+  Rng rng(config.seed);
+  Benchmark benchmark;
+  benchmark.name = "UGEN-V1";
+
+  // Fresh concept ids for alternate domains start above the built-ins.
+  int next_alt_concept = 10000;
+
+  size_t num_queries = config.num_queries;
+  benchmark.unionable.resize(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const DomainSpec& domain = domains[q % domains.size()];
+    // Each query gets its own base so repeated topics stay non-unionable
+    // across queries (UGEN queries are independent topics).
+    size_t base_rows = config.rows_per_table * 5;
+    table::Table base = GenerateBaseTable(domain, base_rows, &rng);
+    size_t base_id = 1000 + q;
+
+    auto sample_rows = [&](size_t count) {
+      std::vector<size_t> rows =
+          rng.SampleWithoutReplacement(base.num_rows(), count);
+      std::sort(rows.begin(), rows.end());
+      return rows;
+    };
+    std::vector<size_t> all_columns(domain.fields.size());
+    for (size_t j = 0; j < all_columns.size(); ++j) all_columns[j] = j;
+
+    benchmark.queries.push_back(
+        MakeVariant(base, domain, base_id, all_columns,
+                    sample_rows(config.rows_per_table),
+                    StrFormat("%s_ugen_query_%zu", domain.name.c_str(), q),
+                    &rng));
+
+    for (size_t v = 0; v < config.unionable_per_query; ++v) {
+      // Small tables, full or nearly full schema (UGEN tables are narrow
+      // but complete).
+      std::vector<size_t> cols = all_columns;
+      if (cols.size() > 3 && rng.NextBernoulli(0.4)) {
+        cols.erase(cols.begin() + static_cast<long>(
+                                      1 + rng.NextBelow(cols.size() - 1)));
+      }
+      benchmark.unionable[q].push_back(benchmark.lake.size());
+      benchmark.lake.push_back(MakeVariant(
+          base, domain, base_id, cols, sample_rows(config.rows_per_table),
+          StrFormat("%s_ugen_u%zu_%zu", domain.name.c_str(), q, v), &rng));
+    }
+
+    // Same-topic hard negatives from the alternate schema.
+    DomainSpec alt = AlternateDomain(domain, next_alt_concept);
+    next_alt_concept += static_cast<int>(alt.fields.size());
+    table::Table alt_base =
+        GenerateBaseTable(alt, config.rows_per_table * 4, &rng);
+    std::vector<size_t> alt_columns(alt.fields.size());
+    for (size_t j = 0; j < alt_columns.size(); ++j) alt_columns[j] = j;
+    for (size_t v = 0; v < config.non_unionable_per_query; ++v) {
+      std::vector<size_t> rows = rng.SampleWithoutReplacement(
+          alt_base.num_rows(), config.rows_per_table);
+      std::sort(rows.begin(), rows.end());
+      benchmark.lake.push_back(MakeVariant(
+          alt_base, alt, 5000 + q, alt_columns, rows,
+          StrFormat("%s_ugen_n%zu_%zu", alt.name.c_str(), q, v), &rng));
+    }
+  }
+  return benchmark;
+}
+
+}  // namespace dust::datagen

@@ -1,0 +1,25 @@
+// UGEN-V1-style benchmark generator (Sec. 6.1.3): small LLM-generated
+// tables — each query comes with 10 unionable tables AND 10 non-unionable
+// tables on the same topic (the hard negatives that make UGEN-V1 harder
+// than TUS/SANTOS). Same-topic negatives come from an AlternateDomain of
+// the query's domain: shared vocabulary, different concepts.
+#ifndef DUST_DATAGEN_UGEN_GENERATOR_H_
+#define DUST_DATAGEN_UGEN_GENERATOR_H_
+
+#include "datagen/base_tables.h"
+
+namespace dust::datagen {
+
+struct UgenConfig {
+  size_t num_queries = 12;
+  size_t unionable_per_query = 10;
+  size_t non_unionable_per_query = 10;
+  size_t rows_per_table = 10;  // UGEN tables are tiny (Fig. 5: ~10 rows)
+  uint64_t seed = 3;
+};
+
+Benchmark GenerateUgen(const UgenConfig& config);
+
+}  // namespace dust::datagen
+
+#endif  // DUST_DATAGEN_UGEN_GENERATOR_H_

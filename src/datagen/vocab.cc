@@ -1,0 +1,209 @@
+#include "datagen/vocab.h"
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace dust::datagen {
+
+namespace {
+
+const std::vector<std::string> kFirstNames = {
+    "Vera",    "Paul",   "Jenny",  "Tim",    "Enrique", "Maria",  "John",
+    "Aisha",   "Carlos", "Yuki",   "Priya",  "Omar",    "Elena",  "Lars",
+    "Fatima",  "Diego",  "Ingrid", "Kwame",  "Sofia",   "Andrei", "Mei",
+    "Tom",     "Linda",  "Ravi",   "Anna",   "George",  "Nadia",  "Pedro",
+    "Hana",    "Viktor", "Amara",  "Louis",  "Chloe",   "Samir",  "Gloria",
+    "Mateo",   "Irene",  "Oscar",  "Tanya",  "Felix"};
+
+const std::vector<std::string> kLastNames = {
+    "Onate",    "Veliotis", "Rishi",    "Erickson", "Garcia",  "Smith",
+    "Johnson",  "Tanaka",   "Patel",    "Hassan",   "Silva",   "Berg",
+    "Alvarez",  "Novak",    "Chen",     "Okafor",   "Rossi",   "Ivanov",
+    "Kim",      "Dubois",   "Miller",   "Nakamura", "Costa",   "Weber",
+    "Lindgren", "Moreau",   "Svensson", "Kaur",     "Mensah",  "Petrov",
+    "Sato",     "Romano",   "Fischer",  "Laurent",  "Haddad",  "Nilsson",
+    "Vargas",   "Kowalski", "Demir",    "Osei"};
+
+const std::vector<std::string> kCities = {
+    "Fresno",    "Chicago",  "Brandon",   "Austin",   "Denver",   "Portland",
+    "Madison",   "Savannah", "Boulder",   "Tucson",   "Raleigh",  "Spokane",
+    "Waterloo",  "Guelph",   "Kingston",  "Hamilton", "Windsor",  "Sudbury",
+    "Leeds",     "Bristol",  "Sheffield", "Cardiff",  "Dundee",   "Norwich",
+    "Geelong",   "Cairns",   "Darwin",    "Hobart",   "Ballarat", "Bendigo",
+    "Lyon",      "Nantes",   "Porto",     "Malaga",   "Bergen",   "Tampere",
+    "Gdansk",    "Brno",     "Graz",      "Basel"};
+
+const std::vector<std::string> kStates = {
+    "CA", "IL", "MN", "TX", "CO", "OR", "WI", "GA", "AZ", "NC",
+    "WA", "ON", "QC", "BC", "NS", "UK", "AU", "FR", "PT", "NO"};
+
+const std::vector<std::string> kCountries = {
+    "USA",     "Canada",  "UK",        "Australia", "France", "Portugal",
+    "Norway",  "Finland", "Poland",    "Czechia",   "Austria", "Switzerland",
+    "Germany", "Spain",   "Italy",     "Japan",     "India",   "Brazil",
+    "Mexico",  "Ghana"};
+
+const std::vector<std::string> kParkWords = {
+    "River",    "West Lawn", "Hyde",     "Chippewa", "Lawler",   "Cedar",
+    "Maple",    "Sunset",    "Lakeside", "Prairie",  "Granite",  "Willow",
+    "Meadow",   "Oakwood",   "Pioneer",  "Harbor",   "Summit",   "Juniper",
+    "Eastgate", "Birchwood", "Falcon",   "Heron",    "Foxglove", "Bluebell",
+    "Clearwater", "Stonebridge", "Ridgeline", "Fernhill"};
+
+const std::vector<std::string> kPaintingWords = {
+    "Northern Lake",   "Memory Landscape", "Silent Harbor",  "Crimson Field",
+    "Winter Elegy",    "Golden Orchard",   "Azure Night",    "Broken Mirror",
+    "Quiet Interior",  "Distant Storm",    "Paper Garden",   "Velvet Morning",
+    "Iron Coast",      "Glass River",      "Hollow Moon",    "Amber Valley",
+    "Frozen Meadow",   "Scarlet Dusk",     "Lonely Pier",    "Echoing Cliff"};
+
+const std::vector<std::string> kArtMediums = {
+    "Oil on canvas", "Mixed media",   "Watercolor",   "Acrylic on board",
+    "Charcoal",      "Tempera",       "Gouache",      "Ink on paper",
+    "Pastel",        "Fresco",        "Collage",      "Silkscreen"};
+
+const std::vector<std::string> kMovieWords = {
+    "Midnight", "Harvest", "Echo",     "Shadow",  "Glass",   "Iron",
+    "Silent",   "Golden",  "Lost",     "Hidden",  "Crimson", "Electric",
+    "Paper",    "Winter",  "Savage",   "Gentle",  "Broken",  "Distant",
+    "Hollow",   "Burning", "Frozen",   "Velvet",  "Neon",    "Amber"};
+
+const std::vector<std::string> kGenres = {
+    "Drama",     "Comedy",  "Thriller", "Documentary", "Horror", "Romance",
+    "Adventure", "Sci-Fi",  "Mystery",  "Animation",   "Western", "Musical"};
+
+const std::vector<std::string> kLanguages = {
+    "English", "French",  "Spanish",  "Japanese", "Hindi",   "Portuguese",
+    "German",  "Italian", "Mandarin", "Korean",   "Swedish", "Arabic"};
+
+const std::vector<std::string> kMythCreatures = {
+    "Chimera",  "Siren",   "Basilisk", "Minotaur", "Cyclops", "Griffon",
+    "Succubus", "Hag",     "Kasha",    "Mugo",     "Kraken",  "Banshee",
+    "Wendigo",  "Selkie",  "Kitsune",  "Golem",    "Roc",     "Naga",
+    "Sphinx",   "Kelpie",  "Draugr",   "Lamia",    "Wyvern",  "Dybbuk"};
+
+const std::vector<std::string> kMythOrigins = {
+    "Greek",   "Roman",   "Japanese", "Norse",    "Celtic", "Jewish",
+    "Slavic",  "Egyptian", "Hindu",   "Chinese",  "Inuit",  "Aztec"};
+
+const std::vector<std::string> kWeatherWords = {
+    "Northfield", "Eastport", "Halvorsen", "Granville", "Kestrel", "Milton",
+    "Ashby",      "Corvid",   "Redwood",   "Seabright", "Altona",  "Veridian"};
+
+const std::vector<std::string> kCuisines = {
+    "Italian",  "Mexican", "Japanese", "Thai",     "Indian",  "Ethiopian",
+    "Peruvian", "Greek",   "Turkish",  "Moroccan", "Vietnamese", "Korean"};
+
+const std::vector<std::string> kDishWords = {
+    "Saffron", "Juniper", "Ember",   "Basil",  "Cardamom", "Sumac",
+    "Tamarind", "Sesame", "Fennel",  "Ginger", "Miso",     "Harissa"};
+
+const std::vector<std::string> kUniversityWords = {
+    "Northgate", "Riverside", "Clearview", "Whitmore", "Ashford", "Belmont",
+    "Kingsley",  "Harrow",    "Stanton",   "Fairfax",  "Delmont", "Wexford"};
+
+const std::vector<std::string> kAcademicFields = {
+    "Computer Science", "Biology",   "Economics", "History",
+    "Mathematics",      "Chemistry", "Physics",   "Philosophy",
+    "Linguistics",      "Sociology", "Geology",   "Musicology"};
+
+const std::vector<std::string> kSportsWords = {
+    "Falcons",  "Mariners", "Bears",   "Comets", "Rapids",  "Stallions",
+    "Harriers", "Vikings",  "Wolves",  "Otters", "Thunder", "Badgers"};
+
+const std::vector<std::string> kSportsLeagues = {
+    "Premier", "National", "Continental", "Metro", "Coastal", "Highland"};
+
+const std::vector<std::string> kBookWords = {
+    "Cartographer", "Orchard",  "Lighthouse", "Archivist", "Gardener",
+    "Watchmaker",   "Botanist", "Navigator",  "Apiarist",  "Glassblower",
+    "Falconer",     "Chronicle"};
+
+const std::vector<std::string> kPublishers = {
+    "Harbor Press",   "Quill House",   "Meridian Books", "Foxfire",
+    "Larkspur",       "Gilded Page",   "North Star",     "Papermill",
+    "Bluestem Press", "Copper Lantern"};
+
+const std::vector<std::string> kCarMakes = {
+    "Aquila", "Borealis", "Cresta",  "Dynamo", "Estrella", "Fjord",
+    "Gavia",  "Helios",   "Istria",  "Juno",   "Kodiak",   "Lumen"};
+
+const std::vector<std::string> kCarWords = {
+    "GT",     "Sport",  "Touring", "Hybrid", "Classic", "Estate",
+    "Coupe",  "Roadster", "Compact", "Premier"};
+
+const std::vector<std::string> kBirdWords = {
+    "Warbler", "Kestrel", "Plover",  "Sandpiper", "Grosbeak", "Towhee",
+    "Vireo",   "Phoebe",  "Tanager", "Nuthatch",  "Bunting",  "Shrike"};
+
+const std::vector<std::string> kColors = {
+    "Red",    "Blue",  "Green",  "Amber", "Violet", "Teal",
+    "Silver", "Black", "White",  "Coral", "Indigo", "Olive"};
+
+const std::vector<std::string> kAdjectives = {
+    "Grand", "Little", "Upper", "Lower", "New", "Old",
+    "North", "South",  "East",  "West",  "Royal", "Central"};
+
+}  // namespace
+
+const std::vector<std::string>& WordPool(Pool pool) {
+  switch (pool) {
+    case Pool::kFirstNames:      return kFirstNames;
+    case Pool::kLastNames:       return kLastNames;
+    case Pool::kCities:          return kCities;
+    case Pool::kCountries:       return kCountries;
+    case Pool::kParkWords:       return kParkWords;
+    case Pool::kPaintingWords:   return kPaintingWords;
+    case Pool::kArtMediums:      return kArtMediums;
+    case Pool::kMovieWords:      return kMovieWords;
+    case Pool::kGenres:          return kGenres;
+    case Pool::kLanguages:       return kLanguages;
+    case Pool::kMythCreatures:   return kMythCreatures;
+    case Pool::kMythOrigins:     return kMythOrigins;
+    case Pool::kWeatherWords:    return kWeatherWords;
+    case Pool::kCuisines:        return kCuisines;
+    case Pool::kDishWords:       return kDishWords;
+    case Pool::kUniversityWords: return kUniversityWords;
+    case Pool::kAcademicFields:  return kAcademicFields;
+    case Pool::kSportsWords:     return kSportsWords;
+    case Pool::kSportsLeagues:   return kSportsLeagues;
+    case Pool::kBookWords:       return kBookWords;
+    case Pool::kPublishers:      return kPublishers;
+    case Pool::kCarMakes:        return kCarMakes;
+    case Pool::kCarWords:        return kCarWords;
+    case Pool::kBirdWords:       return kBirdWords;
+    case Pool::kColors:          return kColors;
+    case Pool::kAdjectives:      return kAdjectives;
+  }
+  DUST_CHECK(false);
+  return kColors;
+}
+
+const std::string& RandomWord(Pool pool, Rng* rng) {
+  const std::vector<std::string>& words = WordPool(pool);
+  return words[rng->NextBelow(words.size())];
+}
+
+std::string RandomPersonName(Rng* rng) {
+  return RandomWord(Pool::kFirstNames, rng) + " " +
+         RandomWord(Pool::kLastNames, rng);
+}
+
+std::string RandomCityString(Rng* rng) {
+  return RandomWord(Pool::kCities, rng) + ", " +
+         kStates[rng->NextBelow(kStates.size())];
+}
+
+std::string RandomPhone(Rng* rng) {
+  return StrFormat("%03d %03d-%04d", static_cast<int>(rng->NextInt(200, 989)),
+                   static_cast<int>(rng->NextInt(200, 989)),
+                   static_cast<int>(rng->NextInt(0, 9999)));
+}
+
+std::string RandomDate(Rng* rng) {
+  return StrFormat("%04d-%02d-%02d", static_cast<int>(rng->NextInt(1990, 2024)),
+                   static_cast<int>(rng->NextInt(1, 12)),
+                   static_cast<int>(rng->NextInt(1, 28)));
+}
+
+}  // namespace dust::datagen

@@ -1,0 +1,67 @@
+// Built-in word pools for the synthetic data lake generators.
+//
+// Real TUS / SANTOS / UGEN-V1 / IMDB tables are drawn from open data; these
+// pools give each topic domain its own vocabulary so that (a) unionable
+// tables share values by construction (they sample rows from the same base
+// table) and (b) non-unionable domains have near-disjoint vocabularies —
+// the two properties every experiment depends on (DESIGN.md §1).
+#ifndef DUST_DATAGEN_VOCAB_H_
+#define DUST_DATAGEN_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dust::datagen {
+
+enum class Pool {
+  kFirstNames,
+  kLastNames,
+  kCities,
+  kCountries,
+  kParkWords,
+  kPaintingWords,
+  kArtMediums,
+  kMovieWords,
+  kGenres,
+  kLanguages,
+  kMythCreatures,
+  kMythOrigins,
+  kWeatherWords,
+  kCuisines,
+  kDishWords,
+  kUniversityWords,
+  kAcademicFields,
+  kSportsWords,
+  kSportsLeagues,
+  kBookWords,
+  kPublishers,
+  kCarMakes,
+  kCarWords,
+  kBirdWords,
+  kColors,
+  kAdjectives,
+};
+
+/// The word list backing a pool (non-empty, stable across runs).
+const std::vector<std::string>& WordPool(Pool pool);
+
+/// A uniformly random word from `pool`.
+const std::string& RandomWord(Pool pool, Rng* rng);
+
+/// "First Last" person name.
+std::string RandomPersonName(Rng* rng);
+
+/// "City, ST" style city string.
+std::string RandomCityString(Rng* rng);
+
+/// "ddd ddd-dddd" phone number.
+std::string RandomPhone(Rng* rng);
+
+/// "YYYY-MM-DD" date within [1990, 2024].
+std::string RandomDate(Rng* rng);
+
+}  // namespace dust::datagen
+
+#endif  // DUST_DATAGEN_VOCAB_H_

@@ -1,0 +1,32 @@
+#include "diversify/clt.h"
+
+#include "cluster/agglomerative.h"
+#include "cluster/medoid.h"
+#include "util/status.h"
+
+namespace dust::diversify {
+
+std::vector<size_t> CltDiversifier::SelectDiverse(const DiversifyInput& input,
+                                                  size_t k) {
+  DUST_CHECK(input.lake != nullptr);
+  const std::vector<la::Vec>& lake = *input.lake;
+  if (lake.empty() || k == 0) return {};
+  k = std::min(k, lake.size());
+
+  la::DistanceMatrix distances(lake, input.metric);
+  cluster::Dendrogram dendrogram =
+      cluster::AgglomerativeCluster(distances, config_.linkage);
+  std::vector<size_t> labels = cluster::CutDendrogram(dendrogram, k);
+
+  // Medoid per cluster (reusing the distance matrix).
+  std::vector<std::vector<size_t>> groups = cluster::GroupByLabel(labels);
+  std::vector<size_t> result;
+  result.reserve(k);
+  for (const auto& members : groups) {
+    if (members.empty()) continue;
+    result.push_back(cluster::MedoidOf(members, distances));
+  }
+  return result;
+}
+
+}  // namespace dust::diversify

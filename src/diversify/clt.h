@@ -1,0 +1,32 @@
+// CLT — clustering baseline (van Leuken et al., WWW'09, as adapted in
+// Sec. 6.4.2): cluster the lake tuples into k clusters and return each
+// cluster's medoid. Query-agnostic: no re-ranking against the query tuples
+// (the gap DUST's §5.3 step closes). Uses the same hierarchical clustering
+// and parameters as DUST for a controlled comparison.
+#ifndef DUST_DIVERSIFY_CLT_H_
+#define DUST_DIVERSIFY_CLT_H_
+
+#include "cluster/linkage.h"
+#include "diversify/diversifier.h"
+
+namespace dust::diversify {
+
+struct CltConfig {
+  cluster::Linkage linkage = cluster::Linkage::kAverage;
+};
+
+class CltDiversifier : public Diversifier {
+ public:
+  explicit CltDiversifier(CltConfig config = {}) : config_(config) {}
+
+  std::vector<size_t> SelectDiverse(const DiversifyInput& input,
+                                    size_t k) override;
+  std::string name() const override { return "CLT"; }
+
+ private:
+  CltConfig config_;
+};
+
+}  // namespace dust::diversify
+
+#endif  // DUST_DIVERSIFY_CLT_H_

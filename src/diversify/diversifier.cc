@@ -1,0 +1,32 @@
+#include "diversify/diversifier.h"
+
+#include <limits>
+
+#include "util/status.h"
+
+namespace dust::diversify {
+
+float MeanDistanceToQuery(const DiversifyInput& input, size_t t) {
+  DUST_CHECK(input.lake != nullptr && t < input.lake->size());
+  if (input.query == nullptr || input.query->empty()) return 0.0f;
+  float sum = 0.0f;
+  for (const la::Vec& q : *input.query) {
+    sum += la::Distance(input.metric, (*input.lake)[t], q);
+  }
+  return sum / static_cast<float>(input.query->size());
+}
+
+float MinDistanceToQuery(const DiversifyInput& input, size_t t) {
+  DUST_CHECK(input.lake != nullptr && t < input.lake->size());
+  if (input.query == nullptr || input.query->empty()) {
+    return std::numeric_limits<float>::infinity();
+  }
+  float best = std::numeric_limits<float>::infinity();
+  for (const la::Vec& q : *input.query) {
+    float d = la::Distance(input.metric, (*input.lake)[t], q);
+    if (d < best) best = d;
+  }
+  return best;
+}
+
+}  // namespace dust::diversify

@@ -1,0 +1,142 @@
+#include "diversify/dust_diversifier.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cluster/agglomerative.h"
+#include "cluster/medoid.h"
+#include "util/status.h"
+
+namespace dust::diversify {
+
+std::vector<size_t> DustDiversifier::PruneTuples(const DiversifyInput& input,
+                                                 size_t s) const {
+  const std::vector<la::Vec>& lake = *input.lake;
+  const size_t n = lake.size();
+  if (n <= s) {
+    std::vector<size_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+
+  // Group tuples by source table (one group when provenance is absent).
+  size_t num_tables = 1;
+  if (input.table_of != nullptr) {
+    DUST_CHECK(input.table_of->size() == n);
+    for (size_t t : *input.table_of) num_tables = std::max(num_tables, t + 1);
+  }
+  const size_t dim = lake[0].size();
+  std::vector<la::Vec> mean(num_tables, la::Vec(dim, 0.0f));
+  std::vector<size_t> count(num_tables, 0);
+  for (size_t i = 0; i < n; ++i) {
+    size_t g = (input.table_of != nullptr) ? (*input.table_of)[i] : 0;
+    la::AddInPlace(&mean[g], lake[i]);
+    ++count[g];
+  }
+  for (size_t g = 0; g < num_tables; ++g) {
+    if (count[g] > 0) {
+      la::ScaleInPlace(&mean[g], 1.0f / static_cast<float>(count[g]));
+    }
+  }
+
+  // Score(t) = delta(table mean, E(t)); keep the global top-s (§5.1).
+  std::vector<std::pair<float, size_t>> scored(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t g = (input.table_of != nullptr) ? (*input.table_of)[i] : 0;
+    scored[i] = {la::Distance(input.metric, mean[g], lake[i]), i};
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first > b.first;
+                     return a.second < b.second;
+                   });
+  std::vector<size_t> kept;
+  kept.reserve(s);
+  for (size_t i = 0; i < s; ++i) kept.push_back(scored[i].second);
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+std::vector<size_t> RankCandidatesAgainstQuery(
+    const DiversifyInput& input, const std::vector<size_t>& candidates) {
+  struct Ranked {
+    float min_distance;
+    float mean_distance;
+    size_t index;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(candidates.size());
+  for (size_t i : candidates) {
+    Ranked r;
+    r.index = i;
+    if (input.query == nullptr || input.query->empty()) {
+      // No query: every candidate ties; keep input order deterministically.
+      r.min_distance = 0.0f;
+      r.mean_distance = 0.0f;
+    } else {
+      r.min_distance = MinDistanceToQuery(input, i);
+      r.mean_distance = MeanDistanceToQuery(input, i);
+    }
+    ranked.push_back(r);
+  }
+  // Descending min distance; ties broken by descending mean distance
+  // (Example 5), then by index for determinism.
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Ranked& a, const Ranked& b) {
+                     if (a.min_distance != b.min_distance) {
+                       return a.min_distance > b.min_distance;
+                     }
+                     if (a.mean_distance != b.mean_distance) {
+                       return a.mean_distance > b.mean_distance;
+                     }
+                     return a.index < b.index;
+                   });
+  std::vector<size_t> out;
+  out.reserve(ranked.size());
+  for (const Ranked& r : ranked) out.push_back(r.index);
+  return out;
+}
+
+std::vector<size_t> DustDiversifier::SelectDiverse(const DiversifyInput& input,
+                                                   size_t k) {
+  DUST_CHECK(input.lake != nullptr);
+  const std::vector<la::Vec>& lake = *input.lake;
+  if (lake.empty() || k == 0) return {};
+  k = std::min(k, lake.size());
+
+  // §5.1 Pruning.
+  std::vector<size_t> kept;
+  if (config_.enable_pruning) {
+    kept = PruneTuples(input, std::max(config_.prune_s, k));
+  } else {
+    kept.resize(lake.size());
+    std::iota(kept.begin(), kept.end(), 0);
+  }
+
+  // §5.2 Clustering into k·p clusters; medoids become candidates.
+  std::vector<size_t> candidates;
+  size_t num_clusters = std::min(kept.size(), k * std::max<size_t>(1, config_.p));
+  if (kept.size() <= num_clusters) {
+    candidates = kept;
+  } else {
+    std::vector<la::Vec> pruned_points;
+    pruned_points.reserve(kept.size());
+    for (size_t i : kept) pruned_points.push_back(lake[i]);
+    la::DistanceMatrix distances(pruned_points, input.metric);
+    cluster::Dendrogram dendrogram =
+        cluster::AgglomerativeCluster(distances, config_.linkage);
+    std::vector<size_t> labels =
+        cluster::CutDendrogram(dendrogram, num_clusters);
+    for (const auto& members : cluster::GroupByLabel(labels)) {
+      if (members.empty()) continue;
+      candidates.push_back(kept[cluster::MedoidOf(members, distances)]);
+    }
+  }
+
+  // §5.3 Re-rank against the query; return the top k.
+  std::vector<size_t> ranked = RankCandidatesAgainstQuery(input, candidates);
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+}  // namespace dust::diversify

@@ -1,0 +1,55 @@
+// DUST tuple diversification — Algorithm 2 (Sec. 5).
+//
+//  1. Pruning (§5.1): within each source table, rank tuples by the distance
+//     of their embedding from the table's mean embedding; keep the top-s
+//     overall (the most outlying, i.e. most diverse, candidates).
+//  2. Clustering (§5.2): hierarchically cluster the surviving tuples into
+//     k·p clusters (average linkage) and take each cluster's medoid as a
+//     candidate — candidates are diverse among themselves.
+//  3. Re-ranking (§5.3): score each candidate by its minimum distance to
+//     any query tuple (ties broken by the highest average distance), sort
+//     descending, return the top k — candidates diverse from the query win.
+#ifndef DUST_DIVERSIFY_DUST_DIVERSIFIER_H_
+#define DUST_DIVERSIFY_DUST_DIVERSIFIER_H_
+
+#include "cluster/linkage.h"
+#include "diversify/diversifier.h"
+
+namespace dust::diversify {
+
+struct DustDiversifierConfig {
+  /// Candidate multiplier: the clustering step produces k·p clusters
+  /// (p = 2 in all paper experiments; see Fig. 11 for the sweep).
+  size_t p = 2;
+  /// Pruning cap s (§5.1): tuples kept for clustering (2500 in the paper).
+  size_t prune_s = 2500;
+  /// Disable to measure pruning's impact (Appendix A.2.3).
+  bool enable_pruning = true;
+  cluster::Linkage linkage = cluster::Linkage::kAverage;
+};
+
+class DustDiversifier : public Diversifier {
+ public:
+  explicit DustDiversifier(DustDiversifierConfig config = {})
+      : config_(config) {}
+
+  std::vector<size_t> SelectDiverse(const DiversifyInput& input,
+                                    size_t k) override;
+  std::string name() const override { return "DUST"; }
+
+  /// §5.1 in isolation: indices of the tuples kept by pruning (exposed for
+  /// tests and the pruning ablation).
+  std::vector<size_t> PruneTuples(const DiversifyInput& input, size_t s) const;
+
+ private:
+  DustDiversifierConfig config_;
+};
+
+/// §5.3 in isolation: ranks `candidates` (indices into input.lake) by
+/// descending (min distance to query, then mean distance to query).
+std::vector<size_t> RankCandidatesAgainstQuery(
+    const DiversifyInput& input, const std::vector<size_t>& candidates);
+
+}  // namespace dust::diversify
+
+#endif  // DUST_DIVERSIFY_DUST_DIVERSIFIER_H_

@@ -1,0 +1,113 @@
+#include "diversify/gne.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dust::diversify {
+
+namespace {
+
+// MMR objective F(R) = (1-λ)·k·Σ rel + (2λ/(k-1))·Σ_{pairs} δ.
+double Objective(const std::vector<size_t>& set,
+                 const std::vector<float>& relevance,
+                 const DiversifyInput& input, double lambda, size_t k) {
+  const std::vector<la::Vec>& lake = *input.lake;
+  double rel = 0.0;
+  for (size_t i : set) rel += relevance[i];
+  double div = 0.0;
+  for (size_t a = 0; a + 1 < set.size(); ++a) {
+    for (size_t b = a + 1; b < set.size(); ++b) {
+      div += la::Distance(input.metric, lake[set[a]], lake[set[b]]);
+    }
+  }
+  double div_weight = (k > 1) ? 2.0 * lambda / (k - 1.0) : 0.0;
+  return (1.0 - lambda) * static_cast<double>(k) * rel + div_weight * div;
+}
+
+}  // namespace
+
+std::vector<size_t> GneDiversifier::SelectDiverse(const DiversifyInput& input,
+                                                  size_t k) {
+  DUST_CHECK(input.lake != nullptr);
+  const std::vector<la::Vec>& lake = *input.lake;
+  const size_t s = lake.size();
+  if (s == 0 || k == 0) return {};
+  k = std::min(k, s);
+
+  std::vector<float> relevance(s, 0.0f);
+  if (input.query != nullptr && !input.query->empty()) {
+    for (size_t i = 0; i < s; ++i) {
+      relevance[i] = 1.0f - MeanDistanceToQuery(input, i);
+    }
+  }
+
+  Rng rng(config_.seed);
+  std::vector<size_t> best_set;
+  double best_value = -std::numeric_limits<double>::infinity();
+
+  for (size_t iteration = 0; iteration < config_.max_iterations; ++iteration) {
+    // --- Randomized greedy construction ---
+    std::vector<char> in_set(s, 0);
+    std::vector<float> sum_to_selected(s, 0.0f);
+    std::vector<size_t> current;
+    current.reserve(k);
+    while (current.size() < k) {
+      // Score candidates by the construction-time MMC (relevance + distance
+      // to current set) and pick uniformly from the top-α fraction.
+      std::vector<std::pair<double, size_t>> scored;
+      scored.reserve(s - current.size());
+      for (size_t i = 0; i < s; ++i) {
+        if (in_set[i]) continue;
+        double mmc = (1.0 - config_.lambda) * relevance[i] +
+                     config_.lambda * sum_to_selected[i];
+        scored.emplace_back(mmc, i);
+      }
+      std::sort(scored.begin(), scored.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return a.second < b.second;
+                });
+      size_t rcl = std::max<size_t>(
+          1, static_cast<size_t>(config_.rcl_alpha *
+                                 static_cast<double>(scored.size())));
+      size_t pick = scored[rng.NextBelow(rcl)].second;
+      in_set[pick] = 1;
+      current.push_back(pick);
+      for (size_t j = 0; j < s; ++j) {
+        if (!in_set[j]) {
+          sum_to_selected[j] += la::Distance(input.metric, lake[pick], lake[j]);
+        }
+      }
+    }
+
+    // --- Neighborhood expansion (local search by random swaps) ---
+    double value = Objective(current, relevance, input, config_.lambda, k);
+    for (size_t pos = 0; pos < current.size(); ++pos) {
+      for (size_t attempt = 0; attempt < config_.expansion_attempts; ++attempt) {
+        size_t candidate = rng.NextBelow(s);
+        if (in_set[candidate]) continue;
+        size_t old = current[pos];
+        current[pos] = candidate;
+        double swapped = Objective(current, relevance, input, config_.lambda, k);
+        if (swapped > value) {
+          value = swapped;
+          in_set[old] = 0;
+          in_set[candidate] = 1;
+        } else {
+          current[pos] = old;
+        }
+      }
+    }
+
+    if (value > best_value) {
+      best_value = value;
+      best_set = current;
+    }
+  }
+  return best_set;
+}
+
+}  // namespace dust::diversify

@@ -1,0 +1,37 @@
+// GNE — Greedy randomized with Neighborhood Expansion (Vieira et al.,
+// DivDB, PVLDB'11). GRASP-style: `max_iterations` rounds of (a) randomized
+// greedy construction — each step picks uniformly among the top-α fraction
+// of candidates by MMC — followed by (b) local search that tries swapping
+// selected items with random outsiders, keeping improvements of the MMR
+// objective F(R). The repeated construction+search rounds make GNE far
+// slower than GMC (Sec. 6.4.4: infeasible beyond small benchmarks).
+#ifndef DUST_DIVERSIFY_GNE_H_
+#define DUST_DIVERSIFY_GNE_H_
+
+#include "diversify/diversifier.h"
+
+namespace dust::diversify {
+
+struct GneConfig {
+  double lambda = 0.5;
+  size_t max_iterations = 5;     // GRASP rounds
+  double rcl_alpha = 0.15;       // restricted candidate list fraction
+  size_t expansion_attempts = 4; // random swap attempts per selected item
+  uint64_t seed = 31337;
+};
+
+class GneDiversifier : public Diversifier {
+ public:
+  explicit GneDiversifier(GneConfig config = {}) : config_(config) {}
+
+  std::vector<size_t> SelectDiverse(const DiversifyInput& input,
+                                    size_t k) override;
+  std::string name() const override { return "GNE"; }
+
+ private:
+  GneConfig config_;
+};
+
+}  // namespace dust::diversify
+
+#endif  // DUST_DIVERSIFY_GNE_H_

@@ -1,0 +1,57 @@
+#include "diversify/maxmin.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/status.h"
+
+namespace dust::diversify {
+
+std::vector<size_t> MaxMinGreedyDiversifier::SelectDiverse(
+    const DiversifyInput& input, size_t k) {
+  DUST_CHECK(input.lake != nullptr);
+  const std::vector<la::Vec>& lake = *input.lake;
+  const size_t s = lake.size();
+  if (s == 0 || k == 0) return {};
+  k = std::min(k, s);
+
+  // min_gap[i]: min distance from candidate i to the selected ∪ query set.
+  std::vector<float> min_gap(s, std::numeric_limits<float>::infinity());
+  if (input.query != nullptr) {
+    for (size_t i = 0; i < s; ++i) {
+      for (const la::Vec& q : *input.query) {
+        float d = la::Distance(input.metric, lake[i], q);
+        if (d < min_gap[i]) min_gap[i] = d;
+      }
+    }
+  }
+
+  std::vector<char> selected(s, 0);
+  std::vector<size_t> result;
+  result.reserve(k);
+  for (size_t step = 0; step < k; ++step) {
+    // Argmax of min_gap; with no query and nothing selected, pick index 0.
+    size_t best = s;
+    float best_gap = -1.0f;
+    for (size_t i = 0; i < s; ++i) {
+      if (selected[i]) continue;
+      float gap = std::isinf(min_gap[i]) ? std::numeric_limits<float>::max()
+                                         : min_gap[i];
+      if (gap > best_gap) {
+        best_gap = gap;
+        best = i;
+      }
+    }
+    DUST_CHECK(best < s);
+    selected[best] = 1;
+    result.push_back(best);
+    for (size_t i = 0; i < s; ++i) {
+      if (selected[i]) continue;
+      float d = la::Distance(input.metric, lake[i], lake[best]);
+      if (d < min_gap[i]) min_gap[i] = d;
+    }
+  }
+  return result;
+}
+
+}  // namespace dust::diversify

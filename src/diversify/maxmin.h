@@ -1,0 +1,22 @@
+// Greedy Max-Min diversification (Gonzalez-style farthest-point traversal,
+// cf. Moumoulidou et al. [33]): iteratively adds the candidate whose
+// minimum distance to the already-selected tuples AND the query tuples is
+// largest — a 2-approximation of Max-Min diversification, and a natural
+// ablation reference for DUST's Min-Diversity results.
+#ifndef DUST_DIVERSIFY_MAXMIN_H_
+#define DUST_DIVERSIFY_MAXMIN_H_
+
+#include "diversify/diversifier.h"
+
+namespace dust::diversify {
+
+class MaxMinGreedyDiversifier : public Diversifier {
+ public:
+  std::vector<size_t> SelectDiverse(const DiversifyInput& input,
+                                    size_t k) override;
+  std::string name() const override { return "MaxMin-Greedy"; }
+};
+
+}  // namespace dust::diversify
+
+#endif  // DUST_DIVERSIFY_MAXMIN_H_

@@ -1,0 +1,50 @@
+#include "diversify/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dust::diversify {
+
+DiversityScores ScoreDiversity(const std::vector<la::Vec>& query,
+                               const std::vector<la::Vec>& selected,
+                               la::Metric metric) {
+  DiversityScores out;
+  double sum = 0.0;
+  double min_distance = std::numeric_limits<double>::infinity();
+  size_t pairs = 0;
+
+  for (const la::Vec& q : query) {
+    for (const la::Vec& t : selected) {
+      double d = la::Distance(metric, q, t);
+      sum += d;
+      min_distance = std::min(min_distance, d);
+      ++pairs;
+    }
+  }
+  for (size_t i = 0; i + 1 < selected.size(); ++i) {
+    for (size_t j = i + 1; j < selected.size(); ++j) {
+      double d = la::Distance(metric, selected[i], selected[j]);
+      sum += d;
+      min_distance = std::min(min_distance, d);
+      ++pairs;
+    }
+  }
+
+  size_t denom = query.size() + selected.size();
+  out.average = (denom > 0) ? sum / static_cast<double>(denom) : 0.0;
+  out.min = (pairs > 0) ? min_distance : 0.0;
+  return out;
+}
+
+double AverageDiversity(const std::vector<la::Vec>& query,
+                        const std::vector<la::Vec>& selected,
+                        la::Metric metric) {
+  return ScoreDiversity(query, selected, metric).average;
+}
+
+double MinDiversity(const std::vector<la::Vec>& query,
+                    const std::vector<la::Vec>& selected, la::Metric metric) {
+  return ScoreDiversity(query, selected, metric).min;
+}
+
+}  // namespace dust::diversify

@@ -1,0 +1,39 @@
+// Tuple diversification evaluation metrics (Sec. 5.4).
+//
+// Average Diversity (Eq. 1): mean of all query-result and result-result
+// distances, normalized by (n + k); query-query distances are excluded
+// (constant across methods).
+// Min Diversity (Eq. 2): the minimum distance over the same pair sets.
+#ifndef DUST_DIVERSIFY_METRICS_H_
+#define DUST_DIVERSIFY_METRICS_H_
+
+#include <vector>
+
+#include "la/distance.h"
+
+namespace dust::diversify {
+
+struct DiversityScores {
+  double average = 0.0;  // Eq. 1
+  double min = 0.0;      // Eq. 2
+};
+
+/// Eq. 1 exactly as written: (sum of query-to-result distances + sum of
+/// pairwise result distances) / (n + k).
+double AverageDiversity(const std::vector<la::Vec>& query,
+                        const std::vector<la::Vec>& selected,
+                        la::Metric metric);
+
+/// Eq. 2: min over {delta(q_i,t_j)} ∪ {delta(t_i,t_j)}. Returns 0 when both
+/// pair sets are empty.
+double MinDiversity(const std::vector<la::Vec>& query,
+                    const std::vector<la::Vec>& selected, la::Metric metric);
+
+/// Both metrics in one pass.
+DiversityScores ScoreDiversity(const std::vector<la::Vec>& query,
+                               const std::vector<la::Vec>& selected,
+                               la::Metric metric);
+
+}  // namespace dust::diversify
+
+#endif  // DUST_DIVERSIFY_METRICS_H_

@@ -1,0 +1,19 @@
+#include "diversify/random_div.h"
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dust::diversify {
+
+std::vector<size_t> RandomDiversifier::SelectDiverse(
+    const DiversifyInput& input, size_t k) {
+  DUST_CHECK(input.lake != nullptr);
+  const size_t s = input.lake->size();
+  if (s == 0 || k == 0) return {};
+  Rng rng(seed_);
+  // Advance the seed so repeated calls yield fresh (but replayable) samples.
+  seed_ = rng.NextU64();
+  return rng.SampleWithoutReplacement(s, std::min(k, s));
+}
+
+}  // namespace dust::diversify

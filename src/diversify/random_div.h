@@ -1,0 +1,26 @@
+// Random baseline (Sec. 6.4.3): k tuples sampled uniformly without
+// replacement.
+#ifndef DUST_DIVERSIFY_RANDOM_DIV_H_
+#define DUST_DIVERSIFY_RANDOM_DIV_H_
+
+#include <cstdint>
+
+#include "diversify/diversifier.h"
+
+namespace dust::diversify {
+
+class RandomDiversifier : public Diversifier {
+ public:
+  explicit RandomDiversifier(uint64_t seed = 2024) : seed_(seed) {}
+
+  std::vector<size_t> SelectDiverse(const DiversifyInput& input,
+                                    size_t k) override;
+  std::string name() const override { return "Random"; }
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace dust::diversify
+
+#endif  // DUST_DIVERSIFY_RANDOM_DIV_H_

@@ -1,0 +1,80 @@
+#include "diversify/swap.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "diversify/metrics.h"
+#include "util/status.h"
+
+namespace dust::diversify {
+
+std::vector<size_t> SwapDiversifier::SelectDiverse(const DiversifyInput& input,
+                                                   size_t k) {
+  DUST_CHECK(input.lake != nullptr);
+  const std::vector<la::Vec>& lake = *input.lake;
+  const size_t s = lake.size();
+  if (s == 0 || k == 0) return {};
+  k = std::min(k, s);
+
+  // Relevance ranking (closest to the query first). With no query, the
+  // natural order stands in for the retrieval ranking.
+  std::vector<float> relevance(s, 0.0f);
+  if (input.query != nullptr && !input.query->empty()) {
+    for (size_t i = 0; i < s; ++i) {
+      relevance[i] = 1.0f - MeanDistanceToQuery(input, i);
+    }
+  }
+  std::vector<size_t> order(s);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return relevance[a] > relevance[b];
+  });
+
+  std::vector<size_t> result(order.begin(), order.begin() + static_cast<long>(k));
+  std::vector<char> in_set(s, 0);
+  for (size_t i : result) in_set[i] = 1;
+
+  // Pairwise diversity of the current set, tracked incrementally.
+  auto set_points = [&](const std::vector<size_t>& set) {
+    std::vector<la::Vec> pts;
+    pts.reserve(set.size());
+    for (size_t i : set) pts.push_back(lake[i]);
+    return pts;
+  };
+  double diversity =
+      AverageDiversity(input.query ? *input.query : std::vector<la::Vec>{},
+                       set_points(result), input.metric);
+
+  // Consider outsiders in relevance order; swap out the least-contributing
+  // member if diversity improves and the relevance drop is bounded.
+  for (size_t pos = k; pos < s; ++pos) {
+    size_t candidate = order[pos];
+    // The member whose removal hurts pairwise diversity the least.
+    double best_value = -1.0;
+    size_t best_member = k;
+    for (size_t m = 0; m < result.size(); ++m) {
+      if (relevance[result[m]] - relevance[candidate] >
+          config_.relevance_bound) {
+        continue;  // dropping too much relevance
+      }
+      std::vector<size_t> trial = result;
+      trial[m] = candidate;
+      double value =
+          AverageDiversity(input.query ? *input.query : std::vector<la::Vec>{},
+                           set_points(trial), input.metric);
+      if (value > best_value) {
+        best_value = value;
+        best_member = m;
+      }
+    }
+    if (best_member < k && best_value > diversity) {
+      in_set[result[best_member]] = 0;
+      result[best_member] = candidate;
+      in_set[candidate] = 1;
+      diversity = best_value;
+    }
+  }
+  return result;
+}
+
+}  // namespace dust::diversify

@@ -1,0 +1,32 @@
+// SWAP (Yu et al., EDBT'09): starts from the k most relevant candidates
+// (closest to the query) and greedily swaps in outside candidates when the
+// exchange increases the diversity of the set while keeping relevance loss
+// within an upper bound.
+#ifndef DUST_DIVERSIFY_SWAP_H_
+#define DUST_DIVERSIFY_SWAP_H_
+
+#include "diversify/diversifier.h"
+
+namespace dust::diversify {
+
+struct SwapConfig {
+  /// Maximum tolerated relevance drop per swap (fraction of the relevance
+  /// range); Yu et al.'s upper-bound parameter.
+  double relevance_bound = 0.3;
+};
+
+class SwapDiversifier : public Diversifier {
+ public:
+  explicit SwapDiversifier(SwapConfig config = {}) : config_(config) {}
+
+  std::vector<size_t> SelectDiverse(const DiversifyInput& input,
+                                    size_t k) override;
+  std::string name() const override { return "SWAP"; }
+
+ private:
+  SwapConfig config_;
+};
+
+}  // namespace dust::diversify
+
+#endif  // DUST_DIVERSIFY_SWAP_H_

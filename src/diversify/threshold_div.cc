@@ -1,0 +1,88 @@
+#include "diversify/threshold_div.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/status.h"
+
+namespace dust::diversify {
+
+std::vector<size_t> ThresholdDiversifier::CoverWithRadius(
+    const DiversifyInput& input, float radius) const {
+  const std::vector<la::Vec>& lake = *input.lake;
+  std::vector<size_t> cover;
+  std::vector<char> covered(lake.size(), 0);
+  for (size_t i = 0; i < lake.size(); ++i) {
+    if (covered[i]) continue;
+    cover.push_back(i);
+    covered[i] = 1;
+    for (size_t j = i + 1; j < lake.size(); ++j) {
+      if (!covered[j] &&
+          la::Distance(input.metric, lake[i], lake[j]) <= radius) {
+        covered[j] = 1;
+      }
+    }
+  }
+  return cover;
+}
+
+std::vector<size_t> ThresholdDiversifier::SelectDiverse(
+    const DiversifyInput& input, size_t k) {
+  DUST_CHECK(input.lake != nullptr);
+  const std::vector<la::Vec>& lake = *input.lake;
+  if (lake.empty() || k == 0) return {};
+  k = std::min(k, lake.size());
+
+  // Radius range: 0 gives every tuple; the diameter gives one tuple.
+  float lo = 0.0f;
+  float hi = 0.0f;
+  for (size_t i = 0; i < std::min<size_t>(lake.size(), 64); ++i) {
+    for (size_t j = i + 1; j < std::min<size_t>(lake.size(), 64); ++j) {
+      hi = std::max(hi, la::Distance(input.metric, lake[i], lake[j]));
+    }
+  }
+  if (hi <= 0.0f) hi = 1.0f;
+
+  std::vector<size_t> best = CoverWithRadius(input, hi / 2);
+  for (size_t iter = 0; iter < config_.search_iterations; ++iter) {
+    float mid = 0.5f * (lo + hi);
+    std::vector<size_t> cover = CoverWithRadius(input, mid);
+    best = cover;
+    if (cover.size() > k) {
+      lo = mid;  // too fine: raise the radius
+    } else if (cover.size() < k) {
+      hi = mid;  // too coarse
+    } else {
+      break;
+    }
+  }
+
+  if (best.size() > k) {
+    best.resize(k);  // construction order = first-seen representatives
+    return best;
+  }
+  // Pad with the leftovers farthest from the current result set.
+  std::vector<char> chosen(lake.size(), 0);
+  for (size_t i : best) chosen[i] = 1;
+  while (best.size() < k) {
+    float best_gap = -1.0f;
+    size_t arg = lake.size();
+    for (size_t i = 0; i < lake.size(); ++i) {
+      if (chosen[i]) continue;
+      float gap = std::numeric_limits<float>::max();
+      for (size_t j : best) {
+        gap = std::min(gap, la::Distance(input.metric, lake[i], lake[j]));
+      }
+      if (gap > best_gap) {
+        best_gap = gap;
+        arg = i;
+      }
+    }
+    DUST_CHECK(arg < lake.size());
+    chosen[arg] = 1;
+    best.push_back(arg);
+  }
+  return best;
+}
+
+}  // namespace dust::diversify

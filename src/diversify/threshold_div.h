@@ -1,0 +1,48 @@
+// Threshold-based (DisC-style) diversification — Drosou & Pitoura [9],
+// discussed in Related Work: two tuples are "similar" when within a given
+// distance threshold r; the result must (a) cover every input tuple by a
+// similar selected tuple and (b) contain mutually dissimilar tuples — a
+// maximal independent set of the r-similarity graph, greedily constructed.
+//
+// The paper rejects this family because the result size is dictated by r
+// (and may even be empty/huge rather than k); this implementation is
+// provided as the representative of that baseline class. SelectDiverse
+// adapts it to the k-interface by binary-searching r until the cover has
+// roughly k tuples.
+#ifndef DUST_DIVERSIFY_THRESHOLD_DIV_H_
+#define DUST_DIVERSIFY_THRESHOLD_DIV_H_
+
+#include "diversify/diversifier.h"
+
+namespace dust::diversify {
+
+struct ThresholdConfig {
+  /// Binary-search iterations when adapting r to hit k results.
+  size_t search_iterations = 12;
+};
+
+class ThresholdDiversifier : public Diversifier {
+ public:
+  explicit ThresholdDiversifier(ThresholdConfig config = {})
+      : config_(config) {}
+
+  /// DisC with fixed radius `r`: greedy maximal independent set in
+  /// first-index order; every input tuple ends up within r of a result.
+  std::vector<size_t> CoverWithRadius(const DiversifyInput& input,
+                                      float radius) const;
+
+  /// k-interface adapter: binary-searches the radius, then trims/pads the
+  /// cover to exactly min(k, lake size) tuples (trim: keep the cover's
+  /// construction order; pad: farthest-from-result leftovers).
+  std::vector<size_t> SelectDiverse(const DiversifyInput& input,
+                                    size_t k) override;
+
+  std::string name() const override { return "DisC-threshold"; }
+
+ private:
+  ThresholdConfig config_;
+};
+
+}  // namespace dust::diversify
+
+#endif  // DUST_DIVERSIFY_THRESHOLD_DIV_H_

@@ -1,0 +1,99 @@
+#include "embed/column_embedder.h"
+
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace dust::embed {
+
+const char* ColumnSerializationName(ColumnSerialization serialization) {
+  switch (serialization) {
+    case ColumnSerialization::kCellLevel:
+      return "Cell-level";
+    case ColumnSerialization::kColumnLevel:
+      return "Column-level";
+  }
+  return "?";
+}
+
+ColumnEmbedder::ColumnEmbedder(std::shared_ptr<TextEmbedder> encoder,
+                               ColumnSerialization serialization,
+                               size_t token_limit)
+    : encoder_(std::move(encoder)),
+      serialization_(serialization),
+      token_limit_(token_limit) {
+  DUST_CHECK(encoder_ != nullptr);
+}
+
+std::string ColumnEmbedder::name() const {
+  return std::string(ColumnSerializationName(serialization_)) + " " +
+         encoder_->name();
+}
+
+std::vector<std::string> ColumnTokens(const table::Column& column) {
+  std::vector<std::string> tokens = text::WordTokens(column.name);
+  for (const table::Value& v : column.values) {
+    if (v.is_null()) continue;
+    for (auto& t : text::WordTokens(v.text())) tokens.push_back(std::move(t));
+  }
+  return tokens;
+}
+
+la::Vec ColumnEmbedder::EmbedColumn(const table::Column& column,
+                                    const text::TfidfModel* tfidf) const {
+  if (serialization_ == ColumnSerialization::kCellLevel) {
+    // Embed each cell independently; average the non-null cell embeddings.
+    la::Vec sum(encoder_->dim(), 0.0f);
+    size_t count = 0;
+    for (const table::Value& v : column.values) {
+      if (v.is_null()) continue;
+      la::AddInPlace(&sum, encoder_->Embed(v.text()));
+      ++count;
+    }
+    if (count > 0) la::ScaleInPlace(&sum, 1.0f / static_cast<float>(count));
+    la::NormalizeInPlace(&sum);
+    return sum;
+  }
+
+  // Column-level: a single text from the TF-IDF top tokens (LM token cap).
+  std::vector<std::string> tokens = ColumnTokens(column);
+  std::vector<std::string> selected;
+  if (tfidf != nullptr && tokens.size() > token_limit_) {
+    selected = tfidf->TopTokens(tokens, token_limit_);
+  } else if (tokens.size() > token_limit_) {
+    tokens.resize(token_limit_);
+    selected = std::move(tokens);
+  } else {
+    selected = std::move(tokens);
+  }
+  return encoder_->Embed(Join(selected, " "));
+}
+
+std::vector<std::vector<la::Vec>> ColumnEmbedder::EmbedTables(
+    const std::vector<const table::Table*>& tables) const {
+  // Corpus for TF-IDF: one document per column across all tables.
+  std::unique_ptr<text::TfidfModel> tfidf;
+  if (serialization_ == ColumnSerialization::kColumnLevel) {
+    std::vector<std::vector<std::string>> docs;
+    for (const table::Table* t : tables) {
+      for (const table::Column& c : t->columns()) {
+        docs.push_back(ColumnTokens(c));
+      }
+    }
+    tfidf = std::make_unique<text::TfidfModel>(docs);
+  }
+  std::vector<std::vector<la::Vec>> out;
+  out.reserve(tables.size());
+  for (const table::Table* t : tables) {
+    std::vector<la::Vec> cols;
+    cols.reserve(t->num_columns());
+    for (const table::Column& c : t->columns()) {
+      cols.push_back(EmbedColumn(c, tfidf.get()));
+    }
+    out.push_back(std::move(cols));
+  }
+  return out;
+}
+
+}  // namespace dust::embed

@@ -1,0 +1,52 @@
+#include "embed/embedder.h"
+
+#include "embed/hashed_encoders.h"
+
+namespace dust::embed {
+
+const char* ModelFamilyName(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kFastText:
+      return "FastText";
+    case ModelFamily::kGlove:
+      return "Glove";
+    case ModelFamily::kBert:
+      return "BERT";
+    case ModelFamily::kRoberta:
+      return "RoBERTa";
+    case ModelFamily::kSbert:
+      return "sBERT";
+  }
+  return "?";
+}
+
+EmbedderConfig DefaultConfigFor(ModelFamily family, size_t dim, uint64_t seed) {
+  EmbedderConfig config;
+  config.dim = dim;
+  config.seed = seed;
+  switch (family) {
+    case ModelFamily::kFastText:
+      config.noise_level = 1.1f;
+      break;
+    case ModelFamily::kGlove:
+      config.noise_level = 1.3f;
+      break;
+    case ModelFamily::kBert:
+      config.noise_level = 1.5f;
+      break;
+    case ModelFamily::kRoberta:
+      config.noise_level = 0.55f;
+      break;
+    case ModelFamily::kSbert:
+      config.noise_level = 0.85f;
+      break;
+  }
+  return config;
+}
+
+std::unique_ptr<TextEmbedder> MakeEmbedder(ModelFamily family,
+                                           const EmbedderConfig& config) {
+  return std::make_unique<HashedEncoder>(family, config);
+}
+
+}  // namespace dust::embed

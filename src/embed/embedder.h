@@ -1,0 +1,66 @@
+// Text embedding interfaces and the model registry.
+//
+// See DESIGN.md §1: pre-trained transformer encoders are replaced with
+// deterministic feature-hashing encoders. Each simulated model family has
+// its own hash seed (so different models embed into unrelated spaces, just
+// like real pre-trained models), its own featurization (word-level,
+// character-n-gram, subword+context, sentence bag) and a deterministic
+// noise level emulating representation quality.
+#ifndef DUST_EMBED_EMBEDDER_H_
+#define DUST_EMBED_EMBEDDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "la/vector_ops.h"
+
+namespace dust::embed {
+
+/// Simulated pre-trained model families (Sec. 6.2.3 baselines).
+enum class ModelFamily {
+  kFastText,  // word + character n-gram features
+  kGlove,     // word features only
+  kBert,      // coarse subwords, light context, highest noise (smallest LM)
+  kRoberta,   // fine subwords + bigram context, lowest noise
+  kSbert,     // sentence-normalized lexical bag
+};
+
+const char* ModelFamilyName(ModelFamily family);
+
+/// Maps a text to a fixed-dimension embedding. Implementations are pure
+/// functions of (text, model config) — deterministic and stateless.
+class TextEmbedder {
+ public:
+  virtual ~TextEmbedder() = default;
+
+  /// Embedding of `text`; always `dim()` long, L2-normalized unless the
+  /// text produced no features (then the zero vector).
+  virtual la::Vec Embed(const std::string& text) const = 0;
+
+  virtual size_t dim() const = 0;
+  virtual std::string name() const = 0;
+};
+
+struct EmbedderConfig {
+  size_t dim = 64;
+  /// Extra per-text pseudo-noise magnitude in [0,1]; emulates model quality
+  /// (0 = perfect featurization). Deterministic per (text, seed).
+  float noise_level = 0.0f;
+  /// Base hash seed; each family further mixes its own constant.
+  uint64_t seed = 1234;
+};
+
+/// Builds the simulated pre-trained encoder for `family`.
+std::unique_ptr<TextEmbedder> MakeEmbedder(ModelFamily family,
+                                           const EmbedderConfig& config);
+
+/// Default quality presets per family (noise levels calibrated so the
+/// relative orderings of Table 1 / Fig 6 hold).
+EmbedderConfig DefaultConfigFor(ModelFamily family, size_t dim,
+                                uint64_t seed = 1234);
+
+}  // namespace dust::embed
+
+#endif  // DUST_EMBED_EMBEDDER_H_

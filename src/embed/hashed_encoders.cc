@@ -1,0 +1,115 @@
+#include "embed/hashed_encoders.h"
+
+#include <cmath>
+
+#include "text/hashing.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dust::embed {
+
+// Distinct per-family constants so families embed into unrelated spaces.
+uint64_t FamilySeedConstant(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kFastText:
+      return 0xFA57FA57ULL;
+    case ModelFamily::kGlove:
+      return 0x610E610EULL;
+    case ModelFamily::kBert:
+      return 0xBE27BE27ULL;
+    case ModelFamily::kRoberta:
+      return 0x20BE27AULL;
+    case ModelFamily::kSbert:
+      return 0x5BE275BEULL;
+  }
+  return 0;
+}
+
+HashedEncoder::HashedEncoder(ModelFamily family, const EmbedderConfig& config)
+    : family_(family),
+      config_(config),
+      family_seed_(SplitMix64(config.seed ^ FamilySeedConstant(family))) {
+  DUST_CHECK(config_.dim > 0);
+}
+
+std::string HashedEncoder::name() const {
+  return ModelFamilyName(family_);
+}
+
+std::vector<std::string> FamilyFeatures(ModelFamily family,
+                                        const std::string& text) {
+  using text::CharNgrams;
+  using text::SubwordPieces;
+  using text::WordTokens;
+  std::vector<std::string> features;
+  switch (family) {
+    case ModelFamily::kFastText: {
+      // Words enriched with character 3- and 4-grams (FastText subwords).
+      features = WordTokens(text);
+      for (auto& g : CharNgrams(text, 3)) features.push_back(std::move(g));
+      for (auto& g : CharNgrams(text, 4)) features.push_back(std::move(g));
+      break;
+    }
+    case ModelFamily::kGlove: {
+      features = WordTokens(text);
+      break;
+    }
+    case ModelFamily::kBert: {
+      // Coarse subwords, no cross-token context (small model).
+      features = SubwordPieces(text, 4);
+      break;
+    }
+    case ModelFamily::kRoberta: {
+      // Finer subwords plus within-word piece bigrams as context features
+      // (kept within word boundaries so the representation is insensitive
+      // to cell/token order, like a real contextual encoder's pooled
+      // output).
+      for (const std::string& word : WordTokens(text)) {
+        std::vector<std::string> pieces = SubwordPieces(word, 6);
+        for (size_t i = 0; i + 1 < pieces.size(); ++i) {
+          features.push_back(pieces[i] + "|" + pieces[i + 1]);
+        }
+        for (auto& piece : pieces) features.push_back(std::move(piece));
+      }
+      break;
+    }
+    case ModelFamily::kSbert: {
+      // Sentence-normalized lexical bag: dedup-ish via word tokens only.
+      features = WordTokens(text);
+      break;
+    }
+  }
+  return features;
+}
+
+la::Vec HashedEncoder::Embed(const std::string& text) const {
+  std::vector<std::string> features = FamilyFeatures(family_, text);
+  la::Vec v = text::HashTokensToVector(features, config_.dim, family_seed_);
+  if (family_ == ModelFamily::kSbert) {
+    // Sub-linear term weighting: re-embed with sqrt(tf) weights.
+    // (Approximated by normalizing the bag vector before noise.)
+    la::NormalizeInPlace(&v);
+  }
+  if (config_.noise_level > 0.0f) {
+    // Deterministic per-text noise: same text always gets the same noise, so
+    // identical tuples still embed identically; distinct texts get
+    // independent perturbations proportional to the model's noise level.
+    // The noise decays with the number of features: longer inputs are
+    // represented more faithfully, emulating the paper's observation that
+    // language models understand columns better when given more tokens at
+    // once (Sec. 6.2.4). The floor keeps long texts from becoming exact.
+    la::NormalizeInPlace(&v);
+    Rng rng(text::HashString(text, family_seed_ ^ 0xA015EULL));
+    float context = 1.0f + static_cast<float>(features.size()) / 6.0f;
+    float effective = config_.noise_level * (0.3f + 0.7f / context);
+    float scale = effective / std::sqrt(static_cast<float>(config_.dim));
+    for (float& x : v) {
+      x += scale * static_cast<float>(rng.NextGaussian());
+    }
+  }
+  la::NormalizeInPlace(&v);
+  return v;
+}
+
+}  // namespace dust::embed

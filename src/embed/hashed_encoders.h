@@ -1,0 +1,41 @@
+// Concrete feature-hashing encoders, one per simulated model family.
+#ifndef DUST_EMBED_HASHED_ENCODERS_H_
+#define DUST_EMBED_HASHED_ENCODERS_H_
+
+#include <string>
+
+#include "embed/embedder.h"
+
+namespace dust::embed {
+
+/// Family-specific token features of `text` (word tokens, char n-grams,
+/// subword pieces, context bigrams — see each family's description).
+/// Shared between the frozen encoders and the trainable DUST model, which
+/// uses the same frozen featurization (DESIGN.md §1).
+std::vector<std::string> FamilyFeatures(ModelFamily family,
+                                        const std::string& text);
+
+/// Per-family hash-seed mixing constant (distinct embedding spaces).
+uint64_t FamilySeedConstant(ModelFamily family);
+
+/// Shared implementation: tokenize per family, feature-hash, add
+/// deterministic quality noise, L2-normalize.
+class HashedEncoder : public TextEmbedder {
+ public:
+  HashedEncoder(ModelFamily family, const EmbedderConfig& config);
+
+  la::Vec Embed(const std::string& text) const override;
+  size_t dim() const override { return config_.dim; }
+  std::string name() const override;
+
+  ModelFamily family() const { return family_; }
+
+ private:
+  ModelFamily family_;
+  EmbedderConfig config_;
+  uint64_t family_seed_;
+};
+
+}  // namespace dust::embed
+
+#endif  // DUST_EMBED_HASHED_ENCODERS_H_

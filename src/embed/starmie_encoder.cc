@@ -1,0 +1,41 @@
+#include "embed/starmie_encoder.h"
+
+namespace dust::embed {
+
+StarmieEncoder::StarmieEncoder(const StarmieConfig& config)
+    : config_(config),
+      base_(MakeEmbedder(ModelFamily::kRoberta,
+                         DefaultConfigFor(ModelFamily::kRoberta, config.dim,
+                                          config.seed ^ 0x57A2ULL))),
+      column_embedder_(base_, ColumnSerialization::kColumnLevel,
+                       config.token_limit) {}
+
+std::vector<la::Vec> StarmieEncoder::EncodeTable(const table::Table& table) const {
+  std::vector<la::Vec> content;
+  content.reserve(table.num_columns());
+  for (const table::Column& c : table.columns()) {
+    content.push_back(column_embedder_.EmbedColumn(c, nullptr));
+  }
+  if (content.empty()) return content;
+
+  la::Vec context = la::Mean(content);
+  la::NormalizeInPlace(&context);
+
+  std::vector<la::Vec> out;
+  out.reserve(content.size());
+  for (size_t j = 0; j < content.size(); ++j) {
+    float w = config_.context_weight;
+    if (table.column(j).NumericFraction() > 0.8) {
+      w = config_.numeric_context_weight;
+    }
+    la::Vec mixed(config_.dim, 0.0f);
+    for (size_t i = 0; i < config_.dim; ++i) {
+      mixed[i] = (1.0f - w) * content[j][i] + w * context[i];
+    }
+    la::NormalizeInPlace(&mixed);
+    out.push_back(std::move(mixed));
+  }
+  return out;
+}
+
+}  // namespace dust::embed

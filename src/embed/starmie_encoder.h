@@ -1,0 +1,49 @@
+// Starmie-style contextualized column encoder.
+//
+// Starmie (Fan et al., PVLDB'23) encodes each column *with the context of
+// the entire table*. The paper (Sec. 6.2.4) observes that this makes columns
+// of the same table embed close together — good for table union search, bad
+// for column alignment. We reproduce the behaviour by mixing each column's
+// content embedding with the table's mean column embedding; numeric columns,
+// which Starmie embeds poorly, receive mostly context.
+#ifndef DUST_EMBED_STARMIE_ENCODER_H_
+#define DUST_EMBED_STARMIE_ENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "embed/column_embedder.h"
+#include "embed/embedder.h"
+#include "table/table.h"
+
+namespace dust::embed {
+
+struct StarmieConfig {
+  size_t dim = 64;
+  uint64_t seed = 1234;
+  /// Weight of the table context in each column's embedding.
+  float context_weight = 0.35f;
+  /// Extra context weight for (mostly) numeric columns.
+  float numeric_context_weight = 0.85f;
+  size_t token_limit = 512;
+};
+
+/// Produces contextualized column embeddings for whole tables.
+class StarmieEncoder {
+ public:
+  explicit StarmieEncoder(const StarmieConfig& config);
+
+  /// result[j] is the contextualized embedding of column j.
+  std::vector<la::Vec> EncodeTable(const table::Table& table) const;
+
+  size_t dim() const { return config_.dim; }
+
+ private:
+  StarmieConfig config_;
+  std::shared_ptr<TextEmbedder> base_;
+  ColumnEmbedder column_embedder_;
+};
+
+}  // namespace dust::embed
+
+#endif  // DUST_EMBED_STARMIE_ENCODER_H_

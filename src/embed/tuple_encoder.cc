@@ -1,0 +1,34 @@
+#include "embed/tuple_encoder.h"
+
+#include "util/status.h"
+
+namespace dust::embed {
+
+std::vector<la::Vec> TupleEncoder::EncodeTableRows(
+    const table::Table& table) const {
+  std::vector<la::Vec> out;
+  out.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    out.push_back(EncodeSerialized(table::SerializeTableRow(table, r)));
+  }
+  return out;
+}
+
+PretrainedTupleEncoder::PretrainedTupleEncoder(
+    std::shared_ptr<TextEmbedder> encoder)
+    : encoder_(std::move(encoder)) {
+  DUST_CHECK(encoder_ != nullptr);
+}
+
+la::Vec PretrainedTupleEncoder::EncodeSerialized(
+    const std::string& serialized) const {
+  return encoder_->Embed(serialized);
+}
+
+size_t PretrainedTupleEncoder::dim() const { return encoder_->dim(); }
+
+std::string PretrainedTupleEncoder::name() const {
+  return encoder_->name() + " (pretrained)";
+}
+
+}  // namespace dust::embed

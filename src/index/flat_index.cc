@@ -1,0 +1,34 @@
+#include "index/flat_index.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace dust::index {
+
+void FinalizeHits(std::vector<SearchHit>* hits, size_t k) {
+  std::sort(hits->begin(), hits->end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  if (hits->size() > k) hits->resize(k);
+}
+
+void FlatIndex::Add(const la::Vec& v) {
+  DUST_CHECK(v.size() == dim_);
+  vectors_.push_back(v);
+}
+
+std::vector<SearchHit> FlatIndex::Search(const la::Vec& query,
+                                         size_t k) const {
+  std::vector<SearchHit> hits;
+  hits.reserve(vectors_.size());
+  for (size_t id = 0; id < vectors_.size(); ++id) {
+    hits.push_back({id, la::Distance(metric_, query, vectors_[id])});
+  }
+  FinalizeHits(&hits, k);
+  return hits;
+}
+
+}  // namespace dust::index

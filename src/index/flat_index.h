@@ -1,0 +1,32 @@
+// Exact (brute-force) index: linear scan over all stored vectors.
+#ifndef DUST_INDEX_FLAT_INDEX_H_
+#define DUST_INDEX_FLAT_INDEX_H_
+
+#include "index/vector_index.h"
+
+namespace dust::index {
+
+/// Exact nearest-neighbor search under a configurable metric.
+class FlatIndex : public VectorIndex {
+ public:
+  explicit FlatIndex(size_t dim, la::Metric metric = la::Metric::kCosine)
+      : dim_(dim), metric_(metric) {}
+
+  void Add(const la::Vec& v) override;
+  std::vector<SearchHit> Search(const la::Vec& query, size_t k) const override;
+
+  size_t size() const override { return vectors_.size(); }
+  size_t dim() const override { return dim_; }
+  std::string name() const override { return "Flat"; }
+
+  const la::Vec& vector(size_t id) const { return vectors_[id]; }
+
+ private:
+  size_t dim_;
+  la::Metric metric_;
+  std::vector<la::Vec> vectors_;
+};
+
+}  // namespace dust::index
+
+#endif  // DUST_INDEX_FLAT_INDEX_H_

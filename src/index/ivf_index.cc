@@ -1,0 +1,58 @@
+#include "index/ivf_index.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace dust::index {
+
+void IvfFlatIndex::Add(const la::Vec& v) {
+  DUST_CHECK(v.size() == dim_);
+  vectors_.push_back(v);
+  trained_ = false;  // lists are stale until retrained
+}
+
+void IvfFlatIndex::Train() {
+  if (vectors_.empty()) {
+    trained_ = true;
+    return;
+  }
+  size_t nlist = std::min(config_.nlist, vectors_.size());
+  cluster::KmeansOptions options;
+  options.seed = config_.seed;
+  cluster::KmeansResult km = cluster::Kmeans(vectors_, nlist, options);
+  centroids_ = km.centroids;
+  lists_.assign(centroids_.size(), {});
+  for (size_t i = 0; i < vectors_.size(); ++i) {
+    lists_[km.assignments[i]].push_back(i);
+  }
+  trained_ = true;
+}
+
+std::vector<SearchHit> IvfFlatIndex::Search(const la::Vec& query,
+                                            size_t k) const {
+  if (!trained_) {
+    // Lazy (re)train keeps the interface append-then-search friendly.
+    const_cast<IvfFlatIndex*>(this)->Train();
+  }
+  if (vectors_.empty()) return {};
+
+  // Rank lists by centroid distance; scan the nprobe nearest.
+  std::vector<SearchHit> centroid_hits;
+  centroid_hits.reserve(centroids_.size());
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    centroid_hits.push_back({c, la::Distance(metric_, query, centroids_[c])});
+  }
+  FinalizeHits(&centroid_hits, std::min(config_.nprobe, centroids_.size()));
+
+  std::vector<SearchHit> hits;
+  for (const SearchHit& ch : centroid_hits) {
+    for (size_t id : lists_[ch.id]) {
+      hits.push_back({id, la::Distance(metric_, query, vectors_[id])});
+    }
+  }
+  FinalizeHits(&hits, k);
+  return hits;
+}
+
+}  // namespace dust::index

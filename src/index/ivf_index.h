@@ -1,0 +1,50 @@
+// IVF-Flat index (faiss-style): a k-means coarse quantizer partitions the
+// vectors into nlist inverted lists; a query scans only the nprobe nearest
+// lists. Build after adding all vectors via Train(), or lazily on first
+// search.
+#ifndef DUST_INDEX_IVF_INDEX_H_
+#define DUST_INDEX_IVF_INDEX_H_
+
+#include "cluster/kmeans.h"
+#include "index/vector_index.h"
+
+namespace dust::index {
+
+struct IvfConfig {
+  size_t nlist = 16;   // number of inverted lists (k-means centroids)
+  size_t nprobe = 4;   // lists scanned per query
+  uint64_t seed = 42;
+};
+
+class IvfFlatIndex : public VectorIndex {
+ public:
+  IvfFlatIndex(size_t dim, la::Metric metric = la::Metric::kCosine,
+               IvfConfig config = {})
+      : dim_(dim), metric_(metric), config_(config) {}
+
+  void Add(const la::Vec& v) override;
+
+  /// Clusters the stored vectors into nlist lists. Called automatically on
+  /// first Search if needed; adding after training re-assigns lazily.
+  void Train();
+
+  std::vector<SearchHit> Search(const la::Vec& query, size_t k) const override;
+
+  size_t size() const override { return vectors_.size(); }
+  size_t dim() const override { return dim_; }
+  std::string name() const override { return "IVF-Flat"; }
+  bool trained() const { return trained_; }
+
+ private:
+  size_t dim_;
+  la::Metric metric_;
+  IvfConfig config_;
+  std::vector<la::Vec> vectors_;
+  std::vector<la::Vec> centroids_;
+  std::vector<std::vector<size_t>> lists_;
+  bool trained_ = false;
+};
+
+}  // namespace dust::index
+
+#endif  // DUST_INDEX_IVF_INDEX_H_

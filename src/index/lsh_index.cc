@@ -1,0 +1,66 @@
+#include "index/lsh_index.h"
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dust::index {
+
+LshIndex::LshIndex(size_t dim, la::Metric metric, LshConfig config)
+    : dim_(dim), metric_(metric), config_(config) {
+  DUST_CHECK(config_.nbits >= 1 && config_.nbits <= 63);
+  Rng rng(config_.seed);
+  hyperplanes_.reserve(config_.nbits);
+  for (size_t b = 0; b < config_.nbits; ++b) {
+    la::Vec h(dim_);
+    for (float& x : h) x = static_cast<float>(rng.NextGaussian());
+    hyperplanes_.push_back(std::move(h));
+  }
+}
+
+uint64_t LshIndex::Signature(const la::Vec& v) const {
+  uint64_t signature = 0;
+  for (size_t b = 0; b < hyperplanes_.size(); ++b) {
+    if (la::Dot(hyperplanes_[b], v) >= 0.0f) signature |= (1ULL << b);
+  }
+  return signature;
+}
+
+void LshIndex::Add(const la::Vec& v) {
+  DUST_CHECK(v.size() == dim_);
+  size_t id = vectors_.size();
+  vectors_.push_back(v);
+  buckets_[Signature(v)].push_back(id);
+}
+
+std::vector<SearchHit> LshIndex::Search(const la::Vec& query, size_t k) const {
+  uint64_t signature = Signature(query);
+
+  // Probe buckets in Hamming-ball order (radius 0, then single-bit flips,
+  // then pairs when probe_radius >= 2).
+  std::vector<uint64_t> probes = {signature};
+  if (config_.probe_radius >= 1) {
+    for (size_t b = 0; b < config_.nbits; ++b) {
+      probes.push_back(signature ^ (1ULL << b));
+    }
+  }
+  if (config_.probe_radius >= 2) {
+    for (size_t b1 = 0; b1 < config_.nbits; ++b1) {
+      for (size_t b2 = b1 + 1; b2 < config_.nbits; ++b2) {
+        probes.push_back(signature ^ (1ULL << b1) ^ (1ULL << b2));
+      }
+    }
+  }
+
+  std::vector<SearchHit> hits;
+  for (uint64_t code : probes) {
+    auto it = buckets_.find(code);
+    if (it == buckets_.end()) continue;
+    for (size_t id : it->second) {
+      hits.push_back({id, la::Distance(metric_, query, vectors_[id])});
+    }
+  }
+  FinalizeHits(&hits, k);
+  return hits;
+}
+
+}  // namespace dust::index

@@ -1,0 +1,46 @@
+// Random-hyperplane LSH index for cosine similarity: vectors hash to an
+// nbits signature; queries probe their own bucket plus buckets within a
+// small Hamming radius (multi-probe).
+#ifndef DUST_INDEX_LSH_INDEX_H_
+#define DUST_INDEX_LSH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "index/vector_index.h"
+
+namespace dust::index {
+
+struct LshConfig {
+  size_t nbits = 12;       // signature length (buckets = 2^nbits)
+  size_t probe_radius = 1; // Hamming radius of multi-probe
+  uint64_t seed = 42;
+};
+
+class LshIndex : public VectorIndex {
+ public:
+  LshIndex(size_t dim, la::Metric metric = la::Metric::kCosine,
+           LshConfig config = {});
+
+  void Add(const la::Vec& v) override;
+  std::vector<SearchHit> Search(const la::Vec& query, size_t k) const override;
+
+  size_t size() const override { return vectors_.size(); }
+  size_t dim() const override { return dim_; }
+  std::string name() const override { return "LSH"; }
+
+  /// Signature of a vector (exposed for tests).
+  uint64_t Signature(const la::Vec& v) const;
+
+ private:
+  size_t dim_;
+  la::Metric metric_;
+  LshConfig config_;
+  std::vector<la::Vec> hyperplanes_;
+  std::vector<la::Vec> vectors_;
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets_;
+};
+
+}  // namespace dust::index
+
+#endif  // DUST_INDEX_LSH_INDEX_H_

@@ -1,0 +1,51 @@
+// faiss-style vector index interface. Union search uses an index to
+// shortlist candidate tables/tuples before exact re-scoring; the Fig. 2
+// note that tuple-level search "requires an index over all tuples in a
+// lake" is what these indexes provide.
+#ifndef DUST_INDEX_VECTOR_INDEX_H_
+#define DUST_INDEX_VECTOR_INDEX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "la/distance.h"
+#include "la/vector_ops.h"
+
+namespace dust::index {
+
+/// One search hit: the stored vector's id and its distance to the query.
+struct SearchHit {
+  size_t id = 0;
+  float distance = 0.0f;
+};
+
+/// Append-only vector index with top-k nearest-neighbor search.
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  /// Appends a vector; its id is the number of vectors added before it.
+  virtual void Add(const la::Vec& v) = 0;
+
+  /// Batch append.
+  void AddAll(const std::vector<la::Vec>& vectors) {
+    for (const la::Vec& v : vectors) Add(v);
+  }
+
+  /// Top-k nearest neighbors by ascending distance (ties by ascending id).
+  /// Approximate indexes may miss true neighbors.
+  virtual std::vector<SearchHit> Search(const la::Vec& query,
+                                        size_t k) const = 0;
+
+  virtual size_t size() const = 0;
+  virtual size_t dim() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Sorts hits ascending by (distance, id) and truncates to k.
+void FinalizeHits(std::vector<SearchHit>* hits, size_t k);
+
+}  // namespace dust::index
+
+#endif  // DUST_INDEX_VECTOR_INDEX_H_

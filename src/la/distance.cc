@@ -1,0 +1,87 @@
+#include "la/distance.h"
+
+#include <cmath>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace dust::la {
+
+Metric MetricFromName(const std::string& name) {
+  std::string lower = ToLower(name);
+  if (lower == "euclidean" || lower == "l2") return Metric::kEuclidean;
+  if (lower == "manhattan" || lower == "l1") return Metric::kManhattan;
+  return Metric::kCosine;
+}
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kCosine:
+      return "cosine";
+    case Metric::kEuclidean:
+      return "euclidean";
+    case Metric::kManhattan:
+      return "manhattan";
+  }
+  return "?";
+}
+
+float CosineSimilarity(const Vec& a, const Vec& b) {
+  float na = Norm(a);
+  float nb = Norm(b);
+  if (na == 0.0f && nb == 0.0f) return 1.0f;  // identical zero vectors
+  if (na == 0.0f || nb == 0.0f) return 0.0f;
+  float sim = Dot(a, b) / (na * nb);
+  // Clamp accumulated floating-point error into [-1, 1].
+  if (sim > 1.0f) sim = 1.0f;
+  if (sim < -1.0f) sim = -1.0f;
+  return sim;
+}
+
+float CosineDistance(const Vec& a, const Vec& b) {
+  return 1.0f - CosineSimilarity(a, b);
+}
+
+float SquaredEuclideanDistance(const Vec& a, const Vec& b) {
+  DUST_CHECK(a.size() == b.size());
+  float s = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    float d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+float EuclideanDistance(const Vec& a, const Vec& b) {
+  return std::sqrt(SquaredEuclideanDistance(a, b));
+}
+
+float ManhattanDistance(const Vec& a, const Vec& b) {
+  DUST_CHECK(a.size() == b.size());
+  float s = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) s += std::fabs(a[i] - b[i]);
+  return s;
+}
+
+float Distance(Metric metric, const Vec& a, const Vec& b) {
+  switch (metric) {
+    case Metric::kCosine:
+      return CosineDistance(a, b);
+    case Metric::kEuclidean:
+      return EuclideanDistance(a, b);
+    case Metric::kManhattan:
+      return ManhattanDistance(a, b);
+  }
+  return 0.0f;
+}
+
+DistanceMatrix::DistanceMatrix(const std::vector<Vec>& points, Metric metric)
+    : n_(points.size()), data_(points.size() * points.size(), 0.0f) {
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = i + 1; j < n_; ++j) {
+      set(i, j, Distance(metric, points[i], points[j]));
+    }
+  }
+}
+
+}  // namespace dust::la

@@ -1,0 +1,60 @@
+// Tuple distance functions delta(.) of Sec. 3.1 and pairwise distance
+// matrices. Cosine distance is the default throughout the experiments
+// (Sec. 6.4.1); Euclidean and Manhattan are provided because the paper
+// reports equivalent relative results with them.
+#ifndef DUST_LA_DISTANCE_H_
+#define DUST_LA_DISTANCE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "la/vector_ops.h"
+
+namespace dust::la {
+
+enum class Metric { kCosine, kEuclidean, kManhattan };
+
+/// Parses "cosine" / "euclidean" / "manhattan"; defaults to cosine.
+Metric MetricFromName(const std::string& name);
+const char* MetricName(Metric metric);
+
+/// Cosine distance = 1 - cos(a, b); zero vectors are at distance 1 from
+/// everything except another zero vector (distance 0 to itself would violate
+/// delta(t,t)=0, so two zero vectors get distance 0).
+float CosineDistance(const Vec& a, const Vec& b);
+
+/// Cosine similarity in [-1, 1]; 0 when either vector is zero.
+float CosineSimilarity(const Vec& a, const Vec& b);
+
+float EuclideanDistance(const Vec& a, const Vec& b);
+float SquaredEuclideanDistance(const Vec& a, const Vec& b);
+float ManhattanDistance(const Vec& a, const Vec& b);
+
+/// Distance under `metric`.
+float Distance(Metric metric, const Vec& a, const Vec& b);
+
+/// Row-major symmetric pairwise distance matrix (n x n, zero diagonal).
+class DistanceMatrix {
+ public:
+  DistanceMatrix() : n_(0) {}
+
+  /// Precomputes all pairwise distances between `points` under `metric`.
+  DistanceMatrix(const std::vector<Vec>& points, Metric metric);
+
+  size_t size() const { return n_; }
+
+  float at(size_t i, size_t j) const { return data_[i * n_ + j]; }
+  void set(size_t i, size_t j, float d) {
+    data_[i * n_ + j] = d;
+    data_[j * n_ + i] = d;
+  }
+
+ private:
+  size_t n_;
+  std::vector<float> data_;
+};
+
+}  // namespace dust::la
+
+#endif  // DUST_LA_DISTANCE_H_

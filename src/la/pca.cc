@@ -1,0 +1,101 @@
+#include "la/pca.h"
+
+#include <cmath>
+
+#include "la/distance.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dust::la {
+
+namespace {
+
+// Computes C v where C = (1/n) X^T X is the covariance of the centered data,
+// without materializing C (d x d could be large). X is n x d centered.
+Vec CovTimes(const std::vector<Vec>& centered, const Vec& v) {
+  size_t d = v.size();
+  Vec out(d, 0.0f);
+  for (const Vec& x : centered) {
+    float proj = Dot(x, v);
+    for (size_t j = 0; j < d; ++j) out[j] += proj * x[j];
+  }
+  ScaleInPlace(&out, 1.0f / static_cast<float>(centered.size()));
+  return out;
+}
+
+}  // namespace
+
+PcaResult ComputePca(const std::vector<Vec>& points, size_t num_components,
+                     uint64_t seed, size_t max_iters, float tol) {
+  DUST_CHECK(points.size() >= 2);
+  size_t d = points[0].size();
+  DUST_CHECK(num_components >= 1 && num_components <= d);
+
+  PcaResult result;
+  result.mean = Mean(points);
+
+  std::vector<Vec> centered = points;
+  for (Vec& x : centered) SubInPlace(&x, result.mean);
+
+  Rng rng(seed);
+  for (size_t comp = 0; comp < num_components; ++comp) {
+    // Power iteration from a random start.
+    Vec v(d);
+    for (float& x : v) x = static_cast<float>(rng.NextGaussian());
+    // Orthogonalize against previous components (defensive; deflation below
+    // already removes their variance).
+    for (const Vec& prev : result.components) {
+      float p = Dot(v, prev);
+      for (size_t j = 0; j < d; ++j) v[j] -= p * prev[j];
+    }
+    NormalizeInPlace(&v);
+
+    float eigenvalue = 0.0f;
+    for (size_t it = 0; it < max_iters; ++it) {
+      Vec next = CovTimes(centered, v);
+      for (const Vec& prev : result.components) {
+        float p = Dot(next, prev);
+        for (size_t j = 0; j < d; ++j) next[j] -= p * prev[j];
+      }
+      float norm = Norm(next);
+      if (norm < 1e-12f) {
+        // No remaining variance in this subspace.
+        next = v;
+        norm = 1.0f;
+        eigenvalue = 0.0f;
+        ScaleInPlace(&next, 1.0f / norm);
+        v = next;
+        break;
+      }
+      ScaleInPlace(&next, 1.0f / norm);
+      float delta = EuclideanDistance(next, v);
+      v = next;
+      eigenvalue = norm;
+      if (delta < tol) break;
+    }
+
+    result.components.push_back(v);
+    result.explained_variance.push_back(eigenvalue);
+
+    // Deflate: remove this component's contribution from the data.
+    for (Vec& x : centered) {
+      float p = Dot(x, v);
+      for (size_t j = 0; j < d; ++j) x[j] -= p * v[j];
+    }
+  }
+
+  result.projected.reserve(points.size());
+  for (const Vec& x : points) result.projected.push_back(PcaProject(result, x));
+  return result;
+}
+
+Vec PcaProject(const PcaResult& pca, const Vec& point) {
+  Vec centered = Sub(point, pca.mean);
+  Vec out(pca.components.size(), 0.0f);
+  for (size_t c = 0; c < pca.components.size(); ++c) {
+    out[c] = Dot(centered, pca.components[c]);
+  }
+  return out;
+}
+
+}  // namespace dust::la

@@ -1,0 +1,37 @@
+// Principal component analysis via power iteration with deflation.
+// Used by the Fig. 2 experiment to project 64/768-dimensional table and
+// tuple embeddings to two dimensions and measure their spread.
+#ifndef DUST_LA_PCA_H_
+#define DUST_LA_PCA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/vector_ops.h"
+
+namespace dust::la {
+
+struct PcaResult {
+  /// Principal directions, unit-norm, one per requested component.
+  std::vector<Vec> components;
+  /// Variance captured by each component (eigenvalues of the covariance).
+  std::vector<float> explained_variance;
+  /// Mean of the input points (subtracted before projection).
+  Vec mean;
+  /// Input points projected onto the components (n x k).
+  std::vector<Vec> projected;
+};
+
+/// Computes the top `num_components` principal components of `points`
+/// (n >= 2, equal dimensions) and projects the points onto them.
+/// Deterministic given `seed`.
+PcaResult ComputePca(const std::vector<Vec>& points, size_t num_components,
+                     uint64_t seed = 17, size_t max_iters = 300,
+                     float tol = 1e-6f);
+
+/// Projects a single point using a previously computed PCA basis.
+Vec PcaProject(const PcaResult& pca, const Vec& point);
+
+}  // namespace dust::la
+
+#endif  // DUST_LA_PCA_H_

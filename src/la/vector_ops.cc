@@ -1,0 +1,80 @@
+#include "la/vector_ops.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace dust::la {
+
+float Dot(const Vec& a, const Vec& b) {
+  DUST_CHECK(a.size() == b.size());
+  // Two partial sums help the compiler vectorize/pipeline on long vectors.
+  float s0 = 0.0f;
+  float s1 = 0.0f;
+  size_t i = 0;
+  for (; i + 1 < a.size(); i += 2) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+  }
+  if (i < a.size()) s0 += a[i] * b[i];
+  return s0 + s1;
+}
+
+float NormSquared(const Vec& a) { return Dot(a, a); }
+
+float Norm(const Vec& a) { return std::sqrt(NormSquared(a)); }
+
+void AddInPlace(Vec* a, const Vec& b) {
+  DUST_CHECK(a->size() == b.size());
+  for (size_t i = 0; i < b.size(); ++i) (*a)[i] += b[i];
+}
+
+void SubInPlace(Vec* a, const Vec& b) {
+  DUST_CHECK(a->size() == b.size());
+  for (size_t i = 0; i < b.size(); ++i) (*a)[i] -= b[i];
+}
+
+void ScaleInPlace(Vec* a, float s) {
+  for (float& x : *a) x *= s;
+}
+
+Vec Add(const Vec& a, const Vec& b) {
+  Vec out = a;
+  AddInPlace(&out, b);
+  return out;
+}
+
+Vec Sub(const Vec& a, const Vec& b) {
+  Vec out = a;
+  SubInPlace(&out, b);
+  return out;
+}
+
+void NormalizeInPlace(Vec* a) {
+  float n = Norm(*a);
+  if (n > 0.0f) ScaleInPlace(a, 1.0f / n);
+}
+
+Vec Normalized(const Vec& a) {
+  Vec out = a;
+  NormalizeInPlace(&out);
+  return out;
+}
+
+Vec Mean(const std::vector<Vec>& vectors) {
+  DUST_CHECK(!vectors.empty());
+  Vec out(vectors[0].size(), 0.0f);
+  for (const Vec& v : vectors) AddInPlace(&out, v);
+  ScaleInPlace(&out, 1.0f / static_cast<float>(vectors.size()));
+  return out;
+}
+
+Vec MeanOf(const std::vector<Vec>& vectors, const std::vector<size_t>& indices) {
+  DUST_CHECK(!indices.empty());
+  Vec out(vectors[indices[0]].size(), 0.0f);
+  for (size_t idx : indices) AddInPlace(&out, vectors[idx]);
+  ScaleInPlace(&out, 1.0f / static_cast<float>(indices.size()));
+  return out;
+}
+
+}  // namespace dust::la

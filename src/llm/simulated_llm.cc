@@ -1,0 +1,106 @@
+#include "llm/simulated_llm.h"
+
+#include <algorithm>
+
+#include "table/serialize.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace dust::llm {
+
+size_t SimulatedLlm::CountTableTokens(const table::Table& t) {
+  size_t tokens = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    tokens += text::ApproxTokenCount(table::SerializeTableRow(t, r));
+  }
+  return tokens;
+}
+
+Result<table::Table> SimulatedLlm::GenerateDiverseTuples(
+    const table::Table& query, size_t k) const {
+  if (query.num_columns() == 0 || query.num_rows() == 0) {
+    return Status::InvalidArgument("query table is empty");
+  }
+  size_t input_tokens = CountTableTokens(query);
+  if (input_tokens > config_.max_input_tokens) {
+    return Status::FailedPrecondition(
+        "query exceeds the LLM input token limit (" +
+        std::to_string(input_tokens) + " > " +
+        std::to_string(config_.max_input_tokens) + ")");
+  }
+
+  Rng rng(config_.seed ^ (input_tokens * 2654435761ULL));
+  table::Table out("llm_generated");
+  for (const std::string& h : query.ColumnNames()) out.AddColumn(h);
+
+  // Per-column value pools observed in the "prompt" (the query table).
+  std::vector<std::vector<std::string>> pools(query.num_columns());
+  for (size_t j = 0; j < query.num_columns(); ++j) {
+    for (const table::Value& v : query.column(j).values) {
+      if (!v.is_null()) pools[j].push_back(v.text());
+    }
+  }
+
+  size_t novel_budget = std::max<size_t>(
+      3, static_cast<size_t>(config_.novel_fraction * static_cast<double>(k)));
+  size_t output_tokens = 0;
+  std::vector<std::vector<table::Value>> generated;
+
+  for (size_t i = 0; i < k; ++i) {
+    std::vector<table::Value> row;
+    if (i < novel_budget || generated.empty()) {
+      // Novel recombination: mix values across query rows and mutate
+      // entity-ish strings by splicing words from other cells ("plausible
+      // hallucination").
+      row.reserve(query.num_columns());
+      for (size_t j = 0; j < query.num_columns(); ++j) {
+        if (pools[j].empty()) {
+          row.push_back(table::Value::Null());
+          continue;
+        }
+        std::string value = pools[j][rng.NextBelow(pools[j].size())];
+        if (rng.NextBernoulli(0.5) && pools[j].size() >= 2) {
+          const std::string& other = pools[j][rng.NextBelow(pools[j].size())];
+          std::vector<std::string> w1 = text::WordTokens(value);
+          std::vector<std::string> w2 = text::WordTokens(other);
+          if (!w1.empty() && !w2.empty()) {
+            w1[rng.NextBelow(w1.size())] = w2[rng.NextBelow(w2.size())];
+            std::string mixed;
+            for (size_t w = 0; w < w1.size(); ++w) {
+              if (w > 0) mixed += ' ';
+              mixed += w1[w];
+            }
+            value = mixed;
+          }
+        }
+        row.push_back(table::Value(value));
+      }
+    } else if (rng.NextBernoulli(config_.copy_query_probability)) {
+      // Redundant: re-emit a query tuple (the degenerate behaviour).
+      row = query.Row(rng.NextBelow(query.num_rows()));
+    } else {
+      // Redundant: re-emit a previously generated tuple, maybe with one
+      // cell swapped.
+      row = generated[rng.NextBelow(generated.size())];
+      if (rng.NextBernoulli(0.3)) {
+        size_t j = rng.NextBelow(row.size());
+        if (!pools[j].empty()) {
+          row[j] = table::Value(pools[j][rng.NextBelow(pools[j].size())]);
+        }
+      }
+    }
+
+    // Output token metering.
+    size_t row_tokens = 2;
+    for (const table::Value& v : row) {
+      row_tokens += v.is_null() ? 1 : text::ApproxTokenCount(v.text()) + 1;
+    }
+    if (output_tokens + row_tokens > config_.max_output_tokens) break;
+    output_tokens += row_tokens;
+    generated.push_back(row);
+    DUST_CHECK(out.AddRow(std::move(row)).ok());
+  }
+  return out;
+}
+
+}  // namespace dust::llm

@@ -1,0 +1,57 @@
+// Simulated LLM baseline (Sec. 6.5.1, GPT-3 via the A.2.4 prompt).
+//
+// Behavioural model calibrated to the paper's observations:
+//  - refuses queries whose serialized form exceeds the input token limit
+//    ("LLM was not scalable for query tables with a large number of
+//    tuples", Sec. 6.5.2);
+//  - the output is capped by the output token budget, so large k is
+//    impossible ("DUST could be scalable to search for 100s of tuples
+//    whereas LLM could not");
+//  - the first few generated tuples are genuinely novel recombinations,
+//    after which generation degrades into near-duplicates ("the LLM
+//    generates a few diverse tuples but subsequently produces redundant
+//    ones").
+#ifndef DUST_LLM_SIMULATED_LLM_H_
+#define DUST_LLM_SIMULATED_LLM_H_
+
+#include <cstdint>
+
+#include "table/table.h"
+#include "util/status.h"
+
+namespace dust::llm {
+
+struct LlmConfig {
+  size_t max_input_tokens = 2048;
+  size_t max_output_tokens = 1024;
+  /// Tuples generated before redundancy sets in, as a fraction of k
+  /// (at least 3).
+  double novel_fraction = 0.3;
+  /// Probability that a redundant tuple copies a query tuple rather than a
+  /// previously generated one.
+  double copy_query_probability = 0.4;
+  uint64_t seed = 2718;
+};
+
+/// Deterministic generative baseline over a query table's vocabulary.
+class SimulatedLlm {
+ public:
+  explicit SimulatedLlm(LlmConfig config = {}) : config_(config) {}
+
+  /// Implements the A.2.4 prompt: "Generate {k} new tuples that are
+  /// unionable to the query table ... non-redundant and diverse".
+  /// Fails with FailedPrecondition when the query exceeds the input token
+  /// budget; silently truncates the output at the output token budget.
+  Result<table::Table> GenerateDiverseTuples(const table::Table& query,
+                                             size_t k) const;
+
+  /// Token count the model would bill for serializing `t`.
+  static size_t CountTableTokens(const table::Table& t);
+
+ private:
+  LlmConfig config_;
+};
+
+}  // namespace dust::llm
+
+#endif  // DUST_LLM_SIMULATED_LLM_H_

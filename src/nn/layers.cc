@@ -1,0 +1,113 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace dust::nn {
+
+Linear::Linear(size_t in_dim, size_t out_dim, uint64_t seed)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      w_(out_dim, in_dim),
+      b_(out_dim, 0.0f),
+      dw_(out_dim, in_dim),
+      db_(out_dim, 0.0f) {
+  Rng rng(seed);
+  float bound = std::sqrt(6.0f / static_cast<float>(in_dim + out_dim));
+  for (float& x : w_.data()) {
+    x = bound * (2.0f * static_cast<float>(rng.NextDouble()) - 1.0f);
+  }
+}
+
+la::Vec Linear::Forward(const la::Vec& x) const {
+  DUST_CHECK(x.size() == in_dim_);
+  la::Vec y = w_.MatVec(x);
+  la::AddInPlace(&y, b_);
+  return y;
+}
+
+la::Vec Linear::ForwardSparse(const text::SparseVector& x) const {
+  la::Vec y = b_;
+  for (size_t k = 0; k < x.indices.size(); ++k) {
+    size_t j = x.indices[k];
+    DUST_CHECK(j < in_dim_);
+    float v = x.values[k];
+    for (size_t r = 0; r < out_dim_; ++r) {
+      y[r] += w_.at(r, j) * v;
+    }
+  }
+  return y;
+}
+
+la::Vec Linear::Backward(const la::Vec& x, const la::Vec& dy) {
+  DUST_CHECK(x.size() == in_dim_ && dy.size() == out_dim_);
+  for (size_t r = 0; r < out_dim_; ++r) {
+    float g = dy[r];
+    if (g == 0.0f) continue;
+    float* dwr = dw_.row(r);
+    const float* unused = nullptr;
+    (void)unused;
+    for (size_t c = 0; c < in_dim_; ++c) dwr[c] += g * x[c];
+    db_[r] += g;
+  }
+  return w_.TransposeMatVec(dy);
+}
+
+void Linear::BackwardSparse(const text::SparseVector& x, const la::Vec& dy) {
+  DUST_CHECK(dy.size() == out_dim_);
+  for (size_t r = 0; r < out_dim_; ++r) {
+    float g = dy[r];
+    if (g == 0.0f) continue;
+    db_[r] += g;
+    float* dwr = dw_.row(r);
+    for (size_t k = 0; k < x.indices.size(); ++k) {
+      dwr[x.indices[k]] += g * x.values[k];
+    }
+  }
+}
+
+void Linear::ZeroGrad() {
+  std::fill(dw_.data().begin(), dw_.data().end(), 0.0f);
+  std::fill(db_.begin(), db_.end(), 0.0f);
+}
+
+la::Vec Dropout::ForwardTrain(const la::Vec& x, Rng* rng) {
+  mask_.assign(x.size(), 0.0f);
+  la::Vec y(x.size(), 0.0f);
+  if (p_ <= 0.0f) {
+    std::fill(mask_.begin(), mask_.end(), 1.0f);
+    return x;
+  }
+  float keep = 1.0f - p_;
+  float scale = 1.0f / keep;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (rng->NextDouble() < keep) {
+      mask_[i] = scale;
+      y[i] = x[i] * scale;
+    }
+  }
+  return y;
+}
+
+la::Vec Dropout::Backward(const la::Vec& dy) const {
+  DUST_CHECK(dy.size() == mask_.size());
+  la::Vec dx(dy.size(), 0.0f);
+  for (size_t i = 0; i < dy.size(); ++i) dx[i] = dy[i] * mask_[i];
+  return dx;
+}
+
+la::Vec TanhForward(const la::Vec& x) {
+  la::Vec y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] = std::tanh(x[i]);
+  return y;
+}
+
+la::Vec TanhBackward(const la::Vec& y, const la::Vec& dy) {
+  DUST_CHECK(y.size() == dy.size());
+  la::Vec dx(y.size());
+  for (size_t i = 0; i < y.size(); ++i) dx[i] = dy[i] * (1.0f - y[i] * y[i]);
+  return dx;
+}
+
+}  // namespace dust::nn

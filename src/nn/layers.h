@@ -1,0 +1,89 @@
+// Neural network layers with explicit forward/backward passes.
+//
+// The DUST fine-tuning architecture (Sec. 4, Fig. 3 bottom-right) is a
+// frozen feature extractor followed by a dropout layer and two linear
+// layers. The graph is small and fixed, so layers carry their own gradient
+// buffers instead of a general autograd.
+#ifndef DUST_NN_LAYERS_H_
+#define DUST_NN_LAYERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+#include "la/vector_ops.h"
+#include "text/hashing.h"
+#include "util/rng.h"
+
+namespace dust::nn {
+
+/// Fully connected layer: y = W x + b.
+class Linear {
+ public:
+  /// Xavier/Glorot-uniform initialization, deterministic in `seed`.
+  Linear(size_t in_dim, size_t out_dim, uint64_t seed);
+
+  /// Dense forward.
+  la::Vec Forward(const la::Vec& x) const;
+
+  /// Sparse forward (first layer; input features are hashed tokens).
+  la::Vec ForwardSparse(const text::SparseVector& x) const;
+
+  /// Accumulates gradients for (W, b) given upstream grad dy and the input
+  /// that produced it; returns dx (gradient w.r.t. the input).
+  la::Vec Backward(const la::Vec& x, const la::Vec& dy);
+
+  /// Sparse variant of Backward; does not return dx (features are frozen).
+  void BackwardSparse(const text::SparseVector& x, const la::Vec& dy);
+
+  void ZeroGrad();
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+
+  la::Matrix& weights() { return w_; }
+  la::Vec& bias() { return b_; }
+  la::Matrix& weight_grad() { return dw_; }
+  la::Vec& bias_grad() { return db_; }
+  const la::Matrix& weights() const { return w_; }
+  const la::Vec& bias() const { return b_; }
+
+ private:
+  size_t in_dim_;
+  size_t out_dim_;
+  la::Matrix w_;   // out_dim x in_dim
+  la::Vec b_;      // out_dim
+  la::Matrix dw_;  // gradient accumulators
+  la::Vec db_;
+};
+
+/// Inverted dropout: at train time zeroes each unit with probability p and
+/// scales survivors by 1/(1-p); identity at eval time.
+class Dropout {
+ public:
+  explicit Dropout(float p) : p_(p) {}
+
+  /// Samples a fresh mask (train mode).
+  la::Vec ForwardTrain(const la::Vec& x, Rng* rng);
+
+  /// Identity (eval mode).
+  la::Vec ForwardEval(const la::Vec& x) const { return x; }
+
+  /// Applies the last sampled mask to the upstream gradient.
+  la::Vec Backward(const la::Vec& dy) const;
+
+  float p() const { return p_; }
+
+ private:
+  float p_;
+  std::vector<float> mask_;
+};
+
+/// tanh activation.
+la::Vec TanhForward(const la::Vec& x);
+/// dL/dx given dL/dy and y = tanh(x).
+la::Vec TanhBackward(const la::Vec& y, const la::Vec& dy);
+
+}  // namespace dust::nn
+
+#endif  // DUST_NN_LAYERS_H_

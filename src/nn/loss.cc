@@ -1,0 +1,54 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "la/distance.h"
+#include "util/status.h"
+
+namespace dust::nn {
+
+CosineLossResult CosineEmbeddingLoss(const la::Vec& a, const la::Vec& b,
+                                     int label, float margin) {
+  DUST_CHECK(a.size() == b.size());
+  DUST_CHECK(label == 0 || label == 1);
+  CosineLossResult out;
+  out.grad_a.assign(a.size(), 0.0f);
+  out.grad_b.assign(b.size(), 0.0f);
+
+  float na = la::Norm(a);
+  float nb = la::Norm(b);
+  if (na < 1e-12f || nb < 1e-12f) {
+    // Degenerate embedding; no useful gradient direction.
+    out.loss = (label == 1) ? 1.0f : 0.0f;
+    return out;
+  }
+  float dot = la::Dot(a, b);
+  float cosv = dot / (na * nb);
+
+  // d cos / d a_i = b_i/(na*nb) - cos * a_i/na^2   (and symmetrically for b)
+  auto add_dcos = [&](float coeff) {
+    float inv = 1.0f / (na * nb);
+    float ca = cosv / (na * na);
+    float cb = cosv / (nb * nb);
+    for (size_t i = 0; i < a.size(); ++i) {
+      out.grad_a[i] += coeff * (b[i] * inv - ca * a[i]);
+      out.grad_b[i] += coeff * (a[i] * inv - cb * b[i]);
+    }
+  };
+
+  if (label == 1) {
+    out.loss = 1.0f - cosv;
+    add_dcos(-1.0f);  // dL/dcos = -1
+  } else {
+    float hinge = cosv - margin;
+    if (hinge > 0.0f) {
+      out.loss = hinge;
+      add_dcos(1.0f);  // dL/dcos = +1
+    } else {
+      out.loss = 0.0f;
+    }
+  }
+  return out;
+}
+
+}  // namespace dust::nn

@@ -1,0 +1,25 @@
+// Cosine embedding loss (Sec. 4):
+//   L(E(t1), E(t2)) = 1 - cos(E(t1), E(t2))          if label = 1
+//                   = max(0, cos(E(t1), E(t2)) - m)  if label = 0
+// with margin m = 0 by default (PyTorch's CosineEmbeddingLoss default).
+#ifndef DUST_NN_LOSS_H_
+#define DUST_NN_LOSS_H_
+
+#include "la/vector_ops.h"
+
+namespace dust::nn {
+
+struct CosineLossResult {
+  float loss = 0.0f;
+  la::Vec grad_a;  // dL/da
+  la::Vec grad_b;  // dL/db
+};
+
+/// Loss and gradients for one pair. `label` is 1 (similar/unionable) or 0
+/// (dissimilar/non-unionable).
+CosineLossResult CosineEmbeddingLoss(const la::Vec& a, const la::Vec& b,
+                                     int label, float margin = 0.0f);
+
+}  // namespace dust::nn
+
+#endif  // DUST_NN_LOSS_H_

@@ -1,0 +1,59 @@
+// Gradient-descent optimizers over flat parameter views.
+#ifndef DUST_NN_OPTIMIZER_H_
+#define DUST_NN_OPTIMIZER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dust::nn {
+
+/// A (parameter, gradient) pair registered with the optimizer. The spans
+/// must stay valid for the optimizer's lifetime.
+struct ParamView {
+  float* param;
+  const float* grad;
+  size_t size;
+};
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Registers a parameter tensor; call once per tensor before stepping.
+  virtual void Register(ParamView view) = 0;
+  /// Applies one update using the current gradient values.
+  virtual void Step() = 0;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.0f);
+  void Register(ParamView view) override;
+  void Step() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<ParamView> views_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f);
+  void Register(ParamView view) override;
+  void Step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  size_t t_ = 0;
+  std::vector<ParamView> views_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace dust::nn
+
+#endif  // DUST_NN_OPTIMIZER_H_

@@ -1,0 +1,140 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "la/distance.h"
+#include "nn/loss.h"
+#include "util/logging.h"
+
+namespace dust::nn {
+
+float EvaluateLoss(const DustModel& model, const std::vector<TuplePair>& pairs,
+                   float margin) {
+  if (pairs.empty()) return 0.0f;
+  double total = 0.0;
+  for (const TuplePair& pair : pairs) {
+    la::Vec a = model.EncodeSerialized(pair.serialized_a);
+    la::Vec b = model.EncodeSerialized(pair.serialized_b);
+    total += CosineEmbeddingLoss(a, b, pair.label, margin).loss;
+  }
+  return static_cast<float>(total / static_cast<double>(pairs.size()));
+}
+
+TrainReport TrainDustModel(DustModel* model,
+                           const std::vector<TuplePair>& train,
+                           const std::vector<TuplePair>& validation,
+                           const TrainerConfig& config) {
+  TrainReport report;
+  Adam optimizer(config.learning_rate);
+  model->RegisterParams(&optimizer);
+  Rng rng(config.seed);
+
+  std::vector<float> best_params = model->SaveParams();
+  float best_val = std::numeric_limits<float>::infinity();
+  size_t epochs_since_best = 0;
+
+  std::vector<size_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    size_t seen = 0;
+    for (size_t start = 0; start < order.size(); start += config.batch_size) {
+      size_t end = std::min(order.size(), start + config.batch_size);
+      model->ZeroGrad();
+      for (size_t i = start; i < end; ++i) {
+        const TuplePair& pair = train[order[i]];
+        DustModel::ForwardCache cache_a;
+        DustModel::ForwardCache cache_b;
+        la::Vec a = model->ForwardTrain(pair.serialized_a, &rng, &cache_a);
+        la::Vec b = model->ForwardTrain(pair.serialized_b, &rng, &cache_b);
+        CosineLossResult loss =
+            CosineEmbeddingLoss(a, b, pair.label, config.margin);
+        epoch_loss += loss.loss;
+        ++seen;
+        // Mean-reduce over the batch.
+        float inv = 1.0f / static_cast<float>(end - start);
+        la::ScaleInPlace(&loss.grad_a, inv);
+        la::ScaleInPlace(&loss.grad_b, inv);
+        model->Backward(cache_a, loss.grad_a);
+        model->Backward(cache_b, loss.grad_b);
+      }
+      optimizer.Step();
+    }
+    report.epochs_run = epoch + 1;
+    float train_loss =
+        seen > 0 ? static_cast<float>(epoch_loss / static_cast<double>(seen))
+                 : 0.0f;
+    float val_loss = EvaluateLoss(*model, validation, config.margin);
+    report.train_loss_per_epoch.push_back(train_loss);
+    report.validation_loss_per_epoch.push_back(val_loss);
+    if (config.verbose) {
+      DUST_LOG(Info) << "epoch " << (epoch + 1) << " train=" << train_loss
+                     << " val=" << val_loss;
+    }
+
+    if (val_loss < best_val - 1e-5f) {
+      best_val = val_loss;
+      best_params = model->SaveParams();
+      epochs_since_best = 0;
+    } else {
+      ++epochs_since_best;
+      if (epochs_since_best >= config.patience) {
+        report.early_stopped = true;
+        break;
+      }
+    }
+  }
+
+  model->LoadParams(best_params);
+  report.best_validation_loss = best_val;
+  return report;
+}
+
+float PairAccuracy(const embed::TupleEncoder& encoder,
+                   const std::vector<TuplePair>& pairs, float threshold) {
+  if (pairs.empty()) return 0.0f;
+  size_t correct = 0;
+  for (const TuplePair& pair : pairs) {
+    la::Vec a = encoder.EncodeSerialized(pair.serialized_a);
+    la::Vec b = encoder.EncodeSerialized(pair.serialized_b);
+    float distance = la::CosineDistance(a, b);
+    int predicted = distance < threshold ? 1 : 0;
+    if (predicted == pair.label) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(pairs.size());
+}
+
+float SelectThreshold(const embed::TupleEncoder& encoder,
+                      const std::vector<TuplePair>& validation, float step) {
+  // Precompute distances once; sweep thresholds over them.
+  std::vector<std::pair<float, int>> scored;
+  scored.reserve(validation.size());
+  for (const TuplePair& pair : validation) {
+    la::Vec a = encoder.EncodeSerialized(pair.serialized_a);
+    la::Vec b = encoder.EncodeSerialized(pair.serialized_b);
+    scored.emplace_back(la::CosineDistance(a, b), pair.label);
+  }
+  float best_threshold = 0.7f;
+  float best_accuracy = -1.0f;
+  for (float threshold = step; threshold < 2.0f; threshold += step) {
+    size_t correct = 0;
+    for (const auto& [distance, label] : scored) {
+      int predicted = distance < threshold ? 1 : 0;
+      if (predicted == label) ++correct;
+    }
+    float acc = validation.empty()
+                    ? 0.0f
+                    : static_cast<float>(correct) /
+                          static_cast<float>(scored.size());
+    if (acc > best_accuracy) {
+      best_accuracy = acc;
+      best_threshold = threshold;
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace dust::nn

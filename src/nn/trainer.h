@@ -1,0 +1,70 @@
+// Fine-tuning loop (Sec. 4 / Sec. 6.3.3): mini-batch Adam on the cosine
+// embedding loss with early stopping (patience 10 on validation loss), and
+// validation-set threshold selection for the unionability classifier.
+#ifndef DUST_NN_TRAINER_H_
+#define DUST_NN_TRAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/dust_model.h"
+
+namespace dust::nn {
+
+/// One fine-tuning data point: a pair of serialized tuples and a binary
+/// unionability label (1 = same/unionable tables, 0 = non-unionable).
+struct TuplePair {
+  std::string serialized_a;
+  std::string serialized_b;
+  int label = 0;
+};
+
+/// Train/validation/test split (70:15:15 in the paper, Sec. 6.1.1).
+struct PairDataset {
+  std::vector<TuplePair> train;
+  std::vector<TuplePair> validation;
+  std::vector<TuplePair> test;
+};
+
+struct TrainerConfig {
+  size_t max_epochs = 100;
+  size_t patience = 10;  // early stopping (Sec. 6.3.3)
+  size_t batch_size = 32;
+  float learning_rate = 1e-3f;
+  float margin = 0.0f;  // cosine embedding loss margin
+  uint64_t seed = 99;
+  bool verbose = false;
+};
+
+struct TrainReport {
+  size_t epochs_run = 0;
+  float best_validation_loss = 0.0f;
+  std::vector<float> train_loss_per_epoch;
+  std::vector<float> validation_loss_per_epoch;
+  bool early_stopped = false;
+};
+
+/// Trains `model` in place; restores the best-validation parameters.
+TrainReport TrainDustModel(DustModel* model,
+                           const std::vector<TuplePair>& train,
+                           const std::vector<TuplePair>& validation,
+                           const TrainerConfig& config);
+
+/// Mean cosine-embedding loss of `model` over `pairs` (eval mode).
+float EvaluateLoss(const DustModel& model, const std::vector<TuplePair>& pairs,
+                   float margin = 0.0f);
+
+/// Classifies a pair as unionable when cosine *distance* < threshold
+/// (Sec. 6.3.1); returns accuracy over `pairs` for any TupleEncoder.
+float PairAccuracy(const embed::TupleEncoder& encoder,
+                   const std::vector<TuplePair>& pairs, float threshold);
+
+/// Sweeps thresholds on the validation set and returns the accuracy-
+/// maximizing cosine-distance threshold (the paper settles on 0.7).
+float SelectThreshold(const embed::TupleEncoder& encoder,
+                      const std::vector<TuplePair>& validation,
+                      float step = 0.05f);
+
+}  // namespace dust::nn
+
+#endif  // DUST_NN_TRAINER_H_

@@ -1,0 +1,100 @@
+#include "search/embedding_search.h"
+
+#include <algorithm>
+
+#include "align/hungarian.h"
+#include "index/flat_index.h"
+#include "index/ivf_index.h"
+#include "index/lsh_index.h"
+
+namespace dust::search {
+
+EmbeddingUnionSearch::EmbeddingUnionSearch(EmbeddingSearchConfig config)
+    : config_(config), encoder_(config.encoder) {}
+
+void EmbeddingUnionSearch::IndexLake(
+    const std::vector<const table::Table*>& lake) {
+  lake_columns_.clear();
+  lake_profiles_.clear();
+  lake_columns_.reserve(lake.size());
+  lake_profiles_.reserve(lake.size());
+  for (const table::Table* t : lake) {
+    std::vector<la::Vec> cols = encoder_.EncodeTable(*t);
+    la::Vec profile(encoder_.dim(), 0.0f);
+    if (!cols.empty()) {
+      profile = la::Mean(cols);
+      la::NormalizeInPlace(&profile);
+    }
+    lake_columns_.push_back(std::move(cols));
+    lake_profiles_.push_back(std::move(profile));
+  }
+
+  if (config_.shortlist > 0) {
+    if (config_.index_type == "ivf") {
+      profile_index_ = std::make_unique<index::IvfFlatIndex>(
+          encoder_.dim(), la::Metric::kCosine);
+    } else if (config_.index_type == "lsh") {
+      profile_index_ =
+          std::make_unique<index::LshIndex>(encoder_.dim(), la::Metric::kCosine);
+    } else {
+      profile_index_ =
+          std::make_unique<index::FlatIndex>(encoder_.dim(), la::Metric::kCosine);
+    }
+    profile_index_->AddAll(lake_profiles_);
+  } else {
+    profile_index_.reset();
+  }
+}
+
+double EmbeddingUnionSearch::TableScore(
+    const std::vector<la::Vec>& query_cols,
+    const std::vector<la::Vec>& lake_cols) const {
+  if (query_cols.empty() || lake_cols.empty()) return 0.0;
+  std::vector<double> weights(query_cols.size() * lake_cols.size(), 0.0);
+  for (size_t i = 0; i < query_cols.size(); ++i) {
+    for (size_t j = 0; j < lake_cols.size(); ++j) {
+      weights[i * lake_cols.size() + j] = std::max(
+          0.0, static_cast<double>(
+                   la::CosineSimilarity(query_cols[i], lake_cols[j])));
+    }
+  }
+  align::MatchingResult matching = align::MaxWeightBipartiteMatching(
+      weights, query_cols.size(), lake_cols.size());
+  return matching.total_weight / static_cast<double>(query_cols.size());
+}
+
+std::vector<TableHit> EmbeddingUnionSearch::SearchTables(
+    const table::Table& query, size_t n) const {
+  std::vector<la::Vec> query_cols = encoder_.EncodeTable(query);
+
+  // Candidate set: everything, or an index shortlist over table profiles.
+  std::vector<size_t> candidates;
+  if (profile_index_ != nullptr && config_.shortlist > 0) {
+    la::Vec profile(encoder_.dim(), 0.0f);
+    if (!query_cols.empty()) {
+      profile = la::Mean(query_cols);
+      la::NormalizeInPlace(&profile);
+    }
+    for (const index::SearchHit& hit :
+         profile_index_->Search(profile, config_.shortlist)) {
+      candidates.push_back(hit.id);
+    }
+  } else {
+    candidates.resize(lake_columns_.size());
+    for (size_t t = 0; t < candidates.size(); ++t) candidates[t] = t;
+  }
+
+  std::vector<TableHit> hits;
+  hits.reserve(candidates.size());
+  for (size_t t : candidates) {
+    hits.push_back({t, TableScore(query_cols, lake_columns_[t])});
+  }
+  std::sort(hits.begin(), hits.end(), [](const TableHit& a, const TableHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.table_index < b.table_index;
+  });
+  if (hits.size() > n) hits.resize(n);
+  return hits;
+}
+
+}  // namespace dust::search

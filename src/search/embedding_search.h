@@ -1,0 +1,54 @@
+// Starmie-style union search (Fan et al., PVLDB'23): contextualized column
+// embeddings per table; a candidate's unionability score is the max-weight
+// bipartite matching between its columns and the query's (cosine weights).
+// A vector index over table-level profiles (mean column embedding)
+// shortlists candidates faiss-style before exact matching.
+#ifndef DUST_SEARCH_EMBEDDING_SEARCH_H_
+#define DUST_SEARCH_EMBEDDING_SEARCH_H_
+
+#include <memory>
+
+#include "embed/starmie_encoder.h"
+#include "index/vector_index.h"
+#include "search/union_search.h"
+
+namespace dust::search {
+
+struct EmbeddingSearchConfig {
+  embed::StarmieConfig encoder;
+  /// Candidates short-listed by the table-profile index before exact
+  /// bipartite scoring (0 = score every table exactly).
+  size_t shortlist = 0;
+  /// Index type for the shortlist: "flat", "ivf", or "lsh".
+  std::string index_type = "flat";
+};
+
+class EmbeddingUnionSearch : public UnionSearch {
+ public:
+  explicit EmbeddingUnionSearch(EmbeddingSearchConfig config = {});
+
+  void IndexLake(const std::vector<const table::Table*>& lake) override;
+  std::vector<TableHit> SearchTables(const table::Table& query,
+                                     size_t n) const override;
+  std::string name() const override { return "Starmie"; }
+
+  /// Column embeddings of an indexed lake table (for Starmie (B)/(H)).
+  const std::vector<la::Vec>& ColumnEmbeddings(size_t table_index) const {
+    return lake_columns_[table_index];
+  }
+  const embed::StarmieEncoder& encoder() const { return encoder_; }
+
+ private:
+  double TableScore(const std::vector<la::Vec>& query_cols,
+                    const std::vector<la::Vec>& lake_cols) const;
+
+  EmbeddingSearchConfig config_;
+  embed::StarmieEncoder encoder_;
+  std::vector<std::vector<la::Vec>> lake_columns_;
+  std::vector<la::Vec> lake_profiles_;  // mean column embedding per table
+  std::unique_ptr<index::VectorIndex> profile_index_;
+};
+
+}  // namespace dust::search
+
+#endif  // DUST_SEARCH_EMBEDDING_SEARCH_H_

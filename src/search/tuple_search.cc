@@ -1,0 +1,71 @@
+#include "search/tuple_search.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "index/flat_index.h"
+#include "index/ivf_index.h"
+#include "index/lsh_index.h"
+#include "util/status.h"
+
+namespace dust::search {
+
+TupleSearch::TupleSearch(std::shared_ptr<embed::TupleEncoder> encoder,
+                         TupleSearchConfig config)
+    : encoder_(std::move(encoder)), config_(config) {
+  DUST_CHECK(encoder_ != nullptr);
+}
+
+void TupleSearch::IndexLake(const std::vector<const table::Table*>& lake) {
+  refs_.clear();
+  if (config_.index_type == "ivf") {
+    index_ = std::make_unique<index::IvfFlatIndex>(encoder_->dim(),
+                                                   la::Metric::kCosine);
+  } else if (config_.index_type == "lsh") {
+    index_ =
+        std::make_unique<index::LshIndex>(encoder_->dim(), la::Metric::kCosine);
+  } else {
+    index_ =
+        std::make_unique<index::FlatIndex>(encoder_->dim(), la::Metric::kCosine);
+  }
+  for (size_t t = 0; t < lake.size(); ++t) {
+    std::vector<la::Vec> rows = encoder_->EncodeTableRows(*lake[t]);
+    for (size_t r = 0; r < rows.size(); ++r) {
+      index_->Add(rows[r]);
+      refs_.push_back({t, r});
+    }
+  }
+}
+
+std::vector<TupleHit> TupleSearch::SearchTuples(const table::Table& query,
+                                                size_t k) const {
+  DUST_CHECK(index_ != nullptr);
+  // Fuse per-query-tuple results: a lake tuple's score is its best
+  // similarity to any query tuple (so exact copies rank first).
+  std::unordered_map<size_t, double> best_similarity;
+  size_t fetch = std::max(k, config_.per_query_candidates);
+  for (size_t r = 0; r < query.num_rows(); ++r) {
+    la::Vec e = encoder_->EncodeSerialized(table::SerializeTableRow(query, r));
+    for (const index::SearchHit& hit : index_->Search(e, fetch)) {
+      double similarity = 1.0 - static_cast<double>(hit.distance);
+      auto [it, inserted] = best_similarity.try_emplace(hit.id, similarity);
+      if (!inserted && similarity > it->second) it->second = similarity;
+    }
+  }
+  std::vector<TupleHit> hits;
+  hits.reserve(best_similarity.size());
+  for (const auto& [id, similarity] : best_similarity) {
+    hits.push_back({refs_[id], similarity});
+  }
+  std::sort(hits.begin(), hits.end(), [](const TupleHit& a, const TupleHit& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    if (a.ref.table_index != b.ref.table_index) {
+      return a.ref.table_index < b.ref.table_index;
+    }
+    return a.ref.row_index < b.ref.row_index;
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+}  // namespace dust::search

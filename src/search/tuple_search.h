@@ -1,0 +1,55 @@
+// Tuple-level search — the "Starmie" baseline of Sec. 6.5.1: every data
+// lake tuple is indexed as if it were a one-row table, and the k tuples
+// most similar to the query table are returned. Because the ranking is pure
+// similarity, near-copies of query tuples surface first (the redundancy
+// DUST is designed to avoid).
+#ifndef DUST_SEARCH_TUPLE_SEARCH_H_
+#define DUST_SEARCH_TUPLE_SEARCH_H_
+
+#include <memory>
+
+#include "embed/tuple_encoder.h"
+#include "index/vector_index.h"
+#include "table/table.h"
+
+namespace dust::search {
+
+struct TupleHit {
+  table::TupleRef ref;
+  double similarity = 0.0;  // max similarity to any query tuple
+};
+
+struct TupleSearchConfig {
+  /// "flat", "ivf", or "lsh".
+  std::string index_type = "flat";
+  /// Per-query-tuple candidates fetched from the index before fusion.
+  size_t per_query_candidates = 200;
+};
+
+/// Indexes all tuples of a lake with a TupleEncoder and retrieves the top-k
+/// most similar tuples to a query table.
+class TupleSearch {
+ public:
+  TupleSearch(std::shared_ptr<embed::TupleEncoder> encoder,
+              TupleSearchConfig config = {});
+
+  /// Encodes and indexes every row of every lake table.
+  void IndexLake(const std::vector<const table::Table*>& lake);
+
+  /// Top-k lake tuples by maximum cosine similarity to any query tuple.
+  std::vector<TupleHit> SearchTuples(const table::Table& query,
+                                     size_t k) const;
+
+  size_t num_indexed() const { return refs_.size(); }
+  const table::TupleRef& ref(size_t id) const { return refs_[id]; }
+
+ private:
+  std::shared_ptr<embed::TupleEncoder> encoder_;
+  TupleSearchConfig config_;
+  std::unique_ptr<index::VectorIndex> index_;
+  std::vector<table::TupleRef> refs_;
+};
+
+}  // namespace dust::search
+
+#endif  // DUST_SEARCH_TUPLE_SEARCH_H_

@@ -1,0 +1,34 @@
+// Table union search interface (SearchTables step of Algorithm 1).
+#ifndef DUST_SEARCH_UNION_SEARCH_H_
+#define DUST_SEARCH_UNION_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace dust::search {
+
+struct TableHit {
+  size_t table_index = 0;  // index into the lake
+  double score = 0.0;      // higher = more unionable
+};
+
+/// Finds the top-N data lake tables unionable with a query table.
+class UnionSearch {
+ public:
+  virtual ~UnionSearch() = default;
+
+  /// Indexes the lake once; must be called before SearchTables.
+  virtual void IndexLake(const std::vector<const table::Table*>& lake) = 0;
+
+  /// Top-N lake tables by unionability score, descending.
+  virtual std::vector<TableHit> SearchTables(const table::Table& query,
+                                             size_t n) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace dust::search
+
+#endif  // DUST_SEARCH_UNION_SEARCH_H_

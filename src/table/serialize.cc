@@ -1,0 +1,56 @@
+#include "table/serialize.h"
+
+#include "util/status.h"
+
+namespace dust::table {
+
+std::string SerializeTuple(const std::vector<std::string>& headers,
+                           const std::vector<Value>& values) {
+  DUST_CHECK(headers.size() == values.size());
+  std::string out = kClsToken;
+  bool emitted_any = false;
+  for (size_t i = 0; i < headers.size(); ++i) {
+    if (values[i].is_null()) continue;
+    out += ' ';
+    out += headers[i];
+    out += ' ';
+    out += values[i].text();
+    out += ' ';
+    out += kSepToken;
+    emitted_any = true;
+  }
+  if (!emitted_any) {
+    out += ' ';
+    out += kSepToken;
+  }
+  return out;
+}
+
+std::string SerializeTableRow(const Table& table, size_t row) {
+  std::vector<std::string> headers = table.ColumnNames();
+  return SerializeTuple(headers, table.Row(row));
+}
+
+std::string SerializeTableRowAligned(
+    const Table& table, size_t row, const std::vector<int>& column_subset,
+    const std::vector<std::string>& renamed_headers) {
+  DUST_CHECK(column_subset.size() == renamed_headers.size());
+  std::vector<std::string> headers;
+  std::vector<Value> values;
+  headers.reserve(column_subset.size());
+  values.reserve(column_subset.size());
+  for (size_t i = 0; i < column_subset.size(); ++i) {
+    int j = column_subset[i];
+    if (j < 0) {
+      // The table has no column aligned to this query column: treat as null.
+      headers.push_back(renamed_headers[i]);
+      values.push_back(Value::Null());
+      continue;
+    }
+    headers.push_back(renamed_headers[i]);
+    values.push_back(table.at(row, static_cast<size_t>(j)));
+  }
+  return SerializeTuple(headers, values);
+}
+
+}  // namespace dust::table

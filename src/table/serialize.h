@@ -1,0 +1,39 @@
+// Tuple serialization (Sec. 4).
+//
+// A tuple is fed to the embedding models as
+//   [CLS] c1 v1 [SEP] c2 v2 [SEP] ... [SEP] cn vn [SEP]
+// where ci is the column header and vi its value. When a tuple was aligned
+// to a query table, only the aligned columns are serialized, in query-column
+// order, and null-padded cells are skipped (Example 4).
+#ifndef DUST_TABLE_SERIALIZE_H_
+#define DUST_TABLE_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace dust::table {
+
+inline constexpr const char* kClsToken = "[CLS]";
+inline constexpr const char* kSepToken = "[SEP]";
+
+/// Serializes one (header, value) sequence. Null values are skipped entirely
+/// (their header is not emitted either).
+std::string SerializeTuple(const std::vector<std::string>& headers,
+                           const std::vector<Value>& values);
+
+/// Serializes row `i` of `table` using its own headers/column order.
+std::string SerializeTableRow(const Table& table, size_t row);
+
+/// Serializes row `i` keeping only `column_subset` (indices into `table`),
+/// emitted in the given order with headers renamed to `renamed_headers`
+/// (same length as `column_subset`). Used after column alignment, where data
+/// lake columns adopt the aligned query column's header (Example 4).
+std::string SerializeTableRowAligned(const Table& table, size_t row,
+                                     const std::vector<int>& column_subset,
+                                     const std::vector<std::string>& renamed_headers);
+
+}  // namespace dust::table
+
+#endif  // DUST_TABLE_SERIALIZE_H_

@@ -1,0 +1,98 @@
+#include "table/table.h"
+
+#include <algorithm>
+
+namespace dust::table {
+
+double Column::NumericFraction() const {
+  size_t non_null = 0;
+  size_t numeric = 0;
+  for (const Value& v : values) {
+    if (v.is_null()) continue;
+    ++non_null;
+    if (v.IsNumeric()) ++numeric;
+  }
+  if (non_null == 0) return 1.0;
+  return static_cast<double>(numeric) / static_cast<double>(non_null);
+}
+
+bool Column::AllNull() const {
+  return std::all_of(values.begin(), values.end(),
+                     [](const Value& v) { return v.is_null(); });
+}
+
+int Table::ColumnIndex(const std::string& name) const {
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    if (columns_[j].name == name) return static_cast<int>(j);
+  }
+  return -1;
+}
+
+void Table::AddColumn(std::string name) {
+  Column col;
+  col.name = std::move(name);
+  col.values.assign(num_rows(), Value::Null());
+  columns_.push_back(std::move(col));
+}
+
+Status Table::AddColumn(std::string name, std::vector<Value> values) {
+  if (!columns_.empty() && values.size() != num_rows()) {
+    return Status::InvalidArgument("column size mismatch for " + name);
+  }
+  Column col;
+  col.name = std::move(name);
+  col.values = std::move(values);
+  columns_.push_back(std::move(col));
+  return Status::Ok();
+}
+
+Status Table::AddRow(std::vector<Value> row) {
+  if (row.size() != num_columns()) {
+    return Status::InvalidArgument("row arity mismatch in table " + name_);
+  }
+  for (size_t j = 0; j < row.size(); ++j) {
+    columns_[j].values.push_back(std::move(row[j]));
+  }
+  return Status::Ok();
+}
+
+std::vector<Value> Table::Row(size_t i) const {
+  std::vector<Value> row;
+  row.reserve(num_columns());
+  for (const Column& col : columns_) row.push_back(col.values[i]);
+  return row;
+}
+
+std::vector<std::string> Table::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const Column& col : columns_) names.push_back(col.name);
+  return names;
+}
+
+void Table::DropAllNullColumns() {
+  columns_.erase(std::remove_if(columns_.begin(), columns_.end(),
+                                [](const Column& c) { return c.AllNull(); }),
+                 columns_.end());
+}
+
+Table Table::SelectRows(const std::vector<size_t>& rows) const {
+  Table out(name_);
+  for (const Column& col : columns_) {
+    std::vector<Value> values;
+    values.reserve(rows.size());
+    for (size_t r : rows) values.push_back(col.values[r]);
+    DUST_CHECK(out.AddColumn(col.name, std::move(values)).ok());
+  }
+  return out;
+}
+
+Table Table::ProjectColumns(const std::vector<size_t>& cols) const {
+  Table out(name_);
+  for (size_t j : cols) {
+    DUST_CHECK(out.AddColumn(columns_[j].name, columns_[j].values).ok());
+  }
+  return out;
+}
+
+}  // namespace dust::table

@@ -1,0 +1,97 @@
+// Table / Column / Tuple data model.
+//
+// A Table is a named, column-oriented relation. Tuples are row views used by
+// serialization, embedding, and diversification; TupleRef identifies a tuple
+// by (table, row) so diversification results keep full provenance.
+#ifndef DUST_TABLE_TABLE_H_
+#define DUST_TABLE_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "table/value.h"
+#include "util/status.h"
+
+namespace dust::table {
+
+/// A named column of values.
+struct Column {
+  std::string name;
+  std::vector<Value> values;
+
+  size_t size() const { return values.size(); }
+
+  /// Fraction of non-null numeric values among non-null values (1.0 for an
+  /// all-null column).
+  double NumericFraction() const;
+
+  /// True when every value is null (such columns are dropped per Sec. 6.1).
+  bool AllNull() const;
+};
+
+/// Column-oriented table.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+
+  const Column& column(size_t j) const { return columns_[j]; }
+  Column& column(size_t j) { return columns_[j]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or -1.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Appends an empty column (rows are padded with nulls to num_rows()).
+  void AddColumn(std::string name);
+
+  /// Appends a fully populated column; must match num_rows() unless the
+  /// table has no columns yet.
+  Status AddColumn(std::string name, std::vector<Value> values);
+
+  /// Appends a row; must have num_columns() entries.
+  Status AddRow(std::vector<Value> row);
+
+  /// Value at (row i, column j).
+  const Value& at(size_t i, size_t j) const { return columns_[j].values[i]; }
+
+  /// Materialized row.
+  std::vector<Value> Row(size_t i) const;
+
+  /// Column headers in order.
+  std::vector<std::string> ColumnNames() const;
+
+  /// Removes columns whose values are all null (benchmark hygiene, Sec. 6.1).
+  void DropAllNullColumns();
+
+  /// Keeps only the rows with the given indices (in the given order).
+  Table SelectRows(const std::vector<size_t>& rows) const;
+
+  /// Keeps only the columns with the given indices (in the given order).
+  Table ProjectColumns(const std::vector<size_t>& cols) const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+};
+
+/// Identifies one tuple inside a set of tables: (table index, row index).
+struct TupleRef {
+  size_t table_index = 0;
+  size_t row_index = 0;
+
+  bool operator==(const TupleRef& other) const {
+    return table_index == other.table_index && row_index == other.row_index;
+  }
+};
+
+}  // namespace dust::table
+
+#endif  // DUST_TABLE_TABLE_H_

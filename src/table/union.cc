@@ -1,0 +1,107 @@
+#include "table/union.h"
+
+#include <unordered_set>
+
+namespace dust::table {
+
+Result<Table> OuterUnion(const std::vector<const Table*>& sources,
+                         const std::vector<ColumnMapping>& mappings,
+                         const std::vector<std::string>& target_headers,
+                         std::vector<TupleRef>* provenance) {
+  if (sources.size() != mappings.size()) {
+    return Status::InvalidArgument("sources/mappings size mismatch");
+  }
+  Table out("outer_union");
+  for (const std::string& header : target_headers) out.AddColumn(header);
+  if (provenance != nullptr) provenance->clear();
+
+  for (size_t t = 0; t < sources.size(); ++t) {
+    const Table& src = *sources[t];
+    const ColumnMapping& mapping = mappings[t];
+    if (mapping.size() != target_headers.size()) {
+      return Status::InvalidArgument("mapping arity mismatch for table " +
+                                     src.name());
+    }
+    for (int j : mapping) {
+      if (j >= static_cast<int>(src.num_columns())) {
+        return Status::OutOfRange("mapping index out of range for table " +
+                                  src.name());
+      }
+    }
+    for (size_t r = 0; r < src.num_rows(); ++r) {
+      std::vector<Value> row;
+      row.reserve(target_headers.size());
+      for (int j : mapping) {
+        row.push_back(j < 0 ? Value::Null()
+                            : src.at(r, static_cast<size_t>(j)));
+      }
+      DUST_RETURN_IF_ERROR(out.AddRow(std::move(row)));
+      if (provenance != nullptr) provenance->push_back({t, r});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Status CheckSameSchema(const std::vector<const Table*>& sources) {
+  if (sources.empty()) return Status::InvalidArgument("no tables to union");
+  const auto names = sources[0]->ColumnNames();
+  for (const Table* t : sources) {
+    if (t->ColumnNames() != names) {
+      return Status::InvalidArgument("schema mismatch in union: " + t->name());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Table> BagUnion(const std::vector<const Table*>& sources,
+                       const std::string& name) {
+  DUST_RETURN_IF_ERROR(CheckSameSchema(sources));
+  Table out(name);
+  for (const std::string& header : sources[0]->ColumnNames()) {
+    out.AddColumn(header);
+  }
+  for (const Table* src : sources) {
+    for (size_t r = 0; r < src->num_rows(); ++r) {
+      DUST_RETURN_IF_ERROR(out.AddRow(src->Row(r)));
+    }
+  }
+  return out;
+}
+
+Result<Table> SetUnion(const std::vector<const Table*>& sources,
+                       const std::string& name) {
+  Result<Table> bag = BagUnion(sources, name);
+  if (!bag.ok()) return bag.status();
+  Table deduped = DeduplicateRows(bag.value());
+  deduped.set_name(name);
+  return deduped;
+}
+
+std::string RowKey(const Table& table, size_t row) {
+  std::string key;
+  for (size_t j = 0; j < table.num_columns(); ++j) {
+    const Value& v = table.at(row, j);
+    if (v.is_null()) {
+      key += "\x01";  // distinct from any text
+    } else {
+      key += v.text();
+    }
+    key += '\x02';
+  }
+  return key;
+}
+
+Table DeduplicateRows(const Table& table) {
+  std::unordered_set<std::string> seen;
+  std::vector<size_t> keep;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (seen.insert(RowKey(table, r)).second) keep.push_back(r);
+  }
+  return table.SelectRows(keep);
+}
+
+}  // namespace dust::table

@@ -1,0 +1,47 @@
+// Table union operators.
+//
+// OuterUnion implements the null-padded union of Sec. 3.3: given a mapping
+// from each source table's columns to target (query) columns, the result has
+// the target schema; unmapped target columns are padded with nulls. Bag and
+// set unions are used by the Fig. 8 case study (Starmie vs Starmie-D).
+#ifndef DUST_TABLE_UNION_H_
+#define DUST_TABLE_UNION_H_
+
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+#include "util/status.h"
+
+namespace dust::table {
+
+/// Per-source-table mapping: entry i gives, for target column i, the source
+/// column index or -1 when the source table has no aligned column.
+using ColumnMapping = std::vector<int>;
+
+/// Outer-unions `sources` into the schema given by `target_headers`.
+/// `mappings[t]` maps target columns to columns of `sources[t]` (-1 = null
+/// pad). Also returns, via `provenance`, the (table,row) of each result row.
+Result<Table> OuterUnion(const std::vector<const Table*>& sources,
+                         const std::vector<ColumnMapping>& mappings,
+                         const std::vector<std::string>& target_headers,
+                         std::vector<TupleRef>* provenance);
+
+/// Bag union of same-schema tables (duplicates kept), in the given order.
+Result<Table> BagUnion(const std::vector<const Table*>& sources,
+                       const std::string& name);
+
+/// Set union of same-schema tables (exact duplicate rows removed, first
+/// occurrence kept).
+Result<Table> SetUnion(const std::vector<const Table*>& sources,
+                       const std::string& name);
+
+/// Row-level duplicate removal within one table (first occurrence kept).
+Table DeduplicateRows(const Table& table);
+
+/// Canonical key of a row (null-aware) for dedup and novelty counting.
+std::string RowKey(const Table& table, size_t row);
+
+}  // namespace dust::table
+
+#endif  // DUST_TABLE_UNION_H_

@@ -1,0 +1,18 @@
+#include "table/value.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace dust::table {
+
+bool Value::IsNumeric() const { return !is_null_ && dust::IsNumeric(text_); }
+
+double Value::AsNumber() const {
+  if (is_null_) return 0.0;
+  return std::strtod(text_.c_str(), nullptr);
+}
+
+std::string Value::ToDisplay() const { return is_null_ ? "nan" : text_; }
+
+}  // namespace dust::table

@@ -1,0 +1,45 @@
+// Cell values. Data lake cells are strings with an explicit null flag
+// (outer union pads missing columns with nulls, Sec. 3.3); numeric cells are
+// detected on demand for benchmarks with numeric columns (Sec. 6.2.4).
+#ifndef DUST_TABLE_VALUE_H_
+#define DUST_TABLE_VALUE_H_
+
+#include <string>
+#include <string_view>
+
+namespace dust::table {
+
+/// A single cell: text plus a null flag.
+class Value {
+ public:
+  /// Null value.
+  Value() : is_null_(true) {}
+  /// Non-null text value.
+  explicit Value(std::string text) : text_(std::move(text)), is_null_(false) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return is_null_; }
+  const std::string& text() const { return text_; }
+
+  /// True when the value parses as a number (null is not numeric).
+  bool IsNumeric() const;
+
+  /// Numeric interpretation; 0.0 for null/non-numeric.
+  double AsNumber() const;
+
+  /// Display form: the text, or "nan" for null (the paper's placeholder).
+  std::string ToDisplay() const;
+
+  bool operator==(const Value& other) const {
+    return is_null_ == other.is_null_ && (is_null_ || text_ == other.text_);
+  }
+
+ private:
+  std::string text_;
+  bool is_null_;
+};
+
+}  // namespace dust::table
+
+#endif  // DUST_TABLE_VALUE_H_

@@ -1,0 +1,51 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace dust::text {
+
+TfidfModel::TfidfModel(const std::vector<std::vector<std::string>>& documents)
+    : num_documents_(documents.size()) {
+  for (const auto& doc : documents) {
+    std::unordered_set<std::string> seen(doc.begin(), doc.end());
+    for (const auto& token : seen) ++doc_freq_[token];
+  }
+}
+
+float TfidfModel::Idf(const std::string& token) const {
+  auto it = doc_freq_.find(token);
+  size_t df = (it == doc_freq_.end()) ? 0 : it->second;
+  return std::log((1.0f + static_cast<float>(num_documents_)) /
+                  (1.0f + static_cast<float>(df))) +
+         1.0f;
+}
+
+std::unordered_map<std::string, float> TfidfModel::Weights(
+    const std::vector<std::string>& tokens) const {
+  std::unordered_map<std::string, float> tf;
+  for (const auto& token : tokens) tf[token] += 1.0f;
+  for (auto& [token, weight] : tf) {
+    weight = (weight / static_cast<float>(tokens.size())) * Idf(token);
+  }
+  return tf;
+}
+
+std::vector<std::string> TfidfModel::TopTokens(
+    const std::vector<std::string>& tokens, size_t limit) const {
+  auto weights = Weights(tokens);
+  std::vector<std::pair<std::string, float>> ranked(weights.begin(),
+                                                    weights.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (ranked.size() > limit) ranked.resize(limit);
+  std::vector<std::string> out;
+  out.reserve(ranked.size());
+  for (auto& [token, weight] : ranked) out.push_back(token);
+  return out;
+}
+
+}  // namespace dust::text

@@ -1,0 +1,42 @@
+// TF-IDF weighting and top-token selection.
+//
+// Sec. 6.2.3: language-model baselines have a 512-token input limit, so each
+// column keeps only its 512 most representative tokens ranked by TF-IDF.
+#ifndef DUST_TEXT_TFIDF_H_
+#define DUST_TEXT_TFIDF_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dust::text {
+
+/// Corpus-level document-frequency statistics. A "document" is whatever unit
+/// the caller chooses (for column alignment: one column's token bag).
+class TfidfModel {
+ public:
+  /// Builds document frequencies from tokenized documents.
+  explicit TfidfModel(const std::vector<std::vector<std::string>>& documents);
+
+  size_t num_documents() const { return num_documents_; }
+
+  /// Smoothed inverse document frequency: ln((1+N)/(1+df)) + 1.
+  float Idf(const std::string& token) const;
+
+  /// TF-IDF weights for `tokens` (term frequency within this bag times IDF).
+  std::unordered_map<std::string, float> Weights(
+      const std::vector<std::string>& tokens) const;
+
+  /// The `limit` tokens of `tokens` with the highest TF-IDF weight, ties
+  /// broken lexicographically for determinism. Duplicates collapse.
+  std::vector<std::string> TopTokens(const std::vector<std::string>& tokens,
+                                     size_t limit) const;
+
+ private:
+  size_t num_documents_;
+  std::unordered_map<std::string, size_t> doc_freq_;
+};
+
+}  // namespace dust::text
+
+#endif  // DUST_TEXT_TFIDF_H_

@@ -1,0 +1,36 @@
+// Tokenization utilities used by the embedding models.
+//
+// Three granularities mirror the model families of Sec. 6.2.3:
+//  - word tokens        (FastText / GloVe style)
+//  - character n-grams  (FastText subword enrichment)
+//  - subword pieces     (BERT / RoBERTa / sBERT style: words split into
+//                        bounded-length pieces, approximating WordPiece)
+#ifndef DUST_TEXT_TOKENIZER_H_
+#define DUST_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dust::text {
+
+/// Lowercases and splits on non-alphanumeric boundaries; digits are kept as
+/// their own tokens so "773 731-0380" yields {"773", "731", "0380"}.
+std::vector<std::string> WordTokens(std::string_view s);
+
+/// Character n-grams of each word padded with '<' '>' (FastText convention).
+/// E.g. n=3, "park" -> {"<pa", "par", "ark", "rk>"}.
+std::vector<std::string> CharNgrams(std::string_view s, size_t n);
+
+/// Greedy fixed-length subword pieces per word (WordPiece approximation):
+/// "chippewa" with max_piece=4 -> {"chip", "##pewa"... } pieces of at most
+/// `max_piece` chars, continuation pieces prefixed with "##".
+std::vector<std::string> SubwordPieces(std::string_view s, size_t max_piece);
+
+/// Number of whitespace-separated tokens — the token budget proxy used by
+/// the simulated LLM baseline.
+size_t ApproxTokenCount(std::string_view s);
+
+}  // namespace dust::text
+
+#endif  // DUST_TEXT_TOKENIZER_H_

@@ -1,0 +1,47 @@
+// Minimal severity-filtered logger used by long-running benches and the
+// training loop. Single-threaded by design (the library is single-threaded).
+#ifndef DUST_UTIL_LOGGING_H_
+#define DUST_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dust {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted to stderr. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogSink {
+  // Swallows the stream when the message is below the active level.
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace dust
+
+#define DUST_LOG(level)                                                  \
+  (static_cast<int>(::dust::LogLevel::k##level) <                        \
+   static_cast<int>(::dust::GetLogLevel()))                              \
+      ? (void)0                                                          \
+      : ::dust::internal::LogSink() &                                    \
+            ::dust::internal::LogMessage(::dust::LogLevel::k##level,     \
+                                         __FILE__, __LINE__)             \
+                .stream()
+
+#endif  // DUST_UTIL_LOGGING_H_

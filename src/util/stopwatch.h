@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for the efficiency experiments (Table 2, Fig 7, A.2.3).
+#ifndef DUST_UTIL_STOPWATCH_H_
+#define DUST_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace dust {
+
+/// Starts timing on construction; `Seconds()`/`Millis()` read elapsed time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dust
+
+#endif  // DUST_UTIL_STOPWATCH_H_

@@ -1,0 +1,238 @@
+// Unit tests for src/align: Hungarian matching, holistic alignment,
+// bipartite alignment, alignment metrics, and the unionable tuple builder.
+#include <gtest/gtest.h>
+
+#include "align/alignment_metrics.h"
+#include "align/holistic_aligner.h"
+#include "align/hungarian.h"
+#include "align/tuple_builder.h"
+#include "util/rng.h"
+#include "embed/column_embedder.h"
+
+namespace dust::align {
+namespace {
+
+using table::Table;
+using table::Value;
+
+TEST(HungarianTest, SimpleAssignment) {
+  // weights: row0 prefers col1, row1 prefers col0.
+  std::vector<double> w = {1.0, 5.0,   //
+                           6.0, 2.0};
+  MatchingResult m = MaxWeightBipartiteMatching(w, 2, 2);
+  EXPECT_EQ(m.match_of_row[0], 1);
+  EXPECT_EQ(m.match_of_row[1], 0);
+  EXPECT_DOUBLE_EQ(m.total_weight, 11.0);
+}
+
+TEST(HungarianTest, GreedyWouldBeSuboptimal) {
+  // Greedy picks (0,0)=9 then (1,1)=1 -> 10; optimal is 8+7=15.
+  std::vector<double> w = {9.0, 8.0,  //
+                           7.0, 1.0};
+  MatchingResult m = MaxWeightBipartiteMatching(w, 2, 2);
+  EXPECT_DOUBLE_EQ(m.total_weight, 15.0);
+}
+
+TEST(HungarianTest, RectangularMatrices) {
+  std::vector<double> w = {1.0, 9.0, 2.0};  // 1 row, 3 cols
+  MatchingResult m = MaxWeightBipartiteMatching(w, 1, 3);
+  EXPECT_EQ(m.match_of_row[0], 1);
+  std::vector<double> w2 = {1.0, 9.0, 2.0};  // 3 rows, 1 col
+  MatchingResult m2 = MaxWeightBipartiteMatching(w2, 3, 1);
+  EXPECT_EQ(m2.match_of_row[1], 0);
+  EXPECT_EQ(m2.match_of_row[0], -1);
+}
+
+TEST(HungarianTest, NegativeWeightsStayUnmatched) {
+  std::vector<double> w = {-1.0, -2.0,  //
+                           -3.0, -4.0};
+  MatchingResult m = MaxWeightBipartiteMatching(w, 2, 2);
+  EXPECT_EQ(m.match_of_row[0], -1);
+  EXPECT_EQ(m.match_of_row[1], -1);
+  EXPECT_DOUBLE_EQ(m.total_weight, 0.0);
+}
+
+TEST(HungarianTest, ZeroSize) {
+  MatchingResult m = MaxWeightBipartiteMatching({}, 0, 0);
+  EXPECT_TRUE(m.match_of_row.empty());
+}
+
+// Builds synthetic column embeddings where concept c lives near the unit
+// vector e_c. tables_concepts[t][j] = concept of table t's column j.
+std::vector<std::vector<la::Vec>> ConceptEmbeddings(
+    const std::vector<std::vector<int>>& tables_concepts, size_t dim,
+    float noise, dust::Rng* rng) {
+  std::vector<std::vector<la::Vec>> out;
+  for (const auto& concepts : tables_concepts) {
+    std::vector<la::Vec> cols;
+    for (int c : concepts) {
+      la::Vec v(dim, 0.0f);
+      v[static_cast<size_t>(c)] = 1.0f;
+      for (float& x : v) x += noise * static_cast<float>(rng->NextGaussian());
+      la::NormalizeInPlace(&v);
+      cols.push_back(v);
+    }
+    out.push_back(cols);
+  }
+  return out;
+}
+
+Table TableWithColumns(const std::string& name,
+                       const std::vector<std::string>& headers) {
+  Table t(name);
+  for (const auto& h : headers) t.AddColumn(h);
+  // one dummy row so the table is non-empty
+  std::vector<Value> row;
+  for (size_t j = 0; j < headers.size(); ++j) row.push_back(Value("v"));
+  EXPECT_TRUE(t.AddRow(row).ok());
+  return t;
+}
+
+TEST(HolisticAlignerTest, RecoversConceptClusters) {
+  // Query has concepts {0,1,2}; lake table A has {0,1}; lake B has {1,2,3}.
+  // Concept 3 has no query column -> discarded cluster.
+  dust::Rng rng(9);
+  auto embeddings = ConceptEmbeddings({{0, 1, 2}, {0, 1}, {1, 2, 3}}, 8,
+                                      0.02f, &rng);
+  Table query = TableWithColumns("q", {"A", "B", "C"});
+  Table lake_a = TableWithColumns("a", {"A1", "B1"});
+  Table lake_b = TableWithColumns("b", {"B2", "C2", "D2"});
+
+  HolisticAligner aligner;
+  AlignmentResult result =
+      aligner.Align(query, {&lake_a, &lake_b}, embeddings);
+
+  ASSERT_EQ(result.clusters.size(), 3u);
+  // Query column 0 aligned with lake A col 0 only.
+  EXPECT_EQ(result.clusters[0].query_column, 0u);
+  ASSERT_EQ(result.clusters[0].lake_members.size(), 1u);
+  EXPECT_EQ(result.clusters[0].lake_members[0], (ColumnId{1, 0}));
+  // Query column 1 aligned with A.col1 and B.col0.
+  EXPECT_EQ(result.clusters[1].lake_members.size(), 2u);
+  // Mappings: lake B's column 2 (concept 3) maps nowhere.
+  ASSERT_EQ(result.lake_mappings.size(), 2u);
+  EXPECT_EQ(result.lake_mappings[0], (table::ColumnMapping{0, 1, -1}));
+  EXPECT_EQ(result.lake_mappings[1], (table::ColumnMapping{-1, 0, 1}));
+}
+
+TEST(HolisticAlignerTest, CannotLinkSameTableColumns) {
+  // Two query columns with nearly identical embeddings must still end in
+  // different clusters (same-table constraint).
+  dust::Rng rng(10);
+  auto embeddings = ConceptEmbeddings({{0, 0}, {0}}, 4, 0.01f, &rng);
+  Table query = TableWithColumns("q", {"A", "B"});
+  Table lake = TableWithColumns("l", {"A1"});
+  HolisticAligner aligner;
+  AlignmentResult result = aligner.Align(query, {&lake}, embeddings);
+  // Both query columns present, in separate clusters.
+  ASSERT_EQ(result.clusters.size(), 2u);
+  EXPECT_NE(result.clusters[0].query_column, result.clusters[1].query_column);
+}
+
+TEST(HolisticAlignerTest, SilhouettePicksReasonableClusterCount) {
+  dust::Rng rng(11);
+  auto embeddings =
+      ConceptEmbeddings({{0, 1, 2, 3}, {0, 1, 2, 3}, {0, 1, 2, 3}}, 8, 0.02f,
+                        &rng);
+  Table query = TableWithColumns("q", {"A", "B", "C", "D"});
+  Table lake_a = TableWithColumns("a", {"A1", "B1", "C1", "D1"});
+  Table lake_b = TableWithColumns("b", {"A2", "B2", "C2", "D2"});
+  HolisticAligner aligner;
+  AlignmentResult result =
+      aligner.Align(query, {&lake_a, &lake_b}, embeddings);
+  EXPECT_EQ(result.chosen_num_clusters, 4u);
+  EXPECT_GT(result.silhouette, 0.5);
+  for (const AlignmentCluster& cluster : result.clusters) {
+    EXPECT_EQ(cluster.lake_members.size(), 2u);
+  }
+}
+
+TEST(BipartiteAlignTest, MatchesColumnsPerTable) {
+  dust::Rng rng(12);
+  auto embeddings = ConceptEmbeddings({{0, 1}, {1, 0}}, 4, 0.02f, &rng);
+  Table query = TableWithColumns("q", {"A", "B"});
+  Table lake = TableWithColumns("l", {"B1", "A1"});
+  AlignmentResult result = BipartiteAlign(query, {&lake}, embeddings);
+  ASSERT_EQ(result.lake_mappings.size(), 1u);
+  EXPECT_EQ(result.lake_mappings[0], (table::ColumnMapping{1, 0}));
+}
+
+TEST(AlignmentMetricsTest, PerfectAlignmentScoresOne) {
+  AlignmentGroundTruth truth;
+  truth.aligned_lake = {{{1, 0}}, {{1, 1}}, {}};  // q2 unmatched
+  AlignmentResult result;
+  result.clusters = {{0, {{1, 0}}}, {1, {{1, 1}}}, {2, {}}};
+  PrecisionRecallF1 s = ScoreAlignment(result, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(AlignmentMetricsTest, MissedAlignmentLowersRecall) {
+  AlignmentGroundTruth truth;
+  truth.aligned_lake = {{{1, 0}, {2, 0}}};  // 3 truth pairs (q-a, q-b, a-b)
+  AlignmentResult result;
+  result.clusters = {{0, {{1, 0}}}};  // 1 method pair
+  PrecisionRecallF1 s = ScoreAlignment(result, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_NEAR(s.recall, 1.0 / 3.0, 1e-9);
+}
+
+TEST(AlignmentMetricsTest, WrongAlignmentLowersPrecision) {
+  AlignmentGroundTruth truth;
+  truth.aligned_lake = {{{1, 0}}, {}};
+  AlignmentResult result;
+  result.clusters = {{0, {{1, 0}}}, {1, {{1, 1}}}};  // q1-l(1,1) is wrong
+  PrecisionRecallF1 s = ScoreAlignment(result, truth);
+  EXPECT_LT(s.precision, 1.0);
+}
+
+TEST(AlignmentMetricsTest, UnmatchedQuerySingletonsCount) {
+  AlignmentGroundTruth truth;
+  truth.aligned_lake = {{}, {}};
+  auto pairs = AlignmentPairSet(truth.aligned_lake);
+  EXPECT_EQ(pairs.size(), 2u);  // two singletons
+}
+
+TEST(TupleBuilderTest, OuterUnionWithQueryHeaders) {
+  Table query("q");
+  ASSERT_TRUE(query.AddColumn("Park Name", {Value("River Park")}).ok());
+  ASSERT_TRUE(query.AddColumn("Country", {Value("USA")}).ok());
+
+  Table lake("d");
+  ASSERT_TRUE(lake.AddColumn("Name of Park", {Value("Chippewa Park"),
+                                              Value("Lawler Park")}).ok());
+  ASSERT_TRUE(lake.AddColumn("Phone", {Value("111"), Value("222")}).ok());
+
+  AlignmentResult alignment;
+  alignment.target_headers = {"Park Name", "Country"};
+  alignment.lake_mappings = {{0, -1}};  // Phone is not aligned
+
+  auto result = BuildUnionableTuples(query, {&lake}, alignment);
+  ASSERT_TRUE(result.ok());
+  const UnionableTuples& tuples = result.value();
+  EXPECT_EQ(tuples.unioned.num_rows(), 2u);
+  EXPECT_EQ(tuples.unioned.ColumnNames(),
+            (std::vector<std::string>{"Park Name", "Country"}));
+  EXPECT_TRUE(tuples.unioned.at(0, 1).is_null());
+  ASSERT_EQ(tuples.serialized.size(), 2u);
+  // Null country skipped; query headers used.
+  EXPECT_EQ(tuples.serialized[0], "[CLS] Park Name Chippewa Park [SEP]");
+  ASSERT_EQ(tuples.query_serialized.size(), 1u);
+  EXPECT_EQ(tuples.query_serialized[0],
+            "[CLS] Park Name River Park [SEP] Country USA [SEP]");
+  ASSERT_EQ(tuples.provenance.size(), 2u);
+  EXPECT_EQ(tuples.provenance[1], (table::TupleRef{0, 1}));
+}
+
+TEST(TupleBuilderTest, MismatchedAlignmentRejected) {
+  Table query("q");
+  ASSERT_TRUE(query.AddColumn("A", {Value("x")}).ok());
+  AlignmentResult alignment;  // no mappings
+  Table lake("l");
+  ASSERT_TRUE(lake.AddColumn("A", {Value("y")}).ok());
+  EXPECT_FALSE(BuildUnionableTuples(query, {&lake}, alignment).ok());
+}
+
+}  // namespace
+}  // namespace dust::align

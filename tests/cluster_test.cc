@@ -1,0 +1,304 @@
+// Unit + property tests for src/cluster: linkages, NN-chain agglomerative,
+// constrained clustering, Silhouette, medoids, k-means.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cluster/agglomerative.h"
+#include "cluster/constrained.h"
+#include "cluster/kmeans.h"
+#include "cluster/medoid.h"
+#include "cluster/silhouette.h"
+#include "util/rng.h"
+
+namespace dust::cluster {
+namespace {
+
+using la::DistanceMatrix;
+using la::Metric;
+using la::Vec;
+
+// Two well-separated blobs of 2D points.
+std::vector<Vec> TwoBlobs(size_t per_blob, uint64_t seed = 99) {
+  dust::Rng rng(seed);
+  std::vector<Vec> points;
+  for (size_t i = 0; i < per_blob; ++i) {
+    points.push_back({static_cast<float>(rng.NextGaussian()) * 0.2f,
+                      static_cast<float>(rng.NextGaussian()) * 0.2f});
+  }
+  for (size_t i = 0; i < per_blob; ++i) {
+    points.push_back({10.0f + static_cast<float>(rng.NextGaussian()) * 0.2f,
+                      10.0f + static_cast<float>(rng.NextGaussian()) * 0.2f});
+  }
+  return points;
+}
+
+TEST(LinkageTest, NamesRoundTrip) {
+  EXPECT_EQ(LinkageFromName("average"), Linkage::kAverage);
+  EXPECT_EQ(LinkageFromName("Single"), Linkage::kSingle);
+  EXPECT_STREQ(LinkageName(Linkage::kComplete), "complete");
+}
+
+TEST(LinkageTest, LanceWilliamsSingleComplete) {
+  EXPECT_FLOAT_EQ(LanceWilliams(Linkage::kSingle, 2, 5, 1, 1, 1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(LanceWilliams(Linkage::kComplete, 2, 5, 1, 1, 1, 1), 5.0f);
+}
+
+TEST(LinkageTest, LanceWilliamsAverageWeightsBySize) {
+  // Cluster a has 3 members, b has 1: average = (3*2 + 1*6)/4 = 3.
+  EXPECT_FLOAT_EQ(LanceWilliams(Linkage::kAverage, 2, 6, 1, 3, 1, 2), 3.0f);
+}
+
+TEST(AgglomerativeTest, TwoBlobsSplitAtK2) {
+  std::vector<Vec> points = TwoBlobs(10);
+  Dendrogram d = AgglomerativeCluster(points, Metric::kEuclidean,
+                                      Linkage::kAverage);
+  EXPECT_EQ(d.num_leaves, 20u);
+  EXPECT_EQ(d.merges.size(), 19u);
+  std::vector<size_t> labels = CutDendrogram(d, 2);
+  // All of blob 1 shares a label; all of blob 2 shares the other.
+  for (size_t i = 1; i < 10; ++i) EXPECT_EQ(labels[i], labels[0]);
+  for (size_t i = 11; i < 20; ++i) EXPECT_EQ(labels[i], labels[10]);
+  EXPECT_NE(labels[0], labels[10]);
+}
+
+TEST(AgglomerativeTest, MergeDistancesSortedAscending) {
+  std::vector<Vec> points = TwoBlobs(8, 123);
+  Dendrogram d =
+      AgglomerativeCluster(points, Metric::kEuclidean, Linkage::kAverage);
+  for (size_t i = 1; i < d.merges.size(); ++i) {
+    EXPECT_GE(d.merges[i].distance, d.merges[i - 1].distance);
+  }
+}
+
+TEST(AgglomerativeTest, MergeIdsReferenceOnlyEarlierClusters) {
+  std::vector<Vec> points = TwoBlobs(6, 7);
+  Dendrogram d =
+      AgglomerativeCluster(points, Metric::kEuclidean, Linkage::kComplete);
+  size_t n = d.num_leaves;
+  for (size_t i = 0; i < d.merges.size(); ++i) {
+    EXPECT_LT(d.merges[i].a, n + i);
+    EXPECT_LT(d.merges[i].b, n + i);
+    EXPECT_NE(d.merges[i].a, d.merges[i].b);
+  }
+  EXPECT_EQ(d.merges.back().size, n);
+}
+
+TEST(AgglomerativeTest, CutK1AndKn) {
+  std::vector<Vec> points = TwoBlobs(5, 11);
+  Dendrogram d =
+      AgglomerativeCluster(points, Metric::kEuclidean, Linkage::kAverage);
+  std::vector<size_t> one = CutDendrogram(d, 1);
+  for (size_t label : one) EXPECT_EQ(label, 0u);
+  std::vector<size_t> all = CutDendrogram(d, 10);
+  std::set<size_t> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(AgglomerativeTest, SingletonAndEmptyInputs) {
+  Dendrogram empty = AgglomerativeCluster(std::vector<Vec>{},
+                                          Metric::kEuclidean, Linkage::kAverage);
+  EXPECT_EQ(empty.num_leaves, 0u);
+  Dendrogram one = AgglomerativeCluster(std::vector<Vec>{{1.0f, 2.0f}},
+                                        Metric::kEuclidean, Linkage::kAverage);
+  EXPECT_EQ(one.num_leaves, 1u);
+  EXPECT_TRUE(one.merges.empty());
+  EXPECT_EQ(CutDendrogram(one, 1), (std::vector<size_t>{0}));
+}
+
+// Property suite across linkages: cuts are valid partitions at every k.
+class LinkagePropertyTest : public ::testing::TestWithParam<Linkage> {};
+
+TEST_P(LinkagePropertyTest, CutsAreValidPartitionsAtEveryK) {
+  std::vector<Vec> points = TwoBlobs(7, 5);
+  Dendrogram d = AgglomerativeCluster(points, Metric::kEuclidean, GetParam());
+  for (size_t k = 1; k <= points.size(); ++k) {
+    std::vector<size_t> labels = CutDendrogram(d, k);
+    ASSERT_EQ(labels.size(), points.size());
+    std::set<size_t> unique(labels.begin(), labels.end());
+    EXPECT_EQ(unique.size(), k);
+    EXPECT_EQ(*unique.rbegin(), k - 1);  // dense labels
+  }
+}
+
+TEST_P(LinkagePropertyTest, CutsAreNested) {
+  // Coarser cuts only merge (never split) finer cuts.
+  std::vector<Vec> points = TwoBlobs(6, 17);
+  Dendrogram d = AgglomerativeCluster(points, Metric::kEuclidean, GetParam());
+  for (size_t k = points.size(); k > 1; --k) {
+    std::vector<size_t> fine = CutDendrogram(d, k);
+    std::vector<size_t> coarse = CutDendrogram(d, k - 1);
+    // Same fine label => same coarse label.
+    for (size_t i = 0; i < points.size(); ++i) {
+      for (size_t j = i + 1; j < points.size(); ++j) {
+        if (fine[i] == fine[j]) EXPECT_EQ(coarse[i], coarse[j]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLinkages, LinkagePropertyTest,
+                         ::testing::Values(Linkage::kSingle, Linkage::kComplete,
+                                           Linkage::kAverage, Linkage::kWard));
+
+TEST(ConstrainedTest, CannotLinkIsRespected) {
+  // 4 points, two groups: {0,1} same group, {2,3} same group. Even though
+  // 0 and 1 are closest, they must never merge.
+  std::vector<Vec> points = {{0, 0}, {0.1f, 0}, {5, 5}, {5.1f, 5}};
+  DistanceMatrix d(points, Metric::kEuclidean);
+  std::vector<size_t> groups = {0, 0, 1, 1};
+  ConstrainedDendrogram cd =
+      ConstrainedAgglomerative(d, groups, Linkage::kAverage);
+  for (const FlatClustering& level : cd.levels) {
+    EXPECT_NE(level.labels[0], level.labels[1]);
+    EXPECT_NE(level.labels[2], level.labels[3]);
+  }
+}
+
+TEST(ConstrainedTest, UnconstrainedMergesFully) {
+  std::vector<Vec> points = {{0, 0}, {1, 0}, {2, 0}};
+  DistanceMatrix d(points, Metric::kEuclidean);
+  std::vector<size_t> groups = {0, 1, 2};  // all distinct: no constraints
+  ConstrainedDendrogram cd =
+      ConstrainedAgglomerative(d, groups, Linkage::kAverage);
+  EXPECT_EQ(cd.levels.front().num_clusters, 3u);
+  EXPECT_EQ(cd.levels.back().num_clusters, 1u);
+}
+
+TEST(ConstrainedTest, StopsWhenOnlyViolatingMergesRemain) {
+  std::vector<Vec> points = {{0, 0}, {0.1f, 0}};
+  DistanceMatrix d(points, Metric::kEuclidean);
+  std::vector<size_t> groups = {7, 7};
+  ConstrainedDendrogram cd =
+      ConstrainedAgglomerative(d, groups, Linkage::kAverage);
+  EXPECT_EQ(cd.levels.back().num_clusters, 2u);
+}
+
+TEST(ConstrainedTest, ClosestAdmissiblePairMergesFirst) {
+  // Points: a(0), b(0.2), c(10). a-b same group. First merge must join c
+  // with one of a/b rather than a-b.
+  std::vector<Vec> points = {{0, 0}, {0.2f, 0}, {10, 0}};
+  DistanceMatrix d(points, Metric::kEuclidean);
+  ConstrainedDendrogram cd =
+      ConstrainedAgglomerative(d, {1, 1, 2}, Linkage::kAverage);
+  ASSERT_GE(cd.levels.size(), 2u);
+  const FlatClustering& after_first = cd.levels[1];
+  EXPECT_EQ(after_first.num_clusters, 2u);
+  EXPECT_NE(after_first.labels[0], after_first.labels[1]);
+  EXPECT_EQ(after_first.labels[1], after_first.labels[2]);  // b merged with c
+}
+
+TEST(SilhouetteTest, PerfectSeparationNearOne) {
+  std::vector<Vec> points = TwoBlobs(10, 3);
+  DistanceMatrix d(points, Metric::kEuclidean);
+  std::vector<size_t> labels(20, 0);
+  for (size_t i = 10; i < 20; ++i) labels[i] = 1;
+  EXPECT_GT(SilhouetteScore(d, labels), 0.9);
+}
+
+TEST(SilhouetteTest, BadSplitScoresLower) {
+  std::vector<Vec> points = TwoBlobs(10, 3);
+  DistanceMatrix d(points, Metric::kEuclidean);
+  std::vector<size_t> good(20, 0);
+  for (size_t i = 10; i < 20; ++i) good[i] = 1;
+  // Bad: split across the blobs (even/odd).
+  std::vector<size_t> bad(20);
+  for (size_t i = 0; i < 20; ++i) bad[i] = i % 2;
+  EXPECT_GT(SilhouetteScore(d, good), SilhouetteScore(d, bad));
+}
+
+TEST(SilhouetteTest, SingletonsContributeZero) {
+  std::vector<Vec> points = {{0, 0}, {1, 1}, {2, 2}};
+  DistanceMatrix d(points, Metric::kEuclidean);
+  std::vector<size_t> labels = {0, 1, 2};  // all singletons
+  EXPECT_DOUBLE_EQ(SilhouetteScore(d, labels), 0.0);
+}
+
+TEST(SilhouetteTest, ValuesWithinBounds) {
+  std::vector<Vec> points = TwoBlobs(6, 31);
+  DistanceMatrix d(points, Metric::kEuclidean);
+  std::vector<size_t> labels(12);
+  for (size_t i = 0; i < 12; ++i) labels[i] = i % 3;
+  for (double s : SilhouetteSamples(d, labels)) {
+    EXPECT_GE(s, -1.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(MedoidTest, CenterOfLineIsMedoid) {
+  std::vector<Vec> points = {{0, 0}, {1, 0}, {2, 0}, {10, 0}};
+  DistanceMatrix d(points, Metric::kEuclidean);
+  EXPECT_EQ(MedoidOf({0, 1, 2, 3}, d), 1u);  // closest to all others: x=1? sum
+  // sums: 0:13, 1:1+1+9=11? -> compute: |1-0|+|2-0|+|10-0|=13; from 1: 1+1+9=11;
+  // from 2: 2+1+8=11; tie -> lowest index 1.
+}
+
+TEST(MedoidTest, MedoidIsAMember) {
+  dust::Rng rng(77);
+  std::vector<Vec> points;
+  for (int i = 0; i < 30; ++i) {
+    points.push_back({static_cast<float>(rng.NextGaussian()),
+                      static_cast<float>(rng.NextGaussian())});
+  }
+  std::vector<size_t> members = {3, 7, 11, 20, 25};
+  size_t medoid = MedoidOfPoints(points, members, Metric::kEuclidean);
+  EXPECT_NE(std::find(members.begin(), members.end(), medoid), members.end());
+}
+
+TEST(MedoidTest, ClusterMedoidsOnePerCluster) {
+  std::vector<Vec> points = TwoBlobs(5, 53);
+  std::vector<size_t> labels(10, 0);
+  for (size_t i = 5; i < 10; ++i) labels[i] = 1;
+  std::vector<size_t> medoids =
+      ClusterMedoids(points, labels, Metric::kEuclidean);
+  ASSERT_EQ(medoids.size(), 2u);
+  EXPECT_LT(medoids[0], 5u);
+  EXPECT_GE(medoids[1], 5u);
+}
+
+TEST(KmeansTest, TwoBlobsRecovered) {
+  std::vector<Vec> points = TwoBlobs(15, 8);
+  KmeansResult result = Kmeans(points, 2);
+  // All of blob 1 assigned together, blob 2 together.
+  for (size_t i = 1; i < 15; ++i) {
+    EXPECT_EQ(result.assignments[i], result.assignments[0]);
+  }
+  for (size_t i = 16; i < 30; ++i) {
+    EXPECT_EQ(result.assignments[i], result.assignments[15]);
+  }
+  EXPECT_NE(result.assignments[0], result.assignments[15]);
+  EXPECT_LT(result.inertia, 10.0);
+}
+
+TEST(KmeansTest, KGreaterThanNClamps) {
+  std::vector<Vec> points = {{0, 0}, {1, 1}};
+  KmeansResult result = Kmeans(points, 10);
+  EXPECT_EQ(result.centroids.size(), 2u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+TEST(KmeansTest, DeterministicWithSeed) {
+  std::vector<Vec> points = TwoBlobs(10, 9);
+  KmeansOptions options;
+  options.seed = 123;
+  KmeansResult a = Kmeans(points, 3, options);
+  KmeansResult b = Kmeans(points, 3, options);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KmeansTest, AssignmentsMatchNearestCentroid) {
+  std::vector<Vec> points = TwoBlobs(8, 10);
+  KmeansResult result = Kmeans(points, 4);
+  for (size_t i = 0; i < points.size(); ++i) {
+    double own = la::SquaredEuclideanDistance(
+        points[i], result.centroids[result.assignments[i]]);
+    for (const Vec& c : result.centroids) {
+      EXPECT_LE(own, la::SquaredEuclideanDistance(points[i], c) + 1e-5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dust::cluster

@@ -1,0 +1,353 @@
+// Unit tests for src/datagen: domains, base tables, variants, and all four
+// benchmark generators plus the fine-tuning pair builder.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "datagen/base_tables.h"
+#include "table/union.h"
+#include "datagen/finetune_pairs.h"
+#include "datagen/imdb_generator.h"
+#include "datagen/santos_generator.h"
+#include "datagen/tus_generator.h"
+#include "datagen/ugen_generator.h"
+
+namespace dust::datagen {
+namespace {
+
+TEST(DomainsTest, TwelveDomainsWithUniqueConcepts) {
+  const auto& domains = BuiltinDomains();
+  EXPECT_EQ(domains.size(), 12u);
+  std::set<int> concepts;
+  for (const DomainSpec& d : domains) {
+    EXPECT_FALSE(d.fields.empty());
+    for (const FieldSpec& f : d.fields) {
+      EXPECT_TRUE(concepts.insert(f.concept_id).second)
+          << "duplicate concept in " << d.name;
+      EXPECT_FALSE(f.synonyms.empty());
+      EXPECT_EQ(f.synonyms[0], f.header);
+    }
+    for (const auto& [a, b] : d.related_pairs) {
+      EXPECT_LT(a, d.fields.size());
+      EXPECT_LT(b, d.fields.size());
+    }
+  }
+}
+
+TEST(DomainsTest, AlternateDomainHasFreshConcepts) {
+  const DomainSpec& parks = BuiltinDomains()[0];
+  DomainSpec alt = AlternateDomain(parks, 9000);
+  EXPECT_EQ(alt.fields.size(), parks.fields.size());
+  for (size_t i = 0; i < alt.fields.size(); ++i) {
+    EXPECT_GE(alt.fields[i].concept_id, 9000);
+    EXPECT_NE(alt.fields[i].concept_id, parks.fields[i].concept_id);
+  }
+}
+
+TEST(BaseTableTest, GeneratesRequestedShape) {
+  Rng rng(1);
+  const DomainSpec& movies = BuiltinDomains()[2];
+  table::Table t = GenerateBaseTable(movies, 40, &rng);
+  EXPECT_EQ(t.num_rows(), 40u);
+  EXPECT_EQ(t.num_columns(), movies.fields.size());
+  for (size_t j = 0; j < t.num_columns(); ++j) {
+    EXPECT_EQ(t.column(j).name, movies.fields[j].header);
+    EXPECT_FALSE(t.column(j).AllNull());
+  }
+}
+
+TEST(BaseTableTest, NumericFieldsWithinRange) {
+  Rng rng(2);
+  const DomainSpec& parks = BuiltinDomains()[0];
+  table::Table t = GenerateBaseTable(parks, 50, &rng);
+  int acres = t.ColumnIndex("Area Acres");
+  ASSERT_GE(acres, 0);
+  for (const table::Value& v : t.column(static_cast<size_t>(acres)).values) {
+    ASSERT_TRUE(v.IsNumeric());
+    EXPECT_GE(v.AsNumber(), 2.0);
+    EXPECT_LE(v.AsNumber(), 900.0);
+  }
+}
+
+TEST(VariantTest, ProjectionAndSelectionPreserved) {
+  Rng rng(3);
+  const DomainSpec& parks = BuiltinDomains()[0];
+  table::Table base = GenerateBaseTable(parks, 30, &rng);
+  GeneratedTable variant =
+      MakeVariant(base, parks, 0, {0, 2}, {5, 10, 15}, "v", &rng);
+  EXPECT_EQ(variant.data.num_rows(), 3u);
+  EXPECT_EQ(variant.data.num_columns(), 2u);
+  EXPECT_EQ(variant.column_concepts.size(), 2u);
+  EXPECT_EQ(variant.column_concepts[0], parks.fields[0].concept_id);
+  EXPECT_EQ(variant.column_concepts[1], parks.fields[2].concept_id);
+  // Values come from the base rows.
+  EXPECT_EQ(variant.data.at(0, 0), base.at(5, 0));
+  EXPECT_EQ(variant.data.at(2, 1), base.at(15, 2));
+}
+
+TEST(VariantTest, HeadersComeFromSynonyms) {
+  Rng rng(4);
+  const DomainSpec& parks = BuiltinDomains()[0];
+  table::Table base = GenerateBaseTable(parks, 10, &rng);
+  GeneratedTable variant = MakeVariant(base, parks, 0, {1}, {0, 1}, "v", &rng);
+  const std::string& header = variant.data.column(0).name;
+  const auto& synonyms = parks.fields[1].synonyms;
+  EXPECT_NE(std::find(synonyms.begin(), synonyms.end(), header),
+            synonyms.end());
+}
+
+TEST(TusTest, BenchmarkStructure) {
+  TusConfig config;
+  config.num_queries = 4;
+  config.unionable_per_query = 5;
+  config.base_rows = 50;
+  Benchmark b = GenerateTus(config);
+  EXPECT_EQ(b.queries.size(), 4u);
+  ASSERT_EQ(b.unionable.size(), 4u);
+  for (size_t q = 0; q < 4; ++q) {
+    EXPECT_EQ(b.unionable[q].size(), 5u);
+    for (size_t idx : b.unionable[q]) {
+      ASSERT_LT(idx, b.lake.size());
+      // Unionable tables share the query's base.
+      EXPECT_EQ(b.lake[idx].base_id, b.queries[q].base_id);
+    }
+  }
+}
+
+TEST(TusTest, DistractorsFromOtherBases) {
+  TusConfig config;
+  config.num_queries = 2;
+  config.unionable_per_query = 3;
+  config.distractors_per_base = 2;
+  config.base_rows = 40;
+  Benchmark b = GenerateTus(config);
+  std::set<size_t> unionable_ids;
+  for (const auto& list : b.unionable) {
+    for (size_t idx : list) unionable_ids.insert(idx);
+  }
+  size_t distractors = 0;
+  for (size_t i = 0; i < b.lake.size(); ++i) {
+    if (!unionable_ids.count(i)) {
+      ++distractors;
+      EXPECT_NE(b.lake[i].base_id, b.queries[0].base_id);
+      EXPECT_NE(b.lake[i].base_id, b.queries[1].base_id);
+    }
+  }
+  EXPECT_EQ(distractors, 2u * (BuiltinDomains().size() - 2));
+}
+
+TEST(TusTest, DeterministicGivenSeed) {
+  TusConfig config;
+  config.num_queries = 2;
+  config.base_rows = 30;
+  Benchmark a = GenerateTus(config);
+  Benchmark b = GenerateTus(config);
+  ASSERT_EQ(a.lake.size(), b.lake.size());
+  EXPECT_EQ(table::RowKey(a.lake[0].data, 0), table::RowKey(b.lake[0].data, 0));
+}
+
+TEST(TusTest, NearCopiesOverlapQueryRows) {
+  TusConfig config;
+  config.num_queries = 1;
+  config.unionable_per_query = 10;
+  config.near_copy_fraction = 1.0;  // every unionable table is a near-copy
+  config.base_rows = 60;
+  Benchmark b = GenerateTus(config);
+  // Collect query row keys (first column projected may differ per table; use
+  // the entity value which every variant keeps as column 0 value source).
+  std::unordered_set<std::string> query_entities;
+  for (size_t r = 0; r < b.queries[0].data.num_rows(); ++r) {
+    query_entities.insert(b.queries[0].data.at(r, 0).text());
+  }
+  // Near-copy tables must overlap heavily with the query's entities.
+  size_t checked = 0;
+  for (size_t idx : b.unionable[0]) {
+    const table::Table& t = b.lake[idx].data;
+    size_t overlap = 0;
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      if (query_entities.count(t.at(r, 0).text())) ++overlap;
+    }
+    EXPECT_GT(static_cast<double>(overlap) / t.num_rows(), 0.5)
+        << "table " << idx;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 10u);
+}
+
+TEST(SantosTest, RelatedPairsKeptTogether) {
+  SantosConfig config;
+  config.num_queries = 4;
+  config.base_rows = 60;
+  Benchmark b = GenerateSantos(config);
+  EXPECT_EQ(b.name, "SANTOS");
+  const auto& domains = BuiltinDomains();
+  for (const GeneratedTable& t : b.lake) {
+    if (t.base_id >= domains.size()) continue;
+    const DomainSpec& domain = domains[t.base_id];
+    std::set<int> present(t.column_concepts.begin(), t.column_concepts.end());
+    for (const auto& [a, c] : domain.related_pairs) {
+      bool has_a = present.count(domain.fields[a].concept_id) > 0;
+      bool has_c = present.count(domain.fields[c].concept_id) > 0;
+      EXPECT_EQ(has_a, has_c) << "related pair split in " << t.data.name();
+    }
+  }
+}
+
+TEST(UgenTest, HardNegativesShareTopicNotConcepts) {
+  UgenConfig config;
+  config.num_queries = 3;
+  Benchmark b = GenerateUgen(config);
+  EXPECT_EQ(b.queries.size(), 3u);
+  for (size_t q = 0; q < 3; ++q) {
+    EXPECT_EQ(b.unionable[q].size(), config.unionable_per_query);
+    std::set<size_t> unionable(b.unionable[q].begin(), b.unionable[q].end());
+    std::set<int> query_concepts(b.queries[q].column_concepts.begin(),
+                                 b.queries[q].column_concepts.end());
+    for (size_t i = 0; i < b.lake.size(); ++i) {
+      if (unionable.count(i)) {
+        // Unionable tables share concepts with the query.
+        bool shares = false;
+        for (int c : b.lake[i].column_concepts) {
+          if (query_concepts.count(c)) shares = true;
+        }
+        EXPECT_TRUE(shares || b.lake[i].base_id != b.queries[q].base_id);
+      } else if (b.lake[i].base_id == 5000 + q) {
+        // Same-topic negatives: zero shared concepts.
+        for (int c : b.lake[i].column_concepts) {
+          EXPECT_EQ(query_concepts.count(c), 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(UgenTest, TablesAreSmall) {
+  UgenConfig config;
+  config.num_queries = 2;
+  config.rows_per_table = 10;
+  Benchmark b = GenerateUgen(config);
+  for (const GeneratedTable& t : b.lake) {
+    EXPECT_LE(t.data.num_rows(), 10u);
+  }
+}
+
+TEST(ImdbTest, SingleQueryWithOverlappingLake) {
+  ImdbConfig config;
+  config.base_movies = 120;
+  config.num_lake_tables = 5;
+  config.query_rows = 30;
+  config.lake_rows = 40;
+  Benchmark b = GenerateImdb(config);
+  EXPECT_EQ(b.queries.size(), 1u);
+  EXPECT_EQ(b.lake.size(), 5u);
+  EXPECT_EQ(b.unionable[0].size(), 5u);
+  EXPECT_EQ(b.queries[0].data.num_columns(), 13u);  // 13-column schema
+  // Lake tables overlap the query's titles.
+  std::unordered_set<std::string> query_titles;
+  for (size_t r = 0; r < b.queries[0].data.num_rows(); ++r) {
+    query_titles.insert(b.queries[0].data.at(r, 0).text());
+  }
+  size_t total_overlap = 0;
+  for (const GeneratedTable& t : b.lake) {
+    for (size_t r = 0; r < t.data.num_rows(); ++r) {
+      if (query_titles.count(t.data.at(r, 0).text())) ++total_overlap;
+    }
+  }
+  EXPECT_GT(total_overlap, 10u);
+}
+
+TEST(StatsTest, CountsAddUp) {
+  TusConfig config;
+  config.num_queries = 2;
+  config.unionable_per_query = 3;
+  config.base_rows = 30;
+  Benchmark b = GenerateTus(config);
+  Benchmark::Stats stats = b.LakeStats();
+  EXPECT_EQ(stats.tables, b.lake.size());
+  size_t columns = 0;
+  size_t tuples = 0;
+  for (const GeneratedTable& t : b.lake) {
+    columns += t.data.num_columns();
+    tuples += t.data.num_rows();
+  }
+  EXPECT_EQ(stats.columns, columns);
+  EXPECT_EQ(stats.tuples, tuples);
+}
+
+TEST(FinetunePairsTest, BalancedAndLabelled) {
+  TusConfig tus;
+  tus.num_queries = 6;
+  tus.unionable_per_query = 6;
+  tus.base_rows = 50;
+  Benchmark b = GenerateTus(tus);
+  FinetunePairsConfig config;
+  config.total_pairs = 600;
+  nn::PairDataset dataset = BuildFinetunePairs(b, config);
+  EXPECT_GT(dataset.train.size(), dataset.validation.size());
+  EXPECT_GT(dataset.train.size(), 200u);
+  auto check_balance = [](const std::vector<nn::TuplePair>& pairs) {
+    if (pairs.empty()) return;
+    size_t positives = 0;
+    for (const auto& p : pairs) {
+      EXPECT_TRUE(p.label == 0 || p.label == 1);
+      EXPECT_FALSE(p.serialized_a.empty());
+      positives += static_cast<size_t>(p.label);
+    }
+    double frac = static_cast<double>(positives) / pairs.size();
+    EXPECT_GT(frac, 0.3);
+    EXPECT_LT(frac, 0.7);
+  };
+  check_balance(dataset.train);
+  check_balance(dataset.validation);
+  check_balance(dataset.test);
+}
+
+TEST(FinetunePairsTest, NoTupleLeakageAcrossSplits) {
+  TusConfig tus;
+  tus.num_queries = 6;
+  tus.unionable_per_query = 6;
+  tus.base_rows = 40;
+  Benchmark b = GenerateTus(tus);
+  FinetunePairsConfig config;
+  config.total_pairs = 400;
+  nn::PairDataset dataset = BuildFinetunePairs(b, config);
+  auto collect = [](const std::vector<nn::TuplePair>& pairs) {
+    std::unordered_set<std::string> tuples;
+    for (const auto& p : pairs) {
+      tuples.insert(p.serialized_a);
+      tuples.insert(p.serialized_b);
+    }
+    return tuples;
+  };
+  auto train = collect(dataset.train);
+  auto val = collect(dataset.validation);
+  auto test = collect(dataset.test);
+  // Serialized tuples are split by table; cross-split intersections should
+  // be (near) empty — identical serializations can only arise from
+  // duplicated rows, which MakeVariant can produce only via near-copies.
+  size_t leaks = 0;
+  for (const auto& t : val) leaks += train.count(t);
+  for (const auto& t : test) leaks += train.count(t);
+  EXPECT_LE(leaks, (train.size() + val.size() + test.size()) / 50);
+}
+
+TEST(FinetunePairsTest, EntityPairsPositivesArePerturbedCopies) {
+  TusConfig tus;
+  tus.num_queries = 3;
+  tus.base_rows = 30;
+  Benchmark b = GenerateTus(tus);
+  FinetunePairsConfig config;
+  config.total_pairs = 200;
+  nn::PairDataset dataset = BuildEntityMatchingPairs(b, config);
+  ASSERT_FALSE(dataset.train.empty());
+  for (const auto& p : dataset.train) {
+    if (p.label == 1) {
+      // Positive pairs differ by at most a few characters.
+      EXPECT_EQ(p.serialized_a.size(), p.serialized_b.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dust::datagen

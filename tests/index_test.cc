@@ -1,0 +1,230 @@
+// Unit + property tests for src/index: Flat, IVF-Flat, and LSH indexes.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "index/flat_index.h"
+#include "index/ivf_index.h"
+#include "index/lsh_index.h"
+#include "util/rng.h"
+
+namespace dust::index {
+namespace {
+
+std::vector<la::Vec> RandomUnitVectors(size_t n, size_t dim, uint64_t seed) {
+  dust::Rng rng(seed);
+  std::vector<la::Vec> out;
+  for (size_t i = 0; i < n; ++i) {
+    la::Vec v(dim);
+    for (float& x : v) x = static_cast<float>(rng.NextGaussian());
+    la::NormalizeInPlace(&v);
+    out.push_back(v);
+  }
+  return out;
+}
+
+TEST(FlatIndexTest, ExactNearestNeighbor) {
+  FlatIndex index(2, la::Metric::kEuclidean);
+  index.Add({0, 0});
+  index.Add({5, 0});
+  index.Add({0, 3});
+  auto hits = index.Search({0.4f, 0.1f}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 0u);
+  EXPECT_EQ(hits[1].id, 2u);
+}
+
+TEST(FlatIndexTest, KLargerThanSizeReturnsAll) {
+  FlatIndex index(1, la::Metric::kEuclidean);
+  index.Add({1.0f});
+  auto hits = index.Search({0.0f}, 10);
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(FlatIndexTest, IdenticalVectorAtDistanceZero) {
+  FlatIndex index(3, la::Metric::kCosine);
+  la::Vec v = {0.6f, 0.8f, 0.0f};
+  index.Add(v);
+  auto hits = index.Search(v, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NEAR(hits[0].distance, 0.0f, 1e-5);
+}
+
+TEST(FinalizeHitsTest, SortsByDistanceThenId) {
+  std::vector<SearchHit> hits = {{3, 0.5f}, {1, 0.5f}, {2, 0.1f}};
+  FinalizeHits(&hits, 3);
+  EXPECT_EQ(hits[0].id, 2u);
+  EXPECT_EQ(hits[1].id, 1u);
+  EXPECT_EQ(hits[2].id, 3u);
+  FinalizeHits(&hits, 1);
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(IvfIndexTest, FullProbeMatchesExact) {
+  auto vectors = RandomUnitVectors(200, 8, 21);
+  IvfConfig config;
+  config.nlist = 8;
+  config.nprobe = 8;  // probe everything -> exact
+  IvfFlatIndex ivf(8, la::Metric::kCosine, config);
+  FlatIndex flat(8, la::Metric::kCosine);
+  for (const auto& v : vectors) {
+    ivf.Add(v);
+    flat.Add(v);
+  }
+  ivf.Train();
+  la::Vec query = RandomUnitVectors(1, 8, 777)[0];
+  auto exact = flat.Search(query, 5);
+  auto approx = ivf.Search(query, 5);
+  ASSERT_EQ(exact.size(), approx.size());
+  for (size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(exact[i].id, approx[i].id);
+  }
+}
+
+TEST(IvfIndexTest, PartialProbeHasGoodRecall) {
+  auto vectors = RandomUnitVectors(500, 16, 22);
+  IvfConfig config;
+  config.nlist = 16;
+  config.nprobe = 6;
+  IvfFlatIndex ivf(16, la::Metric::kCosine, config);
+  FlatIndex flat(16, la::Metric::kCosine);
+  for (const auto& v : vectors) {
+    ivf.Add(v);
+    flat.Add(v);
+  }
+  ivf.Train();
+  size_t found = 0;
+  size_t total = 0;
+  for (uint64_t q = 0; q < 20; ++q) {
+    la::Vec query = RandomUnitVectors(1, 16, 1000 + q)[0];
+    auto exact = flat.Search(query, 10);
+    auto approx = ivf.Search(query, 10);
+    std::set<size_t> approx_ids;
+    for (const auto& h : approx) approx_ids.insert(h.id);
+    for (const auto& h : exact) {
+      ++total;
+      if (approx_ids.count(h.id)) ++found;
+    }
+  }
+  EXPECT_GT(static_cast<double>(found) / static_cast<double>(total), 0.6);
+}
+
+TEST(IvfIndexTest, LazyTrainOnSearch) {
+  IvfFlatIndex ivf(4, la::Metric::kEuclidean);
+  ivf.Add({1, 0, 0, 0});
+  ivf.Add({0, 1, 0, 0});
+  EXPECT_FALSE(ivf.trained());
+  auto hits = ivf.Search({1, 0, 0, 0}, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 0u);
+}
+
+TEST(LshIndexTest, SignatureDeterministic) {
+  LshIndex lsh(8, la::Metric::kCosine);
+  la::Vec v = RandomUnitVectors(1, 8, 5)[0];
+  EXPECT_EQ(lsh.Signature(v), lsh.Signature(v));
+}
+
+TEST(LshIndexTest, NearbyVectorsShareMostBits) {
+  LshConfig config;
+  config.nbits = 16;
+  LshIndex lsh(8, la::Metric::kCosine, config);
+  la::Vec v = RandomUnitVectors(1, 8, 6)[0];
+  la::Vec w = v;
+  w[0] += 0.01f;
+  la::NormalizeInPlace(&w);
+  uint64_t diff = lsh.Signature(v) ^ lsh.Signature(w);
+  EXPECT_LE(__builtin_popcountll(diff), 3);
+}
+
+TEST(LshIndexTest, FindsIdenticalVector) {
+  LshIndex lsh(8, la::Metric::kCosine);
+  auto vectors = RandomUnitVectors(100, 8, 7);
+  for (const auto& v : vectors) lsh.Add(v);
+  auto hits = lsh.Search(vectors[42], 1);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].id, 42u);
+}
+
+TEST(LshIndexTest, RecallReasonableWithProbing) {
+  LshConfig config;
+  config.nbits = 10;
+  config.probe_radius = 2;
+  LshIndex lsh(16, la::Metric::kCosine, config);
+  FlatIndex flat(16, la::Metric::kCosine);
+  auto vectors = RandomUnitVectors(400, 16, 8);
+  for (const auto& v : vectors) {
+    lsh.Add(v);
+    flat.Add(v);
+  }
+  size_t found = 0;
+  for (uint64_t q = 0; q < 20; ++q) {
+    la::Vec query = RandomUnitVectors(1, 16, 2000 + q)[0];
+    auto exact = flat.Search(query, 1);
+    auto approx = lsh.Search(query, 5);
+    for (const auto& h : approx) {
+      if (h.id == exact[0].id) {
+        ++found;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(found, 8u);  // at least 40% top-1 recall on random data
+}
+
+// Property suite over all index types: structural invariants.
+using IndexFactory = std::function<std::unique_ptr<VectorIndex>()>;
+
+class IndexPropertyTest : public ::testing::TestWithParam<
+                              std::pair<const char*, IndexFactory>> {};
+
+TEST_P(IndexPropertyTest, HitsAreValidSortedAndBounded) {
+  auto index = GetParam().second();
+  auto vectors = RandomUnitVectors(120, index->dim(), 33);
+  index->AddAll(vectors);
+  EXPECT_EQ(index->size(), 120u);
+  for (uint64_t q = 0; q < 10; ++q) {
+    la::Vec query = RandomUnitVectors(1, index->dim(), 3000 + q)[0];
+    auto hits = index->Search(query, 7);
+    EXPECT_LE(hits.size(), 7u);
+    std::set<size_t> seen;
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_LT(hits[i].id, 120u);
+      EXPECT_TRUE(seen.insert(hits[i].id).second) << "duplicate id";
+      if (i > 0) EXPECT_GE(hits[i].distance, hits[i - 1].distance);
+    }
+  }
+}
+
+TEST_P(IndexPropertyTest, EmptyIndexReturnsNothing) {
+  auto index = GetParam().second();
+  auto hits = index->Search(la::Vec(index->dim(), 0.5f), 3);
+  EXPECT_TRUE(hits.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, IndexPropertyTest,
+    ::testing::Values(
+        std::make_pair("flat",
+                       IndexFactory([] {
+                         return std::unique_ptr<VectorIndex>(
+                             new FlatIndex(12, la::Metric::kCosine));
+                       })),
+        std::make_pair("ivf",
+                       IndexFactory([] {
+                         return std::unique_ptr<VectorIndex>(
+                             new IvfFlatIndex(12, la::Metric::kCosine));
+                       })),
+        std::make_pair("lsh", IndexFactory([] {
+                         LshConfig config;
+                         config.probe_radius = 2;
+                         return std::unique_ptr<VectorIndex>(
+                             new LshIndex(12, la::Metric::kCosine, config));
+                       }))),
+    [](const ::testing::TestParamInfo<std::pair<const char*, IndexFactory>>&
+           info) { return info.param.first; });
+
+}  // namespace
+}  // namespace dust::index

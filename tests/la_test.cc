@@ -1,0 +1,241 @@
+// Unit + property tests for src/la: vector ops, distances, matrices, PCA.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/distance.h"
+#include "la/matrix.h"
+#include "la/pca.h"
+#include "la/vector_ops.h"
+#include "util/rng.h"
+
+namespace dust::la {
+namespace {
+
+TEST(VectorOpsTest, DotAndNorm) {
+  Vec a = {1, 2, 3};
+  Vec b = {4, -5, 6};
+  EXPECT_FLOAT_EQ(Dot(a, b), 4 - 10 + 18);
+  EXPECT_FLOAT_EQ(NormSquared(a), 14.0f);
+  EXPECT_FLOAT_EQ(Norm(a), std::sqrt(14.0f));
+}
+
+TEST(VectorOpsTest, AddSubScale) {
+  Vec a = {1, 2};
+  Vec b = {3, 4};
+  EXPECT_EQ(Add(a, b), (Vec{4, 6}));
+  EXPECT_EQ(Sub(b, a), (Vec{2, 2}));
+  Vec c = a;
+  ScaleInPlace(&c, 2.0f);
+  EXPECT_EQ(c, (Vec{2, 4}));
+}
+
+TEST(VectorOpsTest, NormalizeUnitLength) {
+  Vec a = {3, 4};
+  NormalizeInPlace(&a);
+  EXPECT_NEAR(Norm(a), 1.0f, 1e-6);
+  EXPECT_NEAR(a[0], 0.6f, 1e-6);
+}
+
+TEST(VectorOpsTest, NormalizeZeroVectorIsNoop) {
+  Vec z = {0, 0, 0};
+  NormalizeInPlace(&z);
+  EXPECT_EQ(z, (Vec{0, 0, 0}));
+}
+
+TEST(VectorOpsTest, MeanOfVectors) {
+  std::vector<Vec> vs = {{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(Mean(vs), (Vec{3, 4}));
+  EXPECT_EQ(MeanOf(vs, {0, 2}), (Vec{3, 4}));
+  EXPECT_EQ(MeanOf(vs, {1}), (Vec{3, 4}));
+}
+
+TEST(DistanceTest, CosineIdenticalIsZero) {
+  Vec a = {1, 2, 3};
+  EXPECT_NEAR(CosineDistance(a, a), 0.0f, 1e-6);
+}
+
+TEST(DistanceTest, CosineOrthogonalIsOne) {
+  Vec a = {1, 0};
+  Vec b = {0, 1};
+  EXPECT_NEAR(CosineDistance(a, b), 1.0f, 1e-6);
+}
+
+TEST(DistanceTest, CosineOppositeIsTwo) {
+  Vec a = {1, 0};
+  Vec b = {-2, 0};
+  EXPECT_NEAR(CosineDistance(a, b), 2.0f, 1e-6);
+}
+
+TEST(DistanceTest, CosineScaleInvariant) {
+  Vec a = {1, 2, 3};
+  Vec b = {2, 1, 0};
+  Vec b10 = b;
+  ScaleInPlace(&b10, 10.0f);
+  EXPECT_NEAR(CosineDistance(a, b), CosineDistance(a, b10), 1e-6);
+}
+
+TEST(DistanceTest, ZeroVectorConventions) {
+  Vec z = {0, 0};
+  Vec a = {1, 1};
+  EXPECT_NEAR(CosineDistance(z, z), 0.0f, 1e-6);  // delta(t,t)=0
+  EXPECT_NEAR(CosineDistance(z, a), 1.0f, 1e-6);
+}
+
+TEST(DistanceTest, EuclideanAndManhattan) {
+  Vec a = {0, 0};
+  Vec b = {3, 4};
+  EXPECT_FLOAT_EQ(EuclideanDistance(a, b), 5.0f);
+  EXPECT_FLOAT_EQ(SquaredEuclideanDistance(a, b), 25.0f);
+  EXPECT_FLOAT_EQ(ManhattanDistance(a, b), 7.0f);
+}
+
+TEST(DistanceTest, MetricNameRoundTrip) {
+  EXPECT_EQ(MetricFromName("cosine"), Metric::kCosine);
+  EXPECT_EQ(MetricFromName("Euclidean"), Metric::kEuclidean);
+  EXPECT_EQ(MetricFromName("L1"), Metric::kManhattan);
+  EXPECT_STREQ(MetricName(Metric::kCosine), "cosine");
+}
+
+// Property suite: metric axioms (identity, symmetry, triangle inequality
+// for the true metrics) hold on random vectors for every distance.
+class MetricPropertyTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(MetricPropertyTest, IdentityAndSymmetry) {
+  Metric metric = GetParam();
+  dust::Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vec a(8), b(8);
+    for (float& x : a) x = static_cast<float>(rng.NextGaussian());
+    for (float& x : b) x = static_cast<float>(rng.NextGaussian());
+    EXPECT_NEAR(Distance(metric, a, a), 0.0f, 1e-5);
+    EXPECT_NEAR(Distance(metric, a, b), Distance(metric, b, a), 1e-5);
+    EXPECT_GE(Distance(metric, a, b), -1e-6f);
+  }
+}
+
+TEST_P(MetricPropertyTest, TriangleInequalityForTrueMetrics) {
+  Metric metric = GetParam();
+  if (metric == Metric::kCosine) GTEST_SKIP() << "cosine is not a metric";
+  dust::Rng rng(43);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vec a(6), b(6), c(6);
+    for (float& x : a) x = static_cast<float>(rng.NextGaussian());
+    for (float& x : b) x = static_cast<float>(rng.NextGaussian());
+    for (float& x : c) x = static_cast<float>(rng.NextGaussian());
+    EXPECT_LE(Distance(metric, a, c),
+              Distance(metric, a, b) + Distance(metric, b, c) + 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricPropertyTest,
+                         ::testing::Values(Metric::kCosine, Metric::kEuclidean,
+                                           Metric::kManhattan));
+
+TEST(DistanceMatrixTest, MatchesPairwiseDistances) {
+  std::vector<Vec> points = {{0, 0}, {3, 4}, {6, 8}};
+  DistanceMatrix m(points, Metric::kEuclidean);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 5.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 0), 5.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 2), 10.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 0.0f);
+}
+
+TEST(DistanceMatrixTest, SetKeepsSymmetry) {
+  DistanceMatrix m(std::vector<Vec>{{0.f}, {1.f}}, Metric::kEuclidean);
+  m.set(0, 1, 9.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 0), 9.0f);
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix m(2, 3);
+  // [[1 2 3], [4 5 6]]
+  for (size_t c = 0; c < 3; ++c) {
+    m.at(0, c) = static_cast<float>(c + 1);
+    m.at(1, c) = static_cast<float>(c + 4);
+  }
+  Vec y = m.MatVec({1, 1, 1});
+  EXPECT_EQ(y, (Vec{6, 15}));
+}
+
+TEST(MatrixTest, TransposeMatVec) {
+  Matrix m(2, 3);
+  for (size_t c = 0; c < 3; ++c) {
+    m.at(0, c) = static_cast<float>(c + 1);
+    m.at(1, c) = static_cast<float>(c + 4);
+  }
+  Vec y = m.TransposeMatVec({1, 1});
+  EXPECT_EQ(y, (Vec{5, 7, 9}));
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points stretched along (1,1)/sqrt(2) with small orthogonal noise.
+  dust::Rng rng(5);
+  std::vector<Vec> points;
+  for (int i = 0; i < 200; ++i) {
+    float t = static_cast<float>(rng.NextGaussian()) * 10.0f;
+    float n = static_cast<float>(rng.NextGaussian()) * 0.1f;
+    points.push_back({t + n, t - n});
+  }
+  PcaResult pca = ComputePca(points, 1);
+  float c = std::fabs(pca.components[0][0] * pca.components[0][1]);
+  // Both components of the direction should be ~1/sqrt(2): product ~0.5.
+  EXPECT_NEAR(c, 0.5f, 0.02f);
+  EXPECT_GT(pca.explained_variance[0], 50.0f);
+}
+
+TEST(PcaTest, ComponentsAreOrthonormal) {
+  dust::Rng rng(6);
+  std::vector<Vec> points;
+  for (int i = 0; i < 100; ++i) {
+    Vec p(5);
+    for (float& x : p) x = static_cast<float>(rng.NextGaussian());
+    points.push_back(p);
+  }
+  PcaResult pca = ComputePca(points, 3);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(Norm(pca.components[i]), 1.0f, 1e-3);
+    for (size_t j = i + 1; j < 3; ++j) {
+      EXPECT_NEAR(Dot(pca.components[i], pca.components[j]), 0.0f, 1e-3);
+    }
+  }
+}
+
+TEST(PcaTest, VarianceIsNonIncreasing) {
+  dust::Rng rng(7);
+  std::vector<Vec> points;
+  for (int i = 0; i < 150; ++i) {
+    Vec p(4);
+    p[0] = static_cast<float>(rng.NextGaussian()) * 5.0f;
+    p[1] = static_cast<float>(rng.NextGaussian()) * 2.0f;
+    p[2] = static_cast<float>(rng.NextGaussian()) * 1.0f;
+    p[3] = static_cast<float>(rng.NextGaussian()) * 0.2f;
+    points.push_back(p);
+  }
+  PcaResult pca = ComputePca(points, 3);
+  EXPECT_GE(pca.explained_variance[0], pca.explained_variance[1] - 1e-3);
+  EXPECT_GE(pca.explained_variance[1], pca.explained_variance[2] - 1e-3);
+}
+
+TEST(PcaTest, ProjectionMatchesStoredProjection) {
+  std::vector<Vec> points = {{1, 0}, {0, 1}, {2, 2}, {3, 1}};
+  PcaResult pca = ComputePca(points, 2);
+  for (size_t i = 0; i < points.size(); ++i) {
+    Vec p = PcaProject(pca, points[i]);
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_NEAR(p[0], pca.projected[i][0], 1e-5);
+    EXPECT_NEAR(p[1], pca.projected[i][1], 1e-5);
+  }
+}
+
+TEST(PcaTest, DeterministicAcrossRuns) {
+  std::vector<Vec> points = {{1, 2}, {3, 1}, {0, 5}, {2, 2}, {4, 0}};
+  PcaResult a = ComputePca(points, 2, 17);
+  PcaResult b = ComputePca(points, 2, 17);
+  EXPECT_EQ(a.components[0], b.components[0]);
+  EXPECT_EQ(a.projected[3], b.projected[3]);
+}
+
+}  // namespace
+}  // namespace dust::la

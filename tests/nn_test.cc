@@ -1,0 +1,318 @@
+// Unit tests for src/nn: layers (with numerical gradient checks), loss,
+// optimizers, the DustModel, and the training loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/distance.h"
+#include "nn/dust_model.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/trainer.h"
+
+namespace dust::nn {
+namespace {
+
+TEST(LinearTest, ForwardShapeAndBias) {
+  Linear lin(3, 2, 42);
+  lin.bias() = {1.0f, -1.0f};
+  la::Vec y = lin.Forward({0, 0, 0});
+  EXPECT_EQ(y, (la::Vec{1.0f, -1.0f}));
+}
+
+TEST(LinearTest, SparseForwardMatchesDense) {
+  Linear lin(8, 4, 7);
+  text::SparseVector sv;
+  sv.indices = {1, 5};
+  sv.values = {2.0f, -1.5f};
+  la::Vec dense(8, 0.0f);
+  dense[1] = 2.0f;
+  dense[5] = -1.5f;
+  la::Vec a = lin.Forward(dense);
+  la::Vec b = lin.ForwardSparse(sv);
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(a[i], b[i], 1e-5);
+}
+
+TEST(LinearTest, NumericalGradientCheck) {
+  // L = sum(y); analytic dL/dW vs finite differences.
+  Linear lin(4, 3, 11);
+  la::Vec x = {0.5f, -1.0f, 2.0f, 0.3f};
+  la::Vec dy(3, 1.0f);  // dL/dy = 1
+  lin.ZeroGrad();
+  la::Vec dx = lin.Backward(x, dy);
+
+  const float eps = 1e-3f;
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      float original = lin.weights().at(r, c);
+      lin.weights().at(r, c) = original + eps;
+      la::Vec y_plus = lin.Forward(x);
+      lin.weights().at(r, c) = original - eps;
+      la::Vec y_minus = lin.Forward(x);
+      lin.weights().at(r, c) = original;
+      float numeric = 0.0f;
+      for (size_t i = 0; i < 3; ++i) numeric += (y_plus[i] - y_minus[i]);
+      numeric /= (2 * eps);
+      EXPECT_NEAR(lin.weight_grad().at(r, c), numeric, 1e-2);
+    }
+  }
+  // dL/dx = W^T dy.
+  la::Vec expected_dx = lin.weights().TransposeMatVec(dy);
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(dx[i], expected_dx[i], 1e-5);
+}
+
+TEST(LinearTest, SparseBackwardMatchesDense) {
+  Linear a(6, 2, 5);
+  Linear b(6, 2, 5);  // identical init
+  la::Vec dense(6, 0.0f);
+  dense[2] = 1.5f;
+  text::SparseVector sv;
+  sv.indices = {2};
+  sv.values = {1.5f};
+  la::Vec dy = {0.3f, -0.7f};
+  a.ZeroGrad();
+  b.ZeroGrad();
+  a.Backward(dense, dy);
+  b.BackwardSparse(sv, dy);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 6; ++c) {
+      EXPECT_NEAR(a.weight_grad().at(r, c), b.weight_grad().at(r, c), 1e-6);
+    }
+    EXPECT_NEAR(a.bias_grad()[r], b.bias_grad()[r], 1e-6);
+  }
+}
+
+TEST(DropoutTest, EvalIsIdentity) {
+  Dropout d(0.5f);
+  la::Vec x = {1, 2, 3};
+  EXPECT_EQ(d.ForwardEval(x), x);
+}
+
+TEST(DropoutTest, TrainKeepsExpectedScale) {
+  Dropout d(0.3f);
+  Rng rng(99);
+  la::Vec x(10000, 1.0f);
+  la::Vec y = d.ForwardTrain(x, &rng);
+  double mean = 0.0;
+  for (float v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  EXPECT_NEAR(mean, 1.0, 0.05);  // inverted dropout preserves expectation
+}
+
+TEST(DropoutTest, BackwardAppliesMask) {
+  Dropout d(0.5f);
+  Rng rng(3);
+  la::Vec x = {1, 1, 1, 1};
+  la::Vec y = d.ForwardTrain(x, &rng);
+  la::Vec dx = d.Backward({1, 1, 1, 1});
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(dx[i], y[i]);  // same mask, same scale
+  }
+}
+
+TEST(TanhTest, ForwardBackward) {
+  la::Vec x = {0.0f, 1.0f, -1.0f};
+  la::Vec y = TanhForward(x);
+  EXPECT_NEAR(y[0], 0.0f, 1e-6);
+  EXPECT_NEAR(y[1], std::tanh(1.0f), 1e-6);
+  la::Vec dx = TanhBackward(y, {1, 1, 1});
+  EXPECT_NEAR(dx[0], 1.0f, 1e-6);  // 1 - tanh(0)^2 = 1
+  EXPECT_NEAR(dx[1], 1.0f - y[1] * y[1], 1e-6);
+}
+
+TEST(CosineLossTest, SimilarPairValues) {
+  la::Vec a = {1, 0};
+  la::Vec b = {1, 0};
+  CosineLossResult r = CosineEmbeddingLoss(a, b, 1);
+  EXPECT_NEAR(r.loss, 0.0f, 1e-6);
+  la::Vec c = {0, 1};
+  r = CosineEmbeddingLoss(a, c, 1);
+  EXPECT_NEAR(r.loss, 1.0f, 1e-6);
+}
+
+TEST(CosineLossTest, DissimilarPairHinge) {
+  la::Vec a = {1, 0};
+  la::Vec b = {1, 0};
+  CosineLossResult r = CosineEmbeddingLoss(a, b, 0);
+  EXPECT_NEAR(r.loss, 1.0f, 1e-6);  // cos=1, max(0, 1-0)
+  la::Vec c = {-1, 0};
+  r = CosineEmbeddingLoss(a, c, 0);
+  EXPECT_NEAR(r.loss, 0.0f, 1e-6);  // cos=-1 clipped at 0
+  EXPECT_EQ(r.grad_a, (la::Vec{0, 0}));  // inactive hinge: zero gradient
+}
+
+TEST(CosineLossTest, MarginShiftsHinge) {
+  la::Vec a = {1, 0};
+  la::Vec b = {1, 1};  // cos = 1/sqrt(2) ~ .707
+  CosineLossResult r = CosineEmbeddingLoss(a, b, 0, 0.5f);
+  EXPECT_NEAR(r.loss, 1.0f / std::sqrt(2.0f) - 0.5f, 1e-5);
+}
+
+TEST(CosineLossTest, NumericalGradientCheck) {
+  la::Vec a = {0.8f, -0.3f, 0.5f};
+  la::Vec b = {-0.2f, 0.9f, 0.4f};
+  for (int label : {0, 1}) {
+    CosineLossResult r = CosineEmbeddingLoss(a, b, label);
+    const float eps = 1e-3f;
+    for (size_t i = 0; i < a.size(); ++i) {
+      la::Vec ap = a;
+      ap[i] += eps;
+      la::Vec am = a;
+      am[i] -= eps;
+      float numeric = (CosineEmbeddingLoss(ap, b, label).loss -
+                       CosineEmbeddingLoss(am, b, label).loss) /
+                      (2 * eps);
+      EXPECT_NEAR(r.grad_a[i], numeric, 1e-2) << "label=" << label;
+    }
+  }
+}
+
+TEST(CosineLossTest, ZeroVectorIsSafe) {
+  la::Vec z = {0, 0};
+  la::Vec a = {1, 0};
+  CosineLossResult r = CosineEmbeddingLoss(z, a, 1);
+  EXPECT_FLOAT_EQ(r.loss, 1.0f);
+  EXPECT_EQ(r.grad_a, (la::Vec{0, 0}));
+}
+
+// Both optimizers should drive a quadratic toward its minimum.
+template <typename Opt>
+void TestOptimizerOnQuadratic(Opt&& optimizer) {
+  // f(p) = (p - 3)^2, df/dp = 2(p-3).
+  std::vector<float> param = {0.0f};
+  std::vector<float> grad = {0.0f};
+  optimizer.Register({param.data(), grad.data(), 1});
+  for (int step = 0; step < 500; ++step) {
+    grad[0] = 2.0f * (param[0] - 3.0f);
+    optimizer.Step();
+  }
+  EXPECT_NEAR(param[0], 3.0f, 0.1f);
+}
+
+TEST(OptimizerTest, SgdConverges) { TestOptimizerOnQuadratic(Sgd(0.05f)); }
+TEST(OptimizerTest, SgdMomentumConverges) {
+  TestOptimizerOnQuadratic(Sgd(0.02f, 0.9f));
+}
+TEST(OptimizerTest, AdamConverges) { TestOptimizerOnQuadratic(Adam(0.05f)); }
+
+DustModelConfig SmallModelConfig() {
+  DustModelConfig config;
+  config.feature_dim = 256;
+  config.hidden_dim = 16;
+  config.embedding_dim = 8;
+  config.dropout_p = 0.1f;
+  return config;
+}
+
+TEST(DustModelTest, EncodeShapesAndDeterminism) {
+  DustModel model(SmallModelConfig());
+  la::Vec e = model.EncodeSerialized("[CLS] Park Name River Park [SEP]");
+  EXPECT_EQ(e.size(), 8u);
+  EXPECT_EQ(e, model.EncodeSerialized("[CLS] Park Name River Park [SEP]"));
+  EXPECT_EQ(model.name(), "DUST (RoBERTa)");
+}
+
+TEST(DustModelTest, SaveLoadParamsRoundTrip) {
+  DustModel model(SmallModelConfig());
+  std::vector<float> params = model.SaveParams();
+  la::Vec before = model.EncodeSerialized("[CLS] A x [SEP]");
+  // Perturb, then restore.
+  std::vector<float> zeros(params.size(), 0.0f);
+  model.LoadParams(zeros);
+  la::Vec zeroed = model.EncodeSerialized("[CLS] A x [SEP]");
+  EXPECT_NE(before, zeroed);
+  model.LoadParams(params);
+  EXPECT_EQ(before, model.EncodeSerialized("[CLS] A x [SEP]"));
+}
+
+TEST(DustModelTest, FileRoundTrip) {
+  DustModel model(SmallModelConfig());
+  la::Vec before = model.EncodeSerialized("[CLS] A x [SEP]");
+  std::string path = ::testing::TempDir() + "/dust_model.bin";
+  ASSERT_TRUE(model.SaveToFile(path).ok());
+  DustModel loaded(SmallModelConfig());
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+  EXPECT_EQ(before, loaded.EncodeSerialized("[CLS] A x [SEP]"));
+}
+
+TEST(DustModelTest, FileShapeMismatchRejected) {
+  DustModel model(SmallModelConfig());
+  std::string path = ::testing::TempDir() + "/dust_model2.bin";
+  ASSERT_TRUE(model.SaveToFile(path).ok());
+  DustModelConfig other = SmallModelConfig();
+  other.embedding_dim = 4;
+  DustModel wrong(other);
+  EXPECT_FALSE(wrong.LoadFromFile(path).ok());
+}
+
+std::vector<TuplePair> ToyPairs() {
+  // Unionable: park-style tuples; non-unionable: park vs painting.
+  std::vector<TuplePair> pairs;
+  std::vector<std::string> parks = {
+      "[CLS] Park Name River Park [SEP] Country USA [SEP]",
+      "[CLS] Park Name Hyde Park [SEP] Country UK [SEP]",
+      "[CLS] Park Name Cedar Park [SEP] Country Canada [SEP]",
+      "[CLS] Park Name Maple Park [SEP] Country USA [SEP]"};
+  std::vector<std::string> paintings = {
+      "[CLS] Painting Northern Lake [SEP] Medium Oil on canvas [SEP]",
+      "[CLS] Painting Silent Harbor [SEP] Medium Watercolor [SEP]",
+      "[CLS] Painting Crimson Field [SEP] Medium Tempera [SEP]",
+      "[CLS] Painting Amber Valley [SEP] Medium Gouache [SEP]"};
+  for (size_t i = 0; i < parks.size(); ++i) {
+    for (size_t j = i + 1; j < parks.size(); ++j) {
+      pairs.push_back({parks[i], parks[j], 1});
+      pairs.push_back({paintings[i], paintings[j], 1});
+    }
+  }
+  for (const auto& p : parks) {
+    for (const auto& q : paintings) pairs.push_back({p, q, 0});
+  }
+  return pairs;
+}
+
+TEST(TrainerTest, TrainingReducesValidationLoss) {
+  DustModel model(SmallModelConfig());
+  std::vector<TuplePair> pairs = ToyPairs();
+  float before = EvaluateLoss(model, pairs);
+  TrainerConfig config;
+  config.max_epochs = 30;
+  config.batch_size = 8;
+  TrainReport report = TrainDustModel(&model, pairs, pairs, config);
+  float after = EvaluateLoss(model, pairs);
+  EXPECT_LT(after, before);
+  EXPECT_GE(report.epochs_run, 1u);
+  EXPECT_EQ(report.train_loss_per_epoch.size(), report.epochs_run);
+}
+
+TEST(TrainerTest, TrainedModelSeparatesClasses) {
+  DustModel model(SmallModelConfig());
+  std::vector<TuplePair> pairs = ToyPairs();
+  TrainerConfig config;
+  config.max_epochs = 60;
+  config.batch_size = 8;
+  TrainDustModel(&model, pairs, pairs, config);
+  float threshold = SelectThreshold(model, pairs);
+  float accuracy = PairAccuracy(model, pairs, threshold);
+  EXPECT_GT(accuracy, 0.9f);
+}
+
+TEST(TrainerTest, EarlyStoppingTriggers) {
+  DustModel model(SmallModelConfig());
+  std::vector<TuplePair> pairs = ToyPairs();
+  TrainerConfig config;
+  config.max_epochs = 100;
+  config.patience = 3;
+  TrainReport report = TrainDustModel(&model, pairs, pairs, config);
+  // Either converged early or ran out of epochs; both leave a best model.
+  EXPECT_LE(report.epochs_run, 100u);
+  EXPECT_GE(report.best_validation_loss, 0.0f);
+}
+
+TEST(TrainerTest, PairAccuracyOnEmptyPairsIsZero) {
+  DustModel model(SmallModelConfig());
+  EXPECT_FLOAT_EQ(PairAccuracy(model, {}, 0.7f), 0.0f);
+}
+
+}  // namespace
+}  // namespace dust::nn

@@ -1,0 +1,178 @@
+// Integration tests: DustPipeline (Algorithm 1) end to end on generated
+// benchmarks, including the diversity-vs-similarity headline behaviour.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "core/pipeline.h"
+#include "datagen/tus_generator.h"
+#include "diversify/metrics.h"
+#include "embed/tuple_encoder.h"
+#include "search/tuple_search.h"
+#include "table/union.h"
+
+namespace dust::core {
+namespace {
+
+using table::Table;
+
+std::shared_ptr<embed::TupleEncoder> TestEncoder() {
+  // A noiseless pretrained encoder stands in for the trained DustModel in
+  // integration tests (fast, deterministic; the trained model is exercised
+  // in nn_test and the Fig. 6 bench).
+  embed::EmbedderConfig config;
+  config.dim = 48;
+  config.noise_level = 0.0f;
+  return std::make_shared<embed::PretrainedTupleEncoder>(
+      std::shared_ptr<embed::TextEmbedder>(
+          embed::MakeEmbedder(embed::ModelFamily::kRoberta, config)));
+}
+
+class PipelineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::TusConfig config;
+    config.num_queries = 3;
+    config.unionable_per_query = 5;
+    config.distractors_per_base = 1;
+    config.base_rows = 80;
+    config.seed = 99;
+    benchmark_ = new datagen::Benchmark(datagen::GenerateTus(config));
+    lake_ = new std::vector<const Table*>();
+    for (const auto& t : benchmark_->lake) lake_->push_back(&t.data);
+
+    PipelineConfig pipeline_config;
+    pipeline_config.num_tables = 5;
+    pipeline_ = new DustPipeline(pipeline_config, TestEncoder());
+    pipeline_->IndexLake(*lake_);
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete benchmark_;
+    delete lake_;
+  }
+  static datagen::Benchmark* benchmark_;
+  static std::vector<const Table*>* lake_;
+  static DustPipeline* pipeline_;
+};
+
+datagen::Benchmark* PipelineFixture::benchmark_ = nullptr;
+std::vector<const Table*>* PipelineFixture::lake_ = nullptr;
+DustPipeline* PipelineFixture::pipeline_ = nullptr;
+
+TEST_F(PipelineFixture, RunsEndToEnd) {
+  const Table& query = benchmark_->queries[0].data;
+  auto result = pipeline_->Run(query, 10);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const PipelineResult& r = result.value();
+  EXPECT_EQ(r.output.num_rows(), 10u);
+  EXPECT_EQ(r.output.ColumnNames(), query.ColumnNames());
+  EXPECT_EQ(r.provenance.size(), 10u);
+  EXPECT_FALSE(r.tables.empty());
+  EXPECT_GE(r.timings.search_seconds, 0.0);
+}
+
+TEST_F(PipelineFixture, ProvenancePointsIntoLake) {
+  auto result = pipeline_->Run(benchmark_->queries[1].data, 8);
+  ASSERT_TRUE(result.ok());
+  for (const table::TupleRef& ref : result.value().provenance) {
+    ASSERT_LT(ref.table_index, lake_->size());
+    EXPECT_LT(ref.row_index, (*lake_)[ref.table_index]->num_rows());
+  }
+}
+
+TEST_F(PipelineFixture, RetrievedTablesAreMostlyUnionable) {
+  for (size_t q = 0; q < benchmark_->queries.size(); ++q) {
+    auto result = pipeline_->Run(benchmark_->queries[q].data, 5);
+    ASSERT_TRUE(result.ok());
+    std::set<size_t> truth(benchmark_->unionable[q].begin(),
+                           benchmark_->unionable[q].end());
+    size_t good = 0;
+    for (const search::TableHit& hit : result.value().tables) {
+      if (truth.count(hit.table_index)) ++good;
+    }
+    EXPECT_GE(good * 2, result.value().tables.size()) << "query " << q;
+  }
+}
+
+TEST_F(PipelineFixture, OutputRowsMatchProvenance) {
+  auto result = pipeline_->Run(benchmark_->queries[0].data, 6);
+  ASSERT_TRUE(result.ok());
+  const PipelineResult& r = result.value();
+  // Each output row's non-null values must appear in the source row.
+  for (size_t i = 0; i < r.output.num_rows(); ++i) {
+    const Table& src = *(*lake_)[r.provenance[i].table_index];
+    std::unordered_set<std::string> source_values;
+    for (size_t j = 0; j < src.num_columns(); ++j) {
+      const table::Value& v = src.at(r.provenance[i].row_index, j);
+      if (!v.is_null()) source_values.insert(v.text());
+    }
+    for (size_t j = 0; j < r.output.num_columns(); ++j) {
+      const table::Value& v = r.output.at(i, j);
+      if (!v.is_null()) {
+        EXPECT_TRUE(source_values.count(v.text()))
+            << "row " << i << " col " << j << " value " << v.text();
+      }
+    }
+  }
+}
+
+TEST_F(PipelineFixture, DiverseOutputBeatsSimilaritySearchOnDiversity) {
+  // The headline claim: DUST's k tuples are more diverse w.r.t. the query
+  // than the top-k most-similar tuples (Starmie-style tuple search).
+  const Table& query = benchmark_->queries[0].data;
+  auto encoder = TestEncoder();
+  auto result = pipeline_->Run(query, 15);
+  ASSERT_TRUE(result.ok());
+
+  search::TupleSearch similarity(encoder);
+  similarity.IndexLake(*lake_);
+  auto similar = similarity.SearchTuples(query, 15);
+
+  auto embed_rows = [&](const Table& t) {
+    return encoder->EncodeTableRows(t);
+  };
+  std::vector<la::Vec> query_embeddings = embed_rows(query);
+  std::vector<la::Vec> dust_embeddings = embed_rows(result.value().output);
+  std::vector<la::Vec> similar_embeddings;
+  for (const search::TupleHit& hit : similar) {
+    const Table& src = *(*lake_)[hit.ref.table_index];
+    similar_embeddings.push_back(encoder->EncodeSerialized(
+        table::SerializeTableRow(src, hit.ref.row_index)));
+  }
+
+  double dust_avg = diversify::AverageDiversity(
+      query_embeddings, dust_embeddings, la::Metric::kCosine);
+  double similar_avg = diversify::AverageDiversity(
+      query_embeddings, similar_embeddings, la::Metric::kCosine);
+  EXPECT_GT(dust_avg, similar_avg);
+}
+
+TEST_F(PipelineFixture, D3lEngineAlsoWorks) {
+  PipelineConfig config;
+  config.num_tables = 5;
+  config.engine = "d3l";
+  DustPipeline pipeline(config, TestEncoder());
+  pipeline.IndexLake(*lake_);
+  auto result = pipeline.Run(benchmark_->queries[0].data, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().output.num_rows(), 5u);
+}
+
+TEST_F(PipelineFixture, ErrorsWithoutIndexing) {
+  PipelineConfig config;
+  DustPipeline pipeline(config, TestEncoder());
+  auto result = pipeline.Run(benchmark_->queries[0].data, 5);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PipelineFixture, EmptyQueryRejected) {
+  Table empty("e");
+  auto result = pipeline_->Run(empty, 5);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace dust::core

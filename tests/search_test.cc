@@ -1,0 +1,175 @@
+// Unit tests for src/search: MinHash, D3L-style and Starmie-style union
+// search, tuple-level search.
+#include <gtest/gtest.h>
+
+#include "datagen/tus_generator.h"
+#include "embed/embedder.h"
+#include "search/embedding_search.h"
+#include "search/minhash.h"
+#include "search/overlap_search.h"
+#include "search/tuple_search.h"
+
+namespace dust::search {
+namespace {
+
+using table::Table;
+using table::Value;
+
+TEST(MinHashTest, IdenticalSetsEstimateOne) {
+  std::vector<std::string> items = {"a", "b", "c", "d"};
+  MinHashSketch s1(items, 64);
+  MinHashSketch s2(items, 64);
+  EXPECT_DOUBLE_EQ(s1.EstimateJaccard(s2), 1.0);
+}
+
+TEST(MinHashTest, DisjointSetsEstimateNearZero) {
+  MinHashSketch s1({"a", "b", "c"}, 128);
+  MinHashSketch s2({"x", "y", "z"}, 128);
+  EXPECT_LT(s1.EstimateJaccard(s2), 0.1);
+}
+
+TEST(MinHashTest, EstimateTracksExactJaccard) {
+  // |A ∩ B| = 50, |A ∪ B| = 150 -> J = 1/3.
+  std::vector<std::string> a, b;
+  for (int i = 0; i < 100; ++i) a.push_back("item" + std::to_string(i));
+  for (int i = 50; i < 150; ++i) b.push_back("item" + std::to_string(i));
+  MinHashSketch sa(a, 256);
+  MinHashSketch sb(b, 256);
+  EXPECT_NEAR(sa.EstimateJaccard(sb), ExactJaccard(a, b), 0.1);
+}
+
+TEST(MinHashTest, EmptySetsScoreZero) {
+  MinHashSketch empty({}, 64);
+  MinHashSketch full({"a"}, 64);
+  EXPECT_DOUBLE_EQ(empty.EstimateJaccard(full), 0.0);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(ExactJaccardTest, HandCheckedValues) {
+  EXPECT_DOUBLE_EQ(ExactJaccard({"a", "b"}, {"b", "c"}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ExactJaccard({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(ExactJaccard({"a", "a"}, {"a"}), 1.0);  // set semantics
+}
+
+// A small TUS-style benchmark shared by the search tests.
+class SearchFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::TusConfig config;
+    config.num_queries = 3;
+    config.unionable_per_query = 4;
+    config.distractors_per_base = 1;
+    config.base_rows = 60;
+    config.seed = 321;
+    benchmark_ = new datagen::Benchmark(datagen::GenerateTus(config));
+    lake_ = new std::vector<const Table*>();
+    for (const auto& t : benchmark_->lake) lake_->push_back(&t.data);
+  }
+  static void TearDownTestSuite() {
+    delete benchmark_;
+    delete lake_;
+  }
+  static datagen::Benchmark* benchmark_;
+  static std::vector<const Table*>* lake_;
+};
+
+datagen::Benchmark* SearchFixture::benchmark_ = nullptr;
+std::vector<const Table*>* SearchFixture::lake_ = nullptr;
+
+// Fraction of the top-n hits that are truly unionable with query q.
+double PrecisionAtN(const std::vector<TableHit>& hits,
+                    const std::vector<size_t>& truth) {
+  if (hits.empty()) return 0.0;
+  size_t good = 0;
+  for (const TableHit& hit : hits) {
+    for (size_t t : truth) {
+      if (hit.table_index == t) {
+        ++good;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(good) / static_cast<double>(hits.size());
+}
+
+TEST_F(SearchFixture, OverlapSearchRanksUnionableFirst) {
+  OverlapUnionSearch search;
+  search.IndexLake(*lake_);
+  for (size_t q = 0; q < benchmark_->queries.size(); ++q) {
+    auto hits = search.SearchTables(benchmark_->queries[q].data, 4);
+    EXPECT_GE(PrecisionAtN(hits, benchmark_->unionable[q]), 0.75)
+        << "query " << q;
+  }
+}
+
+TEST_F(SearchFixture, EmbeddingSearchRanksUnionableFirst) {
+  EmbeddingUnionSearch search;
+  search.IndexLake(*lake_);
+  for (size_t q = 0; q < benchmark_->queries.size(); ++q) {
+    auto hits = search.SearchTables(benchmark_->queries[q].data, 4);
+    EXPECT_GE(PrecisionAtN(hits, benchmark_->unionable[q]), 0.75)
+        << "query " << q;
+  }
+}
+
+TEST_F(SearchFixture, EmbeddingSearchShortlistStillFindsUnionable) {
+  EmbeddingSearchConfig config;
+  config.shortlist = 8;
+  config.index_type = "ivf";
+  EmbeddingUnionSearch search(config);
+  search.IndexLake(*lake_);
+  auto hits = search.SearchTables(benchmark_->queries[0].data, 4);
+  EXPECT_GE(PrecisionAtN(hits, benchmark_->unionable[0]), 0.5);
+}
+
+TEST_F(SearchFixture, ScoresAreDescending) {
+  OverlapUnionSearch search;
+  search.IndexLake(*lake_);
+  auto hits = search.SearchTables(benchmark_->queries[0].data, 10);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].score, hits[i].score);
+  }
+}
+
+TEST(TupleSearchTest, IdenticalTupleRanksFirst) {
+  // Lake contains a copy of the query tuple; similarity search must put it
+  // on top (the redundancy failure mode DUST addresses).
+  Table query("q");
+  ASSERT_TRUE(query.AddColumn("Park Name", {Value("River Park")}).ok());
+  ASSERT_TRUE(query.AddColumn("Country", {Value("USA")}).ok());
+
+  Table lake1("a");
+  ASSERT_TRUE(lake1.AddColumn("Park Name",
+                              {Value("River Park"), Value("Cedar Park")}).ok());
+  ASSERT_TRUE(lake1.AddColumn("Country", {Value("USA"), Value("Canada")}).ok());
+
+  auto encoder = std::make_shared<embed::PretrainedTupleEncoder>(
+      std::shared_ptr<embed::TextEmbedder>(embed::MakeEmbedder(
+          embed::ModelFamily::kRoberta,
+          embed::DefaultConfigFor(embed::ModelFamily::kRoberta, 32))));
+  TupleSearch search(encoder);
+  search.IndexLake({&lake1});
+  auto hits = search.SearchTuples(query, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].ref, (table::TupleRef{0, 0}));  // the exact copy
+  EXPECT_GT(hits[0].similarity, hits[1].similarity);
+}
+
+TEST(TupleSearchTest, HonorsK) {
+  Table lake1("a");
+  ASSERT_TRUE(lake1.AddColumn(
+      "X", {Value("a"), Value("b"), Value("c"), Value("d")}).ok());
+  auto encoder = std::make_shared<embed::PretrainedTupleEncoder>(
+      std::shared_ptr<embed::TextEmbedder>(embed::MakeEmbedder(
+          embed::ModelFamily::kBert,
+          embed::DefaultConfigFor(embed::ModelFamily::kBert, 16))));
+  TupleSearch search(encoder);
+  search.IndexLake({&lake1});
+  EXPECT_EQ(search.num_indexed(), 4u);
+  Table query("q");
+  ASSERT_TRUE(query.AddColumn("X", {Value("a")}).ok());
+  EXPECT_EQ(search.SearchTuples(query, 2).size(), 2u);
+}
+
+}  // namespace
+}  // namespace dust::search

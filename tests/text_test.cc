@@ -1,0 +1,145 @@
+// Unit tests for src/text: tokenization, TF-IDF, feature hashing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "text/hashing.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+
+namespace dust::text {
+namespace {
+
+TEST(TokenizerTest, WordTokensLowercaseAndSplit) {
+  auto tokens = WordTokens("River Park, USA 773-0380");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"river", "park", "usa", "773", "0380"}));
+}
+
+TEST(TokenizerTest, WordTokensEmpty) {
+  EXPECT_TRUE(WordTokens("").empty());
+  EXPECT_TRUE(WordTokens(" ,;- ").empty());
+}
+
+TEST(TokenizerTest, CharNgramsFastTextConvention) {
+  auto grams = CharNgrams("park", 3);
+  EXPECT_EQ(grams,
+            (std::vector<std::string>{"<pa", "par", "ark", "rk>"}));
+}
+
+TEST(TokenizerTest, CharNgramsShortWordKeptWhole) {
+  auto grams = CharNgrams("ab", 4);
+  EXPECT_EQ(grams, (std::vector<std::string>{"<ab>"}));
+}
+
+TEST(TokenizerTest, SubwordPiecesSplitLongWords) {
+  auto pieces = SubwordPieces("chippewa", 4);
+  EXPECT_EQ(pieces, (std::vector<std::string>{"chip", "##pewa"}));
+}
+
+TEST(TokenizerTest, SubwordPiecesKeepShortWords) {
+  auto pieces = SubwordPieces("park usa", 6);
+  EXPECT_EQ(pieces, (std::vector<std::string>{"park", "usa"}));
+}
+
+TEST(TokenizerTest, ApproxTokenCount) {
+  EXPECT_EQ(ApproxTokenCount("a b  c"), 3u);
+  EXPECT_EQ(ApproxTokenCount(""), 0u);
+  EXPECT_EQ(ApproxTokenCount("  x  "), 1u);
+}
+
+TEST(HashingTest, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(HashString("park", 1), HashString("park", 1));
+  EXPECT_NE(HashString("park", 1), HashString("park", 2));
+  EXPECT_NE(HashString("park", 1), HashString("lark", 1));
+}
+
+TEST(HashingTest, VectorDeterministic) {
+  std::vector<std::string> tokens = {"a", "b", "c"};
+  EXPECT_EQ(HashTokensToVector(tokens, 16, 7),
+            HashTokensToVector(tokens, 16, 7));
+  EXPECT_NE(HashTokensToVector(tokens, 16, 7),
+            HashTokensToVector(tokens, 16, 8));
+}
+
+TEST(HashingTest, VectorAdditive) {
+  auto va = HashTokensToVector({"a"}, 32, 7);
+  auto vb = HashTokensToVector({"b"}, 32, 7);
+  auto vab = HashTokensToVector({"a", "b"}, 32, 7);
+  for (size_t i = 0; i < 32; ++i) EXPECT_FLOAT_EQ(vab[i], va[i] + vb[i]);
+}
+
+TEST(HashingTest, WeightedVector) {
+  auto v1 = HashTokensToVector({"x"}, 16, 3);
+  auto v2 = HashTokensToVectorWeighted({"x"}, {2.5f}, 16, 3);
+  for (size_t i = 0; i < 16; ++i) EXPECT_FLOAT_EQ(v2[i], 2.5f * v1[i]);
+}
+
+TEST(HashingTest, SparseMergesDuplicates) {
+  SparseVector sv = HashTokensSparse({"a", "a", "b"}, 64, 7);
+  // "a" appears twice -> one index with value +-2 (same sign both times).
+  bool found_two = false;
+  for (float v : sv.values) {
+    if (v == 2.0f || v == -2.0f) found_two = true;
+  }
+  EXPECT_TRUE(found_two);
+  // Indices sorted ascending and unique.
+  for (size_t i = 1; i < sv.indices.size(); ++i) {
+    EXPECT_LT(sv.indices[i - 1], sv.indices[i]);
+  }
+}
+
+TEST(HashingTest, SparseMatchesDense) {
+  std::vector<std::string> tokens = {"park", "name", "river", "park"};
+  auto dense = HashTokensToVector(tokens, 128, 9);
+  SparseVector sv = HashTokensSparse(tokens, 128, 9);
+  std::vector<float> rebuilt(128, 0.0f);
+  for (size_t k = 0; k < sv.indices.size(); ++k) {
+    rebuilt[sv.indices[k]] = sv.values[k];
+  }
+  EXPECT_EQ(dense, rebuilt);
+}
+
+TEST(TfidfTest, IdfOrdersRareAboveCommon) {
+  std::vector<std::vector<std::string>> docs = {
+      {"park", "river"}, {"park", "lake"}, {"park", "hill"}};
+  TfidfModel model(docs);
+  EXPECT_GT(model.Idf("river"), model.Idf("park"));
+  EXPECT_GT(model.Idf("unseen"), model.Idf("river"));
+  EXPECT_EQ(model.num_documents(), 3u);
+}
+
+TEST(TfidfTest, WeightsCombineTfAndIdf) {
+  std::vector<std::vector<std::string>> docs = {{"a", "b"}, {"a", "c"}};
+  TfidfModel model(docs);
+  auto weights = model.Weights({"a", "a", "b"});
+  // "a" has tf 2/3 but low idf; "b" tf 1/3 high idf.
+  EXPECT_GT(weights.at("b"), 0.0f);
+  EXPECT_GT(weights.at("a"), 0.0f);
+}
+
+TEST(TfidfTest, TopTokensHonorsLimitAndRanksRareFirst) {
+  std::vector<std::vector<std::string>> docs = {
+      {"common", "rare1"}, {"common", "rare2"}, {"common"}};
+  TfidfModel model(docs);
+  // Equal term frequency: the rare token's higher IDF must win.
+  auto top = model.TopTokens({"common", "rare1"}, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], "rare1");
+}
+
+TEST(TfidfTest, TopTokensDeduplicates) {
+  TfidfModel model(std::vector<std::vector<std::string>>{{"x"}});
+  auto top = model.TopTokens({"x", "x", "x"}, 10);
+  EXPECT_EQ(top.size(), 1u);
+}
+
+TEST(TfidfTest, TopTokensDeterministicTies) {
+  TfidfModel model(std::vector<std::vector<std::string>>{{"a", "b"}});
+  auto t1 = model.TopTokens({"a", "b"}, 2);
+  auto t2 = model.TopTokens({"b", "a"}, 2);
+  EXPECT_EQ(t1, t2);  // lexicographic tie-break
+}
+
+}  // namespace
+}  // namespace dust::text

@@ -1,0 +1,180 @@
+// dust_cli — run diverse unionable tuple search over a directory of CSVs.
+//
+//   dust_cli --lake <dir> --query <file.csv> [--k 30] [--tables 10]
+//            [--engine starmie|d3l] [--out result.csv] [--p 2] [--s 2500]
+//
+// Indexes every *.csv in the lake directory, runs Algorithm 1 for the query
+// table, prints a summary and (optionally) writes the k diverse tuples.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "embed/tuple_encoder.h"
+#include "table/csv.h"
+
+using namespace dust;
+
+namespace {
+
+struct CliOptions {
+  std::string lake_dir;
+  std::string query_path;
+  std::string out_path;
+  std::string engine = "starmie";
+  size_t k = 30;
+  size_t tables = 10;
+  size_t p = 2;
+  size_t s = 2500;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dust_cli --lake <dir> --query <file.csv> [--k N] [--tables N]\n"
+      "                [--engine starmie|d3l] [--out result.csv] [--p N] "
+      "[--s N]\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--lake" && (value = next())) {
+      options->lake_dir = value;
+    } else if (arg == "--query" && (value = next())) {
+      options->query_path = value;
+    } else if (arg == "--out" && (value = next())) {
+      options->out_path = value;
+    } else if (arg == "--engine" && (value = next())) {
+      options->engine = value;
+    } else if (arg == "--k" && (value = next())) {
+      options->k = static_cast<size_t>(std::strtoul(value, nullptr, 10));
+    } else if (arg == "--tables" && (value = next())) {
+      options->tables = static_cast<size_t>(std::strtoul(value, nullptr, 10));
+    } else if (arg == "--p" && (value = next())) {
+      options->p = static_cast<size_t>(std::strtoul(value, nullptr, 10));
+    } else if (arg == "--s" && (value = next())) {
+      options->s = static_cast<size_t>(std::strtoul(value, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown or incomplete argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !options->lake_dir.empty() && !options->query_path.empty() &&
+         options->k > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    Usage();
+    return 2;
+  }
+
+  // Load the lake.
+  std::vector<table::Table> lake_storage;
+  std::vector<std::string> lake_names;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options.lake_dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".csv") continue;
+    auto loaded = table::ReadCsvFile(entry.path().string());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "skipping %s: %s\n", entry.path().c_str(),
+                   loaded.status().ToString().c_str());
+      continue;
+    }
+    table::Table t = std::move(loaded).value();
+    t.DropAllNullColumns();
+    if (t.num_rows() == 0 || t.num_columns() == 0) continue;
+    lake_names.push_back(entry.path().filename().string());
+    lake_storage.push_back(std::move(t));
+  }
+  if (ec) {
+    std::fprintf(stderr, "cannot read lake directory %s: %s\n",
+                 options.lake_dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+  if (lake_storage.empty()) {
+    std::fprintf(stderr, "no usable CSV tables in %s\n",
+                 options.lake_dir.c_str());
+    return 1;
+  }
+
+  auto query_loaded = table::ReadCsvFile(options.query_path);
+  if (!query_loaded.ok()) {
+    std::fprintf(stderr, "cannot load query: %s\n",
+                 query_loaded.status().ToString().c_str());
+    return 1;
+  }
+  table::Table query = std::move(query_loaded).value();
+  query.DropAllNullColumns();
+  std::printf("lake: %zu tables; query: %zu rows x %zu columns\n",
+              lake_storage.size(), query.num_rows(), query.num_columns());
+
+  // Pipeline.
+  core::PipelineConfig config;
+  config.engine = options.engine;
+  config.num_tables = options.tables;
+  config.diversifier.p = options.p;
+  config.diversifier.prune_s = options.s;
+  embed::EmbedderConfig encoder_config;
+  encoder_config.dim = 64;
+  auto encoder = std::make_shared<embed::PretrainedTupleEncoder>(
+      std::shared_ptr<embed::TextEmbedder>(
+          embed::MakeEmbedder(embed::ModelFamily::kRoberta, encoder_config)));
+  core::DustPipeline pipeline(config, encoder);
+  std::vector<const table::Table*> lake;
+  for (const table::Table& t : lake_storage) lake.push_back(&t);
+  pipeline.IndexLake(lake);
+
+  auto result = pipeline.Run(query, options.k);
+  if (!result.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const core::PipelineResult& r = result.value();
+
+  std::printf("\nretrieved unionable tables:\n");
+  for (const search::TableHit& hit : r.tables) {
+    std::printf("  %-40s score %.3f\n", lake_names[hit.table_index].c_str(),
+                hit.score);
+  }
+  std::printf("\n%zu diverse unionable tuples (first 10 shown):\n",
+              r.output.num_rows());
+  for (size_t j = 0; j < r.output.num_columns(); ++j) {
+    std::printf("%-20s", r.output.column(j).name.c_str());
+  }
+  std::printf("\n");
+  for (size_t row = 0; row < std::min<size_t>(10, r.output.num_rows()); ++row) {
+    for (size_t j = 0; j < r.output.num_columns(); ++j) {
+      std::printf("%-20s", r.output.at(row, j).ToDisplay().c_str());
+    }
+    std::printf("   <- %s\n", lake_names[r.provenance[row].table_index].c_str());
+  }
+  std::printf(
+      "\ntimings: search %.3fs  align %.3fs  embed %.3fs  diversify %.3fs\n",
+      r.timings.search_seconds, r.timings.align_seconds,
+      r.timings.embed_seconds, r.timings.diversify_seconds);
+
+  if (!options.out_path.empty()) {
+    Status written = table::WriteCsvFile(r.output, options.out_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", options.out_path.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", options.out_path.c_str());
+  }
+  return 0;
+}
