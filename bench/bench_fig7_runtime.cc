@@ -1,6 +1,8 @@
 // Fig. 7 — diversification runtime scaling.
 //  (a) runtime vs number of input unionable tuples s (k = 100);
-//  (b) runtime vs number of output tuples k (fixed s).
+//  (b) runtime vs number of output tuples k (fixed s);
+//  (c) retrieval-phase shortlist scaling: flat scan vs HNSW, single and
+//      batched queries (the index that feeds the diversifier its input).
 // GMC is Θ(k·s²) (quadratic curve, grows with k); DUST and CLT are
 // dominated by the distance matrix (shallow curve, flat in k).
 #include <memory>
@@ -9,6 +11,7 @@
 #include "diversify/clt.h"
 #include "diversify/dust_diversifier.h"
 #include "diversify/gmc.h"
+#include "index/vector_index.h"
 #include "util/stopwatch.h"
 
 using namespace dust;
@@ -62,9 +65,38 @@ int main() {
                      bench::Fmt("%.3f", t_clt), bench::Fmt("%.3f", t_dust)});
   }
 
+  std::printf("\n(c) shortlist retrieval vs lake size (k=10, 64 queries)\n");
+  bench::PrintRow(
+      {"n", "Flat(s)", "HNSW(s)", "FlatBatch(s)", "HNSWBatch(s)"});
+  std::vector<la::Vec> queries = bench::SyntheticTupleCloud(64, kDim, 8, 13);
+  for (size_t n : {2000u, 5000u, 10000u, 20000u}) {
+    std::vector<la::Vec> cloud = bench::SyntheticTupleCloud(n, kDim, 24, 17);
+    auto flat = index::MakeVectorIndex("flat", kDim, la::Metric::kCosine);
+    auto hnsw = index::MakeVectorIndex("hnsw", kDim, la::Metric::kCosine);
+    flat->AddAll(cloud);
+    hnsw->AddAll(cloud);
+    Stopwatch watch;
+    for (const la::Vec& q : queries) flat->Search(q, 10);
+    double t_flat = watch.Seconds();
+    watch.Restart();
+    for (const la::Vec& q : queries) hnsw->Search(q, 10);
+    double t_hnsw = watch.Seconds();
+    watch.Restart();
+    flat->SearchBatch(queries, 10);
+    double t_flat_batch = watch.Seconds();
+    watch.Restart();
+    hnsw->SearchBatch(queries, 10);
+    double t_hnsw_batch = watch.Seconds();
+    bench::PrintRow({std::to_string(n), bench::Fmt("%.4f", t_flat),
+                     bench::Fmt("%.4f", t_hnsw),
+                     bench::Fmt("%.4f", t_flat_batch),
+                     bench::Fmt("%.4f", t_hnsw_batch)});
+  }
+
   std::printf(
       "\nPaper shape (Fig. 7): GMC grows quadratically with s and strongly\n"
       "with k; DUST's curve is shallow in s and essentially flat in k,\n"
-      "tracking the clustering baseline CLT.\n");
+      "tracking the clustering baseline CLT. The retrieval shortlist (c)\n"
+      "grows linearly for the flat scan but stays nearly flat for HNSW.\n");
   return 0;
 }

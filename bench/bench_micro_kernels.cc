@@ -3,11 +3,12 @@
 // encoding.
 #include <benchmark/benchmark.h>
 
+#include <set>
+
 #include "bench/bench_util.h"
 #include "cluster/agglomerative.h"
 #include "index/flat_index.h"
 #include "index/ivf_index.h"
-#include "index/lsh_index.h"
 #include "la/distance.h"
 
 using namespace dust;
@@ -46,20 +47,46 @@ void BM_NnChainClustering(benchmark::State& state) {
 }
 BENCHMARK(BM_NnChainClustering)->Arg(200)->Arg(500)->Arg(1000);
 
-void BM_IndexSearch(benchmark::State& state) {
-  size_t which = static_cast<size_t>(state.range(0));
-  auto points = bench::SyntheticTupleCloud(5000, 64, 16, 4);
-  std::unique_ptr<index::VectorIndex> idx;
-  if (which == 0) {
-    idx = std::make_unique<index::FlatIndex>(64, la::Metric::kCosine);
-  } else if (which == 1) {
+constexpr const char* kIndexTypes[] = {"flat", "ivf", "lsh", "hnsw"};
+
+/// Fraction of the exact top-10 the index reproduces, over 20 held-out
+/// queries (the acceptance gate for approximate shortlists is >= 0.95).
+double RecallAt10(const index::VectorIndex& idx,
+                  const std::vector<la::Vec>& points) {
+  index::FlatIndex exact(idx.dim(), la::Metric::kCosine);
+  exact.AddAll(points);
+  size_t found = 0, total = 0;
+  for (uint64_t q = 0; q < 20; ++q) {
+    la::Vec query = bench::SyntheticTupleCloud(1, idx.dim(), 1, 900 + q)[0];
+    std::set<size_t> approx_ids;
+    for (const auto& h : idx.Search(query, 10)) approx_ids.insert(h.id);
+    for (const auto& h : exact.Search(query, 10)) {
+      ++total;
+      found += approx_ids.count(h.id);
+    }
+  }
+  return static_cast<double>(found) / static_cast<double>(total);
+}
+
+/// Factory wrapper keeping the IVF parameters this benchmark has always
+/// used (nlist=32, nprobe=4) instead of IvfConfig's defaults, so timings
+/// stay comparable across revisions.
+std::unique_ptr<index::VectorIndex> MakeBenchIndex(const std::string& type) {
+  if (type == "ivf") {
     index::IvfConfig config;
     config.nlist = 32;
     config.nprobe = 4;
-    idx = std::make_unique<index::IvfFlatIndex>(64, la::Metric::kCosine, config);
-  } else {
-    idx = std::make_unique<index::LshIndex>(64, la::Metric::kCosine);
+    return std::make_unique<index::IvfFlatIndex>(64, la::Metric::kCosine,
+                                                 config);
   }
+  return index::MakeVectorIndex(type, 64, la::Metric::kCosine);
+}
+
+void BM_IndexSearch(benchmark::State& state) {
+  const char* type = kIndexTypes[state.range(0)];
+  size_t n = static_cast<size_t>(state.range(1));
+  auto points = bench::SyntheticTupleCloud(n, 64, 16, 4);
+  auto idx = MakeBenchIndex(type);
   idx->AddAll(points);
   la::Vec query = bench::SyntheticTupleCloud(1, 64, 1, 5)[0];
   // Warm any lazy training outside the timed loop.
@@ -67,8 +94,27 @@ void BM_IndexSearch(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(idx->Search(query, 10).size());
   }
+  state.counters["recall@10"] = RecallAt10(*idx, points);
+  state.SetLabel(type);
 }
-BENCHMARK(BM_IndexSearch)->Arg(0)->Arg(1)->Arg(2);  // flat, ivf, lsh
+BENCHMARK(BM_IndexSearch)
+    ->ArgsProduct({{0, 1, 2, 3}, {2000, 10000}});  // flat, ivf, lsh, hnsw
+
+void BM_IndexSearchBatch(benchmark::State& state) {
+  const char* type = kIndexTypes[state.range(0)];
+  auto points = bench::SyntheticTupleCloud(10000, 64, 16, 4);
+  auto idx = MakeBenchIndex(type);
+  idx->AddAll(points);
+  std::vector<la::Vec> queries = bench::SyntheticTupleCloud(64, 64, 8, 5);
+  benchmark::DoNotOptimize(idx->SearchBatch(queries, 10).size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx->SearchBatch(queries, 10).size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(queries.size()));
+  state.SetLabel(type);
+}
+BENCHMARK(BM_IndexSearchBatch)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_TupleEncoding(benchmark::State& state) {
   auto encoder = bench::MakeBenchEncoder(64);

@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include "embed/column_embedder.h"
+#include "index/vector_index.h"
 #include "search/embedding_search.h"
 #include "search/overlap_search.h"
 #include "util/stopwatch.h"
@@ -17,9 +18,19 @@ DustPipeline::DustPipeline(PipelineConfig config,
     overlap.seed = config_.seed;
     search_ = std::make_unique<search::OverlapUnionSearch>(overlap);
   } else {
+    // Fail fast on a typo'd index name here, where the config enters the
+    // pipeline, rather than deep inside IndexLake.
+    DUST_CHECK(index::IsKnownIndexType(config_.search_index));
     search::EmbeddingSearchConfig embedding;
     embedding.encoder.dim = config_.embedding_dim;
     embedding.encoder.seed = config_.seed;
+    embedding.index_type = config_.search_index;
+    embedding.shortlist = config_.search_shortlist;
+    if (config_.search_index != "flat" && config_.search_shortlist == 0) {
+      // shortlist == 0 means "score everything exactly", which would make
+      // the requested approximate index a silent no-op; give it work.
+      embedding.shortlist = PipelineConfig::DefaultShortlist(config_.num_tables);
+    }
     search_ = std::make_unique<search::EmbeddingUnionSearch>(embedding);
   }
 }

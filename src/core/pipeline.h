@@ -33,6 +33,20 @@ struct PipelineConfig {
   double min_table_score = 0.25;
   /// Union search engine: "starmie" (embedding) or "d3l" (overlap).
   std::string engine = "starmie";
+  /// Shortlist index for the starmie engine: "flat", "ivf", "lsh", or
+  /// "hnsw".
+  std::string search_index = "flat";
+  /// Candidates short-listed by that index before exact bipartite scoring.
+  /// 0 = score every lake table exactly when search_index is "flat"; with
+  /// an approximate index, 0 resolves to DefaultShortlist(num_tables) so
+  /// the index is never a silent no-op. Ignored by the d3l engine.
+  size_t search_shortlist = 0;
+
+  /// Shortlist used when an approximate search_index is requested with
+  /// search_shortlist == 0.
+  static size_t DefaultShortlist(size_t num_tables) {
+    return num_tables * 5 > 50 ? num_tables * 5 : 50;
+  }
   /// Column embedding used for alignment (Column-level RoBERTa wins
   /// Table 1 and is DUST's choice, Sec. 6.2.4).
   embed::ModelFamily column_model = embed::ModelFamily::kRoberta;

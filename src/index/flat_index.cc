@@ -6,15 +6,6 @@
 
 namespace dust::index {
 
-void FinalizeHits(std::vector<SearchHit>* hits, size_t k) {
-  std::sort(hits->begin(), hits->end(),
-            [](const SearchHit& a, const SearchHit& b) {
-              if (a.distance != b.distance) return a.distance < b.distance;
-              return a.id < b.id;
-            });
-  if (hits->size() > k) hits->resize(k);
-}
-
 void FlatIndex::Add(const la::Vec& v) {
   DUST_CHECK(v.size() == dim_);
   vectors_.push_back(v);

@@ -1,0 +1,225 @@
+#include "index/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/status.h"
+
+namespace dust::index {
+namespace {
+
+// Min-heap / max-heap orderings over (distance, id).
+struct FartherFirst {
+  bool operator()(const SearchHit& a, const SearchHit& b) const {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  }
+};
+struct CloserFirst {
+  bool operator()(const SearchHit& a, const SearchHit& b) const {
+    if (a.distance != b.distance) return a.distance > b.distance;
+    return a.id > b.id;
+  }
+};
+
+}  // namespace
+
+HnswIndex::HnswIndex(size_t dim, la::Metric metric, HnswConfig config)
+    : dim_(dim),
+      metric_(metric),
+      config_(config),
+      level_mult_(1.0 / std::log(static_cast<double>(std::max<size_t>(
+                            config.M, 2)))),
+      rng_(config.seed) {
+  DUST_CHECK(config_.M >= 2);
+  DUST_CHECK(config_.ef_construction >= 1);
+  DUST_CHECK(config_.ef_search >= 1);
+}
+
+int HnswIndex::RandomLevel() {
+  // -ln(U) is Exp(1); scaling by level_mult_ gives the paper's geometric
+  // layer assignment. Clamp so adversarial draws cannot blow up the walk.
+  double u = rng_.NextDouble();
+  if (u <= 0.0) u = 1e-12;
+  int level = static_cast<int>(-std::log(u) * level_mult_);
+  return std::min(level, 48);
+}
+
+uint32_t HnswIndex::GreedyStep(const la::Vec& query, uint32_t entry,
+                               int level) const {
+  uint32_t current = entry;
+  float current_dist = Dist(query, vectors_[current]);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (uint32_t neighbor : nodes_[current].neighbors[level]) {
+      float d = Dist(query, vectors_[neighbor]);
+      if (d < current_dist) {
+        current = neighbor;
+        current_dist = d;
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<SearchHit> HnswIndex::SearchLayer(const la::Vec& query,
+                                              uint32_t entry, size_t ef,
+                                              int level) const {
+  // Epoch-stamped visited marks: reusing one buffer avoids zeroing O(n)
+  // bytes per call (which would make bulk construction quadratic in
+  // memory-clearing work). thread_local keeps concurrent SearchBatch
+  // workers from sharing stamps; the buffer is shared across index
+  // instances on a thread, which is safe because each call bumps the epoch.
+  thread_local std::vector<uint64_t> visited_stamp;
+  thread_local uint64_t visited_epoch = 0;
+  if (visited_stamp.size() < nodes_.size()) {
+    visited_stamp.resize(nodes_.size(), 0);
+  }
+  const uint64_t epoch = ++visited_epoch;
+  auto visited = [&](uint32_t id) { return visited_stamp[id] == epoch; };
+  auto mark_visited = [&](uint32_t id) { visited_stamp[id] = epoch; };
+  mark_visited(entry);
+  float entry_dist = Dist(query, vectors_[entry]);
+
+  // `candidates`: frontier ordered closest-first. `best`: current ef
+  // closest, ordered farthest-first so the worst is peekable.
+  std::priority_queue<SearchHit, std::vector<SearchHit>, CloserFirst>
+      candidates;
+  std::priority_queue<SearchHit, std::vector<SearchHit>, FartherFirst> best;
+  candidates.push({entry, entry_dist});
+  best.push({entry, entry_dist});
+
+  while (!candidates.empty()) {
+    SearchHit current = candidates.top();
+    candidates.pop();
+    if (best.size() >= ef && current.distance > best.top().distance) break;
+    for (uint32_t neighbor : nodes_[current.id].neighbors[level]) {
+      if (visited(neighbor)) continue;
+      mark_visited(neighbor);
+      float d = Dist(query, vectors_[neighbor]);
+      if (best.size() < ef || d < best.top().distance) {
+        candidates.push({neighbor, d});
+        best.push({neighbor, d});
+        if (best.size() > ef) best.pop();
+      }
+    }
+  }
+
+  std::vector<SearchHit> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.push_back(best.top());
+    best.pop();
+  }
+  return out;
+}
+
+std::vector<uint32_t> HnswIndex::SelectNeighbors(
+    std::vector<SearchHit> candidates, size_t max_degree) const {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  std::vector<uint32_t> selected;
+  selected.reserve(std::min(max_degree, candidates.size()));
+  std::vector<SearchHit> skipped;
+  for (const SearchHit& c : candidates) {
+    if (selected.size() >= max_degree) break;
+    bool keep = true;
+    for (uint32_t s : selected) {
+      if (Dist(vectors_[c.id], vectors_[s]) < c.distance) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) {
+      selected.push_back(static_cast<uint32_t>(c.id));
+    } else {
+      skipped.push_back(c);
+    }
+  }
+  // keepPrunedConnections: pad with the nearest rejected candidates so
+  // low-degree nodes stay reachable.
+  for (const SearchHit& c : skipped) {
+    if (selected.size() >= max_degree) break;
+    selected.push_back(static_cast<uint32_t>(c.id));
+  }
+  return selected;
+}
+
+void HnswIndex::ShrinkNeighbors(uint32_t id, int level) {
+  std::vector<uint32_t>& links = nodes_[id].neighbors[level];
+  if (links.size() <= MaxDegree(level)) return;
+  std::vector<SearchHit> candidates;
+  candidates.reserve(links.size());
+  for (uint32_t n : links) {
+    candidates.push_back({n, Dist(vectors_[id], vectors_[n])});
+  }
+  links = SelectNeighbors(std::move(candidates), MaxDegree(level));
+}
+
+void HnswIndex::Add(const la::Vec& v) {
+  DUST_CHECK(v.size() == dim_);
+  DUST_CHECK(vectors_.size() < UINT32_MAX);  // ids are stored as uint32_t
+  const uint32_t id = static_cast<uint32_t>(vectors_.size());
+  const int level = RandomLevel();
+  vectors_.push_back(v);
+  nodes_.push_back(Node{std::vector<std::vector<uint32_t>>(level + 1)});
+
+  if (max_level_ < 0) {  // first element becomes the global entry point
+    entry_point_ = id;
+    max_level_ = level;
+    return;
+  }
+
+  // Zoom in through layers above the new node's level.
+  uint32_t current = entry_point_;
+  for (int l = max_level_; l > level; --l) {
+    current = GreedyStep(vectors_[id], current, l);
+  }
+
+  // Insert with beam search on every shared layer, top to bottom.
+  for (int l = std::min(level, max_level_); l >= 0; --l) {
+    std::vector<SearchHit> found =
+        SearchLayer(vectors_[id], current, config_.ef_construction, l);
+    std::vector<uint32_t> neighbors =
+        SelectNeighbors(found, config_.M);
+    nodes_[id].neighbors[l] = neighbors;
+    for (uint32_t n : neighbors) {
+      nodes_[n].neighbors[l].push_back(id);
+      ShrinkNeighbors(n, l);
+    }
+    // Continue the descent from the best node found on this layer.
+    float current_dist = Dist(vectors_[id], vectors_[current]);
+    for (const SearchHit& h : found) {
+      if (h.distance < current_dist) {
+        current = static_cast<uint32_t>(h.id);
+        current_dist = h.distance;
+      }
+    }
+  }
+
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = id;
+  }
+}
+
+std::vector<SearchHit> HnswIndex::Search(const la::Vec& query,
+                                         size_t k) const {
+  if (vectors_.empty() || k == 0) return {};
+  uint32_t current = entry_point_;
+  for (int l = max_level_; l > 0; --l) {
+    current = GreedyStep(query, current, l);
+  }
+  size_t ef = std::max(config_.ef_search, k);
+  std::vector<SearchHit> hits = SearchLayer(query, current, ef, 0);
+  FinalizeHits(&hits, k);
+  return hits;
+}
+
+}  // namespace dust::index

@@ -1,0 +1,91 @@
+// HNSW index (Malkov & Yashunin, TPAMI'20): a hierarchy of proximity
+// graphs. Every vector gets a random top layer (geometric distribution);
+// queries greedily descend the sparse upper layers to a good entry point,
+// then run a best-first beam search (width ef_search) on the dense bottom
+// layer. This is the shortlist structure Starmie-style union search uses in
+// place of a flat scan: build is O(n log n)-ish, queries are polylog.
+#ifndef DUST_INDEX_HNSW_INDEX_H_
+#define DUST_INDEX_HNSW_INDEX_H_
+
+#include <cstdint>
+
+#include "index/vector_index.h"
+#include "util/rng.h"
+
+namespace dust::index {
+
+struct HnswConfig {
+  /// Max neighbors per node on layers > 0; layer 0 allows 2*M.
+  size_t M = 16;
+  /// Beam width while inserting. Larger = better graph, slower build.
+  size_t ef_construction = 200;
+  /// Beam width while querying (raised to k when k is larger). Larger =
+  /// better recall, slower query.
+  size_t ef_search = 128;
+  uint64_t seed = 42;
+};
+
+class HnswIndex : public VectorIndex {
+ public:
+  HnswIndex(size_t dim, la::Metric metric = la::Metric::kCosine,
+            HnswConfig config = {});
+
+  void Add(const la::Vec& v) override;
+  std::vector<SearchHit> Search(const la::Vec& query, size_t k) const override;
+
+  size_t size() const override { return vectors_.size(); }
+  size_t dim() const override { return dim_; }
+  std::string name() const override { return "HNSW"; }
+
+  /// Top layer of the hierarchy (-1 while empty); exposed for tests.
+  int max_level() const { return max_level_; }
+  const HnswConfig& config() const { return config_; }
+
+ private:
+  /// Adjacency per layer; neighbors[l] exists for l in [0, node_level].
+  struct Node {
+    std::vector<std::vector<uint32_t>> neighbors;
+  };
+
+  float Dist(const la::Vec& a, const la::Vec& b) const {
+    return la::Distance(metric_, a, b);
+  }
+
+  /// Geometric level draw with mean 1/ln(M) layers above 0.
+  int RandomLevel();
+
+  /// Single-step greedy walk on `level` toward `query`, starting at `entry`.
+  uint32_t GreedyStep(const la::Vec& query, uint32_t entry, int level) const;
+
+  /// Best-first beam search on one layer; returns up to `ef` closest nodes,
+  /// unsorted.
+  std::vector<SearchHit> SearchLayer(const la::Vec& query, uint32_t entry,
+                                     size_t ef, int level) const;
+
+  /// Paper's select-neighbors heuristic (Algorithm 4): prefers candidates
+  /// closer to the new point than to any already-kept neighbor, which keeps
+  /// edges spread across clusters instead of all inside one.
+  std::vector<uint32_t> SelectNeighbors(std::vector<SearchHit> candidates,
+                                        size_t max_degree) const;
+
+  /// Caps `id`'s degree on `level` by re-running neighbor selection.
+  void ShrinkNeighbors(uint32_t id, int level);
+
+  size_t MaxDegree(int level) const {
+    return level == 0 ? 2 * config_.M : config_.M;
+  }
+
+  size_t dim_;
+  la::Metric metric_;
+  HnswConfig config_;
+  double level_mult_;
+  Rng rng_;
+  std::vector<la::Vec> vectors_;
+  std::vector<Node> nodes_;
+  uint32_t entry_point_ = 0;
+  int max_level_ = -1;
+};
+
+}  // namespace dust::index
+
+#endif  // DUST_INDEX_HNSW_INDEX_H_

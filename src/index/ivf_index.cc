@@ -9,12 +9,12 @@ namespace dust::index {
 void IvfFlatIndex::Add(const la::Vec& v) {
   DUST_CHECK(v.size() == dim_);
   vectors_.push_back(v);
-  trained_ = false;  // lists are stale until retrained
+  trained_.store(false, std::memory_order_release);  // lists are stale
 }
 
 void IvfFlatIndex::Train() {
   if (vectors_.empty()) {
-    trained_ = true;
+    trained_.store(true, std::memory_order_release);
     return;
   }
   size_t nlist = std::min(config_.nlist, vectors_.size());
@@ -26,14 +26,17 @@ void IvfFlatIndex::Train() {
   for (size_t i = 0; i < vectors_.size(); ++i) {
     lists_[km.assignments[i]].push_back(i);
   }
-  trained_ = true;
+  trained_.store(true, std::memory_order_release);
 }
 
 std::vector<SearchHit> IvfFlatIndex::Search(const la::Vec& query,
                                             size_t k) const {
-  if (!trained_) {
+  if (!trained()) {
     // Lazy (re)train keeps the interface append-then-search friendly.
-    const_cast<IvfFlatIndex*>(this)->Train();
+    // Double-checked locking: concurrent searches (SearchBatch workers)
+    // must not race the one-time build.
+    std::lock_guard<std::mutex> lock(train_mutex_);
+    if (!trained()) const_cast<IvfFlatIndex*>(this)->Train();
   }
   if (vectors_.empty()) return {};
 

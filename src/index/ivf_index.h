@@ -5,6 +5,9 @@
 #ifndef DUST_INDEX_IVF_INDEX_H_
 #define DUST_INDEX_IVF_INDEX_H_
 
+#include <atomic>
+#include <mutex>
+
 #include "cluster/kmeans.h"
 #include "index/vector_index.h"
 
@@ -33,7 +36,7 @@ class IvfFlatIndex : public VectorIndex {
   size_t size() const override { return vectors_.size(); }
   size_t dim() const override { return dim_; }
   std::string name() const override { return "IVF-Flat"; }
-  bool trained() const { return trained_; }
+  bool trained() const { return trained_.load(std::memory_order_acquire); }
 
  private:
   size_t dim_;
@@ -42,7 +45,10 @@ class IvfFlatIndex : public VectorIndex {
   std::vector<la::Vec> vectors_;
   std::vector<la::Vec> centroids_;
   std::vector<std::vector<size_t>> lists_;
-  bool trained_ = false;
+  // Lazy training may be triggered from concurrent const Search calls
+  // (e.g. SearchBatch workers); the mutex serializes the one-time build.
+  mutable std::mutex train_mutex_;
+  std::atomic<bool> trained_{false};
 };
 
 }  // namespace dust::index

@@ -1,0 +1,76 @@
+#include "index/vector_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "index/flat_index.h"
+#include "index/hnsw_index.h"
+#include "index/ivf_index.h"
+#include "index/lsh_index.h"
+#include "util/status.h"
+
+namespace dust::index {
+
+void FinalizeHits(std::vector<SearchHit>* hits, size_t k) {
+  std::sort(hits->begin(), hits->end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  if (hits->size() > k) hits->resize(k);
+}
+
+std::vector<std::vector<SearchHit>> VectorIndex::SearchBatch(
+    const std::vector<la::Vec>& queries, size_t k) const {
+  std::vector<std::vector<SearchHit>> results(queries.size());
+  if (queries.empty()) return results;
+  // Concurrent Search calls are safe for every index (IVF's lazy train is
+  // internally locked), so workers fan out over all queries directly.
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+  for (size_t i = 0; i < queries.size(); ++i) {
+    results[i] = Search(queries[i], k);
+  }
+#else
+  size_t hardware = std::thread::hardware_concurrency();
+  size_t workers =
+      std::min<size_t>(hardware == 0 ? 1 : hardware, queries.size());
+  if (workers <= 1) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      results[i] = Search(queries[i], k);
+    }
+  } else {
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&] {
+        for (size_t i = next.fetch_add(1); i < queries.size();
+             i = next.fetch_add(1)) {
+          results[i] = Search(queries[i], k);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+#endif
+  return results;
+}
+
+std::unique_ptr<VectorIndex> MakeVectorIndex(const std::string& type,
+                                             size_t dim, la::Metric metric) {
+  // A typo must not silently swap the retrieval algorithm. Guarding with
+  // IsKnownIndexType keeps validation and dispatch from drifting apart.
+  DUST_CHECK(IsKnownIndexType(type) && "unknown vector index type");
+  if (type == "hnsw") return std::make_unique<HnswIndex>(dim, metric);
+  if (type == "ivf") return std::make_unique<IvfFlatIndex>(dim, metric);
+  if (type == "lsh") return std::make_unique<LshIndex>(dim, metric);
+  return std::make_unique<FlatIndex>(dim, metric);
+}
+
+bool IsKnownIndexType(const std::string& type) {
+  return type == "flat" || type == "hnsw" || type == "ivf" || type == "lsh";
+}
+
+}  // namespace dust::index

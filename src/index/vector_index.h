@@ -6,6 +6,7 @@
 #define DUST_INDEX_VECTOR_INDEX_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,8 +36,20 @@ class VectorIndex {
 
   /// Top-k nearest neighbors by ascending distance (ties by ascending id).
   /// Approximate indexes may miss true neighbors.
+  ///
+  /// Contract: concurrent Search calls on one index must be safe (the
+  /// default SearchBatch fans queries out across threads). Implementations
+  /// with lazy build state must synchronize it internally (see IvfFlatIndex
+  /// Train locking) or override SearchBatch.
   virtual std::vector<SearchHit> Search(const la::Vec& query,
                                         size_t k) const = 0;
+
+  /// Top-k nearest neighbors for every query, result i matching query i.
+  /// The default implementation answers queries in parallel (OpenMP when
+  /// compiled with it, std::thread otherwise) and is exactly equivalent to
+  /// calling Search per query; subclasses may override with fused kernels.
+  virtual std::vector<std::vector<SearchHit>> SearchBatch(
+      const std::vector<la::Vec>& queries, size_t k) const;
 
   virtual size_t size() const = 0;
   virtual size_t dim() const = 0;
@@ -45,6 +58,15 @@ class VectorIndex {
 
 /// Sorts hits ascending by (distance, id) and truncates to k.
 void FinalizeHits(std::vector<SearchHit>* hits, size_t k);
+
+/// Builds an index by type name: "flat", "ivf", "lsh", or "hnsw". Unknown
+/// names abort (DUST_CHECK) — a typo must not silently change algorithms.
+std::unique_ptr<VectorIndex> MakeVectorIndex(const std::string& type,
+                                             size_t dim, la::Metric metric);
+
+/// True when MakeVectorIndex accepts `type`. The single source of truth for
+/// user-facing validation (CLI flags, config files).
+bool IsKnownIndexType(const std::string& type);
 
 }  // namespace dust::index
 

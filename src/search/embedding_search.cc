@@ -3,9 +3,6 @@
 #include <algorithm>
 
 #include "align/hungarian.h"
-#include "index/flat_index.h"
-#include "index/ivf_index.h"
-#include "index/lsh_index.h"
 
 namespace dust::search {
 
@@ -30,16 +27,8 @@ void EmbeddingUnionSearch::IndexLake(
   }
 
   if (config_.shortlist > 0) {
-    if (config_.index_type == "ivf") {
-      profile_index_ = std::make_unique<index::IvfFlatIndex>(
-          encoder_.dim(), la::Metric::kCosine);
-    } else if (config_.index_type == "lsh") {
-      profile_index_ =
-          std::make_unique<index::LshIndex>(encoder_.dim(), la::Metric::kCosine);
-    } else {
-      profile_index_ =
-          std::make_unique<index::FlatIndex>(encoder_.dim(), la::Metric::kCosine);
-    }
+    profile_index_ = index::MakeVectorIndex(config_.index_type, encoder_.dim(),
+                                            la::Metric::kCosine);
     profile_index_->AddAll(lake_profiles_);
   } else {
     profile_index_.reset();

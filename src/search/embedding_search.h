@@ -19,7 +19,7 @@ struct EmbeddingSearchConfig {
   /// Candidates short-listed by the table-profile index before exact
   /// bipartite scoring (0 = score every table exactly).
   size_t shortlist = 0;
-  /// Index type for the shortlist: "flat", "ivf", or "lsh".
+  /// Index type for the shortlist: "flat", "ivf", "lsh", or "hnsw".
   std::string index_type = "flat";
 };
 

@@ -3,9 +3,6 @@
 #include <algorithm>
 #include <unordered_map>
 
-#include "index/flat_index.h"
-#include "index/ivf_index.h"
-#include "index/lsh_index.h"
 #include "util/status.h"
 
 namespace dust::search {
@@ -18,16 +15,8 @@ TupleSearch::TupleSearch(std::shared_ptr<embed::TupleEncoder> encoder,
 
 void TupleSearch::IndexLake(const std::vector<const table::Table*>& lake) {
   refs_.clear();
-  if (config_.index_type == "ivf") {
-    index_ = std::make_unique<index::IvfFlatIndex>(encoder_->dim(),
-                                                   la::Metric::kCosine);
-  } else if (config_.index_type == "lsh") {
-    index_ =
-        std::make_unique<index::LshIndex>(encoder_->dim(), la::Metric::kCosine);
-  } else {
-    index_ =
-        std::make_unique<index::FlatIndex>(encoder_->dim(), la::Metric::kCosine);
-  }
+  index_ = index::MakeVectorIndex(config_.index_type, encoder_->dim(),
+                                  la::Metric::kCosine);
   for (size_t t = 0; t < lake.size(); ++t) {
     std::vector<la::Vec> rows = encoder_->EncodeTableRows(*lake[t]);
     for (size_t r = 0; r < rows.size(); ++r) {
@@ -44,9 +33,17 @@ std::vector<TupleHit> TupleSearch::SearchTuples(const table::Table& query,
   // similarity to any query tuple (so exact copies rank first).
   std::unordered_map<size_t, double> best_similarity;
   size_t fetch = std::max(k, config_.per_query_candidates);
+  // One batched index call over all query tuples; the index answers them in
+  // parallel while fusion stays sequential and deterministic.
+  std::vector<la::Vec> query_embeddings;
+  query_embeddings.reserve(query.num_rows());
   for (size_t r = 0; r < query.num_rows(); ++r) {
-    la::Vec e = encoder_->EncodeSerialized(table::SerializeTableRow(query, r));
-    for (const index::SearchHit& hit : index_->Search(e, fetch)) {
+    query_embeddings.push_back(
+        encoder_->EncodeSerialized(table::SerializeTableRow(query, r)));
+  }
+  for (const std::vector<index::SearchHit>& hits :
+       index_->SearchBatch(query_embeddings, fetch)) {
+    for (const index::SearchHit& hit : hits) {
       double similarity = 1.0 - static_cast<double>(hit.distance);
       auto [it, inserted] = best_similarity.try_emplace(hit.id, similarity);
       if (!inserted && similarity > it->second) it->second = similarity;

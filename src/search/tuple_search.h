@@ -20,7 +20,7 @@ struct TupleHit {
 };
 
 struct TupleSearchConfig {
-  /// "flat", "ivf", or "lsh".
+  /// "flat", "ivf", "lsh", or "hnsw".
   std::string index_type = "flat";
   /// Per-query-tuple candidates fetched from the index before fusion.
   size_t per_query_candidates = 200;

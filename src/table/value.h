@@ -34,6 +34,7 @@ class Value {
   bool operator==(const Value& other) const {
     return is_null_ == other.is_null_ && (is_null_ || text_ == other.text_);
   }
+  bool operator!=(const Value& other) const { return !(*this == other); }
 
  private:
   std::string text_;

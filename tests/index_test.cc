@@ -1,4 +1,5 @@
-// Unit + property tests for src/index: Flat, IVF-Flat, and LSH indexes.
+// Unit + property tests for src/index: Flat, IVF-Flat, LSH, and HNSW
+// indexes, plus the batched query path shared by all of them.
 #include <gtest/gtest.h>
 
 #include <functional>
@@ -6,6 +7,7 @@
 #include <set>
 
 #include "index/flat_index.h"
+#include "index/hnsw_index.h"
 #include "index/ivf_index.h"
 #include "index/lsh_index.h"
 #include "util/rng.h"
@@ -174,6 +176,79 @@ TEST(LshIndexTest, RecallReasonableWithProbing) {
   EXPECT_GE(found, 8u);  // at least 40% top-1 recall on random data
 }
 
+TEST(HnswIndexTest, FindsIdenticalVector) {
+  HnswIndex hnsw(8, la::Metric::kCosine);
+  auto vectors = RandomUnitVectors(300, 8, 9);
+  for (const auto& v : vectors) hnsw.Add(v);
+  auto hits = hnsw.Search(vectors[123], 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 123u);
+  EXPECT_NEAR(hits[0].distance, 0.0f, 1e-5);
+}
+
+TEST(HnswIndexTest, HierarchyHasUpperLayers) {
+  HnswIndex hnsw(8, la::Metric::kCosine);
+  auto vectors = RandomUnitVectors(500, 8, 10);
+  for (const auto& v : vectors) hnsw.Add(v);
+  // With M=16 the expected fraction of nodes above layer 0 is 1/16, so 500
+  // inserts give upper layers with overwhelming probability.
+  EXPECT_GE(hnsw.max_level(), 1);
+}
+
+TEST(HnswIndexTest, RecallAt10AtLeast95PercentVsFlat) {
+  const size_t kDim = 16;
+  auto vectors = RandomUnitVectors(2000, kDim, 11);
+  HnswIndex hnsw(kDim, la::Metric::kCosine);
+  FlatIndex flat(kDim, la::Metric::kCosine);
+  for (const auto& v : vectors) {
+    hnsw.Add(v);
+    flat.Add(v);
+  }
+  size_t found = 0;
+  size_t total = 0;
+  for (uint64_t q = 0; q < 50; ++q) {
+    la::Vec query = RandomUnitVectors(1, kDim, 4000 + q)[0];
+    auto exact = flat.Search(query, 10);
+    auto approx = hnsw.Search(query, 10);
+    std::set<size_t> approx_ids;
+    for (const auto& h : approx) approx_ids.insert(h.id);
+    for (const auto& h : exact) {
+      ++total;
+      if (approx_ids.count(h.id)) ++found;
+    }
+  }
+  EXPECT_GE(static_cast<double>(found) / static_cast<double>(total), 0.95);
+}
+
+TEST(HnswIndexTest, EuclideanMetricExactOnSmallSet) {
+  HnswIndex hnsw(2, la::Metric::kEuclidean);
+  hnsw.Add({0, 0});
+  hnsw.Add({5, 0});
+  hnsw.Add({0, 3});
+  auto hits = hnsw.Search({0.4f, 0.1f}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 0u);
+  EXPECT_EQ(hits[1].id, 2u);
+}
+
+TEST(HnswIndexTest, DeterministicAcrossRebuilds) {
+  auto vectors = RandomUnitVectors(400, 12, 14);
+  la::Vec query = RandomUnitVectors(1, 12, 5000)[0];
+  std::vector<size_t> first_ids;
+  for (int run = 0; run < 2; ++run) {
+    HnswIndex hnsw(12, la::Metric::kCosine);
+    for (const auto& v : vectors) hnsw.Add(v);
+    auto hits = hnsw.Search(query, 10);
+    std::vector<size_t> ids;
+    for (const auto& h : hits) ids.push_back(h.id);
+    if (run == 0) {
+      first_ids = ids;
+    } else {
+      EXPECT_EQ(first_ids, ids);
+    }
+  }
+}
+
 // Property suite over all index types: structural invariants.
 using IndexFactory = std::function<std::unique_ptr<VectorIndex>()>;
 
@@ -204,6 +279,29 @@ TEST_P(IndexPropertyTest, EmptyIndexReturnsNothing) {
   EXPECT_TRUE(hits.empty());
 }
 
+TEST_P(IndexPropertyTest, SearchBatchMatchesSequentialSearch) {
+  auto index = GetParam().second();
+  index->AddAll(RandomUnitVectors(150, index->dim(), 44));
+  auto queries = RandomUnitVectors(23, index->dim(), 4500);
+  auto batched = index->SearchBatch(queries, 6);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto sequential = index->Search(queries[q], 6);
+    ASSERT_EQ(batched[q].size(), sequential.size()) << "query " << q;
+    for (size_t i = 0; i < sequential.size(); ++i) {
+      EXPECT_EQ(batched[q][i].id, sequential[i].id) << "query " << q;
+      EXPECT_FLOAT_EQ(batched[q][i].distance, sequential[i].distance)
+          << "query " << q;
+    }
+  }
+}
+
+TEST_P(IndexPropertyTest, SearchBatchEmptyQueries) {
+  auto index = GetParam().second();
+  index->AddAll(RandomUnitVectors(30, index->dim(), 45));
+  EXPECT_TRUE(index->SearchBatch({}, 5).empty());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllIndexes, IndexPropertyTest,
     ::testing::Values(
@@ -222,6 +320,10 @@ INSTANTIATE_TEST_SUITE_P(
                          config.probe_radius = 2;
                          return std::unique_ptr<VectorIndex>(
                              new LshIndex(12, la::Metric::kCosine, config));
+                       })),
+        std::make_pair("hnsw", IndexFactory([] {
+                         return std::unique_ptr<VectorIndex>(
+                             new HnswIndex(12, la::Metric::kCosine));
                        }))),
     [](const ::testing::TestParamInfo<std::pair<const char*, IndexFactory>>&
            info) { return info.param.first; });

@@ -1,10 +1,14 @@
 // dust_cli — run diverse unionable tuple search over a directory of CSVs.
 //
 //   dust_cli --lake <dir> --query <file.csv> [--k 30] [--tables 10]
-//            [--engine starmie|d3l] [--out result.csv] [--p 2] [--s 2500]
+//            [--engine starmie|d3l] [--index flat|ivf|lsh|hnsw]
+//            [--shortlist N] [--out result.csv] [--p 2] [--s 2500]
 //
 // Indexes every *.csv in the lake directory, runs Algorithm 1 for the query
 // table, prints a summary and (optionally) writes the k diverse tuples.
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -13,6 +17,7 @@
 
 #include "core/pipeline.h"
 #include "embed/tuple_encoder.h"
+#include "index/vector_index.h"
 #include "table/csv.h"
 
 using namespace dust;
@@ -24,6 +29,8 @@ struct CliOptions {
   std::string query_path;
   std::string out_path;
   std::string engine = "starmie";
+  std::string index = "flat";
+  size_t shortlist = 0;
   size_t k = 30;
   size_t tables = 10;
   size_t p = 2;
@@ -34,8 +41,27 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage: dust_cli --lake <dir> --query <file.csv> [--k N] [--tables N]\n"
-      "                [--engine starmie|d3l] [--out result.csv] [--p N] "
-      "[--s N]\n");
+      "                [--engine starmie|d3l] [--index flat|ivf|lsh|hnsw]\n"
+      "                [--shortlist N] [--out result.csv] [--p N] [--s N]\n");
+}
+
+/// Parses a non-negative integer: digits only (strtoul alone would skip
+/// whitespace and wrap signed values like " -5" to a huge size_t), no
+/// overflow.
+bool ParseSize(const char* flag, const char* value, size_t* out) {
+  bool digits_only = *value != '\0';
+  for (const char* p = value; *p; ++p) {
+    if (!std::isdigit(static_cast<unsigned char>(*p))) digits_only = false;
+  }
+  errno = 0;
+  unsigned long parsed = digits_only ? std::strtoul(value, nullptr, 10) : 0;
+  if (!digits_only || errno == ERANGE) {
+    std::fprintf(stderr, "%s expects a non-negative number, got: %s\n", flag,
+                 value);
+    return false;
+  }
+  *out = static_cast<size_t>(parsed);
+  return true;
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -53,18 +79,34 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->out_path = value;
     } else if (arg == "--engine" && (value = next())) {
       options->engine = value;
+    } else if (arg == "--index" && (value = next())) {
+      options->index = value;
+    } else if (arg == "--shortlist" && (value = next())) {
+      if (!ParseSize("--shortlist", value, &options->shortlist)) return false;
     } else if (arg == "--k" && (value = next())) {
-      options->k = static_cast<size_t>(std::strtoul(value, nullptr, 10));
+      if (!ParseSize("--k", value, &options->k)) return false;
     } else if (arg == "--tables" && (value = next())) {
-      options->tables = static_cast<size_t>(std::strtoul(value, nullptr, 10));
+      if (!ParseSize("--tables", value, &options->tables)) return false;
     } else if (arg == "--p" && (value = next())) {
-      options->p = static_cast<size_t>(std::strtoul(value, nullptr, 10));
+      if (!ParseSize("--p", value, &options->p)) return false;
     } else if (arg == "--s" && (value = next())) {
-      options->s = static_cast<size_t>(std::strtoul(value, nullptr, 10));
+      if (!ParseSize("--s", value, &options->s)) return false;
     } else {
       std::fprintf(stderr, "unknown or incomplete argument: %s\n", arg.c_str());
       return false;
     }
+  }
+  if (options->engine != "starmie" && options->engine != "d3l") {
+    // The pipeline routes anything that is not exactly "d3l" to starmie;
+    // reject typos here instead of silently running the wrong engine.
+    std::fprintf(stderr, "unknown --engine: %s\n", options->engine.c_str());
+    return false;
+  }
+  if (!index::IsKnownIndexType(options->index)) {
+    // Reject here for a usage error instead of the factory's DUST_CHECK
+    // abort deep inside IndexLake.
+    std::fprintf(stderr, "unknown --index type: %s\n", options->index.c_str());
+    return false;
   }
   return !options->lake_dir.empty() && !options->query_path.empty() &&
          options->k > 0;
@@ -124,6 +166,24 @@ int main(int argc, char** argv) {
   // Pipeline.
   core::PipelineConfig config;
   config.engine = options.engine;
+  config.search_index = options.index;
+  config.search_shortlist = options.shortlist;
+  if (options.engine == "d3l") {
+    // Only the starmie engine builds a shortlist index.
+    if (options.index != "flat" || options.shortlist > 0) {
+      std::fprintf(stderr,
+                   "--index/--shortlist are ignored by the %s engine\n",
+                   options.engine.c_str());
+    }
+  } else if (options.index != "flat" && options.shortlist == 0) {
+    // The pipeline resolves this contradictory combination itself (a
+    // shortlist of 0 would disable the index); surface the default here.
+    std::fprintf(stderr,
+                 "--index %s without --shortlist: the pipeline defaults the "
+                 "shortlist to %zu\n",
+                 options.index.c_str(),
+                 core::PipelineConfig::DefaultShortlist(options.tables));
+  }
   config.num_tables = options.tables;
   config.diversifier.p = options.p;
   config.diversifier.prune_s = options.s;
