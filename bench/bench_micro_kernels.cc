@@ -1,14 +1,20 @@
 // Micro-benchmarks (google-benchmark) for the hot kernels: distance
-// computations, NN-chain clustering, the vector indexes, and tuple
-// encoding.
+// computations, NN-chain clustering, the vector indexes (build, save, load,
+// query), and tuple encoding. The CI bench-smoke job runs the BM_Index*
+// benchmarks with --benchmark_out=BENCH_index.json and uploads the JSON as
+// a per-PR artifact, so the offline-build and online-serve timings are
+// tracked across revisions.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
 #include <set>
 
 #include "bench/bench_util.h"
 #include "cluster/agglomerative.h"
 #include "index/flat_index.h"
 #include "index/ivf_index.h"
+#include "io/index_io.h"
 #include "la/distance.h"
 
 using namespace dust;
@@ -81,6 +87,72 @@ std::unique_ptr<index::VectorIndex> MakeBenchIndex(const std::string& type) {
   }
   return index::MakeVectorIndex(type, 64, la::Metric::kCosine);
 }
+
+/// Scratch file shared by the save/load benchmarks.
+std::string BenchIndexPath() {
+  return (std::filesystem::temp_directory_path() / "dust_bench_index.bin")
+      .string();
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  const char* type = kIndexTypes[state.range(0)];
+  size_t n = static_cast<size_t>(state.range(1));
+  auto points = bench::SyntheticTupleCloud(n, 64, 16, 4);
+  for (auto _ : state) {
+    auto idx = MakeBenchIndex(type);
+    idx->AddAll(points);
+    // Include IVF's k-means in the offline build cost instead of deferring
+    // it to the first (timed) query.
+    if (auto* ivf = dynamic_cast<index::IvfFlatIndex*>(idx.get())) {
+      ivf->Train();
+    }
+    benchmark::DoNotOptimize(idx->size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  state.SetLabel(type);
+}
+BENCHMARK(BM_IndexBuild)->ArgsProduct({{0, 1, 2, 3}, {2000, 10000}});
+
+void BM_IndexSave(benchmark::State& state) {
+  const char* type = kIndexTypes[state.range(0)];
+  auto points = bench::SyntheticTupleCloud(10000, 64, 16, 4);
+  auto idx = MakeBenchIndex(type);
+  idx->AddAll(points);
+  // Warm IVF's lazy training outside the timed loop (Save would otherwise
+  // fold the one-time k-means into the first iteration).
+  benchmark::DoNotOptimize(idx->Search(points[0], 1).size());
+  const std::string path = BenchIndexPath();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx->Save(path).ok());
+  }
+  std::error_code ec;
+  state.counters["file_bytes"] = static_cast<double>(
+      std::filesystem::file_size(path, ec));
+  std::filesystem::remove(path, ec);
+  state.SetLabel(type);
+}
+BENCHMARK(BM_IndexSave)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_IndexLoad(benchmark::State& state) {
+  const char* type = kIndexTypes[state.range(0)];
+  auto points = bench::SyntheticTupleCloud(10000, 64, 16, 4);
+  auto idx = MakeBenchIndex(type);
+  idx->AddAll(points);
+  const std::string path = BenchIndexPath();
+  if (!idx->Save(path).ok()) {
+    state.SkipWithError("cannot write bench index file");
+    return;
+  }
+  for (auto _ : state) {
+    auto loaded = io::LoadIndex(path);
+    benchmark::DoNotOptimize(loaded.ok());
+  }
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  state.SetLabel(type);
+}
+BENCHMARK(BM_IndexLoad)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_IndexSearch(benchmark::State& state) {
   const char* type = kIndexTypes[state.range(0)];

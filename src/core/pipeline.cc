@@ -1,12 +1,37 @@
 #include "core/pipeline.h"
 
+#include <cstring>
+
 #include "embed/column_embedder.h"
 #include "index/vector_index.h"
+#include "io/index_io.h"
 #include "search/embedding_search.h"
 #include "search/overlap_search.h"
+#include "text/hashing.h"
 #include "util/stopwatch.h"
 
 namespace dust::core {
+namespace {
+
+/// Snapshot file format version; bump on any layout change.
+constexpr uint32_t kSnapshotFormatVersion = 1;
+
+// Staleness hashing chains every field through the library's FNV-1a
+// (text::HashString), running hash as the next call's seed. The resulting
+// value is baked into saved snapshot files, so changing this scheme (or
+// HashString itself) invalidates existing snapshots — acceptable: the check
+// then fails closed, forcing a rebuild.
+uint64_t ChainHash(uint64_t h, uint64_t v) {
+  char bytes[sizeof(v)];
+  std::memcpy(bytes, &v, sizeof(v));
+  return text::HashString(std::string_view(bytes, sizeof(v)), h);
+}
+
+uint64_t ChainHash(uint64_t h, const std::string& s) {
+  return text::HashString(s, h);
+}
+
+}  // namespace
 
 DustPipeline::DustPipeline(PipelineConfig config,
                            std::shared_ptr<embed::TupleEncoder> tuple_encoder)
@@ -29,7 +54,8 @@ DustPipeline::DustPipeline(PipelineConfig config,
     if (config_.search_index != "flat" && config_.search_shortlist == 0) {
       // shortlist == 0 means "score everything exactly", which would make
       // the requested approximate index a silent no-op; give it work.
-      embedding.shortlist = PipelineConfig::DefaultShortlist(config_.num_tables);
+      embedding.shortlist =
+          PipelineConfig::DefaultShortlist(config_.num_tables);
     }
     search_ = std::make_unique<search::EmbeddingUnionSearch>(embedding);
   }
@@ -38,6 +64,84 @@ DustPipeline::DustPipeline(PipelineConfig config,
 void DustPipeline::IndexLake(const std::vector<const table::Table*>& lake) {
   lake_ = lake;
   search_->IndexLake(lake);
+}
+
+uint64_t DustPipeline::SnapshotHash(
+    const std::vector<const table::Table*>& lake) const {
+  uint64_t h = ChainHash(0, std::string("dust-snapshot-v1"));
+  h = ChainHash(h, config_.engine);
+  h = ChainHash(h, config_.search_index);
+  h = ChainHash(h, config_.search_shortlist);
+  h = ChainHash(h, config_.embedding_dim);
+  h = ChainHash(h, config_.seed);
+  h = ChainHash(h, static_cast<uint64_t>(config_.column_model));
+  h = ChainHash(h, static_cast<uint64_t>(config_.column_serialization));
+  h = ChainHash(h, static_cast<uint64_t>(config_.metric));
+  h = ChainHash(h, lake.size());
+  for (const table::Table* t : lake) {
+    h = ChainHash(h, t->name());
+    h = ChainHash(h, t->num_columns());
+    h = ChainHash(h, t->num_rows());
+  }
+  return h;
+}
+
+Status DustPipeline::SaveSnapshot(const std::string& path) const {
+  if (lake_.empty()) {
+    return Status::FailedPrecondition("IndexLake was not called");
+  }
+  io::IndexWriter writer(path);
+  DUST_RETURN_IF_ERROR(writer.status());
+  writer.WriteBytes(io::kSnapshotMagic, sizeof(io::kSnapshotMagic));
+  writer.WriteU32(kSnapshotFormatVersion);
+  writer.WriteU64(SnapshotHash(lake_));
+  // Id-to-lake-table mapping. Identity for the table-profile index today;
+  // kept explicit so tuple-level or sharded indexes (ROADMAP) can persist a
+  // non-trivial mapping without a format bump.
+  writer.WriteU64(lake_.size());
+  for (size_t t = 0; t < lake_.size(); ++t) writer.WriteU64(t);
+  DUST_RETURN_IF_ERROR(writer.status());
+  DUST_RETURN_IF_ERROR(search_->SaveState(&writer));
+  return writer.Close();
+}
+
+Status DustPipeline::LoadSnapshot(
+    const std::string& path, const std::vector<const table::Table*>& lake) {
+  if (lake.empty()) {
+    return Status::InvalidArgument("cannot load a snapshot over an empty lake");
+  }
+  io::IndexReader reader(path);
+  DUST_RETURN_IF_ERROR(reader.status());
+  DUST_RETURN_IF_ERROR(
+      reader.ExpectMagic(io::kSnapshotMagic, "DUST snapshot"));
+  uint32_t version = 0;
+  DUST_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (version != kSnapshotFormatVersion) {
+    return Status::IoError("unsupported snapshot format version " +
+                           std::to_string(version));
+  }
+  uint64_t stored_hash = 0;
+  DUST_RETURN_IF_ERROR(reader.ReadU64(&stored_hash));
+  if (stored_hash != SnapshotHash(lake)) {
+    return Status::FailedPrecondition(
+        "stale snapshot: embedding config or lake changed since it was "
+        "saved; rebuild with IndexLake + SaveSnapshot");
+  }
+  uint64_t mapping_size = 0;
+  DUST_RETURN_IF_ERROR(reader.ReadCount(sizeof(uint64_t), &mapping_size));
+  if (mapping_size != lake.size()) {
+    return Status::IoError("snapshot mapping/lake size mismatch");
+  }
+  for (uint64_t i = 0; i < mapping_size; ++i) {
+    uint64_t table_index = 0;
+    DUST_RETURN_IF_ERROR(reader.ReadU64(&table_index));
+    if (table_index >= lake.size()) {
+      return Status::IoError("snapshot mapping references missing table");
+    }
+  }
+  DUST_RETURN_IF_ERROR(search_->LoadState(&reader));
+  lake_ = lake;
+  return Status::Ok();
 }
 
 Result<PipelineResult> DustPipeline::Run(const table::Table& query,
@@ -134,6 +238,17 @@ Result<PipelineResult> DustPipeline::Run(const table::Table& query,
     result.provenance.push_back(ref);
   }
   return result;
+}
+
+Status SavePipelineSnapshot(const DustPipeline& pipeline,
+                            const std::string& path) {
+  return pipeline.SaveSnapshot(path);
+}
+
+Status LoadPipelineSnapshot(DustPipeline* pipeline, const std::string& path,
+                            const std::vector<const table::Table*>& lake) {
+  DUST_CHECK(pipeline != nullptr);
+  return pipeline->LoadSnapshot(path, lake);
 }
 
 }  // namespace dust::core

@@ -84,17 +84,43 @@ class DustPipeline {
   /// Indexes the data lake once (search-phase indexes).
   void IndexLake(const std::vector<const table::Table*>& lake);
 
+  /// Persists the state IndexLake built — the search engine's lake
+  /// embeddings and shortlist index, the id-to-table mapping, and a hash of
+  /// every config field and lake shape that shaped that state — so serving
+  /// processes can LoadSnapshot instead of re-embedding the lake. Requires
+  /// IndexLake to have run; the d3l engine does not support snapshots.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Restores a SaveSnapshot file against the same lake tables (still
+  /// needed online for alignment and tuple materialization). A snapshot
+  /// whose config hash does not match this pipeline's config and `lake` is
+  /// rejected with FailedPrecondition rather than silently mis-served.
+  Status LoadSnapshot(const std::string& path,
+                      const std::vector<const table::Table*>& lake);
+
   /// Runs Algorithm 1 for one query, returning `k` diverse tuples.
   Result<PipelineResult> Run(const table::Table& query, size_t k) const;
 
   const PipelineConfig& config() const { return config_; }
 
  private:
+  /// Hash of the embedding/search config plus the lake's shape (per-table
+  /// name and row/column counts). Staleness guard: it detects config drift
+  /// and added/removed/reshaped tables, not in-place cell edits.
+  uint64_t SnapshotHash(const std::vector<const table::Table*>& lake) const;
+
   PipelineConfig config_;
   std::shared_ptr<embed::TupleEncoder> tuple_encoder_;
   std::unique_ptr<search::UnionSearch> search_;
   std::vector<const table::Table*> lake_;
 };
+
+/// Free-function spellings of the snapshot API (the offline indexer calls
+/// Save, every serving process calls Load).
+Status SavePipelineSnapshot(const DustPipeline& pipeline,
+                            const std::string& path);
+Status LoadPipelineSnapshot(DustPipeline* pipeline, const std::string& path,
+                            const std::vector<const table::Table*>& lake);
 
 }  // namespace dust::core
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "io/index_io.h"
 #include "util/status.h"
 
 namespace dust::index {
@@ -20,6 +21,15 @@ std::vector<SearchHit> FlatIndex::Search(const la::Vec& query,
   }
   FinalizeHits(&hits, k);
   return hits;
+}
+
+Status FlatIndex::SavePayload(io::IndexWriter* writer) const {
+  writer->WriteVecs(vectors_);
+  return writer->status();
+}
+
+Status FlatIndex::LoadPayload(io::IndexReader* reader) {
+  return reader->ReadVecs(&vectors_, dim_);
 }
 
 }  // namespace dust::index

@@ -18,6 +18,11 @@ class FlatIndex : public VectorIndex {
   size_t size() const override { return vectors_.size(); }
   size_t dim() const override { return dim_; }
   std::string name() const override { return "Flat"; }
+  la::Metric metric() const override { return metric_; }
+  std::string type_tag() const override { return "flat"; }
+
+  Status SavePayload(io::IndexWriter* writer) const override;
+  Status LoadPayload(io::IndexReader* reader) override;
 
   const la::Vec& vector(size_t id) const { return vectors_[id]; }
 

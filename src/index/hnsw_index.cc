@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "io/index_io.h"
 #include "util/status.h"
 
 namespace dust::index {
@@ -220,6 +221,106 @@ std::vector<SearchHit> HnswIndex::Search(const la::Vec& query,
   std::vector<SearchHit> hits = SearchLayer(query, current, ef, 0);
   FinalizeHits(&hits, k);
   return hits;
+}
+
+Status HnswIndex::SavePayload(io::IndexWriter* writer) const {
+  writer->WriteU64(config_.M);
+  writer->WriteU64(config_.ef_construction);
+  writer->WriteU64(config_.ef_search);
+  writer->WriteU64(config_.seed);
+  writer->WriteVecs(vectors_);
+  writer->WriteU32(entry_point_);
+  writer->WriteI64(max_level_);
+  for (const Node& node : nodes_) {
+    writer->WriteU32(static_cast<uint32_t>(node.neighbors.size()));
+    for (const std::vector<uint32_t>& layer : node.neighbors) {
+      writer->WriteU32(static_cast<uint32_t>(layer.size()));
+      for (uint32_t id : layer) writer->WriteU32(id);
+    }
+  }
+  return writer->status();
+}
+
+Status HnswIndex::LoadPayload(io::IndexReader* reader) {
+  uint64_t m = 0, ef_construction = 0, ef_search = 0, seed = 0;
+  DUST_RETURN_IF_ERROR(reader->ReadU64(&m));
+  DUST_RETURN_IF_ERROR(reader->ReadU64(&ef_construction));
+  DUST_RETURN_IF_ERROR(reader->ReadU64(&ef_search));
+  DUST_RETURN_IF_ERROR(reader->ReadU64(&seed));
+  // The constructor DUST_CHECKs these; file input must reject instead.
+  if (m < 2 || ef_construction < 1 || ef_search < 1) {
+    return Status::IoError("HNSW payload has invalid config");
+  }
+  config_.M = static_cast<size_t>(m);
+  config_.ef_construction = static_cast<size_t>(ef_construction);
+  config_.ef_search = static_cast<size_t>(ef_search);
+  config_.seed = seed;
+  level_mult_ =
+      1.0 / std::log(static_cast<double>(std::max<size_t>(config_.M, 2)));
+  rng_ = Rng(config_.seed);
+  DUST_RETURN_IF_ERROR(reader->ReadVecs(&vectors_, dim_));
+  uint32_t entry_point = 0;
+  int64_t max_level = 0;
+  DUST_RETURN_IF_ERROR(reader->ReadU32(&entry_point));
+  DUST_RETURN_IF_ERROR(reader->ReadI64(&max_level));
+  const size_t count = vectors_.size();
+  if (count > 0 && entry_point >= count) {
+    return Status::IoError("HNSW payload entry point out of range");
+  }
+  // RandomLevel clamps real builds to 48 layers; anything past 63 is a
+  // corrupt file, and bounding it here keeps per-node layer counts (and the
+  // resize they drive) small before any adjacency bytes are trusted.
+  if (max_level < -1 || max_level > 63 ||
+      (count == 0) != (max_level == -1)) {
+    return Status::IoError("HNSW payload max level inconsistent");
+  }
+  entry_point_ = entry_point;
+  max_level_ = static_cast<int>(max_level);
+  nodes_.assign(count, Node{});
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t num_layers = 0;
+    DUST_RETURN_IF_ERROR(reader->ReadU32(&num_layers));
+    if (num_layers == 0 ||
+        num_layers > static_cast<uint32_t>(max_level_) + 1) {
+      return Status::IoError("HNSW payload node layer count invalid");
+    }
+    nodes_[i].neighbors.resize(num_layers);
+    for (uint32_t l = 0; l < num_layers; ++l) {
+      uint32_t degree = 0;
+      DUST_RETURN_IF_ERROR(reader->ReadU32(&degree));
+      if (degree > reader->remaining() / sizeof(uint32_t)) {
+        return Status::IoError("HNSW payload degree exceeds file size");
+      }
+      std::vector<uint32_t>& layer = nodes_[i].neighbors[l];
+      layer.resize(degree);
+      for (uint32_t n = 0; n < degree; ++n) {
+        DUST_RETURN_IF_ERROR(reader->ReadU32(&layer[n]));
+        if (layer[n] >= count) {
+          return Status::IoError("HNSW payload neighbor id out of range");
+        }
+      }
+    }
+  }
+  // Search descends from max_level_ starting at the entry point and walks
+  // adjacency at every level it finds ids on; both would index past a
+  // node's layer vector if the file under-reports layer counts, so enforce
+  // the structural invariants a real build guarantees.
+  if (count > 0 &&
+      nodes_[entry_point_].neighbors.size() !=
+          static_cast<size_t>(max_level_) + 1) {
+    return Status::IoError("HNSW payload entry point misses the top layer");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t l = 0; l < nodes_[i].neighbors.size(); ++l) {
+      for (uint32_t n : nodes_[i].neighbors[l]) {
+        if (nodes_[n].neighbors.size() <= l) {
+          return Status::IoError(
+              "HNSW payload links a node on a layer it does not have");
+        }
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace dust::index

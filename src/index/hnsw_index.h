@@ -36,6 +36,15 @@ class HnswIndex : public VectorIndex {
   size_t size() const override { return vectors_.size(); }
   size_t dim() const override { return dim_; }
   std::string name() const override { return "HNSW"; }
+  la::Metric metric() const override { return metric_; }
+  std::string type_tag() const override { return "hnsw"; }
+
+  /// Persists the full layered graph (adjacency, entry point, config), so a
+  /// loaded index searches bit-identically to the saved one. The RNG state
+  /// is reset from the seed, not persisted: Add after Load stays valid but
+  /// may draw different levels than the never-saved index would have.
+  Status SavePayload(io::IndexWriter* writer) const override;
+  Status LoadPayload(io::IndexReader* reader) override;
 
   /// Top layer of the hierarchy (-1 while empty); exposed for tests.
   int max_level() const { return max_level_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "io/index_io.h"
 #include "util/status.h"
 
 namespace dust::index {
@@ -29,8 +30,7 @@ void IvfFlatIndex::Train() {
   trained_.store(true, std::memory_order_release);
 }
 
-std::vector<SearchHit> IvfFlatIndex::Search(const la::Vec& query,
-                                            size_t k) const {
+void IvfFlatIndex::EnsureTrained() const {
   if (!trained()) {
     // Lazy (re)train keeps the interface append-then-search friendly.
     // Double-checked locking: concurrent searches (SearchBatch workers)
@@ -38,6 +38,11 @@ std::vector<SearchHit> IvfFlatIndex::Search(const la::Vec& query,
     std::lock_guard<std::mutex> lock(train_mutex_);
     if (!trained()) const_cast<IvfFlatIndex*>(this)->Train();
   }
+}
+
+std::vector<SearchHit> IvfFlatIndex::Search(const la::Vec& query,
+                                            size_t k) const {
+  EnsureTrained();
   if (vectors_.empty()) return {};
 
   // Rank lists by centroid distance; scan the nprobe nearest.
@@ -56,6 +61,57 @@ std::vector<SearchHit> IvfFlatIndex::Search(const la::Vec& query,
   }
   FinalizeHits(&hits, k);
   return hits;
+}
+
+Status IvfFlatIndex::SavePayload(io::IndexWriter* writer) const {
+  // An untrained index has empty centroids_/lists_; persisting that state
+  // would make the loaded index retrain from scratch on first search (or,
+  // worse, serve nothing if the trained flag were saved as-is).
+  EnsureTrained();
+  writer->WriteU64(config_.nlist);
+  writer->WriteU64(config_.nprobe);
+  writer->WriteU64(config_.seed);
+  writer->WriteVecs(vectors_);
+  writer->WriteVecs(centroids_);
+  writer->WriteU64(lists_.size());
+  for (const std::vector<size_t>& list : lists_) writer->WriteIds(list);
+  return writer->status();
+}
+
+Status IvfFlatIndex::LoadPayload(io::IndexReader* reader) {
+  uint64_t nlist = 0, nprobe = 0, seed = 0;
+  DUST_RETURN_IF_ERROR(reader->ReadU64(&nlist));
+  DUST_RETURN_IF_ERROR(reader->ReadU64(&nprobe));
+  DUST_RETURN_IF_ERROR(reader->ReadU64(&seed));
+  if (nlist == 0) {
+    return Status::IoError("IVF payload has nlist == 0");
+  }
+  config_.nlist = static_cast<size_t>(nlist);
+  config_.nprobe = static_cast<size_t>(nprobe);
+  config_.seed = seed;
+  DUST_RETURN_IF_ERROR(reader->ReadVecs(&vectors_, dim_));
+  DUST_RETURN_IF_ERROR(reader->ReadVecs(&centroids_, dim_));
+  uint64_t num_lists = 0;
+  DUST_RETURN_IF_ERROR(reader->ReadCount(sizeof(uint64_t), &num_lists));
+  if (num_lists != centroids_.size()) {
+    return Status::IoError("IVF payload list/centroid count mismatch");
+  }
+  lists_.assign(num_lists, {});
+  size_t assigned = 0;
+  for (uint64_t c = 0; c < num_lists; ++c) {
+    DUST_RETURN_IF_ERROR(reader->ReadIds(&lists_[c]));
+    for (size_t id : lists_[c]) {
+      if (id >= vectors_.size()) {
+        return Status::IoError("IVF payload references out-of-range vector");
+      }
+    }
+    assigned += lists_[c].size();
+  }
+  if (assigned != vectors_.size()) {
+    return Status::IoError("IVF payload does not cover all vectors");
+  }
+  trained_.store(true, std::memory_order_release);
+  return Status::Ok();
 }
 
 }  // namespace dust::index

@@ -36,9 +36,21 @@ class IvfFlatIndex : public VectorIndex {
   size_t size() const override { return vectors_.size(); }
   size_t dim() const override { return dim_; }
   std::string name() const override { return "IVF-Flat"; }
+  la::Metric metric() const override { return metric_; }
+  std::string type_tag() const override { return "ivf"; }
   bool trained() const { return trained_.load(std::memory_order_acquire); }
+  const IvfConfig& config() const { return config_; }
+
+  /// Trains first when needed (same double-checked lock as lazy Search), so
+  /// the file always holds real centroids and lists — never the empty state
+  /// of a built-but-unsearched index.
+  Status SavePayload(io::IndexWriter* writer) const override;
+  Status LoadPayload(io::IndexReader* reader) override;
 
  private:
+  /// Lazy one-time build shared by Search and SavePayload: double-checked
+  /// lock so concurrent const callers cannot race the training.
+  void EnsureTrained() const;
   size_t dim_;
   la::Metric metric_;
   IvfConfig config_;

@@ -1,5 +1,8 @@
 #include "index/lsh_index.h"
 
+#include <algorithm>
+
+#include "io/index_io.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -61,6 +64,68 @@ std::vector<SearchHit> LshIndex::Search(const la::Vec& query, size_t k) const {
   }
   FinalizeHits(&hits, k);
   return hits;
+}
+
+Status LshIndex::SavePayload(io::IndexWriter* writer) const {
+  writer->WriteU64(config_.nbits);
+  writer->WriteU64(config_.probe_radius);
+  writer->WriteU64(config_.seed);
+  writer->WriteVecs(hyperplanes_);
+  writer->WriteVecs(vectors_);
+  // Buckets in sorted key order: the unordered_map iteration order is not
+  // deterministic, and a canonical file layout makes byte-level diffing of
+  // two saves of the same index meaningful.
+  std::vector<uint64_t> keys;
+  keys.reserve(buckets_.size());
+  for (const auto& [key, ids] : buckets_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  writer->WriteU64(keys.size());
+  for (uint64_t key : keys) {
+    writer->WriteU64(key);
+    writer->WriteIds(buckets_.at(key));
+  }
+  return writer->status();
+}
+
+Status LshIndex::LoadPayload(io::IndexReader* reader) {
+  uint64_t nbits = 0, probe_radius = 0, seed = 0;
+  DUST_RETURN_IF_ERROR(reader->ReadU64(&nbits));
+  DUST_RETURN_IF_ERROR(reader->ReadU64(&probe_radius));
+  DUST_RETURN_IF_ERROR(reader->ReadU64(&seed));
+  if (nbits < 1 || nbits > 63) {
+    return Status::IoError("LSH payload has invalid nbits");
+  }
+  config_.nbits = static_cast<size_t>(nbits);
+  config_.probe_radius = static_cast<size_t>(probe_radius);
+  config_.seed = seed;
+  DUST_RETURN_IF_ERROR(reader->ReadVecs(&hyperplanes_, dim_));
+  if (hyperplanes_.size() != config_.nbits) {
+    return Status::IoError("LSH payload hyperplane/nbits mismatch");
+  }
+  DUST_RETURN_IF_ERROR(reader->ReadVecs(&vectors_, dim_));
+  uint64_t num_buckets = 0;
+  // Each bucket is at least a u64 key plus a u64 id count.
+  DUST_RETURN_IF_ERROR(reader->ReadCount(2 * sizeof(uint64_t), &num_buckets));
+  buckets_.clear();
+  buckets_.reserve(num_buckets);
+  size_t bucketed = 0;
+  for (uint64_t b = 0; b < num_buckets; ++b) {
+    uint64_t key = 0;
+    DUST_RETURN_IF_ERROR(reader->ReadU64(&key));
+    std::vector<size_t> ids;
+    DUST_RETURN_IF_ERROR(reader->ReadIds(&ids));
+    for (size_t id : ids) {
+      if (id >= vectors_.size()) {
+        return Status::IoError("LSH payload references out-of-range vector");
+      }
+    }
+    bucketed += ids.size();
+    buckets_[key] = std::move(ids);
+  }
+  if (bucketed != vectors_.size()) {
+    return Status::IoError("LSH payload does not cover all vectors");
+  }
+  return Status::Ok();
 }
 
 }  // namespace dust::index

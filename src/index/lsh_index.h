@@ -28,6 +28,14 @@ class LshIndex : public VectorIndex {
   size_t size() const override { return vectors_.size(); }
   size_t dim() const override { return dim_; }
   std::string name() const override { return "LSH"; }
+  la::Metric metric() const override { return metric_; }
+  std::string type_tag() const override { return "lsh"; }
+  const LshConfig& config() const { return config_; }
+
+  /// Persists the hyperplanes verbatim (not just the seed), so a loaded
+  /// index hashes queries into exactly the buckets it was built with.
+  Status SavePayload(io::IndexWriter* writer) const override;
+  Status LoadPayload(io::IndexReader* reader) override;
 
   /// Signature of a vector (exposed for tests).
   uint64_t Signature(const la::Vec& v) const;

@@ -8,6 +8,7 @@
 #include "index/hnsw_index.h"
 #include "index/ivf_index.h"
 #include "index/lsh_index.h"
+#include "io/index_io.h"
 #include "util/status.h"
 
 namespace dust::index {
@@ -58,15 +59,24 @@ std::vector<std::vector<SearchHit>> VectorIndex::SearchBatch(
   return results;
 }
 
+Status VectorIndex::Save(const std::string& path) const {
+  return io::SaveIndex(*this, path);
+}
+
 std::unique_ptr<VectorIndex> MakeVectorIndex(const std::string& type,
                                              size_t dim, la::Metric metric) {
   // A typo must not silently swap the retrieval algorithm. Guarding with
-  // IsKnownIndexType keeps validation and dispatch from drifting apart.
+  // IsKnownIndexType keeps validation and dispatch from drifting apart, and
+  // dispatching every known name explicitly (instead of a catch-all "flat"
+  // fallback) means a type added to IsKnownIndexType but not here aborts
+  // loudly rather than silently serving a linear scan.
   DUST_CHECK(IsKnownIndexType(type) && "unknown vector index type");
+  if (type == "flat") return std::make_unique<FlatIndex>(dim, metric);
   if (type == "hnsw") return std::make_unique<HnswIndex>(dim, metric);
   if (type == "ivf") return std::make_unique<IvfFlatIndex>(dim, metric);
   if (type == "lsh") return std::make_unique<LshIndex>(dim, metric);
-  return std::make_unique<FlatIndex>(dim, metric);
+  DUST_CHECK(false && "IsKnownIndexType and MakeVectorIndex drifted apart");
+  return nullptr;
 }
 
 bool IsKnownIndexType(const std::string& type) {

@@ -12,6 +12,12 @@
 
 #include "la/distance.h"
 #include "la/vector_ops.h"
+#include "util/status.h"
+
+namespace dust::io {
+class IndexWriter;
+class IndexReader;
+}  // namespace dust::io
 
 namespace dust::index {
 
@@ -54,6 +60,26 @@ class VectorIndex {
   virtual size_t size() const = 0;
   virtual size_t dim() const = 0;
   virtual std::string name() const = 0;
+  virtual la::Metric metric() const = 0;
+
+  /// Stable on-disk type name — the same string MakeVectorIndex accepts
+  /// ("flat", "hnsw", "ivf", "lsh").
+  virtual std::string type_tag() const = 0;
+
+  /// Writes the type-specific payload (config + contents) after the common
+  /// header io::WriteIndex emits. Indexes with lazy build state (IVF) must
+  /// finalize it first so the file never contains a half-built structure.
+  virtual Status SavePayload(io::IndexWriter* writer) const = 0;
+
+  /// Restores the payload into a freshly-constructed index of the same
+  /// type/dim/metric. Corrupt input yields a Status error, never an abort;
+  /// on error the index is unusable and must be discarded.
+  virtual Status LoadPayload(io::IndexReader* reader) = 0;
+
+  /// Saves this index as a standalone file (io::SaveIndex). Load the result
+  /// back with io::LoadIndex, which restores the concrete type; round-trip
+  /// Search/SearchBatch results are bit-identical.
+  Status Save(const std::string& path) const;
 };
 
 /// Sorts hits ascending by (distance, id) and truncates to k.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "align/hungarian.h"
+#include "io/index_io.h"
 
 namespace dust::search {
 
@@ -84,6 +85,51 @@ std::vector<TableHit> EmbeddingUnionSearch::SearchTables(
   });
   if (hits.size() > n) hits.resize(n);
   return hits;
+}
+
+Status EmbeddingUnionSearch::SaveState(io::IndexWriter* writer) const {
+  writer->WriteU64(lake_columns_.size());
+  for (const std::vector<la::Vec>& cols : lake_columns_) {
+    writer->WriteVecs(cols);
+  }
+  writer->WriteVecs(lake_profiles_);
+  writer->WriteU8(profile_index_ != nullptr ? 1 : 0);
+  DUST_RETURN_IF_ERROR(writer->status());
+  if (profile_index_ != nullptr) {
+    DUST_RETURN_IF_ERROR(io::WriteIndex(*profile_index_, writer));
+  }
+  return writer->status();
+}
+
+Status EmbeddingUnionSearch::LoadState(io::IndexReader* reader) {
+  uint64_t num_tables = 0;
+  DUST_RETURN_IF_ERROR(reader->ReadCount(sizeof(uint64_t), &num_tables));
+  lake_columns_.assign(num_tables, {});
+  for (uint64_t t = 0; t < num_tables; ++t) {
+    DUST_RETURN_IF_ERROR(reader->ReadVecs(&lake_columns_[t], encoder_.dim()));
+  }
+  DUST_RETURN_IF_ERROR(reader->ReadVecs(&lake_profiles_, encoder_.dim()));
+  if (lake_profiles_.size() != num_tables) {
+    return Status::IoError("snapshot profile/table count mismatch");
+  }
+  uint8_t has_index = 0;
+  DUST_RETURN_IF_ERROR(reader->ReadU8(&has_index));
+  profile_index_.reset();
+  if (has_index != 0) {
+    Result<std::unique_ptr<index::VectorIndex>> loaded = io::ReadIndex(reader);
+    DUST_RETURN_IF_ERROR(loaded.status());
+    profile_index_ = std::move(loaded).value();
+    if (profile_index_->size() != num_tables) {
+      return Status::IoError("snapshot index/table count mismatch");
+    }
+  }
+  // The stored index must match what this engine's config would build;
+  // otherwise SearchTables would silently ignore or mis-use it.
+  if ((config_.shortlist > 0) != (has_index != 0)) {
+    return Status::FailedPrecondition(
+        "snapshot shortlist index does not match engine config");
+  }
+  return Status::Ok();
 }
 
 }  // namespace dust::search

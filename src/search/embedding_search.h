@@ -32,6 +32,15 @@ class EmbeddingUnionSearch : public UnionSearch {
                                      size_t n) const override;
   std::string name() const override { return "Starmie"; }
 
+  /// Persists the per-table column embeddings, the table profiles, and (when
+  /// a shortlist is configured) the built profile index — everything
+  /// IndexLake computes from the raw tables.
+  Status SaveState(io::IndexWriter* writer) const override;
+  /// Restores SaveState output. The engine must be constructed with the same
+  /// config as at save time (the pipeline's snapshot hash enforces this);
+  /// a shortlist mismatch between config and stored index is rejected.
+  Status LoadState(io::IndexReader* reader) override;
+
   /// Column embeddings of an indexed lake table (for Starmie (B)/(H)).
   const std::vector<la::Vec>& ColumnEmbeddings(size_t table_index) const {
     return lake_columns_[table_index];

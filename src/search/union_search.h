@@ -6,6 +6,12 @@
 #include <vector>
 
 #include "table/table.h"
+#include "util/status.h"
+
+namespace dust::io {
+class IndexWriter;
+class IndexReader;
+}  // namespace dust::io
 
 namespace dust::search {
 
@@ -27,6 +33,22 @@ class UnionSearch {
                                              size_t n) const = 0;
 
   virtual std::string name() const = 0;
+
+  /// Persists the state IndexLake built (embeddings, shortlist index) into
+  /// an open snapshot writer, so a serving process can LoadState instead of
+  /// re-embedding the lake. Engines without an offline/online split keep
+  /// the Unimplemented default.
+  virtual Status SaveState(io::IndexWriter* writer) const {
+    (void)writer;
+    return Status::Unimplemented(name() + " does not support snapshots");
+  }
+
+  /// Restores SaveState output into a freshly-configured engine; after it
+  /// succeeds SearchTables serves as if IndexLake had run.
+  virtual Status LoadState(io::IndexReader* reader) {
+    (void)reader;
+    return Status::Unimplemented(name() + " does not support snapshots");
+  }
 };
 
 }  // namespace dust::search

@@ -132,7 +132,9 @@ TEST_P(LinkagePropertyTest, CutsAreNested) {
     // Same fine label => same coarse label.
     for (size_t i = 0; i < points.size(); ++i) {
       for (size_t j = i + 1; j < points.size(); ++j) {
-        if (fine[i] == fine[j]) EXPECT_EQ(coarse[i], coarse[j]);
+        if (fine[i] == fine[j]) {
+          EXPECT_EQ(coarse[i], coarse[j]);
+        }
       }
     }
   }

@@ -268,7 +268,9 @@ TEST_P(IndexPropertyTest, HitsAreValidSortedAndBounded) {
     for (size_t i = 0; i < hits.size(); ++i) {
       EXPECT_LT(hits[i].id, 120u);
       EXPECT_TRUE(seen.insert(hits[i].id).second) << "duplicate id";
-      if (i > 0) EXPECT_GE(hits[i].distance, hits[i - 1].distance);
+      if (i > 0) {
+        EXPECT_GE(hits[i].distance, hits[i - 1].distance);
+      }
     }
   }
 }

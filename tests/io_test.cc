@@ -1,0 +1,413 @@
+// Persistence tests for src/io: save/load round-trip parity for all four
+// index types (both metrics), corrupt/truncated/version-mismatch rejection,
+// empty-index round-trips, the IVF train-before-save guarantee, and the
+// writer/reader primitives themselves.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/flat_index.h"
+#include "index/hnsw_index.h"
+#include "index/ivf_index.h"
+#include "index/lsh_index.h"
+#include "io/index_io.h"
+#include "util/rng.h"
+
+namespace dust::io {
+namespace {
+
+using index::FlatIndex;
+using index::HnswIndex;
+using index::IvfFlatIndex;
+using index::LshIndex;
+using index::VectorIndex;
+
+std::vector<la::Vec> RandomUnitVectors(size_t n, size_t dim, uint64_t seed) {
+  dust::Rng rng(seed);
+  std::vector<la::Vec> out;
+  for (size_t i = 0; i < n; ++i) {
+    la::Vec v(dim);
+    for (float& x : v) x = static_cast<float>(rng.NextGaussian());
+    la::NormalizeInPlace(&v);
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Asserts that `loaded` answers a query batch bit-identically to
+/// `original` (ids and float distances), per the round-trip contract.
+void ExpectSearchParity(const VectorIndex& original, const VectorIndex& loaded,
+                        size_t num_queries, size_t k, uint64_t seed) {
+  auto queries = RandomUnitVectors(num_queries, original.dim(), seed);
+  auto expected = original.SearchBatch(queries, k);
+  auto actual = loaded.SearchBatch(queries, k);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t q = 0; q < expected.size(); ++q) {
+    ASSERT_EQ(expected[q].size(), actual[q].size()) << "query " << q;
+    for (size_t i = 0; i < expected[q].size(); ++i) {
+      EXPECT_EQ(expected[q][i].id, actual[q][i].id) << "query " << q;
+      // Exact equality on purpose: the loaded index must be bit-identical,
+      // not merely close.
+      EXPECT_EQ(expected[q][i].distance, actual[q][i].distance)
+          << "query " << q;
+    }
+  }
+}
+
+// --- round-trip parity across all types and both metrics -------------------
+
+struct RoundTripCase {
+  const char* type;
+  la::Metric metric;
+};
+
+class RoundTripTest : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(RoundTripTest, SearchBatchParityOn1kVectors) {
+  const RoundTripCase& param = GetParam();
+  const size_t kDim = 16;
+  auto index = index::MakeVectorIndex(param.type, kDim, param.metric);
+  index->AddAll(RandomUnitVectors(1000, kDim, 71));
+
+  const std::string path = TempPath(std::string("roundtrip_") + param.type +
+                                    std::to_string(MetricTag(param.metric)));
+  ASSERT_TRUE(index->Save(path).ok());
+  auto loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const VectorIndex& restored = *loaded.value();
+  EXPECT_EQ(restored.type_tag(), param.type);
+  EXPECT_EQ(restored.name(), index->name());
+  EXPECT_EQ(restored.size(), index->size());
+  EXPECT_EQ(restored.dim(), index->dim());
+  EXPECT_EQ(restored.metric(), param.metric);
+  ExpectSearchParity(*index, restored, 32, 10, 9000);
+}
+
+TEST_P(RoundTripTest, EmptyIndexRoundTrips) {
+  const RoundTripCase& param = GetParam();
+  auto index = index::MakeVectorIndex(param.type, 8, param.metric);
+  const std::string path = TempPath(std::string("empty_") + param.type +
+                                    std::to_string(MetricTag(param.metric)));
+  ASSERT_TRUE(index->Save(path).ok());
+  auto loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->size(), 0u);
+  EXPECT_TRUE(loaded.value()->Search(la::Vec(8, 0.5f), 3).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, RoundTripTest,
+    ::testing::Values(RoundTripCase{"flat", la::Metric::kCosine},
+                      RoundTripCase{"flat", la::Metric::kEuclidean},
+                      RoundTripCase{"hnsw", la::Metric::kCosine},
+                      RoundTripCase{"hnsw", la::Metric::kEuclidean},
+                      RoundTripCase{"ivf", la::Metric::kCosine},
+                      RoundTripCase{"ivf", la::Metric::kEuclidean},
+                      RoundTripCase{"lsh", la::Metric::kCosine},
+                      RoundTripCase{"lsh", la::Metric::kEuclidean}),
+    [](const ::testing::TestParamInfo<RoundTripCase>& info) {
+      return std::string(info.param.type) +
+             (info.param.metric == la::Metric::kCosine ? "_cosine" : "_l2");
+    });
+
+// --- config fidelity -------------------------------------------------------
+
+TEST(IndexIoTest, HnswCustomConfigAndGraphShapeSurviveRoundTrip) {
+  index::HnswConfig config;
+  config.M = 8;
+  config.ef_construction = 100;
+  config.ef_search = 64;
+  config.seed = 7;
+  HnswIndex hnsw(12, la::Metric::kCosine, config);
+  hnsw.AddAll(RandomUnitVectors(600, 12, 13));
+
+  const std::string path = TempPath("hnsw_config");
+  ASSERT_TRUE(hnsw.Save(path).ok());
+  auto loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto* restored = dynamic_cast<HnswIndex*>(loaded.value().get());
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->config().M, config.M);
+  EXPECT_EQ(restored->config().ef_construction, config.ef_construction);
+  EXPECT_EQ(restored->config().ef_search, config.ef_search);
+  EXPECT_EQ(restored->config().seed, config.seed);
+  EXPECT_EQ(restored->max_level(), hnsw.max_level());
+  ExpectSearchParity(hnsw, *restored, 16, 5, 9100);
+}
+
+TEST(IndexIoTest, LshHashesQueriesIntoSavedBuckets) {
+  index::LshConfig config;
+  config.nbits = 20;
+  config.probe_radius = 2;
+  config.seed = 99;
+  LshIndex lsh(10, la::Metric::kCosine, config);
+  lsh.AddAll(RandomUnitVectors(300, 10, 17));
+
+  const std::string path = TempPath("lsh_buckets");
+  ASSERT_TRUE(lsh.Save(path).ok());
+  auto loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto* restored = dynamic_cast<LshIndex*>(loaded.value().get());
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->config().nbits, config.nbits);
+  EXPECT_EQ(restored->config().probe_radius, config.probe_radius);
+  // Same hyperplanes => same signatures => queries land in the same buckets.
+  for (const la::Vec& v : RandomUnitVectors(20, 10, 18)) {
+    EXPECT_EQ(lsh.Signature(v), restored->Signature(v));
+  }
+  ExpectSearchParity(lsh, *restored, 16, 5, 9200);
+}
+
+// --- the IVF train-before-save guarantee -----------------------------------
+
+TEST(IndexIoTest, SaveOnUntrainedIvfTrainsFirst) {
+  index::IvfConfig config;
+  config.nlist = 8;
+  config.nprobe = 8;
+  IvfFlatIndex ivf(12, la::Metric::kCosine, config);
+  ivf.AddAll(RandomUnitVectors(200, 12, 19));
+  ASSERT_FALSE(ivf.trained());  // never searched: lazy build still pending
+
+  const std::string path = TempPath("ivf_untrained");
+  ASSERT_TRUE(ivf.Save(path).ok());
+  EXPECT_TRUE(ivf.trained());  // Save finalized the lazy build
+
+  auto loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto* restored = dynamic_cast<IvfFlatIndex*>(loaded.value().get());
+  ASSERT_NE(restored, nullptr);
+  // The file must hold real centroids/lists: the loaded index is already
+  // trained and serves without re-clustering.
+  EXPECT_TRUE(restored->trained());
+  EXPECT_EQ(restored->config().nlist, config.nlist);
+  ExpectSearchParity(ivf, *restored, 16, 5, 9300);
+}
+
+// --- rejection of bad files ------------------------------------------------
+
+TEST(IndexIoTest, MissingFileIsIoError) {
+  auto loaded = LoadIndex(TempPath("does_not_exist.idx"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(IndexIoTest, GarbageFileRejected) {
+  const std::string path = TempPath("garbage.idx");
+  WriteFileBytes(path, "this is definitely not a DUST index file");
+  auto loaded = LoadIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(IndexIoTest, EmptyFileRejected) {
+  const std::string path = TempPath("empty.idx");
+  WriteFileBytes(path, "");
+  EXPECT_FALSE(LoadIndex(path).ok());
+}
+
+class SavedFlatFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlatIndex flat(6, la::Metric::kCosine);
+    flat.AddAll(RandomUnitVectors(50, 6, 23));
+    path_ = TempPath("patched.idx");
+    ASSERT_TRUE(flat.Save(path_).ok());
+    bytes_ = ReadFileBytes(path_);
+    ASSERT_GT(bytes_.size(), 22u);  // header = 8 magic + 4 version + 2 + 8
+  }
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(SavedFlatFileTest, VersionMismatchRejected) {
+  std::string patched = bytes_;
+  patched[8] = 99;  // format version (u32 little-endian after the magic)
+  WriteFileBytes(path_, patched);
+  auto loaded = LoadIndex(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(SavedFlatFileTest, UnknownTypeTagRejectedNotAborted) {
+  std::string patched = bytes_;
+  patched[12] = static_cast<char>(0xFF);  // index type tag
+  WriteFileBytes(path_, patched);
+  auto loaded = LoadIndex(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(SavedFlatFileTest, UnknownMetricTagRejected) {
+  std::string patched = bytes_;
+  patched[13] = static_cast<char>(0x7F);  // metric tag
+  WriteFileBytes(path_, patched);
+  EXPECT_FALSE(LoadIndex(path_).ok());
+}
+
+TEST_F(SavedFlatFileTest, TruncatedFileRejected) {
+  WriteFileBytes(path_, bytes_.substr(0, bytes_.size() / 2));
+  auto loaded = LoadIndex(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(SavedFlatFileTest, OversizedCountRejectedWithoutHugeAllocation) {
+  // Patch the vector-list count (first u64 of the flat payload) to a huge
+  // value; the reader must reject it against the file size instead of
+  // attempting the allocation.
+  std::string patched = bytes_;
+  for (size_t i = 0; i < 8; ++i) patched[22 + i] = static_cast<char>(0xFF);
+  WriteFileBytes(path_, patched);
+  auto loaded = LoadIndex(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(IndexIoTest, ZeroDimensionHeaderRejected) {
+  // dim 0 would disable every per-vector dimension check downstream and let
+  // ragged vectors reach the distance kernels' DUST_CHECK at query time.
+  const std::string path = TempPath("zero_dim.idx");
+  IndexWriter writer(path);
+  writer.WriteBytes(kIndexMagic, sizeof(kIndexMagic));
+  writer.WriteU32(kIndexFormatVersion);
+  writer.WriteU8(0);   // flat
+  writer.WriteU8(0);   // cosine
+  writer.WriteU64(0);  // dim = 0
+  writer.WriteU64(0);  // no vectors
+  ASSERT_TRUE(writer.Close().ok());
+  auto loaded = LoadIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(IndexIoTest, HnswUnderReportedLayersRejectedNotSearched) {
+  // A node claiming fewer layers than the descent needs would make Search
+  // index past its adjacency vector; the loader must reject the file.
+  const std::string path = TempPath("hnsw_layers.idx");
+  IndexWriter writer(path);
+  writer.WriteBytes(kIndexMagic, sizeof(kIndexMagic));
+  writer.WriteU32(kIndexFormatVersion);
+  writer.WriteU8(1);   // hnsw
+  writer.WriteU8(0);   // cosine
+  writer.WriteU64(2);  // dim
+  writer.WriteU64(16);   // M
+  writer.WriteU64(200);  // ef_construction
+  writer.WriteU64(128);  // ef_search
+  writer.WriteU64(42);   // seed
+  writer.WriteU64(1);    // one vector
+  writer.WriteVec({1.0f, 0.0f});
+  writer.WriteU32(0);  // entry point
+  writer.WriteI64(3);  // max level claims 4 layers...
+  writer.WriteU32(1);  // ...but the entry node only has 1
+  writer.WriteU32(0);  // with degree 0
+  ASSERT_TRUE(writer.Close().ok());
+  auto loaded = LoadIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(IndexIoTest, SaveToUnwritablePathIsIoError) {
+  FlatIndex flat(4, la::Metric::kCosine);
+  flat.Add({1, 0, 0, 0});
+  Status status = flat.Save(TempPath("no_such_dir/sub/index.idx"));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+// --- writer/reader primitives ----------------------------------------------
+
+TEST(IndexIoTest, WriterReaderPrimitivesRoundTrip) {
+  const std::string path = TempPath("primitives.bin");
+  IndexWriter writer(path);
+  writer.WriteU8(7);
+  writer.WriteU32(0xDEADBEEF);
+  writer.WriteU64(uint64_t{1} << 40);
+  writer.WriteI64(-12345);
+  writer.WriteFloat(2.5f);
+  writer.WriteString("dust");
+  writer.WriteVec({1.0f, -2.0f});
+  writer.WriteIds({3, 1, 4});
+  ASSERT_TRUE(writer.Close().ok());
+
+  IndexReader reader(path);
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  float f = 0.0f;
+  std::string s;
+  la::Vec v;
+  std::vector<size_t> ids;
+  ASSERT_TRUE(reader.ReadU8(&u8).ok());
+  ASSERT_TRUE(reader.ReadU32(&u32).ok());
+  ASSERT_TRUE(reader.ReadU64(&u64).ok());
+  ASSERT_TRUE(reader.ReadI64(&i64).ok());
+  ASSERT_TRUE(reader.ReadFloat(&f).ok());
+  ASSERT_TRUE(reader.ReadString(&s).ok());
+  ASSERT_TRUE(reader.ReadVec(&v, 2).ok());
+  ASSERT_TRUE(reader.ReadIds(&ids).ok());
+  EXPECT_EQ(u8, 7u);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, uint64_t{1} << 40);
+  EXPECT_EQ(i64, -12345);
+  EXPECT_EQ(f, 2.5f);
+  EXPECT_EQ(s, "dust");
+  EXPECT_EQ(v, (la::Vec{1.0f, -2.0f}));
+  EXPECT_EQ(ids, (std::vector<size_t>{3, 1, 4}));
+  EXPECT_EQ(reader.remaining(), 0u);
+  // Reading past the end is an error, not UB.
+  EXPECT_FALSE(reader.ReadU8(&u8).ok());
+}
+
+TEST(IndexIoTest, ReadVecRejectsDimensionMismatch) {
+  const std::string path = TempPath("dim_mismatch.bin");
+  IndexWriter writer(path);
+  writer.WriteVec({1.0f, 2.0f, 3.0f});
+  ASSERT_TRUE(writer.Close().ok());
+  IndexReader reader(path);
+  la::Vec v;
+  EXPECT_FALSE(reader.ReadVec(&v, 2).ok());
+}
+
+TEST(IndexIoTest, TypeTagsAreStable) {
+  // On-disk tags are a compatibility contract: a change here breaks every
+  // previously-written file.
+  uint8_t tag = 0;
+  ASSERT_TRUE(IndexTypeTag("flat", &tag));
+  EXPECT_EQ(tag, 0);
+  ASSERT_TRUE(IndexTypeTag("hnsw", &tag));
+  EXPECT_EQ(tag, 1);
+  ASSERT_TRUE(IndexTypeTag("ivf", &tag));
+  EXPECT_EQ(tag, 2);
+  ASSERT_TRUE(IndexTypeTag("lsh", &tag));
+  EXPECT_EQ(tag, 3);
+  EXPECT_FALSE(IndexTypeTag("faiss", &tag));
+  std::string type;
+  EXPECT_TRUE(IndexTypeFromTag(2, &type).ok());
+  EXPECT_EQ(type, "ivf");
+  EXPECT_FALSE(IndexTypeFromTag(200, &type).ok());
+}
+
+}  // namespace
+}  // namespace dust::io

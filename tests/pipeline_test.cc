@@ -174,5 +174,114 @@ TEST_F(PipelineFixture, EmptyQueryRejected) {
   EXPECT_FALSE(result.ok());
 }
 
+// --- offline/online snapshot split -----------------------------------------
+
+std::string SnapshotPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST_F(PipelineFixture, SnapshotRoundTripServesIdenticalResults) {
+  PipelineConfig config;
+  config.num_tables = 5;
+  config.search_index = "hnsw";
+  config.search_shortlist = 8;
+
+  DustPipeline offline(config, TestEncoder());
+  offline.IndexLake(*lake_);
+  const std::string path = SnapshotPath("pipeline_snapshot.bin");
+  ASSERT_TRUE(SavePipelineSnapshot(offline, path).ok());
+
+  // The serving process: same config, no IndexLake — it restores the
+  // snapshot instead of re-embedding the lake.
+  DustPipeline online(config, TestEncoder());
+  Status loaded = LoadPipelineSnapshot(&online, path, *lake_);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+
+  for (size_t q = 0; q < benchmark_->queries.size(); ++q) {
+    const Table& query = benchmark_->queries[q].data;
+    auto expected = offline.Run(query, 8);
+    auto actual = online.Run(query, 8);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    ASSERT_EQ(expected.value().tables.size(), actual.value().tables.size());
+    for (size_t t = 0; t < expected.value().tables.size(); ++t) {
+      EXPECT_EQ(expected.value().tables[t].table_index,
+                actual.value().tables[t].table_index);
+      EXPECT_EQ(expected.value().tables[t].score,
+                actual.value().tables[t].score);
+    }
+    ASSERT_EQ(expected.value().provenance.size(),
+              actual.value().provenance.size());
+    for (size_t i = 0; i < expected.value().provenance.size(); ++i) {
+      EXPECT_EQ(expected.value().provenance[i].table_index,
+                actual.value().provenance[i].table_index);
+      EXPECT_EQ(expected.value().provenance[i].row_index,
+                actual.value().provenance[i].row_index);
+    }
+  }
+}
+
+TEST_F(PipelineFixture, SnapshotWithFlatNoShortlistAlsoRoundTrips) {
+  const std::string path = SnapshotPath("pipeline_snapshot_flat.bin");
+  ASSERT_TRUE(pipeline_->SaveSnapshot(path).ok());
+
+  PipelineConfig config;
+  config.num_tables = 5;
+  DustPipeline online(config, TestEncoder());
+  ASSERT_TRUE(online.LoadSnapshot(path, *lake_).ok());
+  auto result = online.Run(benchmark_->queries[0].data, 6);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().output.num_rows(), 6u);
+}
+
+TEST_F(PipelineFixture, StaleSnapshotConfigRejected) {
+  const std::string path = SnapshotPath("pipeline_snapshot_stale.bin");
+  ASSERT_TRUE(pipeline_->SaveSnapshot(path).ok());
+
+  // A serving process with a different embedding config must not silently
+  // serve embeddings computed under the old one.
+  PipelineConfig drifted;
+  drifted.num_tables = 5;
+  drifted.seed = pipeline_->config().seed + 1;
+  DustPipeline online(drifted, TestEncoder());
+  Status loaded = online.LoadSnapshot(path, *lake_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PipelineFixture, StaleSnapshotLakeRejected) {
+  const std::string path = SnapshotPath("pipeline_snapshot_lake.bin");
+  ASSERT_TRUE(pipeline_->SaveSnapshot(path).ok());
+
+  // Dropping a table from the lake invalidates the snapshot's id mapping.
+  std::vector<const Table*> shrunk(*lake_);
+  shrunk.pop_back();
+  PipelineConfig config;
+  config.num_tables = 5;
+  DustPipeline online(config, TestEncoder());
+  Status loaded = online.LoadSnapshot(path, shrunk);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PipelineFixture, SaveSnapshotBeforeIndexLakeFails) {
+  PipelineConfig config;
+  DustPipeline fresh(config, TestEncoder());
+  Status saved = fresh.SaveSnapshot(SnapshotPath("never_written.bin"));
+  ASSERT_FALSE(saved.ok());
+  EXPECT_EQ(saved.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PipelineFixture, D3lEngineSnapshotUnimplemented) {
+  PipelineConfig config;
+  config.num_tables = 5;
+  config.engine = "d3l";
+  DustPipeline pipeline(config, TestEncoder());
+  pipeline.IndexLake(*lake_);
+  Status saved = pipeline.SaveSnapshot(SnapshotPath("d3l_snapshot.bin"));
+  ASSERT_FALSE(saved.ok());
+  EXPECT_EQ(saved.code(), StatusCode::kUnimplemented);
+}
+
 }  // namespace
 }  // namespace dust::core

@@ -3,9 +3,18 @@
 //   dust_cli --lake <dir> --query <file.csv> [--k 30] [--tables 10]
 //            [--engine starmie|d3l] [--index flat|ivf|lsh|hnsw]
 //            [--shortlist N] [--out result.csv] [--p 2] [--s 2500]
+//            [--save-index snap.bin | --load-index snap.bin]
 //
 // Indexes every *.csv in the lake directory, runs Algorithm 1 for the query
 // table, prints a summary and (optionally) writes the k diverse tuples.
+//
+// Offline/online split: `--save-index` persists the built lake index as a
+// snapshot (and, without --query, exits after building); `--load-index`
+// restores it so serving answers queries without re-embedding the lake:
+//
+//   dust_cli --lake data/lake --index hnsw --shortlist 50 --save-index s.bin
+//   dust_cli --lake data/lake --index hnsw --shortlist 50
+//            --load-index s.bin --query q.csv
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
@@ -19,6 +28,7 @@
 #include "embed/tuple_encoder.h"
 #include "index/vector_index.h"
 #include "table/csv.h"
+#include "util/stopwatch.h"
 
 using namespace dust;
 
@@ -28,6 +38,8 @@ struct CliOptions {
   std::string lake_dir;
   std::string query_path;
   std::string out_path;
+  std::string save_index_path;
+  std::string load_index_path;
   std::string engine = "starmie";
   std::string index = "flat";
   size_t shortlist = 0;
@@ -42,7 +54,11 @@ void Usage() {
       stderr,
       "usage: dust_cli --lake <dir> --query <file.csv> [--k N] [--tables N]\n"
       "                [--engine starmie|d3l] [--index flat|ivf|lsh|hnsw]\n"
-      "                [--shortlist N] [--out result.csv] [--p N] [--s N]\n");
+      "                [--shortlist N] [--out result.csv] [--p N] [--s N]\n"
+      "                [--save-index <snapshot> | --load-index <snapshot>]\n"
+      "       --save-index without --query builds the lake index and exits;\n"
+      "       --load-index serves queries from a saved snapshot without\n"
+      "       re-embedding the lake\n");
 }
 
 /// Parses a non-negative integer: digits only (strtoul alone would skip
@@ -77,6 +93,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->query_path = value;
     } else if (arg == "--out" && (value = next())) {
       options->out_path = value;
+    } else if (arg == "--save-index" && (value = next())) {
+      options->save_index_path = value;
+    } else if (arg == "--load-index" && (value = next())) {
+      options->load_index_path = value;
     } else if (arg == "--engine" && (value = next())) {
       options->engine = value;
     } else if (arg == "--index" && (value = next())) {
@@ -108,8 +128,21 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     std::fprintf(stderr, "unknown --index type: %s\n", options->index.c_str());
     return false;
   }
-  return !options->lake_dir.empty() && !options->query_path.empty() &&
-         options->k > 0;
+  if (!options->save_index_path.empty() && !options->load_index_path.empty()) {
+    std::fprintf(stderr, "--save-index and --load-index are exclusive\n");
+    return false;
+  }
+  if ((!options->save_index_path.empty() ||
+       !options->load_index_path.empty()) &&
+      options->engine == "d3l") {
+    std::fprintf(stderr, "the d3l engine does not support index snapshots\n");
+    return false;
+  }
+  // --query is optional only for a build-and-save invocation.
+  bool build_only =
+      !options->save_index_path.empty() && options->query_path.empty();
+  return !options->lake_dir.empty() &&
+         (build_only || !options->query_path.empty()) && options->k > 0;
 }
 
 }  // namespace
@@ -152,16 +185,22 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto query_loaded = table::ReadCsvFile(options.query_path);
-  if (!query_loaded.ok()) {
-    std::fprintf(stderr, "cannot load query: %s\n",
-                 query_loaded.status().ToString().c_str());
-    return 1;
+  table::Table query("query");
+  if (!options.query_path.empty()) {
+    auto query_loaded = table::ReadCsvFile(options.query_path);
+    if (!query_loaded.ok()) {
+      std::fprintf(stderr, "cannot load query: %s\n",
+                   query_loaded.status().ToString().c_str());
+      return 1;
+    }
+    query = std::move(query_loaded).value();
+    query.DropAllNullColumns();
+    std::printf("lake: %zu tables; query: %zu rows x %zu columns\n",
+                lake_storage.size(), query.num_rows(), query.num_columns());
+  } else {
+    std::printf("lake: %zu tables (build-only invocation)\n",
+                lake_storage.size());
   }
-  table::Table query = std::move(query_loaded).value();
-  query.DropAllNullColumns();
-  std::printf("lake: %zu tables; query: %zu rows x %zu columns\n",
-              lake_storage.size(), query.num_rows(), query.num_columns());
 
   // Pipeline.
   core::PipelineConfig config;
@@ -195,7 +234,36 @@ int main(int argc, char** argv) {
   core::DustPipeline pipeline(config, encoder);
   std::vector<const table::Table*> lake;
   for (const table::Table& t : lake_storage) lake.push_back(&t);
-  pipeline.IndexLake(lake);
+
+  Stopwatch index_watch;
+  if (!options.load_index_path.empty()) {
+    // Online serving: restore the offline-built embeddings + index instead
+    // of re-embedding the lake. The CSVs above are still needed for
+    // alignment and tuple materialization.
+    Status loaded =
+        core::LoadPipelineSnapshot(&pipeline, options.load_index_path, lake);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load index snapshot: %s\n",
+                   loaded.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded index snapshot %s in %.3fs (lake not re-embedded)\n",
+                options.load_index_path.c_str(), index_watch.Seconds());
+  } else {
+    pipeline.IndexLake(lake);
+    std::printf("indexed lake in %.3fs\n", index_watch.Seconds());
+  }
+  if (!options.save_index_path.empty()) {
+    Status saved =
+        core::SavePipelineSnapshot(pipeline, options.save_index_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "cannot save index snapshot: %s\n",
+                   saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote index snapshot %s\n", options.save_index_path.c_str());
+    if (options.query_path.empty()) return 0;  // build-only invocation
+  }
 
   auto result = pipeline.Run(query, options.k);
   if (!result.ok()) {
@@ -220,7 +288,8 @@ int main(int argc, char** argv) {
     for (size_t j = 0; j < r.output.num_columns(); ++j) {
       std::printf("%-20s", r.output.at(row, j).ToDisplay().c_str());
     }
-    std::printf("   <- %s\n", lake_names[r.provenance[row].table_index].c_str());
+    std::printf("   <- %s\n",
+                lake_names[r.provenance[row].table_index].c_str());
   }
   std::printf(
       "\ntimings: search %.3fs  align %.3fs  embed %.3fs  diversify %.3fs\n",
