@@ -16,10 +16,95 @@
 #include "index/ivf_index.h"
 #include "io/index_io.h"
 #include "la/distance.h"
+#include "la/simd/kernels.h"
 
 using namespace dust;
 
 namespace {
+
+// --- SIMD kernel benchmarks (BM_Kernel*, exported as BENCH_kernels.json) ---
+//
+// Each benchmark runs once on the scalar backend (arg 1 == 0) and once on
+// the dispatched backend (arg 1 == 1; "avx2" on AVX2 hardware, scalar
+// otherwise — the label records which). The acceptance gate for this layer
+// is >= 2x for AVX2 Dot / DistanceToMany over scalar at dim >= 128.
+
+const la::simd::Kernels& BenchKernels(bool dispatched) {
+  return dispatched ? la::simd::Active() : la::simd::ScalarKernels();
+}
+
+void BM_KernelDot(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const la::simd::Kernels& ops = BenchKernels(state.range(1) != 0);
+  auto points = bench::SyntheticTupleCloud(2, dim, 1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops.dot(points[0].data(), points[1].data(), dim));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dim));
+  state.SetLabel(ops.name);
+}
+BENCHMARK(BM_KernelDot)->ArgsProduct({{64, 128, 256, 768, 1024}, {0, 1}});
+
+void BM_KernelCosineTerms(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const la::simd::Kernels& ops = BenchKernels(state.range(1) != 0);
+  auto points = bench::SyntheticTupleCloud(2, dim, 1, 1);
+  float dot = 0.0f, a2 = 0.0f, b2 = 0.0f;
+  for (auto _ : state) {
+    ops.cosine_terms(points[0].data(), points[1].data(), dim, &dot, &a2, &b2);
+    benchmark::DoNotOptimize(dot);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dim));
+  state.SetLabel(ops.name);
+}
+BENCHMARK(BM_KernelCosineTerms)->ArgsProduct({{128, 768}, {0, 1}});
+
+/// One-to-many batch kernel over an 8k-vector base with cached norms — the
+/// exact shape of a FlatIndex scan / IVF probe.
+void BM_KernelDistanceToMany(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const size_t n = 8192;
+  la::simd::ForceScalar(state.range(1) == 0);
+  auto base = bench::SyntheticTupleCloud(n, dim, 16, 2);
+  la::Vec query = bench::SyntheticTupleCloud(1, dim, 1, 3)[0];
+  const std::vector<float> norms = la::NormsOf(base);
+  std::vector<float> out;
+  for (auto _ : state) {
+    la::DistanceToMany(la::Metric::kCosine, query, base, norms, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  state.SetLabel(la::simd::ActiveName());
+  la::simd::ForceScalar(false);
+}
+BENCHMARK(BM_KernelDistanceToMany)->ArgsProduct({{128, 256}, {0, 1}});
+
+/// Per-candidate baseline for the same scan: one la::Distance call per
+/// vector (three passes per cosine pair, no norm cache, no hoisted query
+/// norm). The gap to BM_KernelDistanceToMany is the one-vs-many win.
+void BM_KernelDistancePairLoop(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const size_t n = 8192;
+  la::simd::ForceScalar(state.range(1) == 0);
+  auto base = bench::SyntheticTupleCloud(n, dim, 16, 2);
+  la::Vec query = bench::SyntheticTupleCloud(1, dim, 1, 3)[0];
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = la::Distance(la::Metric::kCosine, query, base[i]);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  state.SetLabel(la::simd::ActiveName());
+  la::simd::ForceScalar(false);
+}
+BENCHMARK(BM_KernelDistancePairLoop)->ArgsProduct({{128, 256}, {0, 1}});
 
 void BM_CosineDistance(benchmark::State& state) {
   size_t dim = static_cast<size_t>(state.range(0));

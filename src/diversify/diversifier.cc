@@ -5,15 +5,27 @@
 #include "util/status.h"
 
 namespace dust::diversify {
+namespace {
+
+/// Distances from lake tuple `t` to every query tuple, via the one-to-many
+/// batch kernel. Scratch is per-thread: the rankers call this in tight
+/// per-candidate loops, sometimes from parallel sections.
+const std::vector<float>& DistancesToQuery(const DiversifyInput& input,
+                                           size_t t) {
+  thread_local std::vector<float> distances;
+  la::DistanceToMany(input.metric, (*input.lake)[t], *input.query, &distances);
+  return distances;
+}
+
+}  // namespace
 
 float MeanDistanceToQuery(const DiversifyInput& input, size_t t) {
   DUST_CHECK(input.lake != nullptr && t < input.lake->size());
   if (input.query == nullptr || input.query->empty()) return 0.0f;
+  const std::vector<float>& distances = DistancesToQuery(input, t);
   float sum = 0.0f;
-  for (const la::Vec& q : *input.query) {
-    sum += la::Distance(input.metric, (*input.lake)[t], q);
-  }
-  return sum / static_cast<float>(input.query->size());
+  for (float d : distances) sum += d;
+  return sum / static_cast<float>(distances.size());
 }
 
 float MinDistanceToQuery(const DiversifyInput& input, size_t t) {
@@ -22,8 +34,7 @@ float MinDistanceToQuery(const DiversifyInput& input, size_t t) {
     return std::numeric_limits<float>::infinity();
   }
   float best = std::numeric_limits<float>::infinity();
-  for (const la::Vec& q : *input.query) {
-    float d = la::Distance(input.metric, (*input.lake)[t], q);
+  for (float d : DistancesToQuery(input, t)) {
     if (d < best) best = d;
   }
   return best;

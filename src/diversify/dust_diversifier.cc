@@ -27,23 +27,38 @@ std::vector<size_t> DustDiversifier::PruneTuples(const DiversifyInput& input,
   }
   const size_t dim = lake[0].size();
   std::vector<la::Vec> mean(num_tables, la::Vec(dim, 0.0f));
-  std::vector<size_t> count(num_tables, 0);
+  std::vector<std::vector<size_t>> members(num_tables);
   for (size_t i = 0; i < n; ++i) {
     size_t g = (input.table_of != nullptr) ? (*input.table_of)[i] : 0;
     la::AddInPlace(&mean[g], lake[i]);
-    ++count[g];
+    members[g].push_back(i);
   }
   for (size_t g = 0; g < num_tables; ++g) {
-    if (count[g] > 0) {
-      la::ScaleInPlace(&mean[g], 1.0f / static_cast<float>(count[g]));
+    if (!members[g].empty()) {
+      la::ScaleInPlace(&mean[g], 1.0f / static_cast<float>(members[g].size()));
     }
   }
 
-  // Score(t) = delta(table mean, E(t)); keep the global top-s (§5.1).
+  // Score(t) = delta(table mean, E(t)); keep the global top-s (§5.1). One
+  // gathered batch-kernel scan per table, with a lake norm cache (only
+  // read by cosine) shared across groups.
+  std::vector<float> lake_norms;
+  const float* norms = nullptr;
+  if (input.metric == la::Metric::kCosine) {
+    lake_norms = la::NormsOf(lake);
+    norms = lake_norms.data();
+  }
   std::vector<std::pair<float, size_t>> scored(n);
-  for (size_t i = 0; i < n; ++i) {
-    size_t g = (input.table_of != nullptr) ? (*input.table_of)[i] : 0;
-    scored[i] = {la::Distance(input.metric, mean[g], lake[i]), i};
+  std::vector<float> group_distances;
+  for (size_t g = 0; g < num_tables; ++g) {
+    if (members[g].empty()) continue;
+    group_distances.resize(members[g].size());
+    la::DistanceToMany(input.metric, mean[g], lake, norms,
+                       members[g].data(), members[g].size(),
+                       group_distances.data());
+    for (size_t j = 0; j < members[g].size(); ++j) {
+      scored[members[g][j]] = {group_distances[j], members[g][j]};
+    }
   }
   std::stable_sort(scored.begin(), scored.end(),
                    [](const auto& a, const auto& b) {
@@ -64,18 +79,39 @@ std::vector<size_t> RankCandidatesAgainstQuery(
     float mean_distance;
     size_t index;
   };
+  const bool has_query = input.query != nullptr && !input.query->empty();
+  // Query norms computed once for the whole ranking pass (only read by
+  // cosine), so each candidate-vs-query-tuple pair is one fused dot.
+  std::vector<float> query_norms;
+  if (has_query && input.metric == la::Metric::kCosine) {
+    query_norms = la::NormsOf(*input.query);
+  }
+  std::vector<float> distances;
   std::vector<Ranked> ranked;
   ranked.reserve(candidates.size());
   for (size_t i : candidates) {
     Ranked r;
     r.index = i;
-    if (input.query == nullptr || input.query->empty()) {
+    if (!has_query) {
       // No query: every candidate ties; keep input order deterministically.
       r.min_distance = 0.0f;
       r.mean_distance = 0.0f;
     } else {
-      r.min_distance = MinDistanceToQuery(input, i);
-      r.mean_distance = MeanDistanceToQuery(input, i);
+      const la::Vec& candidate = (*input.lake)[i];
+      if (query_norms.empty()) {
+        la::DistanceToMany(input.metric, candidate, *input.query, &distances);
+      } else {
+        la::DistanceToMany(input.metric, candidate, *input.query, query_norms,
+                           &distances);
+      }
+      float min = distances[0];
+      float sum = 0.0f;
+      for (float d : distances) {
+        if (d < min) min = d;
+        sum += d;
+      }
+      r.min_distance = min;
+      r.mean_distance = sum / static_cast<float>(distances.size());
     }
     ranked.push_back(r);
   }

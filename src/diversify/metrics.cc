@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 
 namespace dust::diversify {
 
@@ -13,19 +14,35 @@ DiversityScores ScoreDiversity(const std::vector<la::Vec>& query,
   double min_distance = std::numeric_limits<double>::infinity();
   size_t pairs = 0;
 
+  // Row-at-a-time batch kernel. The norm cache (only read by cosine) turns
+  // every cosine pair into one fused dot product; the identity id list
+  // lets the pairwise pass scan just the strict upper triangle.
+  const size_t n = selected.size();
+  std::vector<float> selected_norms;
+  const float* norms = nullptr;
+  if (metric == la::Metric::kCosine) {
+    selected_norms = la::NormsOf(selected);
+    norms = selected_norms.data();
+  }
+  std::vector<size_t> ids(n);
+  std::iota(ids.begin(), ids.end(), size_t{0});
+  std::vector<float> row(n);
   for (const la::Vec& q : query) {
-    for (const la::Vec& t : selected) {
-      double d = la::Distance(metric, q, t);
-      sum += d;
-      min_distance = std::min(min_distance, d);
+    la::DistanceToMany(metric, q, selected, norms, ids.data(), n, row.data());
+    for (size_t j = 0; j < n; ++j) {
+      sum += row[j];
+      min_distance = std::min(min_distance, static_cast<double>(row[j]));
       ++pairs;
     }
   }
-  for (size_t i = 0; i + 1 < selected.size(); ++i) {
-    for (size_t j = i + 1; j < selected.size(); ++j) {
-      double d = la::Distance(metric, selected[i], selected[j]);
-      sum += d;
-      min_distance = std::min(min_distance, d);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    // Distances to j in (i, n) only — the diagonal's d(i,i)=0 must not
+    // poison the min, and the lower triangle is redundant.
+    la::DistanceToMany(metric, selected[i], selected, norms,
+                       ids.data() + i + 1, n - i - 1, row.data());
+    for (size_t j = 0; j + i + 1 < n; ++j) {
+      sum += row[j];
+      min_distance = std::min(min_distance, static_cast<double>(row[j]));
       ++pairs;
     }
   }

@@ -10,14 +10,19 @@ namespace dust::index {
 void FlatIndex::Add(const la::Vec& v) {
   DUST_CHECK(v.size() == dim_);
   vectors_.push_back(v);
+  norms_.push_back(la::Norm(v));
 }
 
 std::vector<SearchHit> FlatIndex::Search(const la::Vec& query,
                                          size_t k) const {
+  // One-to-many batch kernel over the whole store; the norm cache makes
+  // each cosine candidate a single fused dot product.
+  std::vector<float> distances;
+  la::DistanceToMany(metric_, query, vectors_, norms_, &distances);
   std::vector<SearchHit> hits;
   hits.reserve(vectors_.size());
   for (size_t id = 0; id < vectors_.size(); ++id) {
-    hits.push_back({id, la::Distance(metric_, query, vectors_[id])});
+    hits.push_back({id, distances[id]});
   }
   FinalizeHits(&hits, k);
   return hits;
@@ -29,7 +34,9 @@ Status FlatIndex::SavePayload(io::IndexWriter* writer) const {
 }
 
 Status FlatIndex::LoadPayload(io::IndexReader* reader) {
-  return reader->ReadVecs(&vectors_, dim_);
+  DUST_RETURN_IF_ERROR(reader->ReadVecs(&vectors_, dim_));
+  norms_ = la::NormsOf(vectors_);
+  return Status::Ok();
 }
 
 }  // namespace dust::index

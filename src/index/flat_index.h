@@ -30,6 +30,9 @@ class FlatIndex : public VectorIndex {
   size_t dim_;
   la::Metric metric_;
   std::vector<la::Vec> vectors_;
+  /// norms_[id] = Norm(vectors_[id]), maintained by Add/LoadPayload so the
+  /// cosine scan needs one dot product per candidate.
+  std::vector<float> norms_;
 };
 
 }  // namespace dust::index

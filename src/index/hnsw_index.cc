@@ -49,16 +49,24 @@ int HnswIndex::RandomLevel() {
 
 uint32_t HnswIndex::GreedyStep(const la::Vec& query, uint32_t entry,
                                int level) const {
+  // Per-thread scratch: concurrent SearchBatch workers each get their own.
+  thread_local std::vector<float> distances;
   uint32_t current = entry;
   float current_dist = Dist(query, vectors_[current]);
   bool improved = true;
   while (improved) {
     improved = false;
-    for (uint32_t neighbor : nodes_[current].neighbors[level]) {
-      float d = Dist(query, vectors_[neighbor]);
-      if (d < current_dist) {
-        current = neighbor;
-        current_dist = d;
+    const std::vector<uint32_t>& neighbors = nodes_[current].neighbors[level];
+    if (neighbors.empty()) break;
+    // One gathered batch scan over the adjacency list, then take the
+    // strict-improvement argmin (first-seen wins ties, as before).
+    distances.resize(neighbors.size());
+    la::DistanceToMany(metric_, query, vectors_, norms_.data(),
+                       neighbors.data(), neighbors.size(), distances.data());
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      if (distances[i] < current_dist) {
+        current = neighbors[i];
+        current_dist = distances[i];
         improved = true;
       }
     }
@@ -93,17 +101,33 @@ std::vector<SearchHit> HnswIndex::SearchLayer(const la::Vec& query,
   candidates.push({entry, entry_dist});
   best.push({entry, entry_dist});
 
+  // Scratch for the batched neighbor expansion (per-thread, like the
+  // visited marks above).
+  thread_local std::vector<uint32_t> frontier;
+  thread_local std::vector<float> frontier_distances;
+
   while (!candidates.empty()) {
     SearchHit current = candidates.top();
     candidates.pop();
     if (best.size() >= ef && current.distance > best.top().distance) break;
+    // Gather the unvisited neighbors, compute their distances in one
+    // batch-kernel call, then feed the heaps in the original order.
+    frontier.clear();
     for (uint32_t neighbor : nodes_[current.id].neighbors[level]) {
       if (visited(neighbor)) continue;
       mark_visited(neighbor);
-      float d = Dist(query, vectors_[neighbor]);
+      frontier.push_back(neighbor);
+    }
+    if (frontier.empty()) continue;
+    frontier_distances.resize(frontier.size());
+    la::DistanceToMany(metric_, query, vectors_, norms_.data(),
+                       frontier.data(), frontier.size(),
+                       frontier_distances.data());
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      float d = frontier_distances[i];
       if (best.size() < ef || d < best.top().distance) {
-        candidates.push({neighbor, d});
-        best.push({neighbor, d});
+        candidates.push({frontier[i], d});
+        best.push({frontier[i], d});
         if (best.size() > ef) best.pop();
       }
     }
@@ -132,7 +156,7 @@ std::vector<uint32_t> HnswIndex::SelectNeighbors(
     if (selected.size() >= max_degree) break;
     bool keep = true;
     for (uint32_t s : selected) {
-      if (Dist(vectors_[c.id], vectors_[s]) < c.distance) {
+      if (StoredDist(static_cast<uint32_t>(c.id), s) < c.distance) {
         keep = false;
         break;
       }
@@ -155,10 +179,13 @@ std::vector<uint32_t> HnswIndex::SelectNeighbors(
 void HnswIndex::ShrinkNeighbors(uint32_t id, int level) {
   std::vector<uint32_t>& links = nodes_[id].neighbors[level];
   if (links.size() <= MaxDegree(level)) return;
+  std::vector<float> distances(links.size());
+  la::DistanceToMany(metric_, vectors_[id], vectors_, norms_.data(),
+                     links.data(), links.size(), distances.data());
   std::vector<SearchHit> candidates;
   candidates.reserve(links.size());
-  for (uint32_t n : links) {
-    candidates.push_back({n, Dist(vectors_[id], vectors_[n])});
+  for (size_t i = 0; i < links.size(); ++i) {
+    candidates.push_back({links[i], distances[i]});
   }
   links = SelectNeighbors(std::move(candidates), MaxDegree(level));
 }
@@ -169,6 +196,7 @@ void HnswIndex::Add(const la::Vec& v) {
   const uint32_t id = static_cast<uint32_t>(vectors_.size());
   const int level = RandomLevel();
   vectors_.push_back(v);
+  norms_.push_back(la::Norm(v));
   nodes_.push_back(Node{std::vector<std::vector<uint32_t>>(level + 1)});
 
   if (max_level_ < 0) {  // first element becomes the global entry point
@@ -195,7 +223,7 @@ void HnswIndex::Add(const la::Vec& v) {
       ShrinkNeighbors(n, l);
     }
     // Continue the descent from the best node found on this layer.
-    float current_dist = Dist(vectors_[id], vectors_[current]);
+    float current_dist = StoredDist(id, current);
     for (const SearchHit& h : found) {
       if (h.distance < current_dist) {
         current = static_cast<uint32_t>(h.id);
@@ -259,6 +287,7 @@ Status HnswIndex::LoadPayload(io::IndexReader* reader) {
       1.0 / std::log(static_cast<double>(std::max<size_t>(config_.M, 2)));
   rng_ = Rng(config_.seed);
   DUST_RETURN_IF_ERROR(reader->ReadVecs(&vectors_, dim_));
+  norms_ = la::NormsOf(vectors_);
   uint32_t entry_point = 0;
   int64_t max_level = 0;
   DUST_RETURN_IF_ERROR(reader->ReadU32(&entry_point));

@@ -60,6 +60,16 @@ class HnswIndex : public VectorIndex {
     return la::Distance(metric_, a, b);
   }
 
+  /// Distance between two stored vectors; with cosine, both norms come
+  /// from the cache so the pair costs one dot product.
+  float StoredDist(uint32_t a, uint32_t b) const {
+    if (metric_ == la::Metric::kCosine) {
+      return la::CosineDistanceFromDot(la::Dot(vectors_[a], vectors_[b]),
+                                       norms_[a], norms_[b]);
+    }
+    return la::Distance(metric_, vectors_[a], vectors_[b]);
+  }
+
   /// Geometric level draw with mean 1/ln(M) layers above 0.
   int RandomLevel();
 
@@ -90,6 +100,9 @@ class HnswIndex : public VectorIndex {
   double level_mult_;
   Rng rng_;
   std::vector<la::Vec> vectors_;
+  /// norms_[id] = Norm(vectors_[id]) (Add/LoadPayload); feeds the fused
+  /// cosine path of the batched neighbor scans.
+  std::vector<float> norms_;
   std::vector<Node> nodes_;
   uint32_t entry_point_ = 0;
   int max_level_ = -1;

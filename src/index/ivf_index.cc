@@ -10,6 +10,7 @@ namespace dust::index {
 void IvfFlatIndex::Add(const la::Vec& v) {
   DUST_CHECK(v.size() == dim_);
   vectors_.push_back(v);
+  norms_.push_back(la::Norm(v));
   trained_.store(false, std::memory_order_release);  // lists are stale
 }
 
@@ -23,6 +24,7 @@ void IvfFlatIndex::Train() {
   options.seed = config_.seed;
   cluster::KmeansResult km = cluster::Kmeans(vectors_, nlist, options);
   centroids_ = km.centroids;
+  centroid_norms_ = la::NormsOf(centroids_);
   lists_.assign(centroids_.size(), {});
   for (size_t i = 0; i < vectors_.size(); ++i) {
     lists_[km.assignments[i]].push_back(i);
@@ -45,18 +47,28 @@ std::vector<SearchHit> IvfFlatIndex::Search(const la::Vec& query,
   EnsureTrained();
   if (vectors_.empty()) return {};
 
-  // Rank lists by centroid distance; scan the nprobe nearest.
+  // Rank lists by centroid distance (one batch scan); probe the nprobe
+  // nearest, scanning each inverted list with the gathered batch kernel.
+  std::vector<float> centroid_distances;
+  la::DistanceToMany(metric_, query, centroids_, centroid_norms_,
+                     &centroid_distances);
   std::vector<SearchHit> centroid_hits;
   centroid_hits.reserve(centroids_.size());
   for (size_t c = 0; c < centroids_.size(); ++c) {
-    centroid_hits.push_back({c, la::Distance(metric_, query, centroids_[c])});
+    centroid_hits.push_back({c, centroid_distances[c]});
   }
   FinalizeHits(&centroid_hits, std::min(config_.nprobe, centroids_.size()));
 
   std::vector<SearchHit> hits;
+  std::vector<float> list_distances;
   for (const SearchHit& ch : centroid_hits) {
-    for (size_t id : lists_[ch.id]) {
-      hits.push_back({id, la::Distance(metric_, query, vectors_[id])});
+    const std::vector<size_t>& list = lists_[ch.id];
+    if (list.empty()) continue;
+    list_distances.resize(list.size());
+    la::DistanceToMany(metric_, query, vectors_, norms_.data(), list.data(),
+                       list.size(), list_distances.data());
+    for (size_t i = 0; i < list.size(); ++i) {
+      hits.push_back({list[i], list_distances[i]});
     }
   }
   FinalizeHits(&hits, k);
@@ -91,6 +103,8 @@ Status IvfFlatIndex::LoadPayload(io::IndexReader* reader) {
   config_.seed = seed;
   DUST_RETURN_IF_ERROR(reader->ReadVecs(&vectors_, dim_));
   DUST_RETURN_IF_ERROR(reader->ReadVecs(&centroids_, dim_));
+  norms_ = la::NormsOf(vectors_);
+  centroid_norms_ = la::NormsOf(centroids_);
   uint64_t num_lists = 0;
   DUST_RETURN_IF_ERROR(reader->ReadCount(sizeof(uint64_t), &num_lists));
   if (num_lists != centroids_.size()) {

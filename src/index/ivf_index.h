@@ -56,6 +56,11 @@ class IvfFlatIndex : public VectorIndex {
   IvfConfig config_;
   std::vector<la::Vec> vectors_;
   std::vector<la::Vec> centroids_;
+  /// Norm caches aligned with vectors_/centroids_ (Add, Train,
+  /// LoadPayload); they turn cosine scans into one dot product per
+  /// candidate.
+  std::vector<float> norms_;
+  std::vector<float> centroid_norms_;
   std::vector<std::vector<size_t>> lists_;
   // Lazy training may be triggered from concurrent const Search calls
   // (e.g. SearchBatch workers); the mutex serializes the one-time build.

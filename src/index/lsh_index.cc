@@ -11,6 +11,14 @@ namespace dust::index {
 LshIndex::LshIndex(size_t dim, la::Metric metric, LshConfig config)
     : dim_(dim), metric_(metric), config_(config) {
   DUST_CHECK(config_.nbits >= 1 && config_.nbits <= 63);
+  // Random-hyperplane signatures approximate angular similarity only; under
+  // kEuclidean/kManhattan the buckets would be meaningless and recall would
+  // silently collapse. Paths fed by external input (io::ReadIndex for index
+  // files; any future CLI/config wiring should do the same) validate via
+  // index::ValidateIndexMetric and return InvalidArgument before reaching
+  // this internal check.
+  DUST_CHECK(metric_ == la::Metric::kCosine &&
+             "LshIndex supports only the cosine metric");
   Rng rng(config_.seed);
   hyperplanes_.reserve(config_.nbits);
   for (size_t b = 0; b < config_.nbits; ++b) {
@@ -32,6 +40,7 @@ void LshIndex::Add(const la::Vec& v) {
   DUST_CHECK(v.size() == dim_);
   size_t id = vectors_.size();
   vectors_.push_back(v);
+  norms_.push_back(la::Norm(v));
   buckets_[Signature(v)].push_back(id);
 }
 
@@ -54,12 +63,19 @@ std::vector<SearchHit> LshIndex::Search(const la::Vec& query, size_t k) const {
     }
   }
 
+  // Scan each probed bucket with the gathered batch kernel; cached norms
+  // make every cosine candidate one fused dot product.
   std::vector<SearchHit> hits;
+  std::vector<float> bucket_distances;
   for (uint64_t code : probes) {
     auto it = buckets_.find(code);
     if (it == buckets_.end()) continue;
-    for (size_t id : it->second) {
-      hits.push_back({id, la::Distance(metric_, query, vectors_[id])});
+    const std::vector<size_t>& ids = it->second;
+    bucket_distances.resize(ids.size());
+    la::DistanceToMany(metric_, query, vectors_, norms_.data(), ids.data(),
+                       ids.size(), bucket_distances.data());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      hits.push_back({ids[i], bucket_distances[i]});
     }
   }
   FinalizeHits(&hits, k);
@@ -103,6 +119,7 @@ Status LshIndex::LoadPayload(io::IndexReader* reader) {
     return Status::IoError("LSH payload hyperplane/nbits mismatch");
   }
   DUST_RETURN_IF_ERROR(reader->ReadVecs(&vectors_, dim_));
+  norms_ = la::NormsOf(vectors_);
   uint64_t num_buckets = 0;
   // Each bucket is at least a u64 key plus a u64 id count.
   DUST_RETURN_IF_ERROR(reader->ReadCount(2 * sizeof(uint64_t), &num_buckets));

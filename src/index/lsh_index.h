@@ -46,6 +46,9 @@ class LshIndex : public VectorIndex {
   LshConfig config_;
   std::vector<la::Vec> hyperplanes_;
   std::vector<la::Vec> vectors_;
+  /// norms_[id] = Norm(vectors_[id]) (Add/LoadPayload) for the fused
+  /// cosine bucket scan.
+  std::vector<float> norms_;
   std::unordered_map<uint64_t, std::vector<size_t>> buckets_;
 };
 

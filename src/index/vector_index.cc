@@ -71,6 +71,8 @@ std::unique_ptr<VectorIndex> MakeVectorIndex(const std::string& type,
   // fallback) means a type added to IsKnownIndexType but not here aborts
   // loudly rather than silently serving a linear scan.
   DUST_CHECK(IsKnownIndexType(type) && "unknown vector index type");
+  DUST_CHECK(ValidateIndexMetric(type, metric).ok() &&
+             "index type does not support this metric");
   if (type == "flat") return std::make_unique<FlatIndex>(dim, metric);
   if (type == "hnsw") return std::make_unique<HnswIndex>(dim, metric);
   if (type == "ivf") return std::make_unique<IvfFlatIndex>(dim, metric);
@@ -81,6 +83,16 @@ std::unique_ptr<VectorIndex> MakeVectorIndex(const std::string& type,
 
 bool IsKnownIndexType(const std::string& type) {
   return type == "flat" || type == "hnsw" || type == "ivf" || type == "lsh";
+}
+
+Status ValidateIndexMetric(const std::string& type, la::Metric metric) {
+  if (type == "lsh" && metric != la::Metric::kCosine) {
+    return Status::InvalidArgument(
+        std::string("the lsh index supports only the cosine metric; its "
+                    "random-hyperplane buckets are meaningless under ") +
+        la::MetricName(metric));
+  }
+  return Status::Ok();
 }
 
 }  // namespace dust::index

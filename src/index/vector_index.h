@@ -94,6 +94,14 @@ std::unique_ptr<VectorIndex> MakeVectorIndex(const std::string& type,
 /// user-facing validation (CLI flags, config files).
 bool IsKnownIndexType(const std::string& type);
 
+/// InvalidArgument when index type `type` cannot serve `metric` — LSH's
+/// random-hyperplane hashing approximates angular similarity only, so it
+/// rejects kEuclidean/kManhattan (buckets would be meaningless and recall
+/// would silently collapse). Ok for every other known combination. The
+/// boundary check for user input (io::ReadIndex, CLI flags); MakeVectorIndex
+/// treats a failure as a programming error and aborts.
+Status ValidateIndexMetric(const std::string& type, la::Metric metric);
+
 }  // namespace dust::index
 
 #endif  // DUST_INDEX_VECTOR_INDEX_H_

@@ -251,6 +251,10 @@ Result<std::unique_ptr<index::VectorIndex>> ReadIndex(IndexReader* reader) {
   DUST_RETURN_IF_ERROR(IndexTypeFromTag(type_tag, &type));
   la::Metric metric = la::Metric::kCosine;
   DUST_RETURN_IF_ERROR(MetricFromTag(metric_tag, &metric));
+  // A file carrying an unsupported type/metric pairing (e.g. lsh +
+  // euclidean) must surface as a Status, not trip MakeVectorIndex's
+  // internal DUST_CHECK.
+  DUST_RETURN_IF_ERROR(index::ValidateIndexMetric(type, metric));
   std::unique_ptr<index::VectorIndex> index =
       index::MakeVectorIndex(type, static_cast<size_t>(dim), metric);
   DUST_RETURN_IF_ERROR(index->LoadPayload(reader));

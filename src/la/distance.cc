@@ -2,16 +2,20 @@
 
 #include <cmath>
 
+#include "la/simd/kernels.h"
 #include "util/status.h"
 #include "util/string_util.h"
 
 namespace dust::la {
 
-Metric MetricFromName(const std::string& name) {
+Result<Metric> MetricFromName(const std::string& name) {
   std::string lower = ToLower(name);
+  if (lower == "cosine") return Metric::kCosine;
   if (lower == "euclidean" || lower == "l2") return Metric::kEuclidean;
   if (lower == "manhattan" || lower == "l1") return Metric::kManhattan;
-  return Metric::kCosine;
+  return Status::InvalidArgument(
+      "unknown metric \"" + name +
+      "\" (expected cosine, euclidean/l2, or manhattan/l1)");
 }
 
 const char* MetricName(Metric metric) {
@@ -23,16 +27,31 @@ const char* MetricName(Metric metric) {
     case Metric::kManhattan:
       return "manhattan";
   }
-  return "?";
+  // A value outside the enum means a corrupted tag (bad snapshot bytes, a
+  // memcpy'd struct); naming it "?" would let it keep flowing. Abort.
+  DUST_CHECK(false && "invalid Metric enum value");
+  return "";
+}
+
+float CosineDistanceFromDot(float dot, float norm_a, float norm_b) {
+  if (norm_a == 0.0f && norm_b == 0.0f) return 0.0f;  // identical zero vectors
+  if (norm_a == 0.0f || norm_b == 0.0f) return 1.0f;
+  float sim = dot / (norm_a * norm_b);
+  // Clamp accumulated floating-point error into [-1, 1].
+  if (sim > 1.0f) sim = 1.0f;
+  if (sim < -1.0f) sim = -1.0f;
+  return 1.0f - sim;
 }
 
 float CosineSimilarity(const Vec& a, const Vec& b) {
-  float na = Norm(a);
-  float nb = Norm(b);
+  DUST_CHECK(a.size() == b.size());
+  float dot = 0.0f, a2 = 0.0f, b2 = 0.0f;
+  simd::Active().cosine_terms(a.data(), b.data(), a.size(), &dot, &a2, &b2);
+  float na = std::sqrt(a2);
+  float nb = std::sqrt(b2);
   if (na == 0.0f && nb == 0.0f) return 1.0f;  // identical zero vectors
   if (na == 0.0f || nb == 0.0f) return 0.0f;
-  float sim = Dot(a, b) / (na * nb);
-  // Clamp accumulated floating-point error into [-1, 1].
+  float sim = dot / (na * nb);
   if (sim > 1.0f) sim = 1.0f;
   if (sim < -1.0f) sim = -1.0f;
   return sim;
@@ -44,12 +63,7 @@ float CosineDistance(const Vec& a, const Vec& b) {
 
 float SquaredEuclideanDistance(const Vec& a, const Vec& b) {
   DUST_CHECK(a.size() == b.size());
-  float s = 0.0f;
-  for (size_t i = 0; i < a.size(); ++i) {
-    float d = a[i] - b[i];
-    s += d * d;
-  }
-  return s;
+  return simd::Active().squared_l2(a.data(), b.data(), a.size());
 }
 
 float EuclideanDistance(const Vec& a, const Vec& b) {
@@ -58,9 +72,7 @@ float EuclideanDistance(const Vec& a, const Vec& b) {
 
 float ManhattanDistance(const Vec& a, const Vec& b) {
   DUST_CHECK(a.size() == b.size());
-  float s = 0.0f;
-  for (size_t i = 0; i < a.size(); ++i) s += std::fabs(a[i] - b[i]);
-  return s;
+  return simd::Active().l1(a.data(), b.data(), a.size());
 }
 
 float Distance(Metric metric, const Vec& a, const Vec& b) {
@@ -72,15 +84,121 @@ float Distance(Metric metric, const Vec& a, const Vec& b) {
     case Metric::kManhattan:
       return ManhattanDistance(a, b);
   }
+  // Returning 0.0f here would report every pair as identical under a
+  // corrupted metric tag — the worst possible silent failure for a
+  // distance function. Abort instead.
+  DUST_CHECK(false && "invalid Metric enum value");
   return 0.0f;
+}
+
+std::vector<float> NormsOf(const std::vector<Vec>& base) {
+  const simd::Kernels& ops = simd::Active();
+  std::vector<float> norms(base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    norms[i] = std::sqrt(ops.norm_squared(base[i].data(), base[i].size()));
+  }
+  return norms;
+}
+
+namespace {
+
+/// Shared one-to-many loop: the metric switch, backend lookup, and query
+/// norm are hoisted out; `id_of(i)` maps output slot i to an index into
+/// `base`. With `base_norms` cosine is one fused dot per candidate;
+/// without, one fused pass computing dot and candidate norm together.
+template <typename IdOf>
+void DistanceToManyImpl(Metric metric, const Vec& query,
+                        const std::vector<Vec>& base, const float* base_norms,
+                        size_t count, float* out, IdOf id_of) {
+  const simd::Kernels& ops = simd::Active();
+  const float* q = query.data();
+  const size_t dim = query.size();
+  switch (metric) {
+    case Metric::kCosine: {
+      const float query_norm = std::sqrt(ops.norm_squared(q, dim));
+      for (size_t i = 0; i < count; ++i) {
+        const size_t id = id_of(i);
+        const Vec& v = base[id];
+        DUST_CHECK(v.size() == dim);
+        if (base_norms != nullptr) {
+          out[i] = CosineDistanceFromDot(ops.dot(q, v.data(), dim),
+                                         query_norm, base_norms[id]);
+        } else {
+          // cosine_terms redundantly re-reduces |q|^2 here, but the single
+          // fused pass still beats two separate passes (dot + |v|^2): one
+          // extra FMA stream costs less than re-streaming v from memory.
+          float dot = 0.0f, q2 = 0.0f, v2 = 0.0f;
+          ops.cosine_terms(q, v.data(), dim, &dot, &q2, &v2);
+          out[i] = CosineDistanceFromDot(dot, query_norm, std::sqrt(v2));
+        }
+      }
+      return;
+    }
+    case Metric::kEuclidean:
+      for (size_t i = 0; i < count; ++i) {
+        const Vec& v = base[id_of(i)];
+        DUST_CHECK(v.size() == dim);
+        out[i] = std::sqrt(ops.squared_l2(q, v.data(), dim));
+      }
+      return;
+    case Metric::kManhattan:
+      for (size_t i = 0; i < count; ++i) {
+        const Vec& v = base[id_of(i)];
+        DUST_CHECK(v.size() == dim);
+        out[i] = ops.l1(q, v.data(), dim);
+      }
+      return;
+  }
+  DUST_CHECK(false && "invalid Metric enum value");
+}
+
+}  // namespace
+
+void DistanceToMany(Metric metric, const Vec& query,
+                    const std::vector<Vec>& base, std::vector<float>* out) {
+  out->resize(base.size());
+  DistanceToManyImpl(metric, query, base, nullptr, base.size(), out->data(),
+                     [](size_t i) { return i; });
+}
+
+void DistanceToMany(Metric metric, const Vec& query,
+                    const std::vector<Vec>& base,
+                    const std::vector<float>& base_norms,
+                    std::vector<float>* out) {
+  DUST_CHECK(base_norms.size() == base.size());
+  out->resize(base.size());
+  DistanceToManyImpl(metric, query, base, base_norms.data(), base.size(),
+                     out->data(), [](size_t i) { return i; });
+}
+
+void DistanceToMany(Metric metric, const Vec& query,
+                    const std::vector<Vec>& base, const float* base_norms,
+                    const uint32_t* ids, size_t count, float* out) {
+  DistanceToManyImpl(metric, query, base, base_norms, count, out,
+                     [ids](size_t i) { return static_cast<size_t>(ids[i]); });
+}
+
+void DistanceToMany(Metric metric, const Vec& query,
+                    const std::vector<Vec>& base, const float* base_norms,
+                    const size_t* ids, size_t count, float* out) {
+  DistanceToManyImpl(metric, query, base, base_norms, count, out,
+                     [ids](size_t i) { return ids[i]; });
 }
 
 DistanceMatrix::DistanceMatrix(const std::vector<Vec>& points, Metric metric)
     : n_(points.size()), data_(points.size() * points.size(), 0.0f) {
-  for (size_t i = 0; i < n_; ++i) {
-    for (size_t j = i + 1; j < n_; ++j) {
-      set(i, j, Distance(metric, points[i], points[j]));
-    }
+  // Row-at-a-time batch kernel over the strict upper triangle; the norm
+  // cache (only read by cosine) makes each cosine entry a single dot
+  // product.
+  std::vector<float> norms;
+  if (metric == Metric::kCosine) norms = NormsOf(points);
+  const float* norms_data = norms.empty() ? nullptr : norms.data();
+  std::vector<float> row;
+  for (size_t i = 0; i + 1 < n_; ++i) {
+    row.resize(n_ - i - 1);
+    DistanceToManyImpl(metric, points[i], points, norms_data, n_ - i - 1,
+                       row.data(), [i](size_t j) { return i + 1 + j; });
+    for (size_t j = i + 1; j < n_; ++j) set(i, j, row[j - i - 1]);
   }
 }
 

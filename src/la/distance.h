@@ -2,21 +2,33 @@
 // matrices. Cosine distance is the default throughout the experiments
 // (Sec. 6.4.1); Euclidean and Manhattan are provided because the paper
 // reports equivalent relative results with them.
+//
+// All kernels route through the runtime-dispatched SIMD backend in
+// la/simd/ (AVX2 when the CPU has it, scalar otherwise; DUST_FORCE_SCALAR
+// pins the fallback). The one-to-many DistanceToMany overloads are the hot
+// path of every index scan: they hoist the query norm and metric switch
+// out of the candidate loop, and with a caller-provided norm cache cosine
+// distance costs a single fused dot product per candidate.
 #ifndef DUST_LA_DISTANCE_H_
 #define DUST_LA_DISTANCE_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "la/vector_ops.h"
+#include "util/status.h"
 
 namespace dust::la {
 
 enum class Metric { kCosine, kEuclidean, kManhattan };
 
-/// Parses "cosine" / "euclidean" / "manhattan"; defaults to cosine.
-Metric MetricFromName(const std::string& name);
+/// Parses "cosine" / "euclidean" ("l2") / "manhattan" ("l1"),
+/// case-insensitively. Any other spelling is InvalidArgument — a typo'd
+/// metric must fail loudly, not silently fall back to cosine and serve
+/// wrong distances.
+Result<Metric> MetricFromName(const std::string& name);
 const char* MetricName(Metric metric);
 
 /// Cosine distance = 1 - cos(a, b); zero vectors are at distance 1 from
@@ -27,12 +39,47 @@ float CosineDistance(const Vec& a, const Vec& b);
 /// Cosine similarity in [-1, 1]; 0 when either vector is zero.
 float CosineSimilarity(const Vec& a, const Vec& b);
 
+/// Cosine distance reconstructed from a precomputed dot product and the two
+/// L2 norms, with exactly CosineDistance's zero-vector conventions and
+/// [-1, 1] clamping. This is the fused form the norm-caching index scans
+/// use: with norms cached, each candidate costs one dot product.
+float CosineDistanceFromDot(float dot, float norm_a, float norm_b);
+
 float EuclideanDistance(const Vec& a, const Vec& b);
 float SquaredEuclideanDistance(const Vec& a, const Vec& b);
 float ManhattanDistance(const Vec& a, const Vec& b);
 
 /// Distance under `metric`.
 float Distance(Metric metric, const Vec& a, const Vec& b);
+
+/// Norm(base[i]) for every vector — the cache the norm-aware DistanceToMany
+/// overloads consume. Indexes keep one of these aligned with their vector
+/// storage.
+std::vector<float> NormsOf(const std::vector<Vec>& base);
+
+/// One-to-many: out[i] = Distance(metric, query, base[i]), out resized to
+/// base.size(). Computes per-candidate norms on the fly for cosine (still
+/// one fused pass per candidate).
+void DistanceToMany(Metric metric, const Vec& query,
+                    const std::vector<Vec>& base, std::vector<float>* out);
+
+/// Norm-cached variant: base_norms must be NormsOf(base) (only read for
+/// cosine, where it saves the per-candidate norm pass).
+void DistanceToMany(Metric metric, const Vec& query,
+                    const std::vector<Vec>& base,
+                    const std::vector<float>& base_norms,
+                    std::vector<float>* out);
+
+/// Gathered variants for index scans over id lists (IVF inverted lists, LSH
+/// buckets, HNSW adjacency): out[i] = Distance(metric, query,
+/// base[ids[i]]). `out` must hold `count` floats; `base_norms` may be null
+/// (norms then computed on the fly for cosine) or NormsOf(base).
+void DistanceToMany(Metric metric, const Vec& query,
+                    const std::vector<Vec>& base, const float* base_norms,
+                    const uint32_t* ids, size_t count, float* out);
+void DistanceToMany(Metric metric, const Vec& query,
+                    const std::vector<Vec>& base, const float* base_norms,
+                    const size_t* ids, size_t count, float* out);
 
 /// Row-major symmetric pairwise distance matrix (n x n, zero diagonal).
 class DistanceMatrix {

@@ -1,0 +1,47 @@
+// One-time backend selection. The choice is latched into an atomic so the
+// env lookup and CPUID run once; ForceScalar lets tests and benchmarks swap
+// backends inside a single process without re-execing under a different
+// environment.
+#include <atomic>
+#include <cstdlib>
+
+#include "la/simd/kernels.h"
+
+namespace dust::la::simd {
+namespace {
+
+bool ForceScalarFromEnv() {
+  const char* value = std::getenv("DUST_FORCE_SCALAR");
+  if (value == nullptr || value[0] == '\0') return false;
+  return !(value[0] == '0' && value[1] == '\0');
+}
+
+const Kernels* Select() {
+  if (ForceScalarFromEnv()) return &ScalarKernels();
+  if (Avx2Available()) return &Avx2Kernels();
+  return &ScalarKernels();
+}
+
+std::atomic<const Kernels*> g_active{nullptr};
+
+}  // namespace
+
+const Kernels& Active() {
+  const Kernels* kernels = g_active.load(std::memory_order_acquire);
+  if (kernels == nullptr) {
+    // A racing first call selects the same backend; the double store is
+    // benign.
+    kernels = Select();
+    g_active.store(kernels, std::memory_order_release);
+  }
+  return *kernels;
+}
+
+const char* ActiveName() { return Active().name; }
+
+void ForceScalar(bool force) {
+  g_active.store(force ? &ScalarKernels() : Select(),
+                 std::memory_order_release);
+}
+
+}  // namespace dust::la::simd

@@ -1,0 +1,155 @@
+// AVX2+FMA backend. CMake compiles only this translation unit with
+// -mavx2 -mfma (when the compiler accepts them), so nothing here may be
+// called before Avx2Available() confirms CPU support — the dispatcher in
+// dispatch.cc enforces that. On targets without AVX2 support __AVX2__ is
+// undefined and this file degrades to a stub that reports the backend as
+// unavailable.
+#include "la/simd/kernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace dust::la::simd {
+namespace {
+
+/// Sum of all 8 lanes.
+inline float HorizontalSum(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_movehdup_ps(lo));
+  return _mm_cvtss_f32(lo);
+}
+
+float DotAvx2(const float* a, const float* b, size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  if (i + 8 <= n) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    i += 8;
+  }
+  float sum = HorizontalSum(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+float NormSquaredAvx2(const float* a, size_t n) { return DotAvx2(a, a, n); }
+
+float SquaredL2Avx2(const float* a, const float* b, size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(a + i + 8),
+                              _mm256_loadu_ps(b + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  if (i + 8 <= n) {
+    __m256 d = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+    i += 8;
+  }
+  float sum = HorizontalSum(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) {
+    float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+float L1Avx2(const float* a, const float* b, size_t n) {
+  // Clearing the sign bit is fabs for IEEE floats.
+  const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(a + i + 8),
+                              _mm256_loadu_ps(b + i + 8));
+    acc0 = _mm256_add_ps(acc0, _mm256_and_ps(d0, abs_mask));
+    acc1 = _mm256_add_ps(acc1, _mm256_and_ps(d1, abs_mask));
+  }
+  if (i + 8 <= n) {
+    __m256 d = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_add_ps(acc0, _mm256_and_ps(d, abs_mask));
+    i += 8;
+  }
+  float sum = HorizontalSum(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+void CosineTermsAvx2(const float* a, const float* b, size_t n, float* dot,
+                     float* a_squared, float* b_squared) {
+  __m256 acc_ab = _mm256_setzero_ps();
+  __m256 acc_aa = _mm256_setzero_ps();
+  __m256 acc_bb = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 va = _mm256_loadu_ps(a + i);
+    __m256 vb = _mm256_loadu_ps(b + i);
+    acc_ab = _mm256_fmadd_ps(va, vb, acc_ab);
+    acc_aa = _mm256_fmadd_ps(va, va, acc_aa);
+    acc_bb = _mm256_fmadd_ps(vb, vb, acc_bb);
+  }
+  float ab = HorizontalSum(acc_ab);
+  float aa = HorizontalSum(acc_aa);
+  float bb = HorizontalSum(acc_bb);
+  for (; i < n; ++i) {
+    ab += a[i] * b[i];
+    aa += a[i] * a[i];
+    bb += b[i] * b[i];
+  }
+  *dot = ab;
+  *a_squared = aa;
+  *b_squared = bb;
+}
+
+}  // namespace
+
+bool Avx2Available() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+const Kernels& Avx2Kernels() {
+  static const Kernels kernels = [] {
+    Kernels k;
+    k.dot = DotAvx2;
+    k.norm_squared = NormSquaredAvx2;
+    k.squared_l2 = SquaredL2Avx2;
+    k.l1 = L1Avx2;
+    k.cosine_terms = CosineTermsAvx2;
+    k.name = "avx2";
+    return k;
+  }();
+  return kernels;
+}
+
+}  // namespace dust::la::simd
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace dust::la::simd {
+
+bool Avx2Available() { return false; }
+
+const Kernels& Avx2Kernels() { return ScalarKernels(); }
+
+}  // namespace dust::la::simd
+
+#endif

@@ -1,0 +1,89 @@
+// Scalar fallback backend. This translation unit is compiled with the
+// project's baseline flags only — no -mavx2 — so the fallback never emits
+// instructions a pre-AVX2 machine cannot execute. Two-way partial sums give
+// the compiler ILP without reassociating the reduction (float addition is
+// not associative, so -O3 alone will not vectorize these loops; that keeps
+// "scalar" honest as the benchmark baseline).
+#include <cmath>
+#include <cstddef>
+
+#include "la/simd/kernels.h"
+
+namespace dust::la::simd {
+namespace {
+
+float DotScalar(const float* a, const float* b, size_t n) {
+  float s0 = 0.0f;
+  float s1 = 0.0f;
+  size_t i = 0;
+  for (; i + 1 < n; i += 2) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+  }
+  if (i < n) s0 += a[i] * b[i];
+  return s0 + s1;
+}
+
+float NormSquaredScalar(const float* a, size_t n) { return DotScalar(a, a, n); }
+
+float SquaredL2Scalar(const float* a, const float* b, size_t n) {
+  float s0 = 0.0f;
+  float s1 = 0.0f;
+  size_t i = 0;
+  for (; i + 1 < n; i += 2) {
+    float d0 = a[i] - b[i];
+    float d1 = a[i + 1] - b[i + 1];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+  }
+  if (i < n) {
+    float d = a[i] - b[i];
+    s0 += d * d;
+  }
+  return s0 + s1;
+}
+
+float L1Scalar(const float* a, const float* b, size_t n) {
+  float s0 = 0.0f;
+  float s1 = 0.0f;
+  size_t i = 0;
+  for (; i + 1 < n; i += 2) {
+    s0 += std::fabs(a[i] - b[i]);
+    s1 += std::fabs(a[i + 1] - b[i + 1]);
+  }
+  if (i < n) s0 += std::fabs(a[i] - b[i]);
+  return s0 + s1;
+}
+
+void CosineTermsScalar(const float* a, const float* b, size_t n, float* dot,
+                       float* a_squared, float* b_squared) {
+  float ab = 0.0f;
+  float aa = 0.0f;
+  float bb = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    ab += a[i] * b[i];
+    aa += a[i] * a[i];
+    bb += b[i] * b[i];
+  }
+  *dot = ab;
+  *a_squared = aa;
+  *b_squared = bb;
+}
+
+}  // namespace
+
+const Kernels& ScalarKernels() {
+  static const Kernels kernels = [] {
+    Kernels k;
+    k.dot = DotScalar;
+    k.norm_squared = NormSquaredScalar;
+    k.squared_l2 = SquaredL2Scalar;
+    k.l1 = L1Scalar;
+    k.cosine_terms = CosineTermsScalar;
+    k.name = "scalar";
+    return k;
+  }();
+  return kernels;
+}
+
+}  // namespace dust::la::simd

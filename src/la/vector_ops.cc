@@ -2,25 +2,19 @@
 
 #include <cmath>
 
+#include "la/simd/kernels.h"
 #include "util/status.h"
 
 namespace dust::la {
 
 float Dot(const Vec& a, const Vec& b) {
   DUST_CHECK(a.size() == b.size());
-  // Two partial sums help the compiler vectorize/pipeline on long vectors.
-  float s0 = 0.0f;
-  float s1 = 0.0f;
-  size_t i = 0;
-  for (; i + 1 < a.size(); i += 2) {
-    s0 += a[i] * b[i];
-    s1 += a[i + 1] * b[i + 1];
-  }
-  if (i < a.size()) s0 += a[i] * b[i];
-  return s0 + s1;
+  return simd::Active().dot(a.data(), b.data(), a.size());
 }
 
-float NormSquared(const Vec& a) { return Dot(a, a); }
+float NormSquared(const Vec& a) {
+  return simd::Active().norm_squared(a.data(), a.size());
+}
 
 float Norm(const Vec& a) { return std::sqrt(NormSquared(a)); }
 

@@ -10,6 +10,7 @@
 #include "index/hnsw_index.h"
 #include "index/ivf_index.h"
 #include "index/lsh_index.h"
+#include "la/simd/kernels.h"
 #include "util/rng.h"
 
 namespace dust::index {
@@ -302,6 +303,54 @@ TEST_P(IndexPropertyTest, SearchBatchEmptyQueries) {
   auto index = GetParam().second();
   index->AddAll(RandomUnitVectors(30, index->dim(), 45));
   EXPECT_TRUE(index->SearchBatch({}, 5).empty());
+}
+
+TEST_P(IndexPropertyTest, SearchBatchParityAcrossKernelBackends) {
+  // The same built index must rank candidates identically whether the
+  // distance kernels run on the scalar fallback (DUST_FORCE_SCALAR) or the
+  // dispatched SIMD backend; distances may differ only by accumulation
+  // noise. When the environment already forces scalar (the CI fallback
+  // leg) both sides run scalar and the test degenerates to determinism.
+  auto index = GetParam().second();
+  index->AddAll(RandomUnitVectors(150, index->dim(), 46));
+  auto queries = RandomUnitVectors(16, index->dim(), 4700);
+
+  la::simd::ForceScalar(true);
+  auto scalar_results = index->SearchBatch(queries, 8);
+  la::simd::ForceScalar(false);  // back to the startup selection
+  auto active_results = index->SearchBatch(queries, 8);
+
+  ASSERT_EQ(scalar_results.size(), active_results.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ASSERT_EQ(scalar_results[q].size(), active_results[q].size())
+        << "query " << q;
+    for (size_t i = 0; i < scalar_results[q].size(); ++i) {
+      EXPECT_EQ(scalar_results[q][i].id, active_results[q][i].id)
+          << "query " << q << " rank " << i;
+      EXPECT_NEAR(scalar_results[q][i].distance,
+                  active_results[q][i].distance, 1e-5f)
+          << "query " << q << " rank " << i;
+    }
+  }
+}
+
+TEST(ValidateIndexMetricTest, LshRejectsNonCosine) {
+  // LSH's random-hyperplane buckets approximate angular similarity only;
+  // accepting kEuclidean/kManhattan would silently collapse recall.
+  EXPECT_TRUE(ValidateIndexMetric("lsh", la::Metric::kCosine).ok());
+  for (la::Metric metric :
+       {la::Metric::kEuclidean, la::Metric::kManhattan}) {
+    Status status = ValidateIndexMetric("lsh", metric);
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  }
+  // Every other index serves all three metrics.
+  for (const char* type : {"flat", "ivf", "hnsw"}) {
+    for (la::Metric metric : {la::Metric::kCosine, la::Metric::kEuclidean,
+                              la::Metric::kManhattan}) {
+      EXPECT_TRUE(ValidateIndexMetric(type, metric).ok()) << type;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -115,19 +115,21 @@ TEST_P(RoundTripTest, EmptyIndexRoundTrips) {
   EXPECT_TRUE(loaded.value()->Search(la::Vec(8, 0.5f), 3).empty());
 }
 
+// No lsh + euclidean case: LSH is cosine-only (random-hyperplane hashing),
+// and that combination is now rejected — see LshNonCosineFileRejected.
 INSTANTIATE_TEST_SUITE_P(
     AllIndexes, RoundTripTest,
     ::testing::Values(RoundTripCase{"flat", la::Metric::kCosine},
                       RoundTripCase{"flat", la::Metric::kEuclidean},
+                      RoundTripCase{"flat", la::Metric::kManhattan},
                       RoundTripCase{"hnsw", la::Metric::kCosine},
                       RoundTripCase{"hnsw", la::Metric::kEuclidean},
                       RoundTripCase{"ivf", la::Metric::kCosine},
                       RoundTripCase{"ivf", la::Metric::kEuclidean},
-                      RoundTripCase{"lsh", la::Metric::kCosine},
-                      RoundTripCase{"lsh", la::Metric::kEuclidean}),
+                      RoundTripCase{"lsh", la::Metric::kCosine}),
     [](const ::testing::TestParamInfo<RoundTripCase>& info) {
-      return std::string(info.param.type) +
-             (info.param.metric == la::Metric::kCosine ? "_cosine" : "_l2");
+      return std::string(info.param.type) + "_" +
+             la::MetricName(info.param.metric);
     });
 
 // --- config fidelity -------------------------------------------------------
@@ -325,6 +327,25 @@ TEST(IndexIoTest, HnswUnderReportedLayersRejectedNotSearched) {
   auto loaded = LoadIndex(path);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(IndexIoTest, LshNonCosineFileRejected) {
+  // An lsh file tagged with a non-cosine metric (hand-edited or produced by
+  // a buggy writer) must fail loudly with InvalidArgument: the buckets only
+  // mean anything under cosine, so loading it would silently serve
+  // collapsed recall.
+  index::LshConfig config;
+  config.nbits = 8;
+  LshIndex lsh(6, la::Metric::kCosine, config);
+  lsh.AddAll(RandomUnitVectors(40, 6, 29));
+  const std::string path = TempPath("lsh_metric.idx");
+  ASSERT_TRUE(lsh.Save(path).ok());
+  std::string patched = ReadFileBytes(path);
+  patched[13] = 1;  // metric tag: cosine -> euclidean
+  WriteFileBytes(path, patched);
+  auto loaded = LoadIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(IndexIoTest, SaveToUnwritablePathIsIoError) {

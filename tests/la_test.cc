@@ -1,11 +1,14 @@
-// Unit + property tests for src/la: vector ops, distances, matrices, PCA.
+// Unit + property tests for src/la: vector ops, distances, matrices, PCA,
+// and the runtime-dispatched SIMD kernel backends.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "la/distance.h"
 #include "la/matrix.h"
 #include "la/pca.h"
+#include "la/simd/kernels.h"
 #include "la/vector_ops.h"
 #include "util/rng.h"
 
@@ -91,10 +94,20 @@ TEST(DistanceTest, EuclideanAndManhattan) {
 }
 
 TEST(DistanceTest, MetricNameRoundTrip) {
-  EXPECT_EQ(MetricFromName("cosine"), Metric::kCosine);
-  EXPECT_EQ(MetricFromName("Euclidean"), Metric::kEuclidean);
-  EXPECT_EQ(MetricFromName("L1"), Metric::kManhattan);
+  EXPECT_EQ(MetricFromName("cosine").ValueOrDie(), Metric::kCosine);
+  EXPECT_EQ(MetricFromName("Euclidean").ValueOrDie(), Metric::kEuclidean);
+  EXPECT_EQ(MetricFromName("L1").ValueOrDie(), Metric::kManhattan);
   EXPECT_STREQ(MetricName(Metric::kCosine), "cosine");
+}
+
+TEST(DistanceTest, MetricFromNameRejectsUnknownSpellings) {
+  // The old behavior silently mapped typos to cosine — an index built with
+  // "euclidian" would serve cosine distances without anyone noticing.
+  for (const char* bad : {"euclidian", "cos", "L3", "", "manhatan"}) {
+    Result<Metric> parsed = MetricFromName(bad);
+    EXPECT_FALSE(parsed.ok()) << bad;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
 }
 
 // Property suite: metric axioms (identity, symmetry, triangle inequality
@@ -131,6 +144,151 @@ TEST_P(MetricPropertyTest, TriangleInequalityForTrueMetrics) {
 INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricPropertyTest,
                          ::testing::Values(Metric::kCosine, Metric::kEuclidean,
                                            Metric::kManhattan));
+
+// --- SIMD kernel backends ---------------------------------------------------
+
+Vec RandomVec(size_t dim, dust::Rng* rng) {
+  Vec v(dim);
+  for (float& x : v) x = static_cast<float>(rng->NextGaussian());
+  return v;
+}
+
+/// SIMD-vs-scalar parity over random vectors at awkward sizes: empty, below
+/// one SIMD lane, straddling the 8-lane and 2x8 unrolled boundaries, and a
+/// realistic embedding width.
+class KernelParityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KernelParityTest, BackendsAgreeWithinTolerance) {
+  const size_t dim = GetParam();
+  const simd::Kernels& scalar = simd::ScalarKernels();
+  // Active() may itself be scalar (DUST_FORCE_SCALAR or no AVX2); also pit
+  // the AVX2 backend against scalar explicitly whenever the CPU has it.
+  std::vector<const simd::Kernels*> backends = {&simd::Active()};
+  if (simd::Avx2Available()) backends.push_back(&simd::Avx2Kernels());
+
+  dust::Rng rng(1234 + dim);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vec a = RandomVec(dim, &rng);
+    Vec b = RandomVec(dim, &rng);
+    const float want_dot = scalar.dot(a.data(), b.data(), dim);
+    const float want_norm = scalar.norm_squared(a.data(), dim);
+    const float want_l2 = scalar.squared_l2(a.data(), b.data(), dim);
+    const float want_l1 = scalar.l1(a.data(), b.data(), dim);
+    for (const simd::Kernels* ops : backends) {
+      // 1e-5 relative: different accumulation orders legitimately differ in
+      // the last float bits on long vectors.
+      auto tol = [](float want) { return 1e-5f * (1.0f + std::fabs(want)); };
+      EXPECT_NEAR(ops->dot(a.data(), b.data(), dim), want_dot, tol(want_dot))
+          << ops->name << " dim " << dim;
+      EXPECT_NEAR(ops->norm_squared(a.data(), dim), want_norm,
+                  tol(want_norm))
+          << ops->name << " dim " << dim;
+      EXPECT_NEAR(ops->squared_l2(a.data(), b.data(), dim), want_l2,
+                  tol(want_l2))
+          << ops->name << " dim " << dim;
+      EXPECT_NEAR(ops->l1(a.data(), b.data(), dim), want_l1, tol(want_l1))
+          << ops->name << " dim " << dim;
+      float dot = 0.0f, a2 = 0.0f, b2 = 0.0f;
+      ops->cosine_terms(a.data(), b.data(), dim, &dot, &a2, &b2);
+      EXPECT_NEAR(dot, want_dot, tol(want_dot)) << ops->name;
+      EXPECT_NEAR(a2, scalar.norm_squared(a.data(), dim), tol(a2))
+          << ops->name;
+      EXPECT_NEAR(b2, scalar.norm_squared(b.data(), dim), tol(b2))
+          << ops->name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AwkwardDims, KernelParityTest,
+                         ::testing::Values(0, 1, 7, 31, 33, 1024));
+
+TEST(SimdDispatchTest, ForceScalarSwapsBackend) {
+  simd::ForceScalar(true);
+  EXPECT_STREQ(simd::ActiveName(), "scalar");
+  simd::ForceScalar(false);  // back to the startup selection
+  const std::string name = simd::ActiveName();
+  EXPECT_TRUE(name == "scalar" || name == "avx2") << name;
+}
+
+TEST(DistanceToManyTest, MatchesPairwiseDistanceAcrossOverloads) {
+  dust::Rng rng(77);
+  for (size_t dim : {1u, 7u, 33u, 128u}) {
+    std::vector<Vec> base;
+    for (int i = 0; i < 17; ++i) base.push_back(RandomVec(dim, &rng));
+    Vec query = RandomVec(dim, &rng);
+    const std::vector<float> norms = NormsOf(base);
+    ASSERT_EQ(norms.size(), base.size());
+    for (size_t i = 0; i < base.size(); ++i) {
+      EXPECT_NEAR(norms[i], Norm(base[i]), 1e-5f);
+    }
+
+    for (Metric metric :
+         {Metric::kCosine, Metric::kEuclidean, Metric::kManhattan}) {
+      std::vector<float> plain, cached;
+      DistanceToMany(metric, query, base, &plain);
+      DistanceToMany(metric, query, base, norms, &cached);
+      ASSERT_EQ(plain.size(), base.size());
+      ASSERT_EQ(cached.size(), base.size());
+      for (size_t i = 0; i < base.size(); ++i) {
+        const float want = Distance(metric, query, base[i]);
+        EXPECT_NEAR(plain[i], want, 1e-5f) << MetricName(metric);
+        EXPECT_NEAR(cached[i], want, 1e-5f) << MetricName(metric);
+      }
+
+      // Gathered overloads (both id widths), against the same references.
+      const std::vector<uint32_t> ids32 = {3, 0, 16, 7, 7};
+      const std::vector<size_t> ids64 = {5, 11, 2};
+      std::vector<float> out32(ids32.size()), out64(ids64.size());
+      DistanceToMany(metric, query, base, norms.data(), ids32.data(),
+                     ids32.size(), out32.data());
+      DistanceToMany(metric, query, base, nullptr, ids64.data(), ids64.size(),
+                     out64.data());
+      for (size_t i = 0; i < ids32.size(); ++i) {
+        EXPECT_NEAR(out32[i], Distance(metric, query, base[ids32[i]]), 1e-5f);
+      }
+      for (size_t i = 0; i < ids64.size(); ++i) {
+        EXPECT_NEAR(out64[i], Distance(metric, query, base[ids64[i]]), 1e-5f);
+      }
+    }
+  }
+}
+
+TEST(DistanceToManyTest, ZeroAndEmptyEdgeCases) {
+  // Zero-dimensional vectors are all "the zero vector": cosine distance 0
+  // (delta(t,t)=0), L1/L2 distance 0.
+  std::vector<Vec> base = {{}, {}};
+  std::vector<float> out;
+  for (Metric metric :
+       {Metric::kCosine, Metric::kEuclidean, Metric::kManhattan}) {
+    DistanceToMany(metric, Vec{}, base, &out);
+    EXPECT_EQ(out, (std::vector<float>{0.0f, 0.0f})) << MetricName(metric);
+  }
+  // Empty base: no output, no crash.
+  DistanceToMany(Metric::kCosine, Vec{1.0f}, {}, &out);
+  EXPECT_TRUE(out.empty());
+  // Zero vectors inside a non-trivial base follow the cosine conventions.
+  std::vector<Vec> mixed = {{0.0f, 0.0f}, {1.0f, 1.0f}};
+  DistanceToMany(Metric::kCosine, Vec{0.0f, 0.0f}, mixed, &out);
+  EXPECT_NEAR(out[0], 0.0f, 1e-6f);  // zero vs zero
+  EXPECT_NEAR(out[1], 1.0f, 1e-6f);  // zero vs non-zero
+}
+
+TEST(DistanceTest, CosineDistanceFromDotConventionsAndClamping) {
+  EXPECT_EQ(CosineDistanceFromDot(0.0f, 0.0f, 0.0f), 0.0f);
+  EXPECT_EQ(CosineDistanceFromDot(0.0f, 1.0f, 0.0f), 1.0f);
+  EXPECT_EQ(CosineDistanceFromDot(0.0f, 0.0f, 1.0f), 1.0f);
+  // Accumulated error past ±1 clamps instead of going negative / above 2.
+  EXPECT_EQ(CosineDistanceFromDot(10.0f, 1.0f, 1.0f), 0.0f);
+  EXPECT_EQ(CosineDistanceFromDot(-10.0f, 1.0f, 1.0f), 2.0f);
+  // Fused form agrees with the reference three-pass computation.
+  dust::Rng rng(88);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vec a = RandomVec(24, &rng);
+    Vec b = RandomVec(24, &rng);
+    EXPECT_NEAR(CosineDistanceFromDot(Dot(a, b), Norm(a), Norm(b)),
+                CosineDistance(a, b), 1e-5f);
+  }
+}
 
 TEST(DistanceMatrixTest, MatchesPairwiseDistances) {
   std::vector<Vec> points = {{0, 0}, {3, 4}, {6, 8}};

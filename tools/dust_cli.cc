@@ -42,6 +42,7 @@ struct CliOptions {
   std::string load_index_path;
   std::string engine = "starmie";
   std::string index = "flat";
+  la::Metric metric = la::Metric::kCosine;
   size_t shortlist = 0;
   size_t k = 30;
   size_t tables = 10;
@@ -54,11 +55,15 @@ void Usage() {
       stderr,
       "usage: dust_cli --lake <dir> --query <file.csv> [--k N] [--tables N]\n"
       "                [--engine starmie|d3l] [--index flat|ivf|lsh|hnsw]\n"
+      "                [--metric cosine|euclidean|manhattan]\n"
       "                [--shortlist N] [--out result.csv] [--p N] [--s N]\n"
       "                [--save-index <snapshot> | --load-index <snapshot>]\n"
       "       --save-index without --query builds the lake index and exits;\n"
       "       --load-index serves queries from a saved snapshot without\n"
-      "       re-embedding the lake\n");
+      "       re-embedding the lake\n"
+      "       --metric selects the tuple distance delta(.) used for\n"
+      "       diversification; table search scoring is always cosine\n"
+      "       (Starmie-style embedding similarity)\n");
 }
 
 /// Parses a non-negative integer: digits only (strtoul alone would skip
@@ -101,6 +106,17 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->engine = value;
     } else if (arg == "--index" && (value = next())) {
       options->index = value;
+    } else if (arg == "--metric" && (value = next())) {
+      // MetricFromName rejects unknown spellings instead of silently
+      // falling back to cosine; a typo'd metric must not serve wrong
+      // distances.
+      Result<la::Metric> metric = la::MetricFromName(value);
+      if (!metric.ok()) {
+        std::fprintf(stderr, "bad --metric: %s\n",
+                     metric.status().ToString().c_str());
+        return false;
+      }
+      options->metric = metric.value();
     } else if (arg == "--shortlist" && (value = next())) {
       if (!ParseSize("--shortlist", value, &options->shortlist)) return false;
     } else if (arg == "--k" && (value = next())) {
@@ -224,6 +240,10 @@ int main(int argc, char** argv) {
                  core::PipelineConfig::DefaultShortlist(options.tables));
   }
   config.num_tables = options.tables;
+  // The diversification tuple distance delta(.) (Sec. 3.1). The search
+  // phase's shortlist index and table scoring are cosine by construction
+  // (Starmie-style embedding similarity), matching the paper.
+  config.metric = options.metric;
   config.diversifier.p = options.p;
   config.diversifier.prune_s = options.s;
   embed::EmbedderConfig encoder_config;
