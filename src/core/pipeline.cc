@@ -7,6 +7,7 @@
 #include "io/index_io.h"
 #include "search/embedding_search.h"
 #include "search/overlap_search.h"
+#include "shard/sharded_index.h"
 #include "text/hashing.h"
 #include "util/stopwatch.h"
 
@@ -33,6 +34,16 @@ uint64_t ChainHash(uint64_t h, const std::string& s) {
 
 }  // namespace
 
+std::string PipelineConfig::EffectiveSearchIndex() const {
+  if (search_shards == 0) return search_index;
+  // search_shards composes a sharded spec around the base type; a spec
+  // that is already sharded must not be wrapped again (nested sharding is
+  // rejected by the spec parser anyway).
+  DUST_CHECK(!shard::IsShardedSpec(search_index) &&
+             "search_shards set on an already-sharded search_index");
+  return "sharded:" + search_index + ":" + std::to_string(search_shards);
+}
+
 DustPipeline::DustPipeline(PipelineConfig config,
                            std::shared_ptr<embed::TupleEncoder> tuple_encoder)
     : config_(std::move(config)), tuple_encoder_(std::move(tuple_encoder)) {
@@ -43,17 +54,22 @@ DustPipeline::DustPipeline(PipelineConfig config,
     overlap.seed = config_.seed;
     search_ = std::make_unique<search::OverlapUnionSearch>(overlap);
   } else {
-    // Fail fast on a typo'd index name here, where the config enters the
-    // pipeline, rather than deep inside IndexLake.
-    DUST_CHECK(index::IsKnownIndexType(config_.search_index));
+    // Fail fast on a typo'd index name or nonsense tuning knob here, where
+    // the config enters the pipeline, rather than deep inside IndexLake.
+    const std::string index_spec = config_.EffectiveSearchIndex();
+    DUST_CHECK(index::IsKnownIndexType(index_spec));
     search::EmbeddingSearchConfig embedding;
     embedding.encoder.dim = config_.embedding_dim;
     embedding.encoder.seed = config_.seed;
-    embedding.index_type = config_.search_index;
+    embedding.index_type = index_spec;
+    embedding.index_options.hnsw_m = config_.hnsw_m;
+    embedding.index_options.hnsw_ef_search = config_.hnsw_ef_search;
+    DUST_CHECK(index::ValidateIndexOptions(embedding.index_options).ok());
     embedding.shortlist = config_.search_shortlist;
-    if (config_.search_index != "flat" && config_.search_shortlist == 0) {
+    if (index_spec != "flat" && config_.search_shortlist == 0) {
       // shortlist == 0 means "score everything exactly", which would make
-      // the requested approximate index a silent no-op; give it work.
+      // the requested approximate (or sharded) index a silent no-op; give
+      // it work.
       embedding.shortlist =
           PipelineConfig::DefaultShortlist(config_.num_tables);
     }
@@ -70,8 +86,12 @@ uint64_t DustPipeline::SnapshotHash(
     const std::vector<const table::Table*>& lake) const {
   uint64_t h = ChainHash(0, std::string("dust-snapshot-v1"));
   h = ChainHash(h, config_.engine);
-  h = ChainHash(h, config_.search_index);
+  // The effective spec folds search_shards in, so "flat" + 4 shards and a
+  // literal "sharded:flat:4" hash identically (they build the same index).
+  h = ChainHash(h, config_.EffectiveSearchIndex());
   h = ChainHash(h, config_.search_shortlist);
+  h = ChainHash(h, config_.hnsw_m);
+  h = ChainHash(h, config_.hnsw_ef_search);
   h = ChainHash(h, config_.embedding_dim);
   h = ChainHash(h, config_.seed);
   h = ChainHash(h, static_cast<uint64_t>(config_.column_model));

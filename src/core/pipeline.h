@@ -33,20 +33,35 @@ struct PipelineConfig {
   double min_table_score = 0.25;
   /// Union search engine: "starmie" (embedding) or "d3l" (overlap).
   std::string engine = "starmie";
-  /// Shortlist index for the starmie engine: "flat", "ivf", "lsh", or
-  /// "hnsw".
+  /// Shortlist index for the starmie engine: "flat", "ivf", "lsh", "hnsw",
+  /// or a full sharded spec such as "sharded:hnsw:4:hash".
   std::string search_index = "flat";
   /// Candidates short-listed by that index before exact bipartite scoring.
-  /// 0 = score every lake table exactly when search_index is "flat"; with
-  /// an approximate index, 0 resolves to DefaultShortlist(num_tables) so
-  /// the index is never a silent no-op. Ignored by the d3l engine.
+  /// 0 = score every lake table exactly when the effective search index is
+  /// "flat"; with any other index (approximate or sharded), 0 resolves to
+  /// DefaultShortlist(num_tables) so the index is never a silent no-op.
+  /// Ignored by the d3l engine.
   size_t search_shortlist = 0;
+  /// Shards for the shortlist index. 0 = search_index as given; N >= 1
+  /// wraps it into "sharded:<search_index>:<N>" (round-robin placement —
+  /// spell out a full sharded spec in search_index for hash placement).
+  /// search_index must not already be a sharded spec when this is set.
+  size_t search_shards = 0;
+  /// HNSW tuning knobs for the shortlist index (HnswConfig::M /
+  /// ::ef_search; 0 keeps the defaults). Invalid values (M == 1) abort at
+  /// pipeline construction — CLI and config loaders should pre-validate
+  /// with index::ValidateIndexOptions.
+  size_t hnsw_m = 0;
+  size_t hnsw_ef_search = 0;
 
   /// Shortlist used when an approximate search_index is requested with
   /// search_shortlist == 0.
   static size_t DefaultShortlist(size_t num_tables) {
     return num_tables * 5 > 50 ? num_tables * 5 : 50;
   }
+  /// The index spec IndexLake actually builds: search_index, wrapped into
+  /// "sharded:<search_index>:<search_shards>" when search_shards > 0.
+  std::string EffectiveSearchIndex() const;
   /// Column embedding used for alignment (Column-level RoBERTa wins
   /// Table 1 and is DUST's choice, Sec. 6.2.4).
   embed::ModelFamily column_model = embed::ModelFamily::kRoberta;

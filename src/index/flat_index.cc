@@ -13,6 +13,16 @@ void FlatIndex::Add(const la::Vec& v) {
   norms_.push_back(la::Norm(v));
 }
 
+void FlatIndex::AddAll(const std::vector<la::Vec>& vectors) {
+  vectors_.reserve(vectors_.size() + vectors.size());
+  norms_.reserve(norms_.size() + vectors.size());
+  for (const la::Vec& v : vectors) {
+    DUST_CHECK(v.size() == dim_);
+    vectors_.push_back(v);
+    norms_.push_back(la::Norm(v));
+  }
+}
+
 std::vector<SearchHit> FlatIndex::Search(const la::Vec& query,
                                          size_t k) const {
   // One-to-many batch kernel over the whole store; the norm cache makes

@@ -13,6 +13,10 @@ class FlatIndex : public VectorIndex {
       : dim_(dim), metric_(metric) {}
 
   void Add(const la::Vec& v) override;
+  /// Bulk append: one reservation for vectors and norms, then a single
+  /// store-and-norm pass — the hot offline-build path skips the per-vector
+  /// growth reallocations of the default loop.
+  void AddAll(const std::vector<la::Vec>& vectors) override;
   std::vector<SearchHit> Search(const la::Vec& query, size_t k) const override;
 
   size_t size() const override { return vectors_.size(); }

@@ -9,9 +9,14 @@
 #include "index/ivf_index.h"
 #include "index/lsh_index.h"
 #include "io/index_io.h"
+#include "shard/sharded_index.h"
 #include "util/status.h"
 
 namespace dust::index {
+
+void VectorIndex::AddAll(const std::vector<la::Vec>& vectors) {
+  for (const la::Vec& v : vectors) Add(v);
+}
 
 void FinalizeHits(std::vector<SearchHit>* hits, size_t k) {
   std::sort(hits->begin(), hits->end(),
@@ -63,8 +68,23 @@ Status VectorIndex::Save(const std::string& path) const {
   return io::SaveIndex(*this, path);
 }
 
+Status ValidateIndexOptions(const IndexOptions& options) {
+  if (options.hnsw_m == 1) {
+    return Status::InvalidArgument(
+        "hnsw M must be >= 2 (an HNSW graph of degree 1 cannot stay "
+        "connected); 0 keeps the default");
+  }
+  return Status::Ok();
+}
+
 std::unique_ptr<VectorIndex> MakeVectorIndex(const std::string& type,
                                              size_t dim, la::Metric metric) {
+  return MakeVectorIndex(type, dim, metric, IndexOptions{});
+}
+
+std::unique_ptr<VectorIndex> MakeVectorIndex(const std::string& type,
+                                             size_t dim, la::Metric metric,
+                                             const IndexOptions& options) {
   // A typo must not silently swap the retrieval algorithm. Guarding with
   // IsKnownIndexType keeps validation and dispatch from drifting apart, and
   // dispatching every known name explicitly (instead of a catch-all "flat"
@@ -73,19 +93,50 @@ std::unique_ptr<VectorIndex> MakeVectorIndex(const std::string& type,
   DUST_CHECK(IsKnownIndexType(type) && "unknown vector index type");
   DUST_CHECK(ValidateIndexMetric(type, metric).ok() &&
              "index type does not support this metric");
+  DUST_CHECK(ValidateIndexOptions(options).ok() && "invalid index options");
+  if (shard::IsShardedSpec(type)) {
+    shard::ShardedIndexConfig config;
+    DUST_CHECK(shard::ParseShardedSpec(type, &config));
+    config.child_options = options;
+    return std::make_unique<shard::ShardedIndex>(dim, metric,
+                                                 std::move(config));
+  }
   if (type == "flat") return std::make_unique<FlatIndex>(dim, metric);
-  if (type == "hnsw") return std::make_unique<HnswIndex>(dim, metric);
-  if (type == "ivf") return std::make_unique<IvfFlatIndex>(dim, metric);
+  if (type == "hnsw") {
+    HnswConfig config;
+    if (options.hnsw_m > 0) config.M = options.hnsw_m;
+    if (options.hnsw_ef_search > 0) config.ef_search = options.hnsw_ef_search;
+    return std::make_unique<HnswIndex>(dim, metric, config);
+  }
+  if (type == "ivf") {
+    IvfConfig config;
+    if (options.ivf_nlist > 0) config.nlist = options.ivf_nlist;
+    if (options.ivf_nprobe > 0) config.nprobe = options.ivf_nprobe;
+    return std::make_unique<IvfFlatIndex>(dim, metric, config);
+  }
   if (type == "lsh") return std::make_unique<LshIndex>(dim, metric);
   DUST_CHECK(false && "IsKnownIndexType and MakeVectorIndex drifted apart");
   return nullptr;
 }
 
 bool IsKnownIndexType(const std::string& type) {
+  if (shard::IsShardedSpec(type)) {
+    shard::ShardedIndexConfig config;
+    return shard::ParseShardedSpec(type, &config);
+  }
   return type == "flat" || type == "hnsw" || type == "ivf" || type == "lsh";
 }
 
 Status ValidateIndexMetric(const std::string& type, la::Metric metric) {
+  if (shard::IsShardedSpec(type)) {
+    shard::ShardedIndexConfig config;
+    if (!shard::ParseShardedSpec(type, &config)) {
+      return Status::InvalidArgument("malformed sharded index spec: " + type);
+    }
+    // Every shard is a child-type index, so the pairing rules are the
+    // child's.
+    return ValidateIndexMetric(config.child_type, metric);
+  }
   if (type == "lsh" && metric != la::Metric::kCosine) {
     return Status::InvalidArgument(
         std::string("the lsh index supports only the cosine metric; its "

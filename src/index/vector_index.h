@@ -35,10 +35,12 @@ class VectorIndex {
   /// Appends a vector; its id is the number of vectors added before it.
   virtual void Add(const la::Vec& v) = 0;
 
-  /// Batch append.
-  void AddAll(const std::vector<la::Vec>& vectors) {
-    for (const la::Vec& v : vectors) Add(v);
-  }
+  /// Batch append, equivalent to calling Add per vector (ids assigned in
+  /// order). Virtual so indexes with a cheaper bulk path can override it:
+  /// FlatIndex reserves storage and fills its norm cache in one pass, and
+  /// the sharded index partitions the batch so each shard ingests its
+  /// vectors in one bulk call.
+  virtual void AddAll(const std::vector<la::Vec>& vectors);
 
   /// Top-k nearest neighbors by ascending distance (ties by ascending id).
   /// Approximate indexes may miss true neighbors.
@@ -85,21 +87,54 @@ class VectorIndex {
 /// Sorts hits ascending by (distance, id) and truncates to k.
 void FinalizeHits(std::vector<SearchHit>* hits, size_t k);
 
-/// Builds an index by type name: "flat", "ivf", "lsh", or "hnsw". Unknown
-/// names abort (DUST_CHECK) — a typo must not silently change algorithms.
+/// Optional per-type tuning knobs consumed by MakeVectorIndex. A field set
+/// to 0 keeps that type's built-in default; fields for other index types
+/// are ignored. This is how the pipeline config and CLI expose HNSW/IVF
+/// parameters without every caller naming a concrete config struct.
+struct IndexOptions {
+  /// HNSW max neighbors per node on layers > 0 (HnswConfig::M). Must be
+  /// >= 2 when set — ValidateIndexOptions rejects 1.
+  size_t hnsw_m = 0;
+  /// HNSW query beam width (HnswConfig::ef_search).
+  size_t hnsw_ef_search = 0;
+  /// IVF inverted-list count (IvfConfig::nlist).
+  size_t ivf_nlist = 0;
+  /// IVF lists probed per query (IvfConfig::nprobe).
+  size_t ivf_nprobe = 0;
+};
+
+/// InvalidArgument when `options` carries a value no index can serve (e.g.
+/// hnsw_m == 1: an HNSW graph needs degree >= 2 to stay connected). The
+/// boundary check for user input; MakeVectorIndex treats a failure as a
+/// programming error and aborts.
+Status ValidateIndexOptions(const IndexOptions& options);
+
+/// Builds an index by type name: "flat", "ivf", "lsh", "hnsw", or a sharded
+/// spec "sharded:<type>:<n>[:<placement>]" (see shard/sharded_index.h).
+/// Unknown names abort (DUST_CHECK) — a typo must not silently change
+/// algorithms.
 std::unique_ptr<VectorIndex> MakeVectorIndex(const std::string& type,
                                              size_t dim, la::Metric metric);
 
-/// True when MakeVectorIndex accepts `type`. The single source of truth for
-/// user-facing validation (CLI flags, config files).
+/// As above with tuning knobs applied (forwarded to every shard of a
+/// sharded spec).
+std::unique_ptr<VectorIndex> MakeVectorIndex(const std::string& type,
+                                             size_t dim, la::Metric metric,
+                                             const IndexOptions& options);
+
+/// True when MakeVectorIndex accepts `type` (including well-formed sharded
+/// specs). The single source of truth for user-facing validation (CLI
+/// flags, config files).
 bool IsKnownIndexType(const std::string& type);
 
 /// InvalidArgument when index type `type` cannot serve `metric` — LSH's
 /// random-hyperplane hashing approximates angular similarity only, so it
 /// rejects kEuclidean/kManhattan (buckets would be meaningless and recall
-/// would silently collapse). Ok for every other known combination. The
-/// boundary check for user input (io::ReadIndex, CLI flags); MakeVectorIndex
-/// treats a failure as a programming error and aborts.
+/// would silently collapse). A sharded spec is validated against its child
+/// type (e.g. "sharded:lsh:4" is cosine-only). Ok for every other known
+/// combination. The boundary check for user input (io::ReadIndex, CLI
+/// flags); MakeVectorIndex treats a failure as a programming error and
+/// aborts.
 Status ValidateIndexMetric(const std::string& type, la::Metric metric);
 
 }  // namespace dust::index

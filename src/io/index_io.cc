@@ -164,6 +164,8 @@ bool IndexTypeTag(const std::string& type, uint8_t* tag) {
     *tag = 2;
   } else if (type == "lsh") {
     *tag = 3;
+  } else if (type == "sharded") {
+    *tag = 4;
   } else {
     return false;
   }
@@ -183,6 +185,9 @@ Status IndexTypeFromTag(uint8_t tag, std::string* type) {
       return Status::Ok();
     case 3:
       *type = "lsh";
+      return Status::Ok();
+    case 4:
+      *type = "sharded";
       return Status::Ok();
     default:
       return Status::IoError("unknown index type tag " +

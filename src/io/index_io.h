@@ -46,6 +46,12 @@ inline constexpr char kIndexMagic[8] = {'D', 'U', 'S', 'T',
 inline constexpr char kSnapshotMagic[8] = {'D', 'U', 'S', 'T',
                                            'S', 'N', 'A', 'P'};
 
+/// 8-byte magic opening the sharded-index manifest payload (shard count,
+/// placement policy, id mapping, then per-shard embedded index files) —
+/// see shard::ShardedIndex::SavePayload.
+inline constexpr char kShardManifestMagic[8] = {'D', 'U', 'S', 'T',
+                                                'S', 'H', 'R', 'D'};
+
 /// Buffered binary writer. Write calls never throw; the first stream
 /// failure latches into status() so payload code can write unconditionally
 /// and check once at the end (RocksDB-style).
@@ -126,7 +132,8 @@ class IndexReader {
 };
 
 /// Stable on-disk tag for an index type name ("flat", "hnsw", "ivf",
-/// "lsh"); never reorder existing values. Returns false for unknown names.
+/// "lsh", "sharded"); never reorder existing values. Returns false for
+/// unknown names.
 bool IndexTypeTag(const std::string& type, uint8_t* tag);
 /// Inverse of IndexTypeTag; IoError for unknown tags (corrupt files must
 /// surface as errors, not aborts).

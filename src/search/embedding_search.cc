@@ -28,8 +28,9 @@ void EmbeddingUnionSearch::IndexLake(
   }
 
   if (config_.shortlist > 0) {
-    profile_index_ = index::MakeVectorIndex(config_.index_type, encoder_.dim(),
-                                            la::Metric::kCosine);
+    profile_index_ =
+        index::MakeVectorIndex(config_.index_type, encoder_.dim(),
+                               la::Metric::kCosine, config_.index_options);
     profile_index_->AddAll(lake_profiles_);
   } else {
     profile_index_.reset();

@@ -19,8 +19,12 @@ struct EmbeddingSearchConfig {
   /// Candidates short-listed by the table-profile index before exact
   /// bipartite scoring (0 = score every table exactly).
   size_t shortlist = 0;
-  /// Index type for the shortlist: "flat", "ivf", "lsh", or "hnsw".
+  /// Index type for the shortlist: "flat", "ivf", "lsh", "hnsw", or a
+  /// sharded spec such as "sharded:hnsw:4".
   std::string index_type = "flat";
+  /// Tuning knobs forwarded to the shortlist index (HNSW M/ef_search, IVF
+  /// nlist/nprobe; 0 keeps defaults).
+  index::IndexOptions index_options;
 };
 
 class EmbeddingUnionSearch : public UnionSearch {

@@ -16,11 +16,13 @@ TupleSearch::TupleSearch(std::shared_ptr<embed::TupleEncoder> encoder,
 void TupleSearch::IndexLake(const std::vector<const table::Table*>& lake) {
   refs_.clear();
   index_ = index::MakeVectorIndex(config_.index_type, encoder_->dim(),
-                                  la::Metric::kCosine);
+                                  la::Metric::kCosine, config_.index_options);
   for (size_t t = 0; t < lake.size(); ++t) {
     std::vector<la::Vec> rows = encoder_->EncodeTableRows(*lake[t]);
+    // One bulk call per table keeps the index's batch ingest path hot
+    // (flat reserves + norms once; sharded partitions the table once).
+    index_->AddAll(rows);
     for (size_t r = 0; r < rows.size(); ++r) {
-      index_->Add(rows[r]);
       refs_.push_back({t, r});
     }
   }

@@ -20,10 +20,14 @@ struct TupleHit {
 };
 
 struct TupleSearchConfig {
-  /// "flat", "ivf", "lsh", or "hnsw".
+  /// "flat", "ivf", "lsh", "hnsw", or a sharded spec such as
+  /// "sharded:hnsw:4" (every lake tuple partitioned across shards, queries
+  /// scatter-gathered).
   std::string index_type = "flat";
   /// Per-query-tuple candidates fetched from the index before fusion.
   size_t per_query_candidates = 200;
+  /// Tuning knobs forwarded to the tuple index (0 keeps defaults).
+  index::IndexOptions index_options;
 };
 
 /// Indexes all tuples of a lake with a TupleEncoder and retrieves the top-k

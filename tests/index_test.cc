@@ -11,6 +11,7 @@
 #include "index/ivf_index.h"
 #include "index/lsh_index.h"
 #include "la/simd/kernels.h"
+#include "shard/sharded_index.h"
 #include "util/rng.h"
 
 namespace dust::index {
@@ -53,6 +54,38 @@ TEST(FlatIndexTest, IdenticalVectorAtDistanceZero) {
   auto hits = index.Search(v, 1);
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_NEAR(hits[0].distance, 0.0f, 1e-5);
+}
+
+TEST(FlatIndexTest, AddAllMatchesPerVectorAdd) {
+  // The bulk override must be observably identical to the Add loop it
+  // replaces: same ids, same cached norms, bit-identical search results.
+  auto vectors = RandomUnitVectors(120, 8, 61);
+  FlatIndex bulk(8, la::Metric::kCosine);
+  bulk.AddAll(vectors);
+  FlatIndex loop(8, la::Metric::kCosine);
+  for (const auto& v : vectors) loop.Add(v);
+  ASSERT_EQ(bulk.size(), loop.size());
+  auto queries = RandomUnitVectors(8, 8, 6100);
+  auto expected = loop.SearchBatch(queries, 7);
+  auto actual = bulk.SearchBatch(queries, 7);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ASSERT_EQ(expected[q].size(), actual[q].size());
+    for (size_t i = 0; i < expected[q].size(); ++i) {
+      EXPECT_EQ(expected[q][i].id, actual[q][i].id);
+      EXPECT_EQ(expected[q][i].distance, actual[q][i].distance);
+    }
+  }
+}
+
+TEST(FlatIndexTest, AddAllAppendsAfterExistingVectors) {
+  auto vectors = RandomUnitVectors(10, 4, 62);
+  FlatIndex index(4, la::Metric::kCosine);
+  index.Add(vectors[0]);
+  index.AddAll({vectors.begin() + 1, vectors.end()});
+  EXPECT_EQ(index.size(), 10u);
+  auto hits = index.Search(vectors[9], 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 9u);
 }
 
 TEST(FinalizeHitsTest, SortsByDistanceThenId) {
@@ -334,6 +367,42 @@ TEST_P(IndexPropertyTest, SearchBatchParityAcrossKernelBackends) {
   }
 }
 
+TEST(IndexOptionsTest, KnobsReachTheConcreteConfigs) {
+  IndexOptions options;
+  options.hnsw_m = 6;
+  options.hnsw_ef_search = 40;
+  options.ivf_nlist = 9;
+  options.ivf_nprobe = 5;
+  auto hnsw = MakeVectorIndex("hnsw", 8, la::Metric::kCosine, options);
+  auto* hnsw_index = dynamic_cast<HnswIndex*>(hnsw.get());
+  ASSERT_NE(hnsw_index, nullptr);
+  EXPECT_EQ(hnsw_index->config().M, 6u);
+  EXPECT_EQ(hnsw_index->config().ef_search, 40u);
+  auto ivf = MakeVectorIndex("ivf", 8, la::Metric::kCosine, options);
+  auto* ivf_index = dynamic_cast<IvfFlatIndex*>(ivf.get());
+  ASSERT_NE(ivf_index, nullptr);
+  EXPECT_EQ(ivf_index->config().nlist, 9u);
+  EXPECT_EQ(ivf_index->config().nprobe, 5u);
+  // Zero fields keep the type defaults.
+  auto plain = MakeVectorIndex("hnsw", 8, la::Metric::kCosine);
+  auto* plain_hnsw = dynamic_cast<HnswIndex*>(plain.get());
+  ASSERT_NE(plain_hnsw, nullptr);
+  EXPECT_EQ(plain_hnsw->config().M, HnswConfig{}.M);
+}
+
+TEST(IndexOptionsTest, ValidationRejectsNonsense) {
+  EXPECT_TRUE(ValidateIndexOptions(IndexOptions{}).ok());
+  IndexOptions tuned;
+  tuned.hnsw_m = 2;
+  tuned.hnsw_ef_search = 1;
+  EXPECT_TRUE(ValidateIndexOptions(tuned).ok());
+  IndexOptions degenerate;
+  degenerate.hnsw_m = 1;  // a degree-1 graph cannot stay connected
+  Status status = ValidateIndexOptions(degenerate);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
 TEST(ValidateIndexMetricTest, LshRejectsNonCosine) {
   // LSH's random-hyperplane buckets approximate angular similarity only;
   // accepting kEuclidean/kManhattan would silently collapse recall.
@@ -375,6 +444,16 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_pair("hnsw", IndexFactory([] {
                          return std::unique_ptr<VectorIndex>(
                              new HnswIndex(12, la::Metric::kCosine));
+                       })),
+        // Sharded wrappers obey the same structural invariants as their
+        // children, including with empty shards and hash placement.
+        std::make_pair("sharded_flat", IndexFactory([] {
+                         return MakeVectorIndex("sharded:flat:3:hash", 12,
+                                                la::Metric::kCosine);
+                       })),
+        std::make_pair("sharded_hnsw", IndexFactory([] {
+                         return MakeVectorIndex("sharded:hnsw:2", 12,
+                                                la::Metric::kCosine);
                        }))),
     [](const ::testing::TestParamInfo<std::pair<const char*, IndexFactory>>&
            info) { return info.param.first; });

@@ -1,7 +1,8 @@
 // dust_cli — run diverse unionable tuple search over a directory of CSVs.
 //
 //   dust_cli --lake <dir> --query <file.csv> [--k 30] [--tables 10]
-//            [--engine starmie|d3l] [--index flat|ivf|lsh|hnsw]
+//            [--engine starmie|d3l] [--index flat|ivf|lsh|hnsw|sharded:...]
+//            [--shards N] [--hnsw-m N] [--hnsw-ef N]
 //            [--shortlist N] [--out result.csv] [--p 2] [--s 2500]
 //            [--save-index snap.bin | --load-index snap.bin]
 //
@@ -15,6 +16,10 @@
 //   dust_cli --lake data/lake --index hnsw --shortlist 50 --save-index s.bin
 //   dust_cli --lake data/lake --index hnsw --shortlist 50
 //            --load-index s.bin --query q.csv
+//
+// Sharded lakes: `--shards N` partitions the shortlist index across N
+// child indexes of the --index type with scatter-gather search (equivalent
+// to --index sharded:<type>:N; spell the full spec for hash placement).
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
@@ -27,6 +32,7 @@
 #include "core/pipeline.h"
 #include "embed/tuple_encoder.h"
 #include "index/vector_index.h"
+#include "shard/sharded_index.h"
 #include "table/csv.h"
 #include "util/stopwatch.h"
 
@@ -44,6 +50,9 @@ struct CliOptions {
   std::string index = "flat";
   la::Metric metric = la::Metric::kCosine;
   size_t shortlist = 0;
+  size_t shards = 0;
+  size_t hnsw_m = 0;
+  size_t hnsw_ef = 0;
   size_t k = 30;
   size_t tables = 10;
   size_t p = 2;
@@ -54,13 +63,18 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage: dust_cli --lake <dir> --query <file.csv> [--k N] [--tables N]\n"
-      "                [--engine starmie|d3l] [--index flat|ivf|lsh|hnsw]\n"
+      "                [--engine starmie|d3l]\n"
+      "                [--index flat|ivf|lsh|hnsw|sharded:<type>:<n>]\n"
+      "                [--shards N] [--hnsw-m N] [--hnsw-ef N]\n"
       "                [--metric cosine|euclidean|manhattan]\n"
       "                [--shortlist N] [--out result.csv] [--p N] [--s N]\n"
       "                [--save-index <snapshot> | --load-index <snapshot>]\n"
       "       --save-index without --query builds the lake index and exits;\n"
       "       --load-index serves queries from a saved snapshot without\n"
       "       re-embedding the lake\n"
+      "       --shards N partitions the shortlist index across N shards of\n"
+      "       the --index type (scatter-gather search); --hnsw-m/--hnsw-ef\n"
+      "       tune the HNSW graph degree and query beam width\n"
       "       --metric selects the tuple distance delta(.) used for\n"
       "       diversification; table search scoring is always cosine\n"
       "       (Starmie-style embedding similarity)\n");
@@ -119,6 +133,29 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->metric = metric.value();
     } else if (arg == "--shortlist" && (value = next())) {
       if (!ParseSize("--shortlist", value, &options->shortlist)) return false;
+    } else if (arg == "--shards" && (value = next())) {
+      if (!ParseSize("--shards", value, &options->shards)) return false;
+      if (options->shards == 0) {
+        // An explicit 0 is a contradiction, not "unsharded" — reject it
+        // instead of silently dropping the flag.
+        std::fprintf(stderr, "--shards must be >= 1 (omit for unsharded)\n");
+        return false;
+      }
+    } else if (arg == "--hnsw-m" && (value = next())) {
+      if (!ParseSize("--hnsw-m", value, &options->hnsw_m)) return false;
+      if (options->hnsw_m < 2) {
+        std::fprintf(stderr,
+                     "--hnsw-m must be >= 2 (graph degree), got: %s\n", value);
+        return false;
+      }
+    } else if (arg == "--hnsw-ef" && (value = next())) {
+      if (!ParseSize("--hnsw-ef", value, &options->hnsw_ef)) return false;
+      if (options->hnsw_ef < 1) {
+        std::fprintf(stderr,
+                     "--hnsw-ef must be >= 1 (query beam width), got: %s\n",
+                     value);
+        return false;
+      }
     } else if (arg == "--k" && (value = next())) {
       if (!ParseSize("--k", value, &options->k)) return false;
     } else if (arg == "--tables" && (value = next())) {
@@ -142,6 +179,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     // Reject here for a usage error instead of the factory's DUST_CHECK
     // abort deep inside IndexLake.
     std::fprintf(stderr, "unknown --index type: %s\n", options->index.c_str());
+    return false;
+  }
+  if (options->shards > 0 && shard::IsShardedSpec(options->index)) {
+    std::fprintf(stderr,
+                 "--shards cannot wrap the already-sharded --index %s\n",
+                 options->index.c_str());
+    return false;
+  }
+  if (options->shards > 0 &&
+      !index::IsKnownIndexType("sharded:" + options->index + ":" +
+                               std::to_string(options->shards))) {
+    // The composed spec must pass the same validation a literal
+    // "sharded:..." --index would (e.g. the 2^16 shard-count cap).
+    std::fprintf(stderr, "--shards %zu is out of range\n", options->shards);
     return false;
   }
   if (!options->save_index_path.empty() && !options->load_index_path.empty()) {
@@ -223,21 +274,42 @@ int main(int argc, char** argv) {
   config.engine = options.engine;
   config.search_index = options.index;
   config.search_shortlist = options.shortlist;
+  config.search_shards = options.shards;
+  config.hnsw_m = options.hnsw_m;
+  config.hnsw_ef_search = options.hnsw_ef;
   if (options.engine == "d3l") {
     // Only the starmie engine builds a shortlist index.
-    if (options.index != "flat" || options.shortlist > 0) {
+    if (options.index != "flat" || options.shortlist > 0 ||
+        options.shards > 0 || options.hnsw_m > 0 || options.hnsw_ef > 0) {
       std::fprintf(stderr,
-                   "--index/--shortlist are ignored by the %s engine\n",
+                   "--index/--shortlist/--shards/--hnsw-* are ignored by the "
+                   "%s engine\n",
                    options.engine.c_str());
     }
-  } else if (options.index != "flat" && options.shortlist == 0) {
-    // The pipeline resolves this contradictory combination itself (a
-    // shortlist of 0 would disable the index); surface the default here.
-    std::fprintf(stderr,
-                 "--index %s without --shortlist: the pipeline defaults the "
-                 "shortlist to %zu\n",
-                 options.index.c_str(),
-                 core::PipelineConfig::DefaultShortlist(options.tables));
+  } else {
+    const std::string index_spec = config.EffectiveSearchIndex();
+    if (index_spec != "flat" && options.shortlist == 0) {
+      // The pipeline resolves this contradictory combination itself (a
+      // shortlist of 0 would disable the index); surface the default here.
+      std::fprintf(stderr,
+                   "--index %s without --shortlist: the pipeline defaults "
+                   "the shortlist to %zu\n",
+                   index_spec.c_str(),
+                   core::PipelineConfig::DefaultShortlist(options.tables));
+    }
+    if (options.hnsw_m > 0 || options.hnsw_ef > 0) {
+      // Resolve the spec down to the concrete type the knobs apply to, so
+      // "--index sharded:hnsw:4 --hnsw-ef 64" does not warn.
+      shard::ShardedIndexConfig sharded;
+      std::string concrete = index_spec;
+      if (shard::ParseShardedSpec(index_spec, &sharded)) {
+        concrete = sharded.child_type;
+      }
+      if (concrete != "hnsw") {
+        std::fprintf(stderr, "--hnsw-m/--hnsw-ef are ignored by --index %s\n",
+                     concrete.c_str());
+      }
+    }
   }
   config.num_tables = options.tables;
   // The diversification tuple distance delta(.) (Sec. 3.1). The search
