@@ -1,0 +1,163 @@
+// bench_serve — throughput and tail latency of the async query server
+// (google-benchmark). The CI bench-smoke job runs BM_Serve* with
+// --benchmark_out=BENCH_serve.json and uploads the JSON per PR.
+//
+// Two serving models over one closed-loop client fleet (every client keeps
+// exactly one request in flight):
+//   - BM_ServeThreadPerRequest: the pre-executor baseline — each request is
+//     answered by a freshly spawned std::thread running the sequential
+//     SearchTuples path (thread creation on every query, no batching);
+//   - BM_ServeQueryServer: the QueryServer — bounded admission queue,
+//     micro-batching window, one SearchTuplesBatch per batch on a shared
+//     fixed-size executor (zero per-query thread creation).
+// items_per_second is QPS; p50/p95/p99 latency counters come from the
+// server's own stats. The acceptance bar: the micro-batched server beats
+// thread-per-request at >= 8 concurrent clients.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "search/tuple_search.h"
+#include "serve/query_server.h"
+#include "table/table.h"
+#include "util/rng.h"
+
+using namespace dust;
+
+namespace {
+
+constexpr size_t kRequestsPerIteration = 128;
+constexpr size_t kK = 10;
+
+table::Table MakeWordTable(const std::string& name, size_t rows,
+                           uint64_t seed) {
+  Rng rng(seed);
+  table::Table t(name);
+  std::vector<table::Value> cities, countries, codes;
+  for (size_t r = 0; r < rows; ++r) {
+    cities.emplace_back("city" + std::to_string(rng.NextBelow(800)));
+    countries.emplace_back("country" + std::to_string(rng.NextBelow(60)));
+    codes.emplace_back("code" + std::to_string(rng.NextBelow(2000)));
+  }
+  DUST_CHECK(t.AddColumn("city", std::move(cities)).ok());
+  DUST_CHECK(t.AddColumn("country", std::move(countries)).ok());
+  DUST_CHECK(t.AddColumn("code", std::move(codes)).ok());
+  return t;
+}
+
+/// One lake + indexed TupleSearch + query tables, built once per process.
+struct ServeWorkload {
+  std::vector<table::Table> lake_storage;
+  std::vector<table::Table> queries;
+  std::unique_ptr<search::TupleSearch> search;
+};
+
+const ServeWorkload& Workload() {
+  static const ServeWorkload* workload = [] {
+    auto* w = new ServeWorkload();
+    for (size_t t = 0; t < 48; ++t) {
+      w->lake_storage.push_back(
+          MakeWordTable("lake" + std::to_string(t), 40, 300 + t));
+    }
+    for (size_t q = 0; q < 16; ++q) {
+      w->queries.push_back(MakeWordTable("q" + std::to_string(q), 6, 7000 + q));
+    }
+    w->search =
+        std::make_unique<search::TupleSearch>(bench::MakeBenchEncoder());
+    std::vector<const table::Table*> lake;
+    for (const table::Table& t : w->lake_storage) lake.push_back(&t);
+    w->search->IndexLake(lake);
+    return w;
+  }();
+  return *workload;
+}
+
+/// Closed-loop fleet: `clients` threads each keep one request in flight
+/// until `total` requests have completed via `one_request(query_index)`.
+void RunClosedLoop(size_t clients, size_t total,
+                   const std::function<void(size_t)>& one_request) {
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> fleet;
+  fleet.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    fleet.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < total; i = next.fetch_add(1)) {
+        one_request(i);
+      }
+    });
+  }
+  for (std::thread& t : fleet) t.join();
+}
+
+/// Baseline: spawn-join one std::thread per request (what serving looked
+/// like before the shared executor existed).
+void BM_ServeThreadPerRequest(benchmark::State& state) {
+  const size_t clients = static_cast<size_t>(state.range(0));
+  const ServeWorkload& w = Workload();
+  for (auto _ : state) {
+    RunClosedLoop(clients, kRequestsPerIteration, [&](size_t i) {
+      const table::Table& query = w.queries[i % w.queries.size()];
+      std::vector<search::TupleHit> hits;
+      std::thread worker([&] { hits = w.search->SearchTuples(query, kK); });
+      worker.join();
+      benchmark::DoNotOptimize(hits.size());
+    });
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRequestsPerIteration));
+  state.SetLabel("clients=" + std::to_string(clients));
+}
+BENCHMARK(BM_ServeThreadPerRequest)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// The async server: executor threads x batching window, 8 or 16 clients.
+/// range: (threads, batch_window_us, clients).
+void BM_ServeQueryServer(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const size_t window_us = static_cast<size_t>(state.range(1));
+  const size_t clients = static_cast<size_t>(state.range(2));
+  const ServeWorkload& w = Workload();
+  serve::QueryServerOptions options;
+  options.threads = threads;
+  options.batch_window_us = window_us;
+  options.max_batch = 32;
+  options.queue_capacity = 256;
+  serve::QueryServer server(w.search.get(), options);
+  for (auto _ : state) {
+    RunClosedLoop(clients, kRequestsPerIteration, [&](size_t i) {
+      const table::Table& query = w.queries[i % w.queries.size()];
+      auto result = server.Submit(query, kK).get();
+      benchmark::DoNotOptimize(result.ok());
+    });
+  }
+  server.Shutdown();
+  const serve::QueryServerStats stats = server.stats();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRequestsPerIteration));
+  state.counters["p50_ms"] = stats.p50_ms;
+  state.counters["p95_ms"] = stats.p95_ms;
+  state.counters["p99_ms"] = stats.p99_ms;
+  state.counters["mean_batch"] = stats.mean_batch_size;
+  state.SetLabel("threads=" + std::to_string(threads) +
+                 " window=" + std::to_string(window_us) +
+                 "us clients=" + std::to_string(clients));
+}
+BENCHMARK(BM_ServeQueryServer)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 2000}, {8}})
+    ->Args({8, 2000, 16})
+    ->Args({8, 0, 16})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

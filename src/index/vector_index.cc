@@ -9,6 +9,7 @@
 #include "index/ivf_index.h"
 #include "index/lsh_index.h"
 #include "io/index_io.h"
+#include "serve/executor.h"
 #include "shard/sharded_index.h"
 #include "util/status.h"
 
@@ -28,11 +29,21 @@ void FinalizeHits(std::vector<SearchHit>* hits, size_t k) {
 }
 
 std::vector<std::vector<SearchHit>> VectorIndex::SearchBatch(
-    const std::vector<la::Vec>& queries, size_t k) const {
+    const std::vector<la::Vec>& queries, size_t k,
+    serve::Executor* executor) const {
   std::vector<std::vector<SearchHit>> results(queries.size());
   if (queries.empty()) return results;
   // Concurrent Search calls are safe for every index (IVF's lazy train is
   // internally locked), so workers fan out over all queries directly.
+  if (executor != nullptr) {
+    // Serving path: pooled threads, zero thread creation per batch. Each
+    // iteration writes only its own slot, and results are per-query, so
+    // scheduling order cannot change the output.
+    executor->ParallelFor(queries.size(), [&](size_t i) {
+      results[i] = Search(queries[i], k);
+    });
+    return results;
+  }
 #ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic)
   for (size_t i = 0; i < queries.size(); ++i) {

@@ -19,6 +19,10 @@ class IndexWriter;
 class IndexReader;
 }  // namespace dust::io
 
+namespace dust::serve {
+class Executor;
+}  // namespace dust::serve
+
 namespace dust::index {
 
 /// One search hit: the stored vector's id and its distance to the query.
@@ -53,11 +57,23 @@ class VectorIndex {
                                         size_t k) const = 0;
 
   /// Top-k nearest neighbors for every query, result i matching query i.
-  /// The default implementation answers queries in parallel (OpenMP when
-  /// compiled with it, std::thread otherwise) and is exactly equivalent to
-  /// calling Search per query; subclasses may override with fused kernels.
+  /// Routes through the executor installed with SetExecutor (none by
+  /// default). Exactly equivalent to calling Search per query regardless of
+  /// how the work is scheduled.
+  std::vector<std::vector<SearchHit>> SearchBatch(
+      const std::vector<la::Vec>& queries, size_t k) const {
+    return SearchBatch(queries, k, executor_);
+  }
+
+  /// As above with an explicit executor. When `executor` is non-null the
+  /// queries fan out across its pooled threads — zero thread creation per
+  /// call, the steady-state serving path. When null, the legacy one-shot
+  /// behavior: OpenMP when compiled with it, freshly spawned std::threads
+  /// otherwise. Subclasses may override with fused kernels; results must
+  /// stay bit-identical across all scheduling modes.
   virtual std::vector<std::vector<SearchHit>> SearchBatch(
-      const std::vector<la::Vec>& queries, size_t k) const;
+      const std::vector<la::Vec>& queries, size_t k,
+      serve::Executor* executor) const;
 
   virtual size_t size() const = 0;
   virtual size_t dim() const = 0;
@@ -82,6 +98,19 @@ class VectorIndex {
   /// back with io::LoadIndex, which restores the concrete type; round-trip
   /// Search/SearchBatch results are bit-identical.
   Status Save(const std::string& path) const;
+
+  /// Installs a shared executor for internal fan-out: the parameterless
+  /// SearchBatch and any scatter the index does per query (ShardedIndex
+  /// propagates to its shards and routes its per-query scatter here, so
+  /// serving never spawns a thread per query). nullptr restores the legacy
+  /// spawn-per-call behavior. Not synchronized against in-flight searches —
+  /// install during serving setup, before traffic. The executor must
+  /// outlive the index or be unset before destruction.
+  virtual void SetExecutor(serve::Executor* executor) { executor_ = executor; }
+  serve::Executor* executor() const { return executor_; }
+
+ protected:
+  serve::Executor* executor_ = nullptr;
 };
 
 /// Sorts hits ascending by (distance, id) and truncates to k.

@@ -31,10 +31,16 @@ void EmbeddingUnionSearch::IndexLake(
     profile_index_ =
         index::MakeVectorIndex(config_.index_type, encoder_.dim(),
                                la::Metric::kCosine, config_.index_options);
+    profile_index_->SetExecutor(executor_);
     profile_index_->AddAll(lake_profiles_);
   } else {
     profile_index_.reset();
   }
+}
+
+void EmbeddingUnionSearch::SetExecutor(serve::Executor* executor) {
+  executor_ = executor;
+  if (profile_index_ != nullptr) profile_index_->SetExecutor(executor);
 }
 
 double EmbeddingUnionSearch::TableScore(
@@ -120,6 +126,7 @@ Status EmbeddingUnionSearch::LoadState(io::IndexReader* reader) {
     Result<std::unique_ptr<index::VectorIndex>> loaded = io::ReadIndex(reader);
     DUST_RETURN_IF_ERROR(loaded.status());
     profile_index_ = std::move(loaded).value();
+    profile_index_->SetExecutor(executor_);
     if (profile_index_->size() != num_tables) {
       return Status::IoError("snapshot index/table count mismatch");
     }

@@ -45,6 +45,11 @@ class EmbeddingUnionSearch : public UnionSearch {
   /// a shortlist mismatch between config and stored index is rejected.
   Status LoadState(io::IndexReader* reader) override;
 
+  /// Installs a shared executor on the shortlist profile index (kept across
+  /// IndexLake/LoadState rebuilds), routing its scatter through pooled
+  /// threads on the serving path.
+  void SetExecutor(serve::Executor* executor) override;
+
   /// Column embeddings of an indexed lake table (for Starmie (B)/(H)).
   const std::vector<la::Vec>& ColumnEmbeddings(size_t table_index) const {
     return lake_columns_[table_index];
@@ -60,6 +65,7 @@ class EmbeddingUnionSearch : public UnionSearch {
   std::vector<std::vector<la::Vec>> lake_columns_;
   std::vector<la::Vec> lake_profiles_;  // mean column embedding per table
   std::unique_ptr<index::VectorIndex> profile_index_;
+  serve::Executor* executor_ = nullptr;  // re-applied on index rebuilds
 };
 
 }  // namespace dust::search

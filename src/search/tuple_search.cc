@@ -1,11 +1,49 @@
 #include "search/tuple_search.h"
 
 #include <algorithm>
+#include <map>
 #include <unordered_map>
+#include <utility>
 
+#include "serve/executor.h"
 #include "util/status.h"
 
 namespace dust::search {
+
+namespace {
+
+/// Fuses per-query-tuple hit lists into the top-k lake tuples: a lake
+/// tuple's score is its best similarity to any query tuple (so exact copies
+/// rank first). Deterministic — ties break by (table, row) provenance.
+std::vector<TupleHit> FuseTupleHits(
+    const std::vector<std::vector<index::SearchHit>>& per_tuple_hits,
+    size_t begin, size_t count, const std::vector<table::TupleRef>& refs,
+    size_t k) {
+  std::unordered_map<size_t, double> best_similarity;
+  for (size_t t = begin; t < begin + count; ++t) {
+    for (const index::SearchHit& hit : per_tuple_hits[t]) {
+      double similarity = 1.0 - static_cast<double>(hit.distance);
+      auto [it, inserted] = best_similarity.try_emplace(hit.id, similarity);
+      if (!inserted && similarity > it->second) it->second = similarity;
+    }
+  }
+  std::vector<TupleHit> hits;
+  hits.reserve(best_similarity.size());
+  for (const auto& [id, similarity] : best_similarity) {
+    hits.push_back({refs[id], similarity});
+  }
+  std::sort(hits.begin(), hits.end(), [](const TupleHit& a, const TupleHit& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    if (a.ref.table_index != b.ref.table_index) {
+      return a.ref.table_index < b.ref.table_index;
+    }
+    return a.ref.row_index < b.ref.row_index;
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+}  // namespace
 
 TupleSearch::TupleSearch(std::shared_ptr<embed::TupleEncoder> encoder,
                          TupleSearchConfig config)
@@ -31,40 +69,84 @@ void TupleSearch::IndexLake(const std::vector<const table::Table*>& lake) {
 std::vector<TupleHit> TupleSearch::SearchTuples(const table::Table& query,
                                                 size_t k) const {
   DUST_CHECK(index_ != nullptr);
-  // Fuse per-query-tuple results: a lake tuple's score is its best
-  // similarity to any query tuple (so exact copies rank first).
-  std::unordered_map<size_t, double> best_similarity;
-  size_t fetch = std::max(k, config_.per_query_candidates);
-  // One batched index call over all query tuples; the index answers them in
-  // parallel while fusion stays sequential and deterministic.
-  std::vector<la::Vec> query_embeddings;
-  query_embeddings.reserve(query.num_rows());
-  for (size_t r = 0; r < query.num_rows(); ++r) {
-    query_embeddings.push_back(
-        encoder_->EncodeSerialized(table::SerializeTableRow(query, r)));
+  if (query.num_rows() == 0) return {};  // historical contract: no hits
+  Result<std::vector<TupleHit>> result = SearchTuplesChecked(query, k);
+  DUST_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+Result<std::vector<TupleHit>> TupleSearch::SearchTuplesChecked(
+    const table::Table& query, size_t k) const {
+  std::vector<Result<std::vector<TupleHit>>> results =
+      SearchTuplesBatch({{&query, k}});
+  return std::move(results[0]);
+}
+
+std::vector<Result<std::vector<TupleHit>>> TupleSearch::SearchTuplesBatch(
+    const std::vector<TupleQuery>& queries, serve::Executor* executor) const {
+  std::vector<Result<std::vector<TupleHit>>> results(
+      queries.size(), Status::Internal("tuple query left unanswered"));
+  if (queries.empty()) return results;
+  if (index_ == nullptr) {
+    for (Result<std::vector<TupleHit>>& r : results) {
+      r = Status::FailedPrecondition(
+          "tuple search has no lake index; call IndexLake before serving "
+          "queries");
+    }
+    return results;
   }
-  for (const std::vector<index::SearchHit>& hits :
-       index_->SearchBatch(query_embeddings, fetch)) {
-    for (const index::SearchHit& hit : hits) {
-      double similarity = 1.0 - static_cast<double>(hit.distance);
-      auto [it, inserted] = best_similarity.try_emplace(hit.id, similarity);
-      if (!inserted && similarity > it->second) it->second = similarity;
+  // Admission: reject malformed requests individually so the rest of the
+  // batch still gets served; then group the valid ones by candidate fetch
+  // depth — SearchBatch takes one k for all its queries, and mixing depths
+  // would perturb fusion inputs and break bit-parity with the sequential
+  // path. In steady state every request uses per_query_candidates, so a
+  // batch is a single group and a single SearchBatch call.
+  std::map<size_t, std::vector<size_t>> groups_by_fetch;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (queries[i].table == nullptr || queries[i].table->num_rows() == 0) {
+      results[i] = Status::InvalidArgument(
+          "query table has no rows; nothing to match against the lake");
+      continue;
+    }
+    const size_t fetch = std::max(queries[i].k, config_.per_query_candidates);
+    groups_by_fetch[fetch].push_back(i);
+  }
+  for (const auto& [fetch, members] : groups_by_fetch) {
+    // Concatenate every member's row embeddings into one batch; offsets
+    // remember which slice belongs to which request.
+    std::vector<size_t> offsets(members.size() + 1, 0);
+    for (size_t m = 0; m < members.size(); ++m) {
+      offsets[m + 1] = offsets[m] + queries[members[m]].table->num_rows();
+    }
+    std::vector<la::Vec> embeddings(offsets.back());
+    const auto encode_member = [&](size_t m) {
+      const table::Table& query = *queries[members[m]].table;
+      for (size_t r = 0; r < query.num_rows(); ++r) {
+        embeddings[offsets[m] + r] = encoder_->EncodeSerialized(
+            table::SerializeTableRow(query, r));
+      }
+    };
+    // Encoders are pure functions of the text (embed/embedder.h), so
+    // encoding members concurrently is safe and deterministic.
+    if (executor != nullptr) {
+      executor->ParallelFor(members.size(), encode_member);
+    } else {
+      for (size_t m = 0; m < members.size(); ++m) encode_member(m);
+    }
+    const std::vector<std::vector<index::SearchHit>> hits =
+        index_->SearchBatch(embeddings, fetch, executor);
+    const auto fuse_member = [&](size_t m) {
+      const size_t i = members[m];
+      results[i] = FuseTupleHits(hits, offsets[m], offsets[m + 1] - offsets[m],
+                                 refs_, queries[i].k);
+    };
+    if (executor != nullptr) {
+      executor->ParallelFor(members.size(), fuse_member);
+    } else {
+      for (size_t m = 0; m < members.size(); ++m) fuse_member(m);
     }
   }
-  std::vector<TupleHit> hits;
-  hits.reserve(best_similarity.size());
-  for (const auto& [id, similarity] : best_similarity) {
-    hits.push_back({refs_[id], similarity});
-  }
-  std::sort(hits.begin(), hits.end(), [](const TupleHit& a, const TupleHit& b) {
-    if (a.similarity != b.similarity) return a.similarity > b.similarity;
-    if (a.ref.table_index != b.ref.table_index) {
-      return a.ref.table_index < b.ref.table_index;
-    }
-    return a.ref.row_index < b.ref.row_index;
-  });
-  if (hits.size() > k) hits.resize(k);
-  return hits;
+  return results;
 }
 
 }  // namespace dust::search

@@ -11,6 +11,11 @@
 #include "embed/tuple_encoder.h"
 #include "index/vector_index.h"
 #include "table/table.h"
+#include "util/status.h"
+
+namespace dust::serve {
+class Executor;
+}  // namespace dust::serve
 
 namespace dust::search {
 
@@ -37,15 +42,44 @@ class TupleSearch {
   TupleSearch(std::shared_ptr<embed::TupleEncoder> encoder,
               TupleSearchConfig config = {});
 
+  /// One request of a serving batch: a query table and its k.
+  struct TupleQuery {
+    const table::Table* table = nullptr;
+    size_t k = 0;
+  };
+
   /// Encodes and indexes every row of every lake table.
   void IndexLake(const std::vector<const table::Table*>& lake);
 
   /// Top-k lake tuples by maximum cosine similarity to any query tuple.
+  /// Legacy one-shot spelling: calling before IndexLake aborts (programming
+  /// error in a batch run), and a row-less query returns no hits. Serving
+  /// code must use SearchTuplesChecked, which rejects instead of dying.
   std::vector<TupleHit> SearchTuples(const table::Table& query,
                                      size_t k) const;
 
+  /// Status-returning spelling for long-running servers, where a bad
+  /// request must be rejected rather than abort the process:
+  /// FailedPrecondition before IndexLake has run, InvalidArgument for a
+  /// query table with no rows. Results are bit-identical to SearchTuples.
+  Result<std::vector<TupleHit>> SearchTuplesChecked(const table::Table& query,
+                                                    size_t k) const;
+
+  /// Answers a micro-batch of requests through as few index SearchBatch
+  /// calls as possible: requests with the same candidate fetch depth (and
+  /// they all share it unless per-request k exceeds per_query_candidates)
+  /// are encoded into one embedding batch and dispatched in one call.
+  /// Result i corresponds to queries[i] and is bit-identical to a
+  /// sequential SearchTuplesChecked(queries[i]) — per-request statuses, so
+  /// one malformed request cannot fail its batch-mates. With `executor`,
+  /// encoding, index fan-out, and per-request fusion run on pooled threads.
+  std::vector<Result<std::vector<TupleHit>>> SearchTuplesBatch(
+      const std::vector<TupleQuery>& queries,
+      serve::Executor* executor = nullptr) const;
+
   size_t num_indexed() const { return refs_.size(); }
   const table::TupleRef& ref(size_t id) const { return refs_[id]; }
+  const TupleSearchConfig& config() const { return config_; }
 
  private:
   std::shared_ptr<embed::TupleEncoder> encoder_;

@@ -13,6 +13,10 @@ class IndexWriter;
 class IndexReader;
 }  // namespace dust::io
 
+namespace dust::serve {
+class Executor;
+}  // namespace dust::serve
+
 namespace dust::search {
 
 struct TableHit {
@@ -49,6 +53,12 @@ class UnionSearch {
     (void)reader;
     return Status::Unimplemented(name() + " does not support snapshots");
   }
+
+  /// Routes the engine's internal index fan-out (e.g. a sharded shortlist
+  /// index's per-query scatter) through a shared thread pool, so serving
+  /// processes create zero threads per query. Engines without an index
+  /// ignore it. Install during setup, before concurrent traffic.
+  virtual void SetExecutor(serve::Executor* executor) { (void)executor; }
 };
 
 }  // namespace dust::search

@@ -1,0 +1,77 @@
+// Shared fixed-size thread-pool executor — the serving-path replacement for
+// ad-hoc `std::thread` spawning.
+//
+// Before this existed, every ShardedIndex::Search scattered across freshly
+// created threads and every non-OpenMP SearchBatch spun up a worker pool per
+// call; under concurrent query traffic that is thousands of thread
+// creations per second on the hot path. An Executor is created once (per
+// QueryServer, bench, or CLI invocation) and reused: steady-state serving
+// does zero thread creation.
+//
+// The header is dependency-free (standard library only) so the low-level
+// index layer can take an optional `serve::Executor*` without a layering
+// inversion.
+#ifndef DUST_SERVE_EXECUTOR_H_
+#define DUST_SERVE_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dust::serve {
+
+/// Fixed pool of worker threads executing submitted tasks FIFO. All methods
+/// are thread-safe; tasks may themselves call ParallelFor (nested fan-out
+/// cannot deadlock because the calling thread always participates in its
+/// own loop). Destruction completes every task already submitted, then
+/// joins the workers.
+class Executor {
+ public:
+  /// Spawns `num_threads` workers. 0 is valid and means "run everything
+  /// inline on the calling thread" — useful for deterministic tests and as
+  /// a no-concurrency fallback.
+  explicit Executor(size_t num_threads);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues `fn` for execution on a pool thread (inline when the pool is
+  /// empty). The future becomes ready when `fn` returns; `fn` must not
+  /// throw (the library does not use exceptions across API boundaries).
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Runs body(0..n-1), each index exactly once, and returns when all have
+  /// completed. Iterations run concurrently on the pool plus the calling
+  /// thread; the caller always drains work itself, so ParallelFor from
+  /// inside a pool task completes even when every other worker is busy.
+  /// `body` must be safe to invoke concurrently for distinct indices.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  struct ForLoop;
+
+  /// Runs ForLoop iterations until the loop's shared counter is exhausted.
+  static void Drain(const std::shared_ptr<ForLoop>& loop);
+
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::deque<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace dust::serve
+
+#endif  // DUST_SERVE_EXECUTOR_H_

@@ -1,0 +1,152 @@
+#include "serve/query_server.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dust::serve {
+
+namespace {
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size());
+  size_t index = static_cast<size_t>(rank);
+  if (static_cast<double>(index) < rank) ++index;  // ceil
+  if (index == 0) index = 1;
+  if (index > sorted.size()) index = sorted.size();
+  return sorted[index - 1];
+}
+
+}  // namespace
+
+QueryServer::QueryServer(const search::TupleSearch* search,
+                         QueryServerOptions options)
+    : search_(search),
+      options_(options),
+      executor_(options.threads),
+      queue_(options.queue_capacity),
+      dispatcher_([this] { DispatchLoop(); }) {
+  DUST_CHECK(search_ != nullptr);
+}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+std::future<QueryServer::TupleResult> QueryServer::Submit(
+    const table::Table& query, size_t k) {
+  std::promise<TupleResult> promise;
+  std::future<TupleResult> future = promise.get_future();
+  if (query.num_rows() == 0) {
+    // A malformed request must not abort (or even reach) the serving path;
+    // resolve it immediately so its client can move on.
+    promise.set_value(Status::InvalidArgument(
+        "query table has no rows; nothing to match against the lake"));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++rejected_;
+    return future;
+  }
+  Request request;
+  request.query = &query;
+  request.k = k;
+  request.promise = std::move(promise);
+  request.admitted = std::chrono::steady_clock::now();
+  if (shutdown_.load() || !queue_.Push(std::move(request))) {
+    // Push only consumes the request on success, so the promise is still
+    // ours to resolve when the queue was closed under us.
+    request.promise.set_value(
+        Status::FailedPrecondition("query server is shut down"));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++rejected_;
+    return future;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++submitted_;
+  return future;
+}
+
+void QueryServer::DispatchLoop() {
+  std::vector<Request> batch;
+  for (;;) {
+    batch.clear();
+    Request first;
+    if (!queue_.Pop(&first)) break;  // closed and fully drained
+    batch.push_back(std::move(first));
+    // Micro-batch window: wait up to batch_window_us from the FIRST pop for
+    // companions, so the oldest request bounds the added latency. A closed
+    // or timed-out queue just seals the batch early.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(options_.batch_window_us);
+    while (batch.size() < options_.max_batch) {
+      Request next;
+      if (!queue_.PopUntil(&next, deadline)) break;
+      batch.push_back(std::move(next));
+    }
+    Dispatch(&batch);
+  }
+}
+
+void QueryServer::Dispatch(std::vector<Request>* batch) {
+  std::vector<search::TupleSearch::TupleQuery> queries;
+  queries.reserve(batch->size());
+  for (const Request& request : *batch) {
+    queries.push_back({request.query, request.k});
+  }
+  std::vector<TupleResult> results =
+      search_->SearchTuplesBatch(queries, &executor_);
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++batches_;
+    served_ += batch->size();
+    for (const Request& request : *batch) {
+      const double ms =
+          std::chrono::duration<double, std::milli>(now - request.admitted)
+              .count();
+      if (latencies_ms_.size() < kLatencyWindow) {
+        latencies_ms_.push_back(ms);
+      } else {
+        // At capacity the reservoir becomes a ring: percentiles track the
+        // most recent window instead of the whole (unbounded) history.
+        latencies_ms_[latency_next_] = ms;
+        latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+      }
+    }
+  }
+  for (size_t i = 0; i < batch->size(); ++i) {
+    (*batch)[i].promise.set_value(std::move(results[i]));
+  }
+}
+
+void QueryServer::Shutdown() {
+  shutdown_.store(true);
+  queue_.Close();
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+QueryServerStats QueryServer::stats() const {
+  QueryServerStats out;
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out.submitted = submitted_;
+    out.served = served_;
+    out.rejected = rejected_;
+    out.batches = batches_;
+    latencies = latencies_ms_;
+  }
+  out.mean_batch_size =
+      out.batches == 0
+          ? 0.0
+          : static_cast<double>(out.served) / static_cast<double>(out.batches);
+  std::sort(latencies.begin(), latencies.end());
+  out.p50_ms = Percentile(latencies, 0.50);
+  out.p95_ms = Percentile(latencies, 0.95);
+  out.p99_ms = Percentile(latencies, 0.99);
+  out.max_ms = latencies.empty() ? 0.0 : latencies.back();
+  out.queue_depth = queue_.size();
+  out.max_queue_depth = queue_.max_depth();
+  return out;
+}
+
+}  // namespace dust::serve

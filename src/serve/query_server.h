@@ -1,0 +1,124 @@
+// Async query server — the online half of the heavy-traffic north star.
+//
+// Concurrent clients Submit tuple-search requests and get futures back; a
+// dispatcher thread admits requests from a bounded queue (backpressure: a
+// full queue blocks Submit, it never drops), micro-batches them within a
+// configurable window, and answers each batch through one
+// TupleSearch::SearchTuplesBatch call on a shared executor. Results are
+// bit-identical to sequential TupleSearch::SearchTuples; the batching only
+// changes scheduling, never scoring. Malformed requests (zero-row query
+// tables) are rejected per-request with InvalidArgument instead of
+// aborting the process.
+#ifndef DUST_SERVE_QUERY_SERVER_H_
+#define DUST_SERVE_QUERY_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "search/tuple_search.h"
+#include "serve/bounded_queue.h"
+#include "serve/executor.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace dust::serve {
+
+struct QueryServerOptions {
+  /// Executor pool size shared by index fan-out, encoding, and fusion.
+  /// 0 runs batches inline on the dispatcher thread (deterministic tests).
+  size_t threads = 4;
+  /// Bounded request queue; a full queue blocks Submit (backpressure).
+  size_t queue_capacity = 256;
+  /// A batch dispatches once it holds this many requests...
+  size_t max_batch = 32;
+  /// ...or once the oldest admitted request has waited this long, whichever
+  /// comes first. 0 = dispatch whatever is already queued (no added wait).
+  size_t batch_window_us = 2000;
+};
+
+/// Serving counters and latency percentiles (Submit -> future ready). The
+/// percentiles cover the most recent requests (a bounded reservoir of 64k
+/// samples), so a long-running server neither grows without bound nor
+/// stalls stats(); the counters cover the whole lifetime.
+struct QueryServerStats {
+  uint64_t submitted = 0;  ///< admitted into the queue
+  uint64_t served = 0;     ///< futures fulfilled via a dispatched batch
+  uint64_t rejected = 0;   ///< refused up front (no rows / shut down)
+  uint64_t batches = 0;
+  double mean_batch_size = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  size_t queue_depth = 0;      ///< at the moment stats() was called
+  size_t max_queue_depth = 0;  ///< high-water mark over the server lifetime
+};
+
+class QueryServer {
+ public:
+  using TupleResult = Result<std::vector<search::TupleHit>>;
+
+  /// The server borrows `search` (already IndexLake'd; an unbuilt index is
+  /// reported per-request as FailedPrecondition, never an abort) for its
+  /// lifetime.
+  QueryServer(const search::TupleSearch* search, QueryServerOptions options);
+  /// Shuts down (completing in-flight requests) if Shutdown wasn't called.
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Admits one request. Blocks while the queue is full (backpressure);
+  /// the future becomes ready when the request's batch is served. `query`
+  /// must stay alive until then. A query with no rows resolves immediately
+  /// to InvalidArgument, a Submit after Shutdown to FailedPrecondition.
+  std::future<TupleResult> Submit(const table::Table& query, size_t k);
+
+  /// Stops admission, serves every request already queued, and joins the
+  /// dispatcher. Idempotent; called by the destructor.
+  void Shutdown();
+
+  QueryServerStats stats() const;
+  const QueryServerOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    const table::Table* query = nullptr;
+    size_t k = 0;
+    std::promise<TupleResult> promise;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  void DispatchLoop();
+  void Dispatch(std::vector<Request>* batch);
+
+  const search::TupleSearch* search_;
+  const QueryServerOptions options_;
+  Executor executor_;
+  BoundedQueue<Request> queue_;
+  std::atomic<bool> shutdown_{false};
+  std::mutex shutdown_mu_;  // serializes the join in Shutdown
+
+  /// Latency reservoir size: large enough for stable p99s, small enough
+  /// that the stats() copy+sort stays cheap at any uptime.
+  static constexpr size_t kLatencyWindow = size_t{1} << 16;
+
+  mutable std::mutex stats_mu_;
+  std::vector<double> latencies_ms_;  // ring buffer of <= kLatencyWindow
+  size_t latency_next_ = 0;           // next ring slot once at capacity
+  uint64_t submitted_ = 0;
+  uint64_t served_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t batches_ = 0;
+
+  std::thread dispatcher_;  // last member: starts after state is ready
+};
+
+}  // namespace dust::serve
+
+#endif  // DUST_SERVE_QUERY_SERVER_H_

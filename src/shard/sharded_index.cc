@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "io/index_io.h"
+#include "serve/executor.h"
 #include "text/hashing.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -166,7 +167,13 @@ std::vector<index::SearchHit> ShardedIndex::Search(const la::Vec& query,
   // Scatter: every shard answers top-k in parallel (a hit beyond a shard's
   // own top-k can never enter the merged top-k, so per-shard k is enough).
   std::vector<std::vector<index::SearchHit>> per_shard(shards_.size());
-  if (shards_.size() > 1) {
+  if (shards_.size() > 1 && executor_ != nullptr) {
+    // Serving path: the scatter reuses the shared pool instead of creating
+    // shards_-1 threads on every query.
+    executor_->ParallelFor(shards_.size(), [&](size_t s) {
+      per_shard[s] = shards_[s]->Search(query, k);
+    });
+  } else if (shards_.size() > 1) {
     std::vector<std::thread> workers;
     workers.reserve(shards_.size() - 1);
     for (size_t s = 1; s < shards_.size(); ++s) {
@@ -194,7 +201,8 @@ std::vector<index::SearchHit> ShardedIndex::Search(const la::Vec& query,
 }
 
 std::vector<std::vector<index::SearchHit>> ShardedIndex::SearchBatch(
-    const std::vector<la::Vec>& queries, size_t k) const {
+    const std::vector<la::Vec>& queries, size_t k,
+    serve::Executor* executor) const {
   std::vector<std::vector<index::SearchHit>> results(queries.size());
   if (queries.empty()) return results;
   // Shards run sequentially, each answering the whole batch with its own
@@ -205,7 +213,7 @@ std::vector<std::vector<index::SearchHit>> ShardedIndex::SearchBatch(
   std::vector<std::vector<std::vector<index::SearchHit>>> per_shard;
   per_shard.reserve(shards_.size());
   for (const std::unique_ptr<index::VectorIndex>& shard : shards_) {
-    per_shard.push_back(shard->SearchBatch(queries, k));
+    per_shard.push_back(shard->SearchBatch(queries, k, executor));
   }
   for (size_t q = 0; q < queries.size(); ++q) {
     std::vector<index::SearchHit> hits;
@@ -219,6 +227,13 @@ std::vector<std::vector<index::SearchHit>> ShardedIndex::SearchBatch(
     results[q] = std::move(hits);
   }
   return results;
+}
+
+void ShardedIndex::SetExecutor(serve::Executor* executor) {
+  index::VectorIndex::SetExecutor(executor);
+  for (const std::unique_ptr<index::VectorIndex>& shard : shards_) {
+    shard->SetExecutor(executor);
+  }
 }
 
 std::string ShardedIndex::name() const {
@@ -328,6 +343,11 @@ Status ShardedIndex::LoadPayload(io::IndexReader* reader) {
   shards_ = std::move(children);
   shard_ids_ = std::move(shard_ids);
   total_ = static_cast<size_t>(total);
+  // The freshly loaded children replaced the ones SetExecutor may have
+  // visited; re-install so a serving process can load after wiring.
+  for (const std::unique_ptr<index::VectorIndex>& shard : shards_) {
+    shard->SetExecutor(executor_);
+  }
   return Status::Ok();
 }
 

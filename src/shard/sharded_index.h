@@ -83,15 +83,25 @@ class ShardedIndex : public index::VectorIndex {
   /// once, so shards with a bulk AddAll (flat) keep their fast path.
   void AddAll(const std::vector<la::Vec>& vectors) override;
 
+  /// Scatter-gather: every shard answers top-k, hits merge deterministically
+  /// in shard order. With an executor installed (SetExecutor) the scatter
+  /// runs on pooled threads — zero thread creation per query, the serving
+  /// path; without one it spawns a thread per shard (legacy one-shot).
   std::vector<index::SearchHit> Search(const la::Vec& query,
                                        size_t k) const override;
+  using index::VectorIndex::SearchBatch;
   /// Scatter-gather batch: each shard answers the whole batch with its own
   /// (internally parallel) SearchBatch, then per-query hits are merged.
   /// Shards are scanned sequentially on purpose — a child's SearchBatch
   /// already fans out across cores, and nesting another parallel layer on
-  /// top would oversubscribe them.
+  /// top would oversubscribe them. `executor` is forwarded to the children.
   std::vector<std::vector<index::SearchHit>> SearchBatch(
-      const std::vector<la::Vec>& queries, size_t k) const override;
+      const std::vector<la::Vec>& queries, size_t k,
+      serve::Executor* executor) const override;
+
+  /// Installs the executor on this index and every shard, so both the
+  /// per-query scatter and the children's batch fan-out reuse one pool.
+  void SetExecutor(serve::Executor* executor) override;
 
   size_t size() const override { return total_; }
   size_t dim() const override { return dim_; }

@@ -1,0 +1,487 @@
+// Tests for src/serve and the executor-routed search paths: Executor task
+// and ParallelFor semantics (including nesting), BoundedQueue backpressure
+// (blocks, never drops) and close-drains semantics, QueryServer parity with
+// sequential SearchTuples under concurrent clients, per-request rejection
+// of malformed queries, shutdown completing in-flight requests, and
+// bit-identical results when ShardedIndex / SearchBatch fan-out moves from
+// spawned threads onto a shared executor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "embed/embedder.h"
+#include "embed/tuple_encoder.h"
+#include "search/embedding_search.h"
+#include "search/tuple_search.h"
+#include "serve/bounded_queue.h"
+#include "serve/executor.h"
+#include "serve/query_server.h"
+#include "shard/sharded_index.h"
+#include "table/table.h"
+#include "util/rng.h"
+
+namespace dust::serve {
+namespace {
+
+using search::TupleHit;
+using search::TupleSearch;
+using table::Table;
+using table::Value;
+
+// --- Executor ---------------------------------------------------------------
+
+TEST(ExecutorTest, ParallelForRunsEveryIndexExactlyOnce) {
+  Executor executor(4);
+  const size_t n = 1000;
+  std::vector<std::atomic<int>> visits(n);
+  for (auto& v : visits) v.store(0);
+  executor.ParallelFor(n, [&](size_t i) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ExecutorTest, NestedParallelForDoesNotDeadlock) {
+  // Inner loops run from inside pool tasks while every worker may already
+  // be busy; the caller-participates design must still complete them.
+  Executor executor(2);
+  std::atomic<size_t> total{0};
+  executor.ParallelFor(8, [&](size_t) {
+    executor.ParallelFor(64, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 8u * 64u);
+}
+
+TEST(ExecutorTest, SubmitRunsTasksAndFulfillsFutures) {
+  Executor executor(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(executor.Submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ExecutorTest, ZeroThreadsRunsInline) {
+  Executor executor(0);
+  EXPECT_EQ(executor.num_threads(), 0u);
+  std::vector<int> order;
+  executor.ParallelFor(4, [&](size_t i) {
+    order.push_back(static_cast<int>(i));  // inline => sequential, in order
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  bool ran = false;
+  executor.Submit([&] { ran = true; }).get();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ExecutorTest, DestructorCompletesQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    Executor executor(1);
+    for (int i = 0; i < 50; ++i) {
+      executor.Submit([&] { counter.fetch_add(1); });
+    }
+  }  // destructor must drain, not abandon
+  EXPECT_EQ(counter.load(), 50);
+}
+
+// --- BoundedQueue -----------------------------------------------------------
+
+TEST(BoundedQueueTest, PushBlocksWhenFullInsteadOfDropping) {
+  BoundedQueue<int> queue(2);
+  ASSERT_TRUE(queue.Push(1));
+  ASSERT_TRUE(queue.Push(2));
+  std::promise<void> pushed;
+  std::future<void> pushed_future = pushed.get_future();
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(3));  // must block until a slot frees up
+    pushed.set_value();
+  });
+  // The producer must still be blocked while the queue is full.
+  EXPECT_EQ(pushed_future.wait_for(std::chrono::milliseconds(100)),
+            std::future_status::timeout);
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  pushed_future.get();  // unblocked by the pop; the item was not dropped
+  producer.join();
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 3);
+  EXPECT_EQ(queue.max_depth(), 2u);
+}
+
+TEST(BoundedQueueTest, CloseDrainsAdmittedItemsThenReportsEmpty) {
+  BoundedQueue<int> queue(8);
+  ASSERT_TRUE(queue.Push(1));
+  ASSERT_TRUE(queue.Push(2));
+  queue.Close();
+  EXPECT_FALSE(queue.Push(3));  // closed: no new admissions
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(queue.Pop(&out));  // drained
+}
+
+TEST(BoundedQueueTest, PopUntilTimesOutOnEmptyQueue) {
+  BoundedQueue<int> queue(4);
+  int out = 0;
+  EXPECT_FALSE(queue.PopUntil(&out, std::chrono::steady_clock::now() +
+                                        std::chrono::milliseconds(10)));
+  ASSERT_TRUE(queue.Push(7));
+  // A past deadline still delivers an already-queued item (try-pop).
+  EXPECT_TRUE(queue.PopUntil(&out, std::chrono::steady_clock::now()));
+  EXPECT_EQ(out, 7);
+}
+
+// --- shared lake fixture ----------------------------------------------------
+
+std::shared_ptr<embed::TupleEncoder> MakeTestEncoder(size_t dim = 32) {
+  return std::make_shared<embed::PretrainedTupleEncoder>(
+      std::shared_ptr<embed::TextEmbedder>(embed::MakeEmbedder(
+          embed::ModelFamily::kRoberta,
+          embed::DefaultConfigFor(embed::ModelFamily::kRoberta, dim))));
+}
+
+Table MakeWordTable(const std::string& name, size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Table t(name);
+  std::vector<Value> cities, countries;
+  for (size_t r = 0; r < rows; ++r) {
+    cities.emplace_back("city" + std::to_string(rng.NextBelow(200)));
+    countries.emplace_back("country" + std::to_string(rng.NextBelow(40)));
+  }
+  EXPECT_TRUE(t.AddColumn("city", std::move(cities)).ok());
+  EXPECT_TRUE(t.AddColumn("country", std::move(countries)).ok());
+  return t;
+}
+
+/// Lake + queries + an IndexLake'd TupleSearch shared by the server tests.
+class ServeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lake_storage_ = new std::vector<Table>();
+    for (size_t t = 0; t < 12; ++t) {
+      lake_storage_->push_back(
+          MakeWordTable("lake" + std::to_string(t), 20, 100 + t));
+    }
+    queries_ = new std::vector<Table>();
+    for (size_t q = 0; q < 6; ++q) {
+      queries_->push_back(MakeWordTable("q" + std::to_string(q), 4, 900 + q));
+    }
+    search_ = new TupleSearch(MakeTestEncoder());
+    std::vector<const Table*> lake;
+    for (const Table& t : *lake_storage_) lake.push_back(&t);
+    search_->IndexLake(lake);
+  }
+  static void TearDownTestSuite() {
+    delete search_;
+    delete queries_;
+    delete lake_storage_;
+    search_ = nullptr;
+    queries_ = nullptr;
+    lake_storage_ = nullptr;
+  }
+
+  static void ExpectSameHits(const std::vector<TupleHit>& expected,
+                             const std::vector<TupleHit>& actual) {
+    ASSERT_EQ(expected.size(), actual.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i].ref, actual[i].ref) << "rank " << i;
+      // Bit-identical on purpose: batching and executor scheduling must not
+      // perturb scoring at all.
+      EXPECT_EQ(expected[i].similarity, actual[i].similarity) << "rank " << i;
+    }
+  }
+
+  static std::vector<Table>* lake_storage_;
+  static std::vector<Table>* queries_;
+  static TupleSearch* search_;
+};
+
+std::vector<Table>* ServeFixture::lake_storage_ = nullptr;
+std::vector<Table>* ServeFixture::queries_ = nullptr;
+TupleSearch* ServeFixture::search_ = nullptr;
+
+// --- TupleSearch status path ------------------------------------------------
+
+TEST(TupleSearchCheckedTest, FailedPreconditionBeforeIndexLake) {
+  TupleSearch search(MakeTestEncoder());
+  Table query = MakeWordTable("q", 2, 1);
+  // A server must be able to reject this request without dying.
+  auto result = search.SearchTuplesChecked(query, 5);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeFixture, CheckedRejectsZeroRowQuery) {
+  Table empty("empty");
+  auto result = search_->SearchTuplesChecked(empty, 5);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // The legacy spelling keeps its historical silent-empty contract.
+  EXPECT_TRUE(search_->SearchTuples(empty, 5).empty());
+}
+
+TEST_F(ServeFixture, CheckedMatchesLegacySearchTuples) {
+  for (const Table& q : *queries_) {
+    auto checked = search_->SearchTuplesChecked(q, 8);
+    ASSERT_TRUE(checked.ok());
+    ExpectSameHits(search_->SearchTuples(q, 8), checked.value());
+  }
+}
+
+TEST_F(ServeFixture, BatchMixedValidityAnswersPerRequest) {
+  Table empty("empty");
+  std::vector<TupleSearch::TupleQuery> batch = {
+      {&(*queries_)[0], 5}, {&empty, 5}, {&(*queries_)[1], 5}};
+  Executor executor(2);
+  auto results = search_->SearchTuplesBatch(batch, &executor);
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_TRUE(results[0].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(results[2].ok());
+  ExpectSameHits(search_->SearchTuples((*queries_)[0], 5), results[0].value());
+  ExpectSameHits(search_->SearchTuples((*queries_)[1], 5), results[2].value());
+}
+
+TEST_F(ServeFixture, BatchGroupsMixedKsWithoutPerturbingResults) {
+  // ks straddling per_query_candidates land in different fetch groups; each
+  // request must still match its own sequential result exactly.
+  const size_t big_k = search_->config().per_query_candidates + 50;
+  std::vector<TupleSearch::TupleQuery> batch = {{&(*queries_)[0], 3},
+                                                {&(*queries_)[1], big_k},
+                                                {&(*queries_)[2], 3}};
+  auto results = search_->SearchTuplesBatch(batch);
+  ASSERT_EQ(results.size(), 3u);
+  ExpectSameHits(search_->SearchTuples((*queries_)[0], 3), results[0].value());
+  ExpectSameHits(search_->SearchTuples((*queries_)[1], big_k),
+                 results[1].value());
+  ExpectSameHits(search_->SearchTuples((*queries_)[2], 3), results[2].value());
+}
+
+// --- QueryServer ------------------------------------------------------------
+
+TEST_F(ServeFixture, ConcurrentClientsGetSequentialResults) {
+  // Sequential oracle first, then N concurrent clients hammer the server
+  // with the same queries; every response must be bit-identical.
+  std::vector<std::vector<TupleHit>> expected;
+  for (const Table& q : *queries_) {
+    expected.push_back(search_->SearchTuples(q, 7));
+  }
+  QueryServerOptions options;
+  options.threads = 4;
+  options.max_batch = 8;
+  options.batch_window_us = 200;
+  QueryServer server(search_, options);
+  const size_t kClients = 4;
+  const size_t kRoundsPerClient = 20;
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t round = 0; round < kRoundsPerClient; ++round) {
+        const size_t q = (c + round) % queries_->size();
+        auto result = server.Submit((*queries_)[q], 7).get();
+        if (!result.ok() || result.value().size() != expected[q].size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t i = 0; i < expected[q].size(); ++i) {
+          if (!(result.value()[i].ref == expected[q][i].ref) ||
+              result.value()[i].similarity != expected[q][i].similarity) {
+            mismatches.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  server.Shutdown();
+  const QueryServerStats stats = server.stats();
+  EXPECT_EQ(stats.served, kClients * kRoundsPerClient);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_GT(stats.p99_ms, 0.0);
+}
+
+TEST_F(ServeFixture, RejectsZeroRowQueryWithInvalidArgument) {
+  QueryServer server(search_, QueryServerOptions{});
+  Table empty("empty");
+  auto result = server.Submit(empty, 5).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+TEST(QueryServerTest, UnbuiltIndexRejectsInsteadOfAborting) {
+  TupleSearch unbuilt(MakeTestEncoder());
+  QueryServer server(&unbuilt, QueryServerOptions{});
+  Table query = MakeWordTable("q", 2, 7);
+  auto result = server.Submit(query, 5).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeFixture, ShutdownCompletesInFlightRequests) {
+  QueryServerOptions options;
+  options.threads = 2;
+  options.max_batch = 4;
+  options.batch_window_us = 50000;  // force requests to sit in the window
+  QueryServer server(search_, options);
+  std::vector<std::future<QueryServer::TupleResult>> futures;
+  for (size_t i = 0; i < 10; ++i) {
+    futures.push_back(server.Submit((*queries_)[i % queries_->size()], 5));
+  }
+  server.Shutdown();  // must drain, not drop
+  for (auto& f : futures) {
+    auto result = f.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_FALSE(result.value().empty());
+  }
+  EXPECT_EQ(server.stats().served, 10u);
+  // Admission is refused after shutdown, with a status, not an abort.
+  auto late = server.Submit((*queries_)[0], 5).get();
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeFixture, TinyQueueServesEveryRequestExactlyOnce) {
+  // Backpressure end to end: with a 1-deep queue and 1-request batches,
+  // producers must block and retry-free serving still answers everything.
+  QueryServerOptions options;
+  options.threads = 2;
+  options.queue_capacity = 1;
+  options.max_batch = 1;
+  options.batch_window_us = 0;
+  QueryServer server(search_, options);
+  const size_t kClients = 4;
+  const size_t kPerClient = 25;
+  std::atomic<size_t> answered{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = 0; i < kPerClient; ++i) {
+        auto result =
+            server.Submit((*queries_)[(c + i) % queries_->size()], 5).get();
+        if (result.ok()) answered.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.Shutdown();
+  EXPECT_EQ(answered.load(), kClients * kPerClient);
+  const QueryServerStats stats = server.stats();
+  EXPECT_EQ(stats.served, kClients * kPerClient);
+  EXPECT_LE(stats.max_queue_depth, 1u);
+}
+
+// --- executor-routed index fan-out parity -----------------------------------
+
+std::vector<la::Vec> RandomUnitVectors(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<la::Vec> out;
+  for (size_t i = 0; i < n; ++i) {
+    la::Vec v(dim);
+    for (float& x : v) x = static_cast<float>(rng.NextGaussian());
+    la::NormalizeInPlace(&v);
+    out.push_back(v);
+  }
+  return out;
+}
+
+TEST(ExecutorRoutingTest, ShardedSearchBitIdenticalToThreadPerShard) {
+  const size_t kDim = 16;
+  auto vectors = RandomUnitVectors(400, kDim, 31);
+  auto queries = RandomUnitVectors(24, kDim, 32);
+  shard::ShardedIndexConfig config;
+  config.child_type = "flat";
+  config.num_shards = 4;
+  shard::ShardedIndex index(kDim, la::Metric::kCosine, config);
+  index.AddAll(vectors);
+
+  // Thread-per-shard baseline (no executor installed)...
+  std::vector<std::vector<index::SearchHit>> baseline;
+  for (const la::Vec& q : queries) baseline.push_back(index.Search(q, 9));
+  auto baseline_batch = index.SearchBatch(queries, 9);
+
+  // ...must match the pooled scatter bit for bit.
+  Executor executor(3);
+  index.SetExecutor(&executor);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto routed = index.Search(queries[q], 9);
+    ASSERT_EQ(routed.size(), baseline[q].size());
+    for (size_t i = 0; i < routed.size(); ++i) {
+      EXPECT_EQ(routed[i].id, baseline[q][i].id);
+      EXPECT_EQ(routed[i].distance, baseline[q][i].distance);
+    }
+  }
+  auto routed_batch = index.SearchBatch(queries, 9);
+  ASSERT_EQ(routed_batch.size(), baseline_batch.size());
+  for (size_t q = 0; q < routed_batch.size(); ++q) {
+    ASSERT_EQ(routed_batch[q].size(), baseline_batch[q].size());
+    for (size_t i = 0; i < routed_batch[q].size(); ++i) {
+      EXPECT_EQ(routed_batch[q][i].id, baseline_batch[q][i].id);
+      EXPECT_EQ(routed_batch[q][i].distance, baseline_batch[q][i].distance);
+    }
+  }
+  index.SetExecutor(nullptr);  // executor dies before the index
+}
+
+TEST(ExecutorRoutingTest, FlatSearchBatchParityAcrossSchedulingModes) {
+  const size_t kDim = 12;
+  auto vectors = RandomUnitVectors(300, kDim, 41);
+  auto queries = RandomUnitVectors(16, kDim, 42);
+  auto index = index::MakeVectorIndex("flat", kDim, la::Metric::kEuclidean);
+  index->AddAll(vectors);
+  auto legacy = index->SearchBatch(queries, 5);
+  Executor executor(4);
+  auto pooled = index->SearchBatch(queries, 5, &executor);
+  ASSERT_EQ(legacy.size(), pooled.size());
+  for (size_t q = 0; q < legacy.size(); ++q) {
+    ASSERT_EQ(legacy[q].size(), pooled[q].size());
+    for (size_t i = 0; i < legacy[q].size(); ++i) {
+      EXPECT_EQ(legacy[q][i].id, pooled[q][i].id);
+      EXPECT_EQ(legacy[q][i].distance, pooled[q][i].distance);
+    }
+  }
+}
+
+TEST_F(ServeFixture, EmbeddingSearchExecutorParity) {
+  // The pipeline-side wiring: a sharded shortlist index's scatter routed
+  // through the executor must not change table retrieval.
+  search::EmbeddingSearchConfig config;
+  config.encoder.dim = 24;
+  config.shortlist = 6;
+  config.index_type = "sharded:flat:3";
+  search::EmbeddingUnionSearch engine(config);
+  std::vector<const Table*> lake;
+  for (const Table& t : *lake_storage_) lake.push_back(&t);
+  engine.IndexLake(lake);
+  auto baseline = engine.SearchTables((*queries_)[0], 5);
+  Executor executor(2);
+  engine.SetExecutor(&executor);
+  auto routed = engine.SearchTables((*queries_)[0], 5);
+  ASSERT_EQ(baseline.size(), routed.size());
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(baseline[i].table_index, routed[i].table_index);
+    EXPECT_EQ(baseline[i].score, routed[i].score);
+  }
+  engine.SetExecutor(nullptr);
+}
+
+}  // namespace
+}  // namespace dust::serve

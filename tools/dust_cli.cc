@@ -20,18 +20,34 @@
 // Sharded lakes: `--shards N` partitions the shortlist index across N
 // child indexes of the --index type with scatter-gather search (equivalent
 // to --index sharded:<type>:N; spell the full spec for hash placement).
+//
+// Query serving: `--serve` builds a tuple-level index over the lake, starts
+// an async QueryServer (shared thread-pool executor, bounded admission
+// queue, micro-batching into single SearchBatch calls), and drives it with
+// a synthetic closed-loop client to report QPS and tail latency:
+//
+//   dust_cli --lake data/lake --query q.csv --serve --threads 8
+//            --batch-window-us 2000 --clients 16 --requests 2000 --k 30
+//
+// Every served result is checked bit-identical to the sequential
+// TupleSearch::SearchTuples baseline; a mismatch fails the run.
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/pipeline.h"
 #include "embed/tuple_encoder.h"
 #include "index/vector_index.h"
+#include "search/tuple_search.h"
+#include "serve/query_server.h"
 #include "shard/sharded_index.h"
 #include "table/csv.h"
 #include "util/stopwatch.h"
@@ -57,6 +73,13 @@ struct CliOptions {
   size_t tables = 10;
   size_t p = 2;
   size_t s = 2500;
+  bool serve = false;
+  size_t threads = 4;
+  size_t batch_window_us = 2000;
+  size_t batch_max = 32;
+  size_t queue_capacity = 256;
+  size_t clients = 4;
+  size_t requests = 200;
 };
 
 void Usage() {
@@ -69,6 +92,14 @@ void Usage() {
       "                [--metric cosine|euclidean|manhattan]\n"
       "                [--shortlist N] [--out result.csv] [--p N] [--s N]\n"
       "                [--save-index <snapshot> | --load-index <snapshot>]\n"
+      "                [--serve [--threads N] [--batch-window-us U]\n"
+      "                 [--batch-max N] [--queue N] [--clients N]\n"
+      "                 [--requests N]]\n"
+      "       --serve starts an async tuple-search server over the lake and\n"
+      "       drives it with a synthetic closed-loop client (--clients\n"
+      "       concurrent clients, --requests total queries), printing QPS\n"
+      "       and p50/p95/p99 latency; results are verified bit-identical\n"
+      "       to sequential search\n"
       "       --save-index without --query builds the lake index and exits;\n"
       "       --load-index serves queries from a saved snapshot without\n"
       "       re-embedding the lake\n"
@@ -81,18 +112,24 @@ void Usage() {
 }
 
 /// Parses a non-negative integer: digits only (strtoul alone would skip
-/// whitespace and wrap signed values like " -5" to a huge size_t), no
-/// overflow.
+/// whitespace and wrap signed values like " -5" to a huge size_t), and no
+/// silent saturation — a value past ULONG_MAX makes strtoul clamp and set
+/// ERANGE, which must be rejected as overflow (mirroring ParseShardCount's
+/// bounds discipline), not accepted as a huge-but-valid count.
 bool ParseSize(const char* flag, const char* value, size_t* out) {
   bool digits_only = *value != '\0';
   for (const char* p = value; *p; ++p) {
     if (!std::isdigit(static_cast<unsigned char>(*p))) digits_only = false;
   }
-  errno = 0;
-  unsigned long parsed = digits_only ? std::strtoul(value, nullptr, 10) : 0;
-  if (!digits_only || errno == ERANGE) {
+  if (!digits_only) {
     std::fprintf(stderr, "%s expects a non-negative number, got: %s\n", flag,
                  value);
+    return false;
+  }
+  errno = 0;
+  const unsigned long parsed = std::strtoul(value, nullptr, 10);
+  if (errno == ERANGE) {
+    std::fprintf(stderr, "%s value overflows: %s\n", flag, value);
     return false;
   }
   *out = static_cast<size_t>(parsed);
@@ -156,6 +193,34 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
                      value);
         return false;
       }
+    } else if (arg == "--serve") {
+      options->serve = true;
+    } else if (arg == "--threads" && (value = next())) {
+      if (!ParseSize("--threads", value, &options->threads)) return false;
+    } else if (arg == "--batch-window-us" && (value = next())) {
+      if (!ParseSize("--batch-window-us", value, &options->batch_window_us)) {
+        return false;
+      }
+    } else if (arg == "--batch-max" && (value = next())) {
+      if (!ParseSize("--batch-max", value, &options->batch_max)) return false;
+      if (options->batch_max == 0) {
+        std::fprintf(stderr, "--batch-max must be >= 1\n");
+        return false;
+      }
+    } else if (arg == "--queue" && (value = next())) {
+      if (!ParseSize("--queue", value, &options->queue_capacity)) return false;
+      if (options->queue_capacity == 0) {
+        std::fprintf(stderr, "--queue must be >= 1\n");
+        return false;
+      }
+    } else if (arg == "--clients" && (value = next())) {
+      if (!ParseSize("--clients", value, &options->clients)) return false;
+      if (options->clients == 0) {
+        std::fprintf(stderr, "--clients must be >= 1\n");
+        return false;
+      }
+    } else if (arg == "--requests" && (value = next())) {
+      if (!ParseSize("--requests", value, &options->requests)) return false;
     } else if (arg == "--k" && (value = next())) {
       if (!ParseSize("--k", value, &options->k)) return false;
     } else if (arg == "--tables" && (value = next())) {
@@ -195,6 +260,38 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     std::fprintf(stderr, "--shards %zu is out of range\n", options->shards);
     return false;
   }
+  if (options->serve) {
+    if (options->engine != "starmie") {
+      std::fprintf(stderr, "--serve supports only the starmie engine\n");
+      return false;
+    }
+    if (!options->save_index_path.empty() ||
+        !options->load_index_path.empty() || !options->out_path.empty()) {
+      std::fprintf(stderr,
+                   "--serve is exclusive with --save-index/--load-index/"
+                   "--out\n");
+      return false;
+    }
+    if (options->query_path.empty()) {
+      std::fprintf(stderr, "--serve needs --query for the client workload\n");
+      return false;
+    }
+    if (options->metric != la::Metric::kCosine) {
+      // The tuple index scores with cosine similarity by construction;
+      // accepting another metric here would silently serve cosine results
+      // under the wrong label.
+      std::fprintf(stderr,
+                   "--serve scores tuples with cosine similarity only; "
+                   "--metric %s is not supported\n",
+                   la::MetricName(options->metric));
+      return false;
+    }
+    if (options->shortlist > 0) {
+      std::fprintf(stderr,
+                   "--shortlist is ignored by --serve (tuple search always "
+                   "fetches per-query candidates)\n");
+    }
+  }
   if (!options->save_index_path.empty() && !options->load_index_path.empty()) {
     std::fprintf(stderr, "--save-index and --load-index are exclusive\n");
     return false;
@@ -210,6 +307,97 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       !options->save_index_path.empty() && options->query_path.empty();
   return !options->lake_dir.empty() &&
          (build_only || !options->query_path.empty()) && options->k > 0;
+}
+
+/// --serve: builds a tuple-level index over the lake, starts the async
+/// QueryServer, and drives it with a synthetic closed-loop client (each of
+/// --clients threads keeps exactly one request in flight until --requests
+/// queries have been served). Every response is verified bit-identical to
+/// the sequential SearchTuples baseline. Returns the process exit code.
+int RunServeMode(const CliOptions& options,
+                 const std::vector<const table::Table*>& lake,
+                 const table::Table& query) {
+  search::TupleSearchConfig config;
+  // Same index/shard/HNSW knobs the pipeline path accepts, applied to the
+  // tuple index.
+  config.index_type = options.index;
+  if (options.shards > 0) {
+    config.index_type =
+        "sharded:" + options.index + ":" + std::to_string(options.shards);
+  }
+  config.index_options.hnsw_m = options.hnsw_m;
+  config.index_options.hnsw_ef_search = options.hnsw_ef;
+  embed::EmbedderConfig encoder_config;
+  encoder_config.dim = 64;
+  auto encoder = std::make_shared<embed::PretrainedTupleEncoder>(
+      std::shared_ptr<embed::TextEmbedder>(
+          embed::MakeEmbedder(embed::ModelFamily::kRoberta, encoder_config)));
+  search::TupleSearch search(encoder, config);
+  Stopwatch index_watch;
+  search.IndexLake(lake);
+  std::printf("indexed %zu lake tuples in %.3fs\n", search.num_indexed(),
+              index_watch.Seconds());
+
+  // Sequential baseline: the parity oracle every served result must match.
+  const std::vector<search::TupleHit> baseline =
+      search.SearchTuples(query, options.k);
+
+  serve::QueryServerOptions server_options;
+  server_options.threads = options.threads;
+  server_options.queue_capacity = options.queue_capacity;
+  server_options.max_batch = options.batch_max;
+  server_options.batch_window_us = options.batch_window_us;
+  serve::QueryServer server(&search, server_options);
+
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> failures{0};
+  Stopwatch serve_watch;
+  std::vector<std::thread> clients;
+  clients.reserve(options.clients);
+  for (size_t c = 0; c < options.clients; ++c) {
+    clients.emplace_back([&] {
+      while (next.fetch_add(1) < options.requests) {
+        serve::QueryServer::TupleResult result =
+            server.Submit(query, options.k).get();
+        if (!result.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const std::vector<search::TupleHit>& hits = result.value();
+        bool same = hits.size() == baseline.size();
+        for (size_t i = 0; same && i < hits.size(); ++i) {
+          same = hits[i].ref == baseline[i].ref &&
+                 hits[i].similarity == baseline[i].similarity;
+        }
+        if (!same) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed = serve_watch.Seconds();
+  server.Shutdown();
+  const serve::QueryServerStats stats = server.stats();
+
+  std::printf(
+      "served %llu requests in %.3fs: %.0f QPS  "
+      "p50 %.2fms  p95 %.2fms  p99 %.2fms\n",
+      static_cast<unsigned long long>(stats.served), elapsed,
+      elapsed > 0.0 ? static_cast<double>(stats.served) / elapsed : 0.0,
+      stats.p50_ms, stats.p95_ms, stats.p99_ms);
+  std::printf(
+      "batches %llu (mean size %.1f)  max queue depth %zu  "
+      "threads %zu  window %zuus  clients %zu\n",
+      static_cast<unsigned long long>(stats.batches), stats.mean_batch_size,
+      stats.max_queue_depth, options.threads, options.batch_window_us,
+      options.clients);
+  if (failures.load() > 0 || mismatches.load() > 0) {
+    std::fprintf(stderr, "serve FAILED: %zu errors, %zu parity mismatches\n",
+                 failures.load(), mismatches.load());
+    return 1;
+  }
+  std::printf("parity OK: all responses bit-identical to sequential search\n");
+  return 0;
 }
 
 }  // namespace
@@ -267,6 +455,13 @@ int main(int argc, char** argv) {
   } else {
     std::printf("lake: %zu tables (build-only invocation)\n",
                 lake_storage.size());
+  }
+
+  if (options.serve) {
+    std::vector<const table::Table*> lake;
+    lake.reserve(lake_storage.size());
+    for (const table::Table& t : lake_storage) lake.push_back(&t);
+    return RunServeMode(options, lake, query);
   }
 
   // Pipeline.
