@@ -24,6 +24,22 @@
 
 namespace dust::core {
 
+/// Serving-layer knobs carried alongside the pipeline config — consumed by
+/// serve::QueryServer (via dust_cli --serve or an embedding application),
+/// never by Algorithm 1 itself. They shape scheduling and caching only,
+/// not results, so they are deliberately excluded from the snapshot
+/// staleness hash: changing them must not invalidate saved indexes.
+struct ServingConfig {
+  /// Result-cache capacity in entries; 0 disables the cache.
+  size_t cache_entries = 1024;
+  /// Result-cache capacity in bytes of cached hit lists.
+  size_t cache_bytes = size_t{64} << 20;
+  /// Result-cache lock stripes (1 = globally LRU-ordered).
+  size_t cache_stripes = 16;
+  /// Export the serve::Metrics registry (human table + text exposition).
+  bool metrics = true;
+};
+
 struct PipelineConfig {
   /// Top-N unionable tables retrieved by the search phase.
   size_t num_tables = 10;
@@ -72,6 +88,9 @@ struct PipelineConfig {
   align::AlignerConfig aligner;
   diversify::DustDiversifierConfig diversifier;
   la::Metric metric = la::Metric::kCosine;
+  /// Serving-layer (QueryServer) knobs; see ServingConfig. Not hashed into
+  /// SnapshotHash — they never change results.
+  ServingConfig serving;
 };
 
 struct PipelineResult {

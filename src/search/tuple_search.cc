@@ -5,7 +5,10 @@
 #include <unordered_map>
 #include <utility>
 
+#include <cstring>
+
 #include "serve/executor.h"
+#include "text/hashing.h"
 #include "util/status.h"
 
 namespace dust::search {
@@ -43,6 +46,18 @@ std::vector<TupleHit> FuseTupleHits(
   return hits;
 }
 
+/// Chains a value into a running FNV-1a hash (the pipeline SnapshotHash
+/// idiom).
+uint64_t ChainHash(uint64_t h, uint64_t v) {
+  char bytes[sizeof(v)];
+  std::memcpy(bytes, &v, sizeof(v));
+  return text::HashString(std::string_view(bytes, sizeof(v)), h);
+}
+
+uint64_t ChainHash(uint64_t h, const std::string& s) {
+  return text::HashString(s, h);
+}
+
 }  // namespace
 
 TupleSearch::TupleSearch(std::shared_ptr<embed::TupleEncoder> encoder,
@@ -64,6 +79,38 @@ void TupleSearch::IndexLake(const std::vector<const table::Table*>& lake) {
       refs_.push_back({t, r});
     }
   }
+  uint64_t h = ChainHash(0, std::string("dust-tuple-lake-v1"));
+  h = ChainHash(h, lake.size());
+  for (const table::Table* t : lake) {
+    h = ChainHash(h, t->name());
+    h = ChainHash(h, t->num_columns());
+    h = ChainHash(h, t->num_rows());
+  }
+  lake_hash_ = h;
+}
+
+uint64_t TupleSearch::QueryFingerprint(const table::Table& query) const {
+  uint64_t h = ChainHash(0, std::string("dust-query-fp-v1"));
+  h = ChainHash(h, query.num_rows());
+  for (const la::Vec& row : encoder_->EncodeTableRows(query)) {
+    const auto* bytes = reinterpret_cast<const char*>(row.data());
+    h = text::HashString(
+        std::string_view(bytes, row.size() * sizeof(float)), h);
+  }
+  return h;
+}
+
+uint64_t TupleSearch::ConfigHash() const {
+  uint64_t h = ChainHash(0, std::string("dust-tuple-config-v1"));
+  h = ChainHash(h, config_.index_type);
+  h = ChainHash(h, config_.per_query_candidates);
+  h = ChainHash(h, config_.index_options.hnsw_m);
+  h = ChainHash(h, config_.index_options.hnsw_ef_search);
+  h = ChainHash(h, config_.index_options.ivf_nlist);
+  h = ChainHash(h, config_.index_options.ivf_nprobe);
+  h = ChainHash(h, encoder_->name());
+  h = ChainHash(h, encoder_->dim());
+  return h;
 }
 
 std::vector<TupleHit> TupleSearch::SearchTuples(const table::Table& query,

@@ -81,11 +81,31 @@ class TupleSearch {
   const table::TupleRef& ref(size_t id) const { return refs_[id]; }
   const TupleSearchConfig& config() const { return config_; }
 
+  /// FNV-1a fingerprint over the query's encoded row vectors — the result
+  /// cache's query identity. Two tables that encode identically fingerprint
+  /// identically (encoders are pure functions of the serialization), so
+  /// they would receive bit-identical results and may share a cache entry.
+  uint64_t QueryFingerprint(const table::Table& query) const;
+
+  /// FNV-1a hash of every config knob that shapes results (index type and
+  /// options, candidate depth, encoder identity). Cache keys carry it so
+  /// two servers with different configs never share entries.
+  uint64_t ConfigHash() const;
+
+  /// Hash of the indexed lake's shape (table names, row/column counts),
+  /// recomputed by IndexLake; 0 before any lake is indexed. The result
+  /// cache's staleness guard: a re-indexed or swapped lake changes the
+  /// hash, invalidating every entry computed against the old lake. Like the
+  /// pipeline SnapshotHash, it detects reshaped lakes, not in-place cell
+  /// edits.
+  uint64_t LakeStateHash() const { return lake_hash_; }
+
  private:
   std::shared_ptr<embed::TupleEncoder> encoder_;
   TupleSearchConfig config_;
   std::unique_ptr<index::VectorIndex> index_;
   std::vector<table::TupleRef> refs_;
+  uint64_t lake_hash_ = 0;
 };
 
 }  // namespace dust::search

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <utility>
@@ -34,6 +35,7 @@ class BoundedQueue {
                    [this] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    ++total_pushed_;
     if (items_.size() > max_depth_) max_depth_ = items_.size();
     lock.unlock();
     not_empty_.notify_one();
@@ -86,6 +88,12 @@ class BoundedQueue {
     return max_depth_;
   }
 
+  /// Items ever admitted (serving observability: admissions counter).
+  uint64_t total_pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_pushed_;
+  }
+
   size_t capacity() const { return capacity_; }
 
  private:
@@ -105,6 +113,7 @@ class BoundedQueue {
   std::deque<T> items_;
   bool closed_ = false;
   size_t max_depth_ = 0;
+  uint64_t total_pushed_ = 0;
 };
 
 }  // namespace dust::serve

@@ -46,7 +46,10 @@ void Executor::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
+    busy_.fetch_add(1, std::memory_order_relaxed);
     task();
+    busy_.fetch_sub(1, std::memory_order_relaxed);
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -54,6 +57,7 @@ void Executor::Enqueue(std::function<void()> task) {
   if (threads_.empty()) {
     // Inline executor: no workers to hand off to.
     task();
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   {

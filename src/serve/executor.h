@@ -14,8 +14,10 @@
 #ifndef DUST_SERVE_EXECUTOR_H_
 #define DUST_SERVE_EXECUTOR_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -56,6 +58,19 @@ class Executor {
   /// `body` must be safe to invoke concurrently for distinct indices.
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
 
+  /// Total tasks executed by pool threads (or inline when the pool is
+  /// empty) over the executor's lifetime. Observability only — a serving
+  /// metrics registry publishes it as a counter.
+  uint64_t tasks_run() const {
+    return tasks_run_.load(std::memory_order_relaxed);
+  }
+
+  /// Workers currently inside a task — the executor-utilization gauge
+  /// (busy_threads() / num_threads() is the pool's instantaneous load).
+  size_t busy_threads() const {
+    return busy_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct ForLoop;
 
@@ -69,6 +84,8 @@ class Executor {
   std::condition_variable task_ready_;
   std::deque<std::function<void()>> tasks_;
   bool stopping_ = false;
+  std::atomic<uint64_t> tasks_run_{0};
+  std::atomic<size_t> busy_{0};
   std::vector<std::thread> threads_;
 };
 

@@ -1,0 +1,224 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "util/status.h"
+
+namespace dust::serve {
+
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string FormatValue(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+  return buffer;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  DUST_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::LatencyBoundsMs() {
+  return {0.05, 0.1, 0.25, 0.5, 1.0,   2.5,   5.0,   10.0,
+          25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0};
+}
+
+std::vector<double> Histogram::OccupancyBounds() {
+  return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0};
+}
+
+void Histogram::Record(double value) {
+  // lower_bound, not upper_bound: a sample exactly on a bound belongs to
+  // that bound's bucket (Prometheus le="x" means <= x).
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t observed = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      observed, DoubleBits(BitsDouble(observed) + value),
+      std::memory_order_relaxed)) {
+  }
+  observed = max_bits_.load(std::memory_order_relaxed);
+  while (BitsDouble(observed) < value &&
+         !max_bits_.compare_exchange_weak(observed, DoubleBits(value),
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const {
+  return BitsDouble(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::max() const {
+  return BitsDouble(max_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::Quantile(double q) const {
+  // Snapshot the buckets once; concurrent Records may land between loads,
+  // so the rank is computed against the snapshot's own total.
+  std::vector<uint64_t> snapshot(buckets_.size());
+  uint64_t total = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snapshot[i];
+  }
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    if (snapshot[i] == 0) continue;
+    if (cumulative + snapshot[i] < rank) {
+      cumulative += snapshot[i];
+      continue;
+    }
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    // The overflow bucket has no upper edge; the largest recorded sample
+    // bounds the interpolation instead.
+    const double upper =
+        i < bounds_.size() ? bounds_[i] : std::max(lower, max());
+    const double within = static_cast<double>(rank - cumulative) /
+                          static_cast<double>(snapshot[i]);
+    // No quantile can exceed the largest observed sample; clamping tightens
+    // the interpolation when a bucket is sparsely filled.
+    return std::min(lower + (upper - lower) * within, max());
+  }
+  return max();
+}
+
+const char* ReadinessName(Readiness state) {
+  switch (state) {
+    case Readiness::kStarting:
+      return "starting";
+    case Readiness::kReady:
+      return "ready";
+    case Readiness::kDraining:
+      return "draining";
+  }
+  DUST_CHECK(false && "unknown readiness state");
+  return "unknown";
+}
+
+void Metrics::Register(const std::string& name, Instrument instrument) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Re-registration overwrites: last writer wins, matching the "component
+  // owns its instruments" model where a name has exactly one owner.
+  instruments_[name] = std::move(instrument);
+}
+
+void Metrics::RegisterCounter(const std::string& name, const Counter* counter) {
+  DUST_CHECK(counter != nullptr);
+  Instrument instrument;
+  instrument.counter = counter;
+  Register(name, std::move(instrument));
+}
+
+void Metrics::RegisterGauge(const std::string& name, const Gauge* gauge) {
+  DUST_CHECK(gauge != nullptr);
+  Instrument instrument;
+  instrument.gauge = gauge;
+  Register(name, std::move(instrument));
+}
+
+void Metrics::RegisterHistogram(const std::string& name,
+                                const Histogram* histogram) {
+  DUST_CHECK(histogram != nullptr);
+  Instrument instrument;
+  instrument.histogram = histogram;
+  Register(name, std::move(instrument));
+}
+
+void Metrics::RegisterCallback(const std::string& name,
+                               std::function<double()> fn) {
+  DUST_CHECK(fn != nullptr);
+  Instrument instrument;
+  instrument.callback = std::move(fn);
+  Register(name, std::move(instrument));
+}
+
+std::string Metrics::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, instrument] : instruments_) {
+    if (instrument.counter != nullptr) {
+      out += name + " " + std::to_string(instrument.counter->value()) + "\n";
+    } else if (instrument.gauge != nullptr) {
+      out += name + " " + std::to_string(instrument.gauge->value()) + "\n";
+    } else if (instrument.callback) {
+      out += name + " " + FormatValue(instrument.callback()) + "\n";
+    } else if (instrument.histogram != nullptr) {
+      const Histogram& h = *instrument.histogram;
+      // Cumulative buckets, Prometheus-style: le="x" counts samples <= x.
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < h.num_buckets(); ++i) {
+        cumulative += h.bucket_value(i);
+        const std::string le =
+            i < h.bounds().size() ? FormatValue(h.bounds()[i]) : "+Inf";
+        out += name + "_bucket{le=\"" + le + "\"} " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += name + "_sum " + FormatValue(h.sum()) + "\n";
+      out += name + "_count " + std::to_string(h.count()) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string Metrics::RenderTable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  size_t width = 0;
+  for (const auto& [name, instrument] : instruments_) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, instrument] : instruments_) {
+    std::string value;
+    if (instrument.counter != nullptr) {
+      value = std::to_string(instrument.counter->value());
+    } else if (instrument.gauge != nullptr) {
+      value = std::to_string(instrument.gauge->value());
+    } else if (instrument.callback) {
+      value = FormatValue(instrument.callback());
+    } else if (instrument.histogram != nullptr) {
+      const Histogram& h = *instrument.histogram;
+      value = "count " + std::to_string(h.count()) +
+              "  p50 " + FormatValue(h.Quantile(0.50)) +
+              "  p95 " + FormatValue(h.Quantile(0.95)) +
+              "  p99 " + FormatValue(h.Quantile(0.99)) +
+              "  max " + FormatValue(h.max());
+    }
+    out += name;
+    out.append(width - name.size() + 2, ' ');
+    out += value + "\n";
+  }
+  return out;
+}
+
+}  // namespace dust::serve

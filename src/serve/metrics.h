@@ -1,0 +1,133 @@
+// Serving observability surface — counters, gauges, fixed-bucket latency
+// histograms, and a registry that renders them for humans and scrapers.
+//
+// Hot-path instruments are lock-free atomics: a Counter increment or a
+// Histogram record is one relaxed RMW, cheap enough to live inside Submit
+// and Dispatch. The registry itself is only locked at registration (startup)
+// and render (scrape) time, never on the request path. Instruments are owned
+// by the component they describe (QueryServer, ResultCache, Executor, ...)
+// and registered by name, so rendering pulls live values without a second
+// copy of the state.
+//
+// Standard-library only, like executor.h, so any layer can publish without
+// a dependency inversion.
+#ifndef DUST_SERVE_METRICS_H_
+#define DUST_SERVE_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dust::serve {
+
+/// Monotonic event count (requests served, cache hits, evictions...).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level that moves both ways (cache bytes, entries in use).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram for nonnegative samples (latencies, batch sizes).
+/// Record is O(log buckets) and lock-free; Quantile is O(buckets) regardless
+/// of how many samples were ever recorded — the property that lets a
+/// long-running server answer stats() without copying or sorting its
+/// history.
+class Histogram {
+ public:
+  /// `upper_bounds` must be ascending; an implicit +Inf bucket is appended.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// Default latency buckets (milliseconds): sub-millisecond cache hits
+  /// through multi-second outliers.
+  static std::vector<double> LatencyBoundsMs();
+  /// Buckets for micro-batch occupancy (1..max_batch requests).
+  static std::vector<double> OccupancyBounds();
+
+  void Record(double value);
+
+  uint64_t count() const;
+  double sum() const;
+  /// Largest sample ever recorded (0 when empty).
+  double max() const;
+  /// Nearest-rank quantile with linear interpolation inside the bucket;
+  /// q in [0, 1]. The +Inf bucket interpolates toward max(). 0 when empty.
+  double Quantile(double q) const;
+
+  size_t num_buckets() const { return buckets_.size(); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t bucket_value(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;  // ascending upper edges, +Inf implicit
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  // bit-cast double, CAS-accumulated
+  std::atomic<uint64_t> max_bits_{0};  // bit-cast double, CAS-maxed
+};
+
+/// Server lifecycle for readiness probes: a deploy can wait for kReady
+/// before routing traffic and stop routing at kDraining.
+enum class Readiness { kStarting = 0, kReady = 1, kDraining = 2 };
+
+const char* ReadinessName(Readiness state);
+
+/// Name -> instrument registry. Registered pointers are non-owning; every
+/// registrant must outlive the registry (in practice the QueryServer owns
+/// both). Callbacks are pull-gauges sampled at render time — the natural
+/// shape for values a component already tracks (queue depth, readiness).
+class Metrics {
+ public:
+  void RegisterCounter(const std::string& name, const Counter* counter);
+  void RegisterGauge(const std::string& name, const Gauge* gauge);
+  void RegisterHistogram(const std::string& name, const Histogram* histogram);
+  void RegisterCallback(const std::string& name, std::function<double()> fn);
+
+  /// Machine-readable text exposition, Prometheus-style `name{label} value`
+  /// lines: counters/gauges as single samples, histograms as cumulative
+  /// `_bucket{le="..."}` series plus `_sum` and `_count`.
+  std::string RenderText() const;
+
+  /// Human-readable aligned table; histograms render count/p50/p95/p99/max.
+  std::string RenderTable() const;
+
+ private:
+  struct Instrument {
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+    std::function<double()> callback;
+  };
+
+  void Register(const std::string& name, Instrument instrument);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Instrument> instruments_;  // sorted, stable renders
+};
+
+}  // namespace dust::serve
+
+#endif  // DUST_SERVE_METRICS_H_

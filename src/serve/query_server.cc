@@ -1,24 +1,8 @@
 #include "serve/query_server.h"
 
-#include <algorithm>
 #include <utility>
 
 namespace dust::serve {
-
-namespace {
-
-/// Nearest-rank percentile of an ascending-sorted sample.
-double Percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double rank = q * static_cast<double>(sorted.size());
-  size_t index = static_cast<size_t>(rank);
-  if (static_cast<double>(index) < rank) ++index;  // ceil
-  if (index == 0) index = 1;
-  if (index > sorted.size()) index = sorted.size();
-  return sorted[index - 1];
-}
-
-}  // namespace
 
 QueryServer::QueryServer(const search::TupleSearch* search,
                          QueryServerOptions options)
@@ -26,14 +10,62 @@ QueryServer::QueryServer(const search::TupleSearch* search,
       options_(options),
       executor_(options.threads),
       queue_(options.queue_capacity),
+      latency_ms_(Histogram::LatencyBoundsMs()),
+      batch_occupancy_(Histogram::OccupancyBounds()),
       dispatcher_([this] { DispatchLoop(); }) {
   DUST_CHECK(search_ != nullptr);
+  if (options_.cache_entries > 0) {
+    ResultCacheOptions cache_options;
+    cache_options.capacity_entries = options_.cache_entries;
+    cache_options.capacity_bytes = options_.cache_bytes;
+    cache_options.stripes = options_.cache_stripes;
+    cache_ = std::make_unique<ResultCache>(cache_options);
+    // The config never changes over the server's lifetime, so the key's
+    // config component is hashed once, not per request.
+    cache_config_hash_ = search_->ConfigHash();
+  }
+  RegisterMetrics();
+  readiness_.store(Readiness::kReady, std::memory_order_release);
 }
 
 QueryServer::~QueryServer() { Shutdown(); }
 
+void QueryServer::RegisterMetrics() {
+  metrics_.RegisterCounter("dust_serve_submitted_total", &submitted_);
+  metrics_.RegisterCounter("dust_serve_served_total", &served_);
+  metrics_.RegisterCounter("dust_serve_rejected_total", &rejected_);
+  metrics_.RegisterCounter("dust_serve_batches_total", &batches_);
+  metrics_.RegisterHistogram("dust_serve_latency_ms", &latency_ms_);
+  metrics_.RegisterHistogram("dust_serve_batch_occupancy", &batch_occupancy_);
+  // Pull-gauges: the queue, executor, and lifecycle already track these;
+  // renders sample them live instead of duplicating state.
+  metrics_.RegisterCallback("dust_serve_ready", [this] {
+    return static_cast<double>(readiness());
+  });
+  metrics_.RegisterCallback("dust_serve_queue_depth", [this] {
+    return static_cast<double>(queue_.size());
+  });
+  metrics_.RegisterCallback("dust_serve_queue_depth_max", [this] {
+    return static_cast<double>(queue_.max_depth());
+  });
+  metrics_.RegisterCallback("dust_serve_queue_admitted_total", [this] {
+    return static_cast<double>(queue_.total_pushed());
+  });
+  metrics_.RegisterCallback("dust_executor_threads", [this] {
+    return static_cast<double>(executor_.num_threads());
+  });
+  metrics_.RegisterCallback("dust_executor_busy_threads", [this] {
+    return static_cast<double>(executor_.busy_threads());
+  });
+  metrics_.RegisterCallback("dust_executor_tasks_total", [this] {
+    return static_cast<double>(executor_.tasks_run());
+  });
+  if (cache_ != nullptr) cache_->RegisterWith(&metrics_);
+}
+
 std::future<QueryServer::TupleResult> QueryServer::Submit(
     const table::Table& query, size_t k) {
+  const auto arrival = std::chrono::steady_clock::now();
   std::promise<TupleResult> promise;
   std::future<TupleResult> future = promise.get_future();
   if (query.num_rows() == 0) {
@@ -41,26 +73,42 @@ std::future<QueryServer::TupleResult> QueryServer::Submit(
     // resolve it immediately so its client can move on.
     promise.set_value(Status::InvalidArgument(
         "query table has no rows; nothing to match against the lake"));
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++rejected_;
+    rejected_.Increment();
     return future;
   }
   Request request;
   request.query = &query;
   request.k = k;
+  request.admitted = arrival;
+  if (cache_ != nullptr && !shutdown_.load()) {
+    // Fingerprint + probe on the client's thread, ahead of queue admission:
+    // a hit resolves here and never occupies batch capacity, so hot-query
+    // traffic cannot crowd out cold queries (and the dispatcher never
+    // serializes behind cache work).
+    request.cacheable = true;
+    request.cache_key = {search_->QueryFingerprint(query), k,
+                         cache_config_hash_};
+    request.snapshot_hash = search_->LakeStateHash();
+    std::vector<search::TupleHit> cached;
+    if (cache_->Lookup(request.cache_key, request.snapshot_hash, &cached)) {
+      submitted_.Increment();
+      latency_ms_.Record(std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - arrival)
+                             .count());
+      promise.set_value(std::move(cached));
+      return future;
+    }
+  }
   request.promise = std::move(promise);
-  request.admitted = std::chrono::steady_clock::now();
   if (shutdown_.load() || !queue_.Push(std::move(request))) {
     // Push only consumes the request on success, so the promise is still
     // ours to resolve when the queue was closed under us.
     request.promise.set_value(
         Status::FailedPrecondition("query server is shut down"));
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++rejected_;
+    rejected_.Increment();
     return future;
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++submitted_;
+  submitted_.Increment();
   return future;
 }
 
@@ -94,30 +142,28 @@ void QueryServer::Dispatch(std::vector<Request>* batch) {
   std::vector<TupleResult> results =
       search_->SearchTuplesBatch(queries, &executor_);
   const auto now = std::chrono::steady_clock::now();
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++batches_;
-    served_ += batch->size();
-    for (const Request& request : *batch) {
-      const double ms =
-          std::chrono::duration<double, std::milli>(now - request.admitted)
-              .count();
-      if (latencies_ms_.size() < kLatencyWindow) {
-        latencies_ms_.push_back(ms);
-      } else {
-        // At capacity the reservoir becomes a ring: percentiles track the
-        // most recent window instead of the whole (unbounded) history.
-        latencies_ms_[latency_next_] = ms;
-        latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-      }
-    }
+  batches_.Increment();
+  batch_occupancy_.Record(static_cast<double>(batch->size()));
+  served_.Increment(batch->size());
+  for (const Request& request : *batch) {
+    latency_ms_.Record(
+        std::chrono::duration<double, std::milli>(now - request.admitted)
+            .count());
   }
   for (size_t i = 0; i < batch->size(); ++i) {
-    (*batch)[i].promise.set_value(std::move(results[i]));
+    Request& request = (*batch)[i];
+    if (cache_ != nullptr && request.cacheable && results[i].ok()) {
+      // Populate before resolving so a client that immediately re-issues
+      // the query hits. The insert copies; the move below stays valid.
+      cache_->Insert(request.cache_key, request.snapshot_hash,
+                     results[i].value());
+    }
+    request.promise.set_value(std::move(results[i]));
   }
 }
 
 void QueryServer::Shutdown() {
+  readiness_.store(Readiness::kDraining, std::memory_order_release);
   shutdown_.store(true);
   queue_.Close();
   std::lock_guard<std::mutex> lock(shutdown_mu_);
@@ -126,26 +172,35 @@ void QueryServer::Shutdown() {
 
 QueryServerStats QueryServer::stats() const {
   QueryServerStats out;
-  std::vector<double> latencies;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    out.submitted = submitted_;
-    out.served = served_;
-    out.rejected = rejected_;
-    out.batches = batches_;
-    latencies = latencies_ms_;
-  }
+  out.submitted = submitted_.value();
+  out.served = served_.value();
+  out.rejected = rejected_.value();
+  out.batches = batches_.value();
   out.mean_batch_size =
       out.batches == 0
           ? 0.0
           : static_cast<double>(out.served) / static_cast<double>(out.batches);
-  std::sort(latencies.begin(), latencies.end());
-  out.p50_ms = Percentile(latencies, 0.50);
-  out.p95_ms = Percentile(latencies, 0.95);
-  out.p99_ms = Percentile(latencies, 0.99);
-  out.max_ms = latencies.empty() ? 0.0 : latencies.back();
+  // Histogram-backed quantiles: O(buckets) whatever the uptime, unlike the
+  // old reservoir that copied and sorted every remembered sample.
+  out.p50_ms = latency_ms_.Quantile(0.50);
+  out.p95_ms = latency_ms_.Quantile(0.95);
+  out.p99_ms = latency_ms_.Quantile(0.99);
+  out.max_ms = latency_ms_.max();
   out.queue_depth = queue_.size();
   out.max_queue_depth = queue_.max_depth();
+  if (cache_ != nullptr) {
+    out.cache_hits = cache_->hits();
+    out.cache_misses = cache_->misses();
+    out.cache_evictions = cache_->evictions();
+    out.cache_invalidations = cache_->invalidations();
+    out.cache_entries = cache_->entries();
+    out.cache_bytes = cache_->bytes();
+    const uint64_t probes = out.cache_hits + out.cache_misses;
+    out.cache_hit_rate =
+        probes == 0 ? 0.0
+                    : static_cast<double>(out.cache_hits) /
+                          static_cast<double>(probes);
+  }
   return out;
 }
 

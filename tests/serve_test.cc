@@ -2,9 +2,13 @@
 // and ParallelFor semantics (including nesting), BoundedQueue backpressure
 // (blocks, never drops) and close-drains semantics, QueryServer parity with
 // sequential SearchTuples under concurrent clients, per-request rejection
-// of malformed queries, shutdown completing in-flight requests, and
+// of malformed queries, shutdown completing in-flight requests,
 // bit-identical results when ShardedIndex / SearchBatch fan-out moves from
-// spawned threads onto a shared executor.
+// spawned threads onto a shared executor, the Metrics instruments
+// (histogram quantiles stay O(buckets) regardless of sample count, text
+// exposition format), the ResultCache (LRU order, byte budget, staleness
+// invalidation), and QueryServer cache semantics (hits bit-identical to
+// uncached serving, zero stale hits after re-indexing, counters reconcile).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -21,7 +25,9 @@
 #include "search/tuple_search.h"
 #include "serve/bounded_queue.h"
 #include "serve/executor.h"
+#include "serve/metrics.h"
 #include "serve/query_server.h"
+#include "serve/result_cache.h"
 #include "shard/sharded_index.h"
 #include "table/table.h"
 #include "util/rng.h"
@@ -143,6 +149,246 @@ TEST(BoundedQueueTest, PopUntilTimesOutOnEmptyQueue) {
   // A past deadline still delivers an already-queued item (try-pop).
   EXPECT_TRUE(queue.PopUntil(&out, std::chrono::steady_clock::now()));
   EXPECT_EQ(out, 7);
+}
+
+// --- Metrics ----------------------------------------------------------------
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(4);
+  EXPECT_EQ(c.value(), 5u);
+  Gauge g;
+  g.Set(10);
+  g.Add(5);
+  g.Sub(3);
+  EXPECT_EQ(g.value(), 12);
+}
+
+TEST(MetricsTest, HistogramQuantilesFromKnownDistribution) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  // 100 samples spread evenly across [0, 10): 10 per unit interval.
+  for (int i = 0; i < 100; ++i) h.Record(i / 10.0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.sum(), 495.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h.max(), 9.9);
+  // Uniform on [0, 10): true p50 is 4.95; rank 50 interpolates within the
+  // (4, 8] bucket to 4.9.
+  EXPECT_NEAR(h.Quantile(0.50), 4.95, 0.5);
+  // Boundary semantics: a sample exactly on a bound counts into that
+  // bound's bucket (le="1" covers 1.0), so buckets hold 11/10/20/40/19.
+  EXPECT_EQ(h.bucket_value(0), 11u);
+  EXPECT_EQ(h.bucket_value(1), 10u);
+  EXPECT_NEAR(h.Quantile(0.90), 9.0, 1.0);
+  // No quantile may exceed the largest observed sample, even though the
+  // overflow bucket has no upper edge.
+  EXPECT_LE(h.Quantile(0.999), h.max());
+  EXPECT_LE(h.Quantile(1.0), h.max());
+}
+
+TEST(MetricsTest, HistogramQuantileCostIsBucketsNotSamples) {
+  // Regression for the old latency reservoir, whose stats() copied and
+  // sorted every remembered sample (O(uptime)). The histogram's footprint
+  // is structural: the bucket count is fixed at construction, so recording
+  // 200k samples changes no shape a quantile pass iterates over.
+  Histogram h(Histogram::LatencyBoundsMs());
+  const size_t fixed_buckets = h.num_buckets();
+  EXPECT_EQ(fixed_buckets, Histogram::LatencyBoundsMs().size() + 1);
+  Rng rng(5);
+  for (size_t i = 0; i < 200000; ++i) {
+    h.Record(rng.NextDouble() * 100.0);
+  }
+  EXPECT_EQ(h.count(), 200000u);
+  EXPECT_EQ(h.num_buckets(), fixed_buckets);  // unchanged by volume
+  const double p50 = h.Quantile(0.50);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, h.max());
+}
+
+TEST(MetricsTest, RenderTextIsPrometheusShaped) {
+  Metrics metrics;
+  Counter requests;
+  requests.Increment(7);
+  Gauge depth;
+  depth.Set(3);
+  Histogram latency({1.0, 10.0});
+  latency.Record(0.5);
+  latency.Record(5.0);
+  latency.Record(50.0);
+  metrics.RegisterCounter("dust_requests_total", &requests);
+  metrics.RegisterGauge("dust_queue_depth", &depth);
+  metrics.RegisterHistogram("dust_latency_ms", &latency);
+  metrics.RegisterCallback("dust_ready", [] { return 1.0; });
+  const std::string text = metrics.RenderText();
+  EXPECT_NE(text.find("dust_requests_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("dust_queue_depth 3\n"), std::string::npos);
+  EXPECT_NE(text.find("dust_ready 1\n"), std::string::npos);
+  // Histogram buckets are cumulative: le="10" counts the le="1" sample too,
+  // and +Inf counts everything.
+  EXPECT_NE(text.find("dust_latency_ms_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dust_latency_ms_bucket{le=\"10\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dust_latency_ms_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dust_latency_ms_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("dust_latency_ms_sum 55.5\n"), std::string::npos);
+  // The table render carries the same instruments for humans.
+  const std::string table = metrics.RenderTable();
+  EXPECT_NE(table.find("dust_latency_ms"), std::string::npos);
+  EXPECT_NE(table.find("count 3"), std::string::npos);
+}
+
+TEST(MetricsTest, ReadinessNames) {
+  EXPECT_STREQ(ReadinessName(Readiness::kStarting), "starting");
+  EXPECT_STREQ(ReadinessName(Readiness::kReady), "ready");
+  EXPECT_STREQ(ReadinessName(Readiness::kDraining), "draining");
+}
+
+// --- ResultCache ------------------------------------------------------------
+
+std::vector<TupleHit> MakeHits(size_t n, size_t table_index) {
+  std::vector<TupleHit> hits;
+  for (size_t i = 0; i < n; ++i) {
+    hits.push_back({{table_index, i}, 1.0 - 0.01 * static_cast<double>(i)});
+  }
+  return hits;
+}
+
+TEST(ResultCacheTest, LookupReturnsExactInsertedHits) {
+  ResultCache cache(ResultCacheOptions{});
+  const ResultCache::Key key{123, 10, 456};
+  const auto hits = MakeHits(5, 2);
+  std::vector<TupleHit> out;
+  EXPECT_FALSE(cache.Lookup(key, 99, &out));  // cold
+  cache.Insert(key, 99, hits);
+  ASSERT_TRUE(cache.Lookup(key, 99, &out));
+  ASSERT_EQ(out.size(), hits.size());
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(out[i].ref, hits[i].ref);
+    EXPECT_EQ(out[i].similarity, hits[i].similarity);
+  }
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_GT(cache.bytes(), 0u);
+}
+
+TEST(ResultCacheTest, DistinctKAndConfigAreDistinctEntries) {
+  ResultCache cache(ResultCacheOptions{});
+  cache.Insert({1, 5, 7}, 0, MakeHits(5, 0));
+  cache.Insert({1, 10, 7}, 0, MakeHits(10, 0));  // same query, larger k
+  cache.Insert({1, 5, 8}, 0, MakeHits(5, 1));    // same query, other config
+  EXPECT_EQ(cache.entries(), 3u);
+  std::vector<TupleHit> out;
+  ASSERT_TRUE(cache.Lookup({1, 10, 7}, 0, &out));
+  EXPECT_EQ(out.size(), 10u);
+  ASSERT_TRUE(cache.Lookup({1, 5, 8}, 0, &out));
+  EXPECT_EQ(out[0].ref.table_index, 1u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedFirst) {
+  ResultCacheOptions options;
+  options.capacity_entries = 3;
+  options.stripes = 1;  // single stripe => globally LRU-ordered
+  ResultCache cache(options);
+  cache.Insert({1, 1, 0}, 0, MakeHits(2, 1));
+  cache.Insert({2, 1, 0}, 0, MakeHits(2, 2));
+  cache.Insert({3, 1, 0}, 0, MakeHits(2, 3));
+  std::vector<TupleHit> out;
+  // Touch key 1 so key 2 becomes the LRU entry.
+  ASSERT_TRUE(cache.Lookup({1, 1, 0}, 0, &out));
+  cache.Insert({4, 1, 0}, 0, MakeHits(2, 4));  // over budget: evicts key 2
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_FALSE(cache.Lookup({2, 1, 0}, 0, &out));
+  EXPECT_TRUE(cache.Lookup({1, 1, 0}, 0, &out));
+  EXPECT_TRUE(cache.Lookup({3, 1, 0}, 0, &out));
+  EXPECT_TRUE(cache.Lookup({4, 1, 0}, 0, &out));
+}
+
+TEST(ResultCacheTest, ByteBudgetEvictsAndRefusesOversizedEntries) {
+  ResultCacheOptions options;
+  options.capacity_entries = 100;
+  options.capacity_bytes = 400;  // fits one small entry, not two
+  options.stripes = 1;
+  ResultCache cache(options);
+  cache.Insert({1, 1, 0}, 0, MakeHits(4, 1));
+  EXPECT_EQ(cache.entries(), 1u);
+  const size_t one_entry_bytes = cache.bytes();
+  EXPECT_LE(one_entry_bytes, 400u);
+  cache.Insert({2, 1, 0}, 0, MakeHits(4, 2));  // byte budget forces eviction
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  std::vector<TupleHit> out;
+  EXPECT_FALSE(cache.Lookup({1, 1, 0}, 0, &out));
+  EXPECT_TRUE(cache.Lookup({2, 1, 0}, 0, &out));
+  // A hit list alone larger than the whole budget is simply not cached —
+  // and must not wipe the resident entries to make room.
+  cache.Insert({3, 1, 0}, 0, MakeHits(1000, 3));
+  EXPECT_FALSE(cache.Lookup({3, 1, 0}, 0, &out));
+  EXPECT_TRUE(cache.Lookup({2, 1, 0}, 0, &out));
+  EXPECT_EQ(cache.bytes(), one_entry_bytes);
+}
+
+TEST(ResultCacheTest, SnapshotHashMismatchInvalidatesEntry) {
+  ResultCache cache(ResultCacheOptions{});
+  const ResultCache::Key key{9, 5, 1};
+  cache.Insert(key, /*snapshot_hash=*/100, MakeHits(3, 0));
+  std::vector<TupleHit> out;
+  // The lake changed underneath: the entry must not be served, and it must
+  // not linger either.
+  EXPECT_FALSE(cache.Lookup(key, /*snapshot_hash=*/200, &out));
+  EXPECT_EQ(cache.invalidations(), 1u);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  // Re-inserted under the new snapshot it serves again.
+  cache.Insert(key, 200, MakeHits(3, 1));
+  EXPECT_TRUE(cache.Lookup(key, 200, &out));
+  EXPECT_EQ(out[0].ref.table_index, 1u);
+}
+
+TEST(ResultCacheTest, ClearEmptiesEveryStripe) {
+  ResultCache cache(ResultCacheOptions{});
+  for (uint64_t i = 0; i < 64; ++i) {
+    cache.Insert({i, 1, 0}, 0, MakeHits(2, i));
+  }
+  EXPECT_EQ(cache.entries(), 64u);
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  std::vector<TupleHit> out;
+  EXPECT_FALSE(cache.Lookup({0, 1, 0}, 0, &out));
+}
+
+TEST(ResultCacheTest, ConcurrentMixedTrafficKeepsCountersConsistent) {
+  ResultCacheOptions options;
+  options.capacity_entries = 32;
+  ResultCache cache(options);
+  const size_t kThreads = 8;
+  const size_t kOpsPerThread = 500;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(t);
+      std::vector<TupleHit> out;
+      for (size_t i = 0; i < kOpsPerThread; ++i) {
+        const ResultCache::Key key{rng.NextBelow(64), 5, 0};
+        if (!cache.Lookup(key, 0, &out)) {
+          cache.Insert(key, 0, MakeHits(3, key.query_fingerprint));
+        } else {
+          // A hit must carry the data its key was inserted with.
+          EXPECT_EQ(out[0].ref.table_index, key.query_fingerprint);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(cache.hits() + cache.misses(), kThreads * kOpsPerThread);
+  EXPECT_LE(cache.entries(), 32u + options.stripes);  // per-stripe rounding
 }
 
 // --- shared lake fixture ----------------------------------------------------
@@ -387,6 +633,176 @@ TEST_F(ServeFixture, TinyQueueServesEveryRequestExactlyOnce) {
   const QueryServerStats stats = server.stats();
   EXPECT_EQ(stats.served, kClients * kPerClient);
   EXPECT_LE(stats.max_queue_depth, 1u);
+}
+
+// --- QueryServer result cache -----------------------------------------------
+
+TEST_F(ServeFixture, CacheOffByDefaultRecordsNoCacheTraffic) {
+  QueryServer server(search_, QueryServerOptions{});  // cache_entries = 0
+  for (int round = 0; round < 2; ++round) {
+    auto result = server.Submit((*queries_)[0], 5).get();
+    ASSERT_TRUE(result.ok());
+  }
+  server.Shutdown();
+  const QueryServerStats stats = server.stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u);
+  EXPECT_EQ(stats.cache_entries, 0u);
+  EXPECT_EQ(stats.served, 2u);  // both went through the batch path
+}
+
+TEST_F(ServeFixture, CacheHitBitIdenticalToUncachedServing) {
+  QueryServerOptions options;
+  options.threads = 2;
+  options.cache_entries = 128;
+  QueryServer server(search_, options);
+  for (const Table& q : *queries_) {
+    const std::vector<TupleHit> oracle = search_->SearchTuples(q, 7);
+    auto cold = server.Submit(q, 7).get();
+    ASSERT_TRUE(cold.ok());
+    ExpectSameHits(oracle, cold.value());
+    auto warm = server.Submit(q, 7).get();  // must be served from the cache
+    ASSERT_TRUE(warm.ok());
+    ExpectSameHits(oracle, warm.value());
+  }
+  server.Shutdown();
+  const QueryServerStats stats = server.stats();
+  EXPECT_EQ(stats.cache_hits, queries_->size());
+  EXPECT_EQ(stats.cache_misses, queries_->size());
+  // Hits bypassed the queue entirely: only the cold submits were batched.
+  EXPECT_EQ(stats.served, queries_->size());
+  EXPECT_EQ(stats.submitted, 2 * queries_->size());
+  EXPECT_DOUBLE_EQ(stats.cache_hit_rate, 0.5);
+}
+
+TEST_F(ServeFixture, DifferentKIsNotACacheHit) {
+  QueryServerOptions options;
+  options.cache_entries = 128;
+  QueryServer server(search_, options);
+  ASSERT_TRUE(server.Submit((*queries_)[0], 5).get().ok());
+  auto other_k = server.Submit((*queries_)[0], 9).get();
+  ASSERT_TRUE(other_k.ok());
+  EXPECT_EQ(other_k.value().size(), 9u);  // not the cached 5-hit list
+  server.Shutdown();
+  EXPECT_EQ(server.stats().cache_hits, 0u);
+  EXPECT_EQ(server.stats().cache_misses, 2u);
+}
+
+TEST(QueryServerCacheTest, ReindexedLakeServesZeroStaleHits) {
+  // Own search engine: this test re-indexes the lake mid-flight, which the
+  // shared fixture's engine must never experience.
+  std::vector<Table> lake_storage;
+  for (size_t t = 0; t < 6; ++t) {
+    lake_storage.push_back(
+        MakeWordTable("lake" + std::to_string(t), 15, 50 + t));
+  }
+  TupleSearch search(MakeTestEncoder());
+  std::vector<const Table*> lake;
+  for (const Table& t : lake_storage) lake.push_back(&t);
+  search.IndexLake(lake);
+  const Table query = MakeWordTable("q", 4, 9000);
+
+  QueryServerOptions options;
+  options.cache_entries = 128;
+  QueryServer server(&search, options);
+  ASSERT_TRUE(server.Submit(query, 6).get().ok());            // miss, inserted
+  ASSERT_TRUE(server.Submit(query, 6).get().ok());            // hit
+  EXPECT_EQ(server.stats().cache_hits, 1u);
+
+  // The lake gains a table and is re-indexed: LakeStateHash changes, so the
+  // cached entry is stale. The next submit must be recomputed against the
+  // new lake — bit-identical to the fresh sequential oracle — and counted
+  // as an invalidation, never a hit.
+  lake_storage.push_back(MakeWordTable("lake-new", 15, 77));
+  lake.clear();
+  for (const Table& t : lake_storage) lake.push_back(&t);
+  search.IndexLake(lake);
+  const std::vector<TupleHit> fresh_oracle = search.SearchTuples(query, 6);
+  auto after = server.Submit(query, 6).get();
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after.value().size(), fresh_oracle.size());
+  for (size_t i = 0; i < fresh_oracle.size(); ++i) {
+    EXPECT_EQ(after.value()[i].ref, fresh_oracle[i].ref);
+    EXPECT_EQ(after.value()[i].similarity, fresh_oracle[i].similarity);
+  }
+  server.Shutdown();
+  const QueryServerStats stats = server.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);  // unchanged: the stale entry never hit
+  EXPECT_EQ(stats.cache_invalidations, 1u);
+  // And the recomputed result is cached under the new snapshot hash.
+  EXPECT_GE(stats.cache_entries, 1u);
+}
+
+TEST_F(ServeFixture, ConcurrentHitMissStormStaysConsistent) {
+  // Clients hammer a mix of repeated (cache-hot) and rotating queries;
+  // every response must match the sequential oracle whether it came from
+  // the cache or the batch path, and the counters must reconcile exactly.
+  std::vector<std::vector<TupleHit>> expected;
+  for (const Table& q : *queries_) {
+    expected.push_back(search_->SearchTuples(q, 6));
+  }
+  QueryServerOptions options;
+  options.threads = 4;
+  options.max_batch = 8;
+  options.batch_window_us = 100;
+  options.cache_entries = 64;
+  options.cache_stripes = 4;
+  QueryServer server(search_, options);
+  const size_t kClients = 6;
+  const size_t kRoundsPerClient = 40;
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t round = 0; round < kRoundsPerClient; ++round) {
+        // Zipf-ish skew: half the traffic goes to query 0.
+        const size_t q = round % 2 == 0 ? 0 : (c + round) % queries_->size();
+        auto result = server.Submit((*queries_)[q], 6).get();
+        if (!result.ok() || result.value().size() != expected[q].size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t i = 0; i < expected[q].size(); ++i) {
+          if (!(result.value()[i].ref == expected[q][i].ref) ||
+              result.value()[i].similarity != expected[q][i].similarity) {
+            mismatches.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.Shutdown();
+  EXPECT_EQ(mismatches.load(), 0u);
+  const QueryServerStats stats = server.stats();
+  const uint64_t total = kClients * kRoundsPerClient;
+  // Every accepted request probed the cache exactly once.
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, total);
+  EXPECT_EQ(stats.submitted, total);
+  // Only misses reached the batch path; hits resolved at admission.
+  EXPECT_EQ(stats.served + stats.cache_hits, total);
+  EXPECT_GT(stats.cache_hits, 0u);  // the hot query must actually hit
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST_F(ServeFixture, ReadinessAndMetricsSurfaceLifecycle) {
+  QueryServerOptions options;
+  options.cache_entries = 16;
+  QueryServer server(search_, options);
+  EXPECT_EQ(server.readiness(), Readiness::kReady);
+  ASSERT_TRUE(server.Submit((*queries_)[0], 5).get().ok());
+  ASSERT_TRUE(server.Submit((*queries_)[0], 5).get().ok());
+  const std::string text = server.metrics().RenderText();
+  EXPECT_NE(text.find("dust_serve_ready 1\n"), std::string::npos);
+  EXPECT_NE(text.find("dust_serve_submitted_total 2\n"), std::string::npos);
+  EXPECT_NE(text.find("dust_cache_hits_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("dust_serve_latency_ms_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("dust_executor_threads"), std::string::npos);
+  server.Shutdown();
+  EXPECT_EQ(server.readiness(), Readiness::kDraining);
+  EXPECT_NE(server.metrics().RenderText().find("dust_serve_ready 2\n"),
+            std::string::npos);
 }
 
 // --- executor-routed index fan-out parity -----------------------------------

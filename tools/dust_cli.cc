@@ -35,6 +35,7 @@
 #include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -80,6 +81,11 @@ struct CliOptions {
   size_t queue_capacity = 256;
   size_t clients = 4;
   size_t requests = 200;
+  // Serving-hardening knobs; defaults come from the pipeline-level serving
+  // config so every entry point agrees on them.
+  size_t cache_entries = core::ServingConfig{}.cache_entries;
+  size_t cache_bytes = core::ServingConfig{}.cache_bytes;
+  std::string metrics_out_path;
 };
 
 void Usage() {
@@ -94,12 +100,17 @@ void Usage() {
       "                [--save-index <snapshot> | --load-index <snapshot>]\n"
       "                [--serve [--threads N] [--batch-window-us U]\n"
       "                 [--batch-max N] [--queue N] [--clients N]\n"
-      "                 [--requests N]]\n"
+      "                 [--requests N] [--cache N] [--cache-bytes N]\n"
+      "                 [--metrics-out metrics.txt]]\n"
       "       --serve starts an async tuple-search server over the lake and\n"
       "       drives it with a synthetic closed-loop client (--clients\n"
       "       concurrent clients, --requests total queries), printing QPS\n"
       "       and p50/p95/p99 latency; results are verified bit-identical\n"
       "       to sequential search\n"
+      "       --cache bounds the LRU result cache in entries (0 disables;\n"
+      "       hits resolve without entering the batch queue); --cache-bytes\n"
+      "       bounds it in bytes; --metrics-out writes the server's metrics\n"
+      "       registry as Prometheus-style name/value text\n"
       "       --save-index without --query builds the lake index and exits;\n"
       "       --load-index serves queries from a saved snapshot without\n"
       "       re-embedding the lake\n"
@@ -221,6 +232,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       }
     } else if (arg == "--requests" && (value = next())) {
       if (!ParseSize("--requests", value, &options->requests)) return false;
+      if (options->requests == 0) {
+        // A 0-request serve run would "succeed" vacuously — the parity
+        // check passes because nothing was checked. Reject it up front.
+        std::fprintf(stderr, "--requests must be >= 1\n");
+        return false;
+      }
+    } else if (arg == "--cache" && (value = next())) {
+      if (!ParseSize("--cache", value, &options->cache_entries)) return false;
+    } else if (arg == "--cache-bytes" && (value = next())) {
+      if (!ParseSize("--cache-bytes", value, &options->cache_bytes)) {
+        return false;
+      }
+    } else if (arg == "--metrics-out" && (value = next())) {
+      options->metrics_out_path = value;
     } else if (arg == "--k" && (value = next())) {
       if (!ParseSize("--k", value, &options->k)) return false;
     } else if (arg == "--tables" && (value = next())) {
@@ -292,6 +317,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
                    "fetches per-query candidates)\n");
     }
   }
+  if (!options->metrics_out_path.empty() && !options->serve) {
+    std::fprintf(stderr, "--metrics-out requires --serve\n");
+    return false;
+  }
   if (!options->save_index_path.empty() && !options->load_index_path.empty()) {
     std::fprintf(stderr, "--save-index and --load-index are exclusive\n");
     return false;
@@ -347,7 +376,17 @@ int RunServeMode(const CliOptions& options,
   server_options.queue_capacity = options.queue_capacity;
   server_options.max_batch = options.batch_max;
   server_options.batch_window_us = options.batch_window_us;
+  server_options.cache_entries = options.cache_entries;
+  server_options.cache_bytes = options.cache_bytes;
   serve::QueryServer server(&search, server_options);
+  // Readiness gate: a deploy script would poll this before routing traffic.
+  if (server.readiness() != serve::Readiness::kReady) {
+    std::fprintf(stderr, "server failed to become ready\n");
+    return 1;
+  }
+  std::printf("server %s (cache %zu entries / %zu bytes)\n",
+              serve::ReadinessName(server.readiness()), options.cache_entries,
+              options.cache_bytes);
 
   std::atomic<size_t> next{0};
   std::atomic<size_t> mismatches{0};
@@ -379,18 +418,47 @@ int RunServeMode(const CliOptions& options,
   server.Shutdown();
   const serve::QueryServerStats stats = server.stats();
 
+  // Answered = dispatched through a batch + resolved from the cache.
+  const uint64_t answered = stats.served + stats.cache_hits;
   std::printf(
-      "served %llu requests in %.3fs: %.0f QPS  "
-      "p50 %.2fms  p95 %.2fms  p99 %.2fms\n",
-      static_cast<unsigned long long>(stats.served), elapsed,
-      elapsed > 0.0 ? static_cast<double>(stats.served) / elapsed : 0.0,
-      stats.p50_ms, stats.p95_ms, stats.p99_ms);
+      "answered %llu requests in %.3fs: %.0f QPS  "
+      "p50 %.2fms  p95 %.2fms  p99 %.2fms  (%llu batched, %llu cached)\n",
+      static_cast<unsigned long long>(answered), elapsed,
+      elapsed > 0.0 ? static_cast<double>(answered) / elapsed : 0.0,
+      stats.p50_ms, stats.p95_ms, stats.p99_ms,
+      static_cast<unsigned long long>(stats.served),
+      static_cast<unsigned long long>(stats.cache_hits));
   std::printf(
       "batches %llu (mean size %.1f)  max queue depth %zu  "
       "threads %zu  window %zuus  clients %zu\n",
       static_cast<unsigned long long>(stats.batches), stats.mean_batch_size,
       stats.max_queue_depth, options.threads, options.batch_window_us,
       options.clients);
+  if (options.cache_entries > 0) {
+    std::printf(
+        "cache: %llu hits / %llu misses (rate %.2f)  %zu entries  "
+        "%zu bytes  %llu evictions  %llu invalidations\n",
+        static_cast<unsigned long long>(stats.cache_hits),
+        static_cast<unsigned long long>(stats.cache_misses),
+        stats.cache_hit_rate, stats.cache_entries, stats.cache_bytes,
+        static_cast<unsigned long long>(stats.cache_evictions),
+        static_cast<unsigned long long>(stats.cache_invalidations));
+  }
+  std::printf("server %s\n", serve::ReadinessName(server.readiness()));
+  std::printf("\nmetrics:\n%s", server.metrics().RenderTable().c_str());
+  if (!options.metrics_out_path.empty()) {
+    // Machine-readable exposition for scrapers/CI: name{label} value lines.
+    std::FILE* f = std::fopen(options.metrics_out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   options.metrics_out_path.c_str());
+      return 1;
+    }
+    const std::string text = server.metrics().RenderText();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("wrote metrics to %s\n", options.metrics_out_path.c_str());
+  }
   if (failures.load() > 0 || mismatches.load() > 0) {
     std::fprintf(stderr, "serve FAILED: %zu errors, %zu parity mismatches\n",
                  failures.load(), mismatches.load());
