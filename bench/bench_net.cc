@@ -1,0 +1,181 @@
+// bench_net — router-vs-local overhead of the distributed serving path
+// (google-benchmark). The CI bench-smoke job runs BM_Net* with
+// --benchmark_out=BENCH_net.json and the serve-slo step jq-asserts that
+// both entries exist and that the router's p50 over three loopback shards
+// stays under 2x the in-process sharded p50 — the framing/fan-out tax must
+// remain a constant factor, not a cliff.
+//
+//   - BM_NetLocalShardedSearch: the in-process baseline — ShardedIndex
+//     scatter-gather on a shared executor, no sockets;
+//   - BM_NetRouterSearch: the same vectors behind three loopback shard
+//     servers (ShardService over net::Server, exactly the dust_shardd
+//     stack), queried through net::RouterIndex.
+//
+// Both draw the same deterministic query sequence; the workload asserts
+// bit-identical hits once at startup, so the benchmark can never compare a
+// fast-but-wrong path against the baseline.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/vector_index.h"
+#include "la/vector_ops.h"
+#include "net/router_index.h"
+#include "net/server.h"
+#include "net/shard_service.h"
+#include "serve/executor.h"
+#include "shard/sharded_index.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+using namespace dust;
+
+namespace {
+
+constexpr size_t kDim = 48;
+constexpr size_t kShards = 3;
+constexpr size_t kVectors = 4096;
+constexpr size_t kQueries = 64;
+constexpr size_t kK = 10;
+
+std::vector<la::Vec> RandomUnitVectors(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<la::Vec> out;
+  for (size_t i = 0; i < n; ++i) {
+    la::Vec v(dim);
+    for (float& x : v) x = static_cast<float>(rng.NextGaussian());
+    la::NormalizeInPlace(&v);
+    out.push_back(v);
+  }
+  return out;
+}
+
+/// One loopback shard server, the dust_shardd stack in-process.
+struct LoopbackShard {
+  std::unique_ptr<net::ShardService> service;
+  std::unique_ptr<net::Server> server;
+  std::string endpoint;
+
+  LoopbackShard(std::unique_ptr<index::VectorIndex> index,
+                std::vector<size_t> global_ids, const std::string& label,
+                serve::Executor* executor) {
+    service = std::make_unique<net::ShardService>(
+        std::move(index), std::move(global_ids), label);
+    server = std::make_unique<net::Server>(executor);
+    DUST_CHECK(service->RegisterOn(server.get()).ok());
+    DUST_CHECK(server->Start("127.0.0.1", 0).ok());
+    endpoint = "127.0.0.1:" + std::to_string(server->port());
+  }
+};
+
+/// Local baseline + the identical lake behind three loopback shard servers
+/// + a connected router, built once per process.
+struct NetWorkload {
+  serve::Executor server_executor{4};
+  serve::Executor client_executor{4};
+  std::unique_ptr<shard::ShardedIndex> local;
+  std::vector<std::unique_ptr<LoopbackShard>> shards;
+  std::unique_ptr<net::RouterIndex> router;
+  std::vector<la::Vec> queries;
+
+  NetWorkload() {
+    const auto vectors = RandomUnitVectors(kVectors, kDim, 1234);
+    shard::ShardedIndexConfig config;
+    config.child_type = "flat";
+    config.num_shards = kShards;
+    local = std::make_unique<shard::ShardedIndex>(kDim, la::Metric::kCosine,
+                                                  config);
+    local->AddAll(vectors);
+    local->SetExecutor(&client_executor);
+    auto donor = std::make_unique<shard::ShardedIndex>(
+        kDim, la::Metric::kCosine, config);
+    donor->AddAll(vectors);
+    std::vector<std::string> endpoints;
+    for (size_t s = 0; s < kShards; ++s) {
+      std::vector<size_t> global_ids;
+      auto child = donor->TakeShard(s, &global_ids);
+      shards.push_back(std::make_unique<LoopbackShard>(
+          std::move(child), std::move(global_ids),
+          "shard" + std::to_string(s), &server_executor));
+      endpoints.push_back(shards.back()->endpoint);
+    }
+    auto connected = net::RouterIndex::Connect(endpoints);
+    DUST_CHECK(connected.ok());
+    router = std::move(connected).value();
+    router->SetExecutor(&client_executor);
+    queries = RandomUnitVectors(kQueries, kDim, 4321);
+    // The overhead comparison is only meaningful against identical answers.
+    for (size_t q = 0; q < 4; ++q) {
+      const auto expect = local->Search(queries[q], kK);
+      const auto got = router->Search(queries[q], kK);
+      DUST_CHECK(expect.size() == got.size());
+      for (size_t i = 0; i < expect.size(); ++i) {
+        DUST_CHECK(expect[i].id == got[i].id);
+        DUST_CHECK(expect[i].distance == got[i].distance);
+      }
+    }
+  }
+};
+
+NetWorkload& Workload() {
+  static NetWorkload* workload = new NetWorkload();
+  return *workload;
+}
+
+/// p50 of per-call latencies into the counter the CI serve-slo gate reads.
+void ReportP50(benchmark::State& state, std::vector<double> latencies_ms) {
+  if (latencies_ms.empty()) return;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  state.counters["p50_ms"] = latencies_ms[latencies_ms.size() / 2];
+}
+
+void BM_NetLocalShardedSearch(benchmark::State& state) {
+  NetWorkload& w = Workload();
+  std::vector<double> latencies_ms;
+  size_t q = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    auto hits = w.local->Search(w.queries[q++ % kQueries], kK);
+    latencies_ms.push_back(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  ReportP50(state, std::move(latencies_ms));
+  state.SetLabel("in-process sharded, " + std::to_string(kShards) +
+                 " shards");
+}
+BENCHMARK(BM_NetLocalShardedSearch)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_NetRouterSearch(benchmark::State& state) {
+  NetWorkload& w = Workload();
+  std::vector<double> latencies_ms;
+  size_t q = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    auto hits = w.router->Search(w.queries[q++ % kQueries], kK);
+    latencies_ms.push_back(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+    benchmark::DoNotOptimize(hits.data());
+  }
+  const net::RouterStats stats = w.router->stats();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  ReportP50(state, std::move(latencies_ms));
+  state.counters["rpc_failures"] = static_cast<double>(stats.rpc_failures);
+  state.counters["retries"] = static_cast<double>(stats.retries);
+  state.SetLabel("router over " + std::to_string(kShards) +
+                 " loopback shards");
+}
+BENCHMARK(BM_NetRouterSearch)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

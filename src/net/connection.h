@@ -1,0 +1,90 @@
+// Deadline-aware framed connection over a POSIX stream socket.
+//
+// A Connection owns one nonblocking fd and moves whole net::Frame messages
+// across it. Every blocking point (connect, read, write) is bounded by a
+// caller-supplied steady_clock deadline via poll(), so a hung peer costs at
+// most the deadline, never a stuck thread. Status taxonomy, which the
+// router's retry policy keys on:
+//
+//   - Unavailable:      the peer cannot be reached or closed the connection
+//                       cleanly between frames — transient, safe to retry
+//                       against a fresh connection;
+//   - DeadlineExceeded: the deadline expired mid-operation — the time
+//                       budget is spent, never retried;
+//   - IoError:          protocol corruption (bad magic, oversized length,
+//                       a frame truncated mid-read) — retrying the same
+//                       bytes cannot help.
+#ifndef DUST_NET_CONNECTION_H_
+#define DUST_NET_CONNECTION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "net/frame.h"
+#include "util/status.h"
+
+namespace dust::net {
+
+/// Splits "host:port" (e.g. "127.0.0.1:7070"); InvalidArgument for a
+/// missing colon, empty host, or a port outside [1, 65535].
+Status ParseEndpoint(const std::string& endpoint, std::string* host,
+                     uint16_t* port);
+
+class Connection {
+ public:
+  /// An invalid (unconnected) connection; valid() is false.
+  Connection() = default;
+  /// Adopts an already-connected stream fd (e.g. one end of a socketpair in
+  /// tests, or an accepted server socket). The fd is switched to
+  /// nonblocking and closed by the destructor.
+  explicit Connection(int fd);
+  ~Connection();
+
+  Connection(Connection&& other) noexcept;
+  Connection& operator=(Connection&& other) noexcept;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Connects to host:port with a bounded handshake; Unavailable when the
+  /// peer refuses or the timeout expires (a slow connect is as transient as
+  /// a refused one — the topology may simply still be starting).
+  static Result<Connection> Dial(const std::string& host, uint16_t port,
+                                 int connect_timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+  /// The owned fd, -1 when invalid (tests inject raw bytes through it).
+  int fd() const { return fd_; }
+
+  /// Sends one whole frame before `deadline`. DeadlineExceeded when the
+  /// socket stays backpressured past it; Unavailable when the peer reset.
+  Status WriteFrame(const Frame& frame,
+                    std::chrono::steady_clock::time_point deadline);
+
+  /// Receives one whole frame before `deadline`. A clean close before any
+  /// byte of the frame is Unavailable (idle connection retired by the
+  /// peer); a close or error after the frame started is IoError (torn
+  /// frame); corrupt headers are IoError; a quiet socket past the deadline
+  /// is DeadlineExceeded.
+  Status ReadFrame(Frame* frame,
+                   std::chrono::steady_clock::time_point deadline);
+
+  /// Write + read one round trip, verifying the response echoes the
+  /// request id (a mismatched echo is IoError — the stream is desynced and
+  /// the connection unusable).
+  Status Call(const Frame& request, Frame* response,
+              std::chrono::steady_clock::time_point deadline);
+
+  void Close();
+
+ private:
+  Status ReadExact(char* out, size_t n,
+                   std::chrono::steady_clock::time_point deadline,
+                   bool* clean_close_before_first_byte);
+
+  int fd_ = -1;
+};
+
+}  // namespace dust::net
+
+#endif  // DUST_NET_CONNECTION_H_

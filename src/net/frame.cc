@@ -1,0 +1,309 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace dust::net {
+
+bool IsKnownMessageType(uint8_t tag) {
+  return tag >= static_cast<uint8_t>(MessageType::kPing) &&
+         tag <= static_cast<uint8_t>(MessageType::kError);
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  DUST_CHECK(frame.payload.size() <= kMaxFramePayload);
+  PayloadWriter w;
+  w.PutU32(kFrameMagic);
+  w.PutU8(static_cast<uint8_t>(frame.type));
+  w.PutU64(frame.request_id);
+  w.PutU32(static_cast<uint32_t>(frame.payload.size()));
+  std::string out = w.Take();
+  out += frame.payload;
+  return out;
+}
+
+Status DecodeFrameHeader(const char* data, FrameHeader* header) {
+  uint32_t magic = 0;
+  std::memcpy(&magic, data, sizeof(magic));
+  if (magic != kFrameMagic) {
+    return Status::IoError("frame does not start with the DNET magic");
+  }
+  uint8_t type = 0;
+  std::memcpy(&type, data + 4, sizeof(type));
+  if (!IsKnownMessageType(type)) {
+    return Status::IoError("unknown frame type " + std::to_string(type));
+  }
+  uint64_t request_id = 0;
+  std::memcpy(&request_id, data + 5, sizeof(request_id));
+  uint32_t payload_len = 0;
+  std::memcpy(&payload_len, data + 13, sizeof(payload_len));
+  if (payload_len > kMaxFramePayload) {
+    return Status::IoError("frame payload length " +
+                           std::to_string(payload_len) +
+                           " exceeds the frame size limit");
+  }
+  header->type = static_cast<MessageType>(type);
+  header->request_id = request_id;
+  header->payload_len = payload_len;
+  return Status::Ok();
+}
+
+void PayloadWriter::PutRaw(const void* data, size_t n) {
+  out_.append(static_cast<const char*>(data), n);
+}
+
+void PayloadWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  PutRaw(s.data(), s.size());
+}
+
+void PayloadWriter::PutVec(const la::Vec& v) {
+  PutU32(static_cast<uint32_t>(v.size()));
+  PutRaw(v.data(), v.size() * sizeof(float));
+}
+
+Status PayloadReader::GetRaw(void* out, size_t n) {
+  if (n > remaining_) {
+    return Status::IoError("payload truncated: need " + std::to_string(n) +
+                           " bytes, have " + std::to_string(remaining_));
+  }
+  std::memcpy(out, data_, n);
+  data_ += n;
+  remaining_ -= n;
+  return Status::Ok();
+}
+
+Status PayloadReader::GetCount(size_t elem_size, uint32_t* count) {
+  DUST_RETURN_IF_ERROR(GetU32(count));
+  if (elem_size > 0 && static_cast<uint64_t>(*count) * elem_size > remaining_) {
+    return Status::IoError("payload count " + std::to_string(*count) +
+                           " exceeds the bytes remaining");
+  }
+  return Status::Ok();
+}
+
+Status PayloadReader::GetString(std::string* s) {
+  uint32_t len = 0;
+  DUST_RETURN_IF_ERROR(GetCount(1, &len));
+  s->assign(data_, len);
+  data_ += len;
+  remaining_ -= len;
+  return Status::Ok();
+}
+
+Status PayloadReader::GetVec(la::Vec* v, size_t dim) {
+  uint32_t len = 0;
+  DUST_RETURN_IF_ERROR(GetCount(sizeof(float), &len));
+  if (dim > 0 && len != dim) {
+    return Status::IoError("vector length " + std::to_string(len) +
+                           " does not match dim " + std::to_string(dim));
+  }
+  v->resize(len);
+  if (len > 0) {
+    std::memcpy(v->data(), data_, len * sizeof(float));
+    data_ += len * sizeof(float);
+    remaining_ -= len * sizeof(float);
+  }
+  return Status::Ok();
+}
+
+uint8_t StatusCodeToWire(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 1;
+    case StatusCode::kNotFound:
+      return 2;
+    case StatusCode::kOutOfRange:
+      return 3;
+    case StatusCode::kFailedPrecondition:
+      return 4;
+    case StatusCode::kInternal:
+      return 5;
+    case StatusCode::kIoError:
+      return 6;
+    case StatusCode::kUnimplemented:
+      return 7;
+    case StatusCode::kUnavailable:
+      return 8;
+    case StatusCode::kDeadlineExceeded:
+      return 9;
+  }
+  DUST_CHECK(false && "unhandled status code");
+  return 5;
+}
+
+StatusCode StatusCodeFromWire(uint8_t tag) {
+  switch (tag) {
+    case 0:
+      return StatusCode::kOk;
+    case 1:
+      return StatusCode::kInvalidArgument;
+    case 2:
+      return StatusCode::kNotFound;
+    case 3:
+      return StatusCode::kOutOfRange;
+    case 4:
+      return StatusCode::kFailedPrecondition;
+    case 5:
+      return StatusCode::kInternal;
+    case 6:
+      return StatusCode::kIoError;
+    case 7:
+      return StatusCode::kUnimplemented;
+    case 8:
+      return StatusCode::kUnavailable;
+    case 9:
+      return StatusCode::kDeadlineExceeded;
+    default:
+      // An error report must survive even a mangled code byte.
+      return StatusCode::kInternal;
+  }
+}
+
+std::string EncodeInfo(const InfoMessage& m) {
+  PayloadWriter w;
+  w.PutU64(m.dim);
+  w.PutU64(m.size);
+  w.PutU8(m.metric_tag);
+  w.PutString(m.index_type);
+  w.PutString(m.shard_label);
+  return w.Take();
+}
+
+Status DecodeInfo(const std::string& payload, InfoMessage* m) {
+  PayloadReader r(payload);
+  DUST_RETURN_IF_ERROR(r.GetU64(&m->dim));
+  DUST_RETURN_IF_ERROR(r.GetU64(&m->size));
+  DUST_RETURN_IF_ERROR(r.GetU8(&m->metric_tag));
+  DUST_RETURN_IF_ERROR(r.GetString(&m->index_type));
+  DUST_RETURN_IF_ERROR(r.GetString(&m->shard_label));
+  return Status::Ok();
+}
+
+std::string EncodeSearchRequest(const SearchRequestMessage& m) {
+  PayloadWriter w;
+  w.PutU64(m.k);
+  w.PutVec(m.query);
+  return w.Take();
+}
+
+Status DecodeSearchRequest(const std::string& payload,
+                           SearchRequestMessage* m) {
+  PayloadReader r(payload);
+  DUST_RETURN_IF_ERROR(r.GetU64(&m->k));
+  DUST_RETURN_IF_ERROR(r.GetVec(&m->query, 0));
+  return Status::Ok();
+}
+
+namespace {
+
+constexpr size_t kWireHitBytes = sizeof(uint64_t) + sizeof(float);
+
+void PutHits(PayloadWriter* w, const std::vector<index::SearchHit>& hits) {
+  w->PutU32(static_cast<uint32_t>(hits.size()));
+  for (const index::SearchHit& hit : hits) {
+    w->PutU64(hit.id);
+    w->PutFloat(hit.distance);
+  }
+}
+
+Status GetHits(PayloadReader* r, std::vector<index::SearchHit>* hits) {
+  uint32_t count = 0;
+  DUST_RETURN_IF_ERROR(r->GetCount(kWireHitBytes, &count));
+  hits->clear();
+  hits->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t id = 0;
+    float distance = 0.0f;
+    DUST_RETURN_IF_ERROR(r->GetU64(&id));
+    DUST_RETURN_IF_ERROR(r->GetFloat(&distance));
+    hits->push_back({static_cast<size_t>(id), distance});
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string EncodeSearchResponse(const SearchResponseMessage& m) {
+  PayloadWriter w;
+  PutHits(&w, m.hits);
+  return w.Take();
+}
+
+Status DecodeSearchResponse(const std::string& payload,
+                            SearchResponseMessage* m) {
+  PayloadReader r(payload);
+  return GetHits(&r, &m->hits);
+}
+
+std::string EncodeSearchBatchRequest(const SearchBatchRequestMessage& m) {
+  PayloadWriter w;
+  w.PutU64(m.k);
+  w.PutU32(static_cast<uint32_t>(m.queries.size()));
+  for (const la::Vec& q : m.queries) w.PutVec(q);
+  return w.Take();
+}
+
+Status DecodeSearchBatchRequest(const std::string& payload,
+                                SearchBatchRequestMessage* m) {
+  PayloadReader r(payload);
+  DUST_RETURN_IF_ERROR(r.GetU64(&m->k));
+  // Every query still owes its own u32 length prefix.
+  uint32_t count = 0;
+  DUST_RETURN_IF_ERROR(r.GetCount(sizeof(uint32_t), &count));
+  m->queries.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DUST_RETURN_IF_ERROR(r.GetVec(&m->queries[i], 0));
+  }
+  return Status::Ok();
+}
+
+std::string EncodeSearchBatchResponse(const SearchBatchResponseMessage& m) {
+  PayloadWriter w;
+  w.PutU32(static_cast<uint32_t>(m.results.size()));
+  for (const std::vector<index::SearchHit>& hits : m.results) {
+    PutHits(&w, hits);
+  }
+  return w.Take();
+}
+
+Status DecodeSearchBatchResponse(const std::string& payload,
+                                 SearchBatchResponseMessage* m) {
+  PayloadReader r(payload);
+  // Every result list still owes its own u32 hit count.
+  uint32_t count = 0;
+  DUST_RETURN_IF_ERROR(r.GetCount(sizeof(uint32_t), &count));
+  m->results.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DUST_RETURN_IF_ERROR(GetHits(&r, &m->results[i]));
+  }
+  return Status::Ok();
+}
+
+Frame MakeErrorFrame(uint64_t request_id, const Status& status) {
+  PayloadWriter w;
+  w.PutU8(StatusCodeToWire(status.code()));
+  w.PutString(status.message());
+  Frame frame;
+  frame.type = MessageType::kError;
+  frame.request_id = request_id;
+  frame.payload = w.Take();
+  return frame;
+}
+
+Status DecodeErrorEnvelope(const std::string& payload) {
+  PayloadReader r(payload);
+  uint8_t code = 0;
+  std::string message;
+  DUST_RETURN_IF_ERROR(r.GetU8(&code));
+  DUST_RETURN_IF_ERROR(r.GetString(&message));
+  StatusCode decoded = StatusCodeFromWire(code);
+  if (decoded == StatusCode::kOk) {
+    // An "ok error" is a protocol violation, not a success.
+    return Status::IoError("error envelope carried an Ok status code");
+  }
+  return Status(decoded, std::move(message));
+}
+
+}  // namespace dust::net

@@ -1,0 +1,214 @@
+// Length-prefixed binary framing for the distributed serving tier.
+//
+// Everything that crosses a socket between the router and a shard server is
+// one frame:
+//
+//   frame   := magic:u32 type:u8 request_id:u64 payload_len:u32 payload
+//
+// in host byte order (little-endian on every supported target), mirroring
+// the io:: index format's portability contract. The request id is chosen by
+// the client and echoed verbatim in the response (including error
+// envelopes), so a router can correlate replies and log failures by id.
+// payload_len is validated against kMaxFramePayload before any allocation —
+// a corrupt or hostile length field yields Status::IoError, never a
+// multi-gigabyte allocation or an overflow.
+//
+// Payload layouts are defined by the typed message structs below plus their
+// Encode/Decode pairs; decoding validates every count against the bytes
+// actually present. Errors travel as a kError frame whose payload is a
+// status envelope (wire code + message) carrying the request id of the
+// call that failed.
+#ifndef DUST_NET_FRAME_H_
+#define DUST_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/vector_index.h"
+#include "la/distance.h"
+#include "la/vector_ops.h"
+#include "util/status.h"
+
+namespace dust::net {
+
+/// First 4 bytes of every frame ("DNET" read as a little-endian u32).
+inline constexpr uint32_t kFrameMagic = 0x54454E44u;
+
+/// Hard ceiling on a frame payload. Large enough for a 64k-hit batch
+/// response, small enough that a corrupt length field cannot OOM a server.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+/// Serialized frame header size (magic + type + request id + payload len).
+inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 8 + 4;
+
+/// Wire message types. Values are on-the-wire tags — never reorder or reuse
+/// existing ones.
+enum class MessageType : uint8_t {
+  kPing = 1,
+  kPong = 2,
+  kInfoRequest = 3,
+  kInfoResponse = 4,
+  kSearchRequest = 5,
+  kSearchResponse = 6,
+  kSearchBatchRequest = 7,
+  kSearchBatchResponse = 8,
+  kMetricsRequest = 9,
+  kMetricsResponse = 10,
+  kError = 11,
+};
+
+/// True when `tag` is a MessageType this build understands. Unknown tags on
+/// the wire are protocol corruption, not forward compatibility.
+bool IsKnownMessageType(uint8_t tag);
+
+/// One framed message. `payload` is the raw encoded body for `type`.
+struct Frame {
+  MessageType type = MessageType::kPing;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Header fields decoded from the first kFrameHeaderBytes of a frame.
+struct FrameHeader {
+  MessageType type = MessageType::kPing;
+  uint64_t request_id = 0;
+  uint32_t payload_len = 0;
+};
+
+/// Serializes header + payload. The payload must fit kMaxFramePayload
+/// (DUST_CHECK — building an oversized frame is a programming error; the
+/// receive side treats it as data corruption).
+std::string EncodeFrame(const Frame& frame);
+
+/// Decodes and validates `data` (exactly kFrameHeaderBytes): magic, known
+/// type, payload_len <= kMaxFramePayload. IoError on any violation.
+Status DecodeFrameHeader(const char* data, FrameHeader* header);
+
+/// Appending cursor for payload bodies. Like io::IndexWriter but in-memory:
+/// writes never fail, the result is moved out once.
+class PayloadWriter {
+ public:
+  void PutU8(uint8_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutFloat(float v) { PutRaw(&v, sizeof(v)); }
+  /// Length-prefixed (u32) byte string.
+  void PutString(const std::string& s);
+  /// Length-prefixed (u32) float vector, raw bits — bit-exact round trip.
+  void PutVec(const la::Vec& v);
+
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void PutRaw(const void* data, size_t n);
+
+  std::string out_;
+};
+
+/// Bounds-checked reading cursor over a payload. Every Get validates
+/// against the bytes remaining, so truncated or corrupt payloads surface as
+/// IoError instead of out-of-bounds reads; counts are validated the same
+/// way io::IndexReader::ReadCount bounds file counts.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::string& payload)
+      : data_(payload.data()), remaining_(payload.size()) {}
+
+  size_t remaining() const { return remaining_; }
+
+  Status GetU8(uint8_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetU32(uint32_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetU64(uint64_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetFloat(float* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetString(std::string* s);
+  /// Reads a length-prefixed vector; when dim > 0 the length must be
+  /// exactly dim.
+  Status GetVec(la::Vec* v, size_t dim);
+  /// Reads a u32 element count, rejecting it unless count * elem_size bytes
+  /// remain.
+  Status GetCount(size_t elem_size, uint32_t* count);
+
+ private:
+  Status GetRaw(void* out, size_t n);
+
+  const char* data_;
+  size_t remaining_;
+};
+
+// --- typed messages --------------------------------------------------------
+
+/// kInfoResponse: what a shard server is serving. The router validates that
+/// every shard agrees on dim/metric before accepting the topology.
+struct InfoMessage {
+  uint64_t dim = 0;
+  uint64_t size = 0;         ///< vectors served by this shard
+  uint8_t metric_tag = 0;    ///< io::MetricTag encoding
+  std::string index_type;    ///< child index type_tag ("flat", "hnsw", ...)
+  std::string shard_label;   ///< diagnostic name ("shard2", path, ...)
+};
+
+/// kSearchRequest: one query vector, top-k.
+struct SearchRequestMessage {
+  uint64_t k = 0;
+  la::Vec query;
+};
+
+/// kSearchResponse / one entry of kSearchBatchResponse: hits with ids
+/// already remapped to global lake ids by the shard server, distances as
+/// raw float bits (bit-identical across the wire).
+struct SearchResponseMessage {
+  std::vector<index::SearchHit> hits;
+};
+
+/// kSearchBatchRequest: the whole micro-batch in one frame, one k.
+struct SearchBatchRequestMessage {
+  uint64_t k = 0;
+  std::vector<la::Vec> queries;
+};
+
+struct SearchBatchResponseMessage {
+  std::vector<std::vector<index::SearchHit>> results;
+};
+
+/// kError payload: the typed status envelope. `code` is the wire encoding
+/// of StatusCode (see StatusCodeToWire); the request id travels in the
+/// frame header like every other response.
+struct ErrorEnvelope {
+  uint8_t code = 0;
+  std::string message;
+};
+
+/// StatusCode <-> wire tag. Explicit mapping so reordering the enum can
+/// never silently change the protocol; unknown wire tags decode to
+/// kInternal rather than failing (an error report must not eat the error).
+uint8_t StatusCodeToWire(StatusCode code);
+StatusCode StatusCodeFromWire(uint8_t tag);
+
+std::string EncodeInfo(const InfoMessage& m);
+Status DecodeInfo(const std::string& payload, InfoMessage* m);
+
+std::string EncodeSearchRequest(const SearchRequestMessage& m);
+Status DecodeSearchRequest(const std::string& payload, SearchRequestMessage* m);
+
+std::string EncodeSearchResponse(const SearchResponseMessage& m);
+Status DecodeSearchResponse(const std::string& payload,
+                            SearchResponseMessage* m);
+
+std::string EncodeSearchBatchRequest(const SearchBatchRequestMessage& m);
+Status DecodeSearchBatchRequest(const std::string& payload,
+                                SearchBatchRequestMessage* m);
+
+std::string EncodeSearchBatchResponse(const SearchBatchResponseMessage& m);
+Status DecodeSearchBatchResponse(const std::string& payload,
+                                 SearchBatchResponseMessage* m);
+
+/// Builds the kError frame answering `request_id` with `status`.
+Frame MakeErrorFrame(uint64_t request_id, const Status& status);
+/// Decodes a kError payload back into the Status it carried.
+Status DecodeErrorEnvelope(const std::string& payload);
+
+}  // namespace dust::net
+
+#endif  // DUST_NET_FRAME_H_

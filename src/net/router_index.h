@@ -1,0 +1,145 @@
+// Router over remote shard servers — index::VectorIndex across machines.
+//
+// A RouterIndex fans each query out to N shard endpoints (dust_shardd
+// processes serving one DUSTSHRD shard each) and k-way merges the hits
+// under the exact FinalizeHits semantics shard::ShardedIndex pins: shard
+// servers answer with globally-remapped ids and raw float distance bits,
+// hits merge in endpoint order, ties break by ascending global id — so the
+// merged result is bit-identical to the in-process ShardedIndex over the
+// same vectors when every shard answers.
+//
+// Failure model: every RPC carries a per-shard deadline; kUnavailable
+// failures (refused connect, reset, clean close) get a bounded retry on a
+// fresh connection, DeadlineExceeded and protocol errors do not. A shard
+// that stays down degrades the query instead of failing it: its hits are
+// simply missing from the merge, the query is counted in
+// stats().partial_results, and serving continues on the surviving shards —
+// the partial-result contract the distributed-smoke CI job exercises by
+// killing a shard mid-run.
+#ifndef DUST_NET_ROUTER_INDEX_H_
+#define DUST_NET_ROUTER_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "index/vector_index.h"
+#include "net/connection.h"
+#include "net/frame.h"
+
+namespace dust::net {
+
+struct RouterOptions {
+  /// Bounded connect handshake per dial.
+  int connect_timeout_ms = 2000;
+  /// Per-shard RPC deadline (write + read of one call).
+  int deadline_ms = 5000;
+  /// Total attempts per RPC: 1 try + (max_attempts - 1) retries, each on a
+  /// fresh connection. Only kUnavailable failures are retried.
+  int max_attempts = 2;
+};
+
+/// Lifetime counters of one router (all monotone, readable concurrently).
+struct RouterStats {
+  uint64_t queries = 0;          ///< Search calls + SearchBatch entries routed
+  uint64_t rpcs = 0;             ///< attempts sent (retries included)
+  uint64_t rpc_failures = 0;     ///< attempts that failed
+  uint64_t retries = 0;          ///< follow-up attempts after kUnavailable
+  uint64_t partial_results = 0;  ///< queries answered with >=1 shard missing
+};
+
+class RouterIndex : public index::VectorIndex {
+ public:
+  /// Dials every endpoint ("host:port", in shard order — the merge order),
+  /// fetches its INFO, and validates the topology: every shard must agree
+  /// on dim and metric. Strict by design: a topology that is already
+  /// missing a shard serves silently-wrong "complete" results, so Connect
+  /// fails instead; shards may die later and degrade to partial results.
+  static Result<std::unique_ptr<RouterIndex>> Connect(
+      const std::vector<std::string>& endpoints, RouterOptions options = {});
+
+  /// Scatter-gather over the remote shards. With an executor installed
+  /// (SetExecutor) the fan-out runs on pooled threads; otherwise shards are
+  /// called sequentially. Hits from shards that failed (after retry) are
+  /// missing from the merge — check stats().partial_results.
+  std::vector<index::SearchHit> Search(const la::Vec& query,
+                                       size_t k) const override;
+  using index::VectorIndex::SearchBatch;
+  /// One batched RPC per shard (the whole micro-batch crosses the wire
+  /// once), fanned out across shards on `executor`, merged per query.
+  std::vector<std::vector<index::SearchHit>> SearchBatch(
+      const std::vector<la::Vec>& queries, size_t k,
+      serve::Executor* executor) const override;
+
+  /// The router serves a frozen remote lake; building happens shard-side.
+  void Add(const la::Vec& v) override;
+
+  size_t size() const override { return total_; }
+  size_t dim() const override { return dim_; }
+  std::string name() const override;
+  la::Metric metric() const override { return metric_; }
+  std::string type_tag() const override { return "router"; }
+
+  /// A router is a view over remote state; persist the shards instead.
+  Status SavePayload(io::IndexWriter* writer) const override;
+  Status LoadPayload(io::IndexReader* reader) override;
+
+  size_t num_shards() const { return shards_.size(); }
+  const std::string& endpoint(size_t s) const { return shards_[s]->label; }
+  /// Vectors reported by shard `s` at Connect time.
+  size_t shard_size(size_t s) const { return shards_[s]->size; }
+
+  RouterStats stats() const;
+
+  /// Scrapes every shard's METRICS RPC and federates the texts into one
+  /// exposition: each shard's series gets a shard="host:port" label
+  /// injected, unreachable shards become a comment line instead of failing
+  /// the whole scrape.
+  std::string FederatedMetricsText() const;
+
+ private:
+  struct Shard {
+    std::string host;
+    uint16_t port = 0;
+    std::string label;  ///< "host:port", the merge-order identity
+    size_t size = 0;
+    /// Idle pooled connections, reused across RPCs (mutable: Search is
+    /// const but borrows/returns connections).
+    mutable std::mutex pool_mu;
+    mutable std::vector<Connection> pool;
+  };
+
+  RouterIndex(RouterOptions options);
+
+  /// One RPC against shard `s` with the configured deadline and bounded
+  /// retry; on success the connection returns to the shard's pool.
+  Status CallShard(size_t s, MessageType type, const std::string& payload,
+                   MessageType expected_response, Frame* response) const;
+
+  RouterOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t dim_ = 0;
+  size_t total_ = 0;
+  la::Metric metric_ = la::Metric::kCosine;
+  mutable std::atomic<uint64_t> next_request_id_{1};
+
+  mutable std::atomic<uint64_t> queries_{0};
+  mutable std::atomic<uint64_t> rpcs_{0};
+  mutable std::atomic<uint64_t> rpc_failures_{0};
+  mutable std::atomic<uint64_t> retries_{0};
+  mutable std::atomic<uint64_t> partial_results_{0};
+};
+
+/// Rewrites a Prometheus-style exposition so every series carries
+/// `key="value"` as its first label (merging with existing label sets).
+/// Comment and blank lines pass through. Exposed for the router's metric
+/// federation and its tests.
+std::string InjectMetricLabel(const std::string& text, const std::string& key,
+                              const std::string& value);
+
+}  // namespace dust::net
+
+#endif  // DUST_NET_ROUTER_INDEX_H_

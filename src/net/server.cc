@@ -1,0 +1,333 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "serve/executor.h"
+
+namespace dust::net {
+
+namespace {
+
+/// Responses are written by handler tasks with this bound so one dead
+/// client draining nothing can stall a pool thread for at most this long.
+constexpr std::chrono::seconds kWriteDeadline(10);
+
+void MakeNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+Server::Server(serve::Executor* executor) : executor_(executor) {}
+
+Server::~Server() { Shutdown(); }
+
+void Server::RegisterHandler(MessageType type, Handler handler) {
+  DUST_CHECK(!loop_.joinable() && "register handlers before Start");
+  handlers_[type] = std::move(handler);
+}
+
+Status Server::Start(const std::string& host, uint16_t port) {
+  DUST_CHECK(!loop_.joinable() && "server already started");
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    const Status failed = Status::Unavailable(
+        "bind " + host + ":" + std::to_string(port) + ": " +
+        std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return failed;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const Status failed =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return failed;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  MakeNonBlocking(listen_fd_);
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
+    const Status failed =
+        Status::Internal(std::string("pipe: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return failed;
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  MakeNonBlocking(wake_read_fd_);
+  stopping_.store(false, std::memory_order_release);
+  loop_ = std::thread([this] { EventLoop(); });
+  return Status::Ok();
+}
+
+void Server::WakeLoop() {
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'w';
+    // A full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void Server::Shutdown() {
+  if (!loop_.joinable()) return;
+  stopping_.store(true, std::memory_order_release);
+  WakeLoop();
+  loop_.join();
+  // The loop no longer reads; retire every session so handler tasks that
+  // are still running see `closed` and drop their responses.
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions.swap(sessions_);
+  }
+  for (const std::shared_ptr<Session>& session : sessions) {
+    CloseSession(session);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (wake_read_fd_ >= 0) {
+    ::close(wake_read_fd_);
+    wake_read_fd_ = -1;
+  }
+  if (wake_write_fd_ >= 0) {
+    ::close(wake_write_fd_);
+    wake_write_fd_ = -1;
+  }
+  // Executor tasks capture `this` (handlers, counters); they must all be
+  // done before the server can be destroyed.
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  inflight_done_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+size_t Server::open_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+void Server::CloseSession(const std::shared_ptr<Session>& session) {
+  std::lock_guard<std::mutex> lock(session->write_mu);
+  if (!session->closed) {
+    session->closed = true;
+    ::close(session->fd);
+    session->fd = -1;
+  }
+}
+
+void Server::EventLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::vector<std::shared_ptr<Session>> sessions;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      sessions = sessions_;
+    }
+    std::vector<struct pollfd> pfds;
+    pfds.reserve(sessions.size() + 2);
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    pfds.push_back({wake_read_fd_, POLLIN, 0});
+    for (const std::shared_ptr<Session>& session : sessions) {
+      pfds.push_back({session->fd, POLLIN, 0});
+    }
+    const int n = ::poll(pfds.data(), pfds.size(), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // poll itself failed; nothing sane left to do
+    }
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (pfds[1].revents != 0) {
+      char drain[64];
+      while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (pfds[0].revents != 0) AcceptPending();
+    std::vector<std::shared_ptr<Session>> dead;
+    for (size_t i = 0; i < sessions.size(); ++i) {
+      if (pfds[i + 2].revents == 0) continue;
+      if (!ReadPending(sessions[i])) dead.push_back(sessions[i]);
+    }
+    if (!dead.empty()) {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      for (const std::shared_ptr<Session>& session : dead) {
+        CloseSession(session);
+        for (size_t i = 0; i < sessions_.size(); ++i) {
+          if (sessions_[i] == session) {
+            sessions_.erase(sessions_.begin() + i);
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Server::AcceptPending() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN: drained; other errors: try again later
+    MakeNonBlocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto session = std::make_shared<Session>();
+    session->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      sessions_.push_back(session);
+    }
+    connections_total_.Increment();
+  }
+}
+
+bool Server::ReadPending(const std::shared_ptr<Session>& session) {
+  char chunk[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(session->fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      session->inbuf.append(chunk, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(chunk)) break;
+      continue;
+    }
+    if (n == 0) return false;  // EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  // Reassemble every complete frame sitting in the buffer.
+  while (session->inbuf.size() >= kFrameHeaderBytes) {
+    FrameHeader header;
+    Status decoded = DecodeFrameHeader(session->inbuf.data(), &header);
+    if (!decoded.ok()) {
+      // The stream cannot be resynced after garbage; answer with a typed
+      // envelope (request id 0 — the real one is unknowable) and retire
+      // the session.
+      errors_total_.Increment();
+      WriteResponse(session, MakeErrorFrame(0, decoded));
+      return false;
+    }
+    const size_t total = kFrameHeaderBytes + header.payload_len;
+    if (session->inbuf.size() < total) break;  // torn: wait for the rest
+    Frame frame;
+    frame.type = header.type;
+    frame.request_id = header.request_id;
+    frame.payload = session->inbuf.substr(kFrameHeaderBytes,
+                                          header.payload_len);
+    session->inbuf.erase(0, total);
+    frames_received_total_.Increment();
+    DispatchFrame(session, std::move(frame));
+  }
+  return true;
+}
+
+void Server::DispatchFrame(const std::shared_ptr<Session>& session,
+                           Frame frame) {
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    ++inflight_;
+  }
+  auto task = [this, session, frame = std::move(frame)]() {
+    HandleFrame(session, frame);
+    // Notify while holding the lock: the moment the Shutdown() waiter can
+    // re-check the predicate and see inflight_ == 0 (a spurious wakeup
+    // suffices), the Server — condvar included — may be destroyed, so the
+    // notify must not be reachable after the unlock.
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    --inflight_;
+    inflight_done_.notify_all();
+  };
+  if (executor_ != nullptr) {
+    executor_->Submit(std::move(task));
+  } else {
+    task();
+  }
+}
+
+void Server::HandleFrame(const std::shared_ptr<Session>& session,
+                         const Frame& request) {
+  auto it = handlers_.find(request.type);
+  if (it == handlers_.end()) {
+    errors_total_.Increment();
+    WriteResponse(session,
+                  MakeErrorFrame(request.request_id,
+                                 Status::Unimplemented(
+                                     "no handler for frame type " +
+                                     std::to_string(static_cast<int>(
+                                         request.type)))));
+    return;
+  }
+  Result<Frame> response = it->second(request);
+  if (!response.ok()) {
+    errors_total_.Increment();
+    WriteResponse(session,
+                  MakeErrorFrame(request.request_id, response.status()));
+    return;
+  }
+  Frame frame = std::move(response).value();
+  frame.request_id = request.request_id;  // the echo contract
+  WriteResponse(session, frame);
+}
+
+void Server::WriteResponse(const std::shared_ptr<Session>& session,
+                           const Frame& response) {
+  const std::string bytes = EncodeFrame(response);
+  const auto deadline = std::chrono::steady_clock::now() + kWriteDeadline;
+  std::lock_guard<std::mutex> lock(session->write_mu);
+  if (session->closed) return;  // raced with shutdown/retirement: drop
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(session->fd, bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      struct pollfd pfd{session->fd, POLLOUT, 0};
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) return;  // dead client: drop the response
+      if (::poll(&pfd, 1, static_cast<int>(remaining.count())) < 0 &&
+          errno != EINTR) {
+        return;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // reset mid-write: the peer is gone, nothing to salvage
+  }
+  frames_sent_total_.Increment();
+}
+
+}  // namespace dust::net

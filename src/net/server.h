@@ -1,0 +1,137 @@
+// Frame server — the accept/session half of the distributed serving tier.
+//
+// One event-loop thread owns the listening socket and every session fd
+// (NebulaFS-style router/session split): it accepts connections, reassembles
+// length-prefixed frames from nonblocking reads, and dispatches each
+// complete request onto the shared serve::Executor, so session concurrency
+// costs no thread-per-connection and search work lands on the same pool the
+// in-process serving path uses. Handler tasks write their response (or a
+// typed kError envelope echoing the request id) back through a
+// per-session write lock, so concurrent handlers on one connection cannot
+// interleave bytes.
+//
+// Protocol corruption on a session (bad magic, oversized length, unknown
+// type) is unrecoverable — the stream cannot be resynced — so the server
+// answers with a best-effort error envelope and closes that session; other
+// sessions are unaffected.
+#ifndef DUST_NET_SERVER_H_
+#define DUST_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "serve/metrics.h"
+#include "util/status.h"
+
+namespace dust::serve {
+class Executor;
+}  // namespace dust::serve
+
+namespace dust::net {
+
+class Server {
+ public:
+  /// Computes the response frame for one request. The frame's request_id is
+  /// overwritten with the request's id before sending (the echo contract);
+  /// returning a non-ok Status sends a kError envelope instead. Handlers
+  /// run concurrently (on the executor) and must be thread-safe.
+  using Handler = std::function<Result<Frame>(const Frame& request)>;
+
+  /// `executor` runs handler tasks; nullptr runs them inline on the event
+  /// loop thread (deterministic tests, no concurrency). Must outlive the
+  /// server.
+  explicit Server(serve::Executor* executor);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Registers the handler for one message type. Must be called before
+  /// Start (the map is read without a lock once the loop runs).
+  void RegisterHandler(MessageType type, Handler handler);
+
+  /// Binds host:port (port 0 picks a free port — see port()) and starts the
+  /// event loop.
+  Status Start(const std::string& host, uint16_t port);
+
+  /// The actually bound port (resolves port 0).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, closes every session, joins the event loop, and waits
+  /// for in-flight handler tasks to finish, so no task can touch the server
+  /// after this returns. Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// Observability counters, registered into a serve::Metrics registry by
+  /// the component embedding this server (e.g. ShardService).
+  const serve::Counter& connections_total() const {
+    return connections_total_;
+  }
+  const serve::Counter& frames_received_total() const {
+    return frames_received_total_;
+  }
+  const serve::Counter& frames_sent_total() const {
+    return frames_sent_total_;
+  }
+  const serve::Counter& errors_total() const { return errors_total_; }
+  /// Sessions currently open (pull-gauge for the scrape).
+  size_t open_sessions() const;
+
+ private:
+  /// One accepted connection: the event loop owns the read side (buffer
+  /// reassembly); handler tasks share the write side under `write_mu`.
+  struct Session {
+    int fd = -1;
+    std::string inbuf;
+    std::mutex write_mu;
+    bool closed = false;  // guarded by write_mu
+  };
+
+  void EventLoop();
+  void AcceptPending();
+  /// Reads available bytes; false when the session hit EOF/error and must
+  /// be retired.
+  bool ReadPending(const std::shared_ptr<Session>& session);
+  void DispatchFrame(const std::shared_ptr<Session>& session, Frame frame);
+  void HandleFrame(const std::shared_ptr<Session>& session,
+                   const Frame& request);
+  void WriteResponse(const std::shared_ptr<Session>& session,
+                     const Frame& response);
+  static void CloseSession(const std::shared_ptr<Session>& session);
+  void WakeLoop();
+
+  serve::Executor* executor_;
+  std::map<MessageType, Handler> handlers_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;   // self-pipe: Shutdown wakes the poll
+  int wake_write_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread loop_;
+
+  mutable std::mutex sessions_mu_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_done_;
+  size_t inflight_ = 0;
+
+  serve::Counter connections_total_;
+  serve::Counter frames_received_total_;
+  serve::Counter frames_sent_total_;
+  serve::Counter errors_total_;
+};
+
+}  // namespace dust::net
+
+#endif  // DUST_NET_SERVER_H_

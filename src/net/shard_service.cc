@@ -1,0 +1,153 @@
+#include "net/shard_service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "io/index_io.h"
+
+namespace dust::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ShardService::ShardService(std::unique_ptr<index::VectorIndex> index,
+                           std::vector<size_t> global_ids, std::string label)
+    : index_(std::move(index)),
+      global_ids_(std::move(global_ids)),
+      label_(std::move(label)),
+      search_latency_ms_(serve::Histogram::LatencyBoundsMs()) {
+  DUST_CHECK(index_ != nullptr);
+  DUST_CHECK(global_ids_.empty() || global_ids_.size() == index_->size());
+  metrics_.RegisterCounter("shard_searches_total", &searches_total_);
+  metrics_.RegisterCounter("shard_batch_queries_total", &batch_queries_total_);
+  metrics_.RegisterHistogram("shard_search_latency_ms", &search_latency_ms_);
+  metrics_.RegisterCallback("shard_index_size", [this] {
+    return static_cast<double>(index_->size());
+  });
+}
+
+Status ShardService::RegisterOn(Server* server) {
+  server->RegisterHandler(MessageType::kPing,
+                          [this](const Frame& f) { return HandlePing(f); });
+  server->RegisterHandler(MessageType::kInfoRequest,
+                          [this](const Frame& f) { return HandleInfo(f); });
+  server->RegisterHandler(MessageType::kSearchRequest,
+                          [this](const Frame& f) { return HandleSearch(f); });
+  server->RegisterHandler(
+      MessageType::kSearchBatchRequest,
+      [this](const Frame& f) { return HandleSearchBatch(f); });
+  server->RegisterHandler(MessageType::kMetricsRequest,
+                          [this](const Frame& f) { return HandleMetrics(f); });
+  metrics_.RegisterCallback("net_connections_total", [server] {
+    return static_cast<double>(server->connections_total().value());
+  });
+  metrics_.RegisterCallback("net_frames_received_total", [server] {
+    return static_cast<double>(server->frames_received_total().value());
+  });
+  metrics_.RegisterCallback("net_frames_sent_total", [server] {
+    return static_cast<double>(server->frames_sent_total().value());
+  });
+  metrics_.RegisterCallback("net_errors_total", [server] {
+    return static_cast<double>(server->errors_total().value());
+  });
+  metrics_.RegisterCallback("net_open_sessions", [server] {
+    return static_cast<double>(server->open_sessions());
+  });
+  return Status::Ok();
+}
+
+void ShardService::RemapHits(std::vector<index::SearchHit>* hits) const {
+  if (global_ids_.empty()) return;
+  for (index::SearchHit& hit : *hits) {
+    DUST_CHECK(hit.id < global_ids_.size());
+    hit.id = global_ids_[hit.id];
+  }
+}
+
+Result<Frame> ShardService::HandlePing(const Frame& request) {
+  Frame response;
+  response.type = MessageType::kPong;
+  response.payload = request.payload;  // echo body, useful for probes
+  return response;
+}
+
+Result<Frame> ShardService::HandleInfo(const Frame& request) {
+  (void)request;
+  InfoMessage info;
+  info.dim = index_->dim();
+  info.size = index_->size();
+  info.metric_tag = io::MetricTag(index_->metric());
+  info.index_type = index_->type_tag();
+  info.shard_label = label_;
+  Frame response;
+  response.type = MessageType::kInfoResponse;
+  response.payload = EncodeInfo(info);
+  return response;
+}
+
+Result<Frame> ShardService::HandleSearch(const Frame& request) {
+  SearchRequestMessage msg;
+  DUST_RETURN_IF_ERROR(DecodeSearchRequest(request.payload, &msg));
+  if (msg.query.size() != index_->dim()) {
+    return Status::InvalidArgument(
+        "query dim " + std::to_string(msg.query.size()) +
+        " != index dim " + std::to_string(index_->dim()));
+  }
+  const auto start = Clock::now();
+  SearchResponseMessage out;
+  out.hits = index_->Search(msg.query, static_cast<size_t>(msg.k));
+  RemapHits(&out.hits);
+  searches_total_.Increment();
+  search_latency_ms_.Record(MillisSince(start));
+  Frame response;
+  response.type = MessageType::kSearchResponse;
+  response.payload = EncodeSearchResponse(out);
+  return response;
+}
+
+Result<Frame> ShardService::HandleSearchBatch(const Frame& request) {
+  SearchBatchRequestMessage msg;
+  DUST_RETURN_IF_ERROR(DecodeSearchBatchRequest(request.payload, &msg));
+  for (const la::Vec& query : msg.queries) {
+    if (query.size() != index_->dim()) {
+      return Status::InvalidArgument(
+          "batch query dim " + std::to_string(query.size()) +
+          " != index dim " + std::to_string(index_->dim()));
+    }
+  }
+  const auto start = Clock::now();
+  SearchBatchResponseMessage out;
+  // No executor here on purpose: handler tasks already run on the server's
+  // shared pool; a nested fan-out per request would oversubscribe it.
+  out.results.reserve(msg.queries.size());
+  for (const la::Vec& query : msg.queries) {
+    std::vector<index::SearchHit> hits =
+        index_->Search(query, static_cast<size_t>(msg.k));
+    RemapHits(&hits);
+    out.results.push_back(std::move(hits));
+  }
+  batch_queries_total_.Increment(msg.queries.size());
+  search_latency_ms_.Record(MillisSince(start));
+  Frame response;
+  response.type = MessageType::kSearchBatchResponse;
+  response.payload = EncodeSearchBatchResponse(out);
+  return response;
+}
+
+Result<Frame> ShardService::HandleMetrics(const Frame& request) {
+  (void)request;
+  Frame response;
+  response.type = MessageType::kMetricsResponse;
+  response.payload = metrics_.RenderText();
+  return response;
+}
+
+}  // namespace dust::net

@@ -1,0 +1,65 @@
+// Shard-side RPC service: one VectorIndex behind a frame Server.
+//
+// A ShardService owns one loaded index (typically one shard taken out of a
+// saved DUSTSHRD file) plus its local->global id mapping, and registers the
+// five shard RPCs on a net::Server: PING, INFO, SEARCH, SEARCH_BATCH, and
+// METRICS. Search responses carry globally-remapped ids and raw float
+// distance bits, so the router's merge is bit-identical to the in-process
+// ShardedIndex gather over the same vectors.
+#ifndef DUST_NET_SHARD_SERVICE_H_
+#define DUST_NET_SHARD_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/vector_index.h"
+#include "net/server.h"
+#include "serve/metrics.h"
+#include "util/status.h"
+
+namespace dust::net {
+
+class ShardService {
+ public:
+  /// `global_ids` maps the index's local row ids to lake-global ids; empty
+  /// means identity (serving a standalone, unsharded index). `label` names
+  /// this shard in INFO responses and diagnostics.
+  ShardService(std::unique_ptr<index::VectorIndex> index,
+               std::vector<size_t> global_ids, std::string label);
+
+  ShardService(const ShardService&) = delete;
+  ShardService& operator=(const ShardService&) = delete;
+
+  /// Registers this service's handlers on `server` (before server->Start)
+  /// and folds the server's transport counters into the metrics registry.
+  /// The service must outlive the server's Shutdown.
+  Status RegisterOn(Server* server);
+
+  const index::VectorIndex& index() const { return *index_; }
+  const std::string& label() const { return label_; }
+  serve::Metrics& metrics() { return metrics_; }
+
+ private:
+  Result<Frame> HandlePing(const Frame& request);
+  Result<Frame> HandleInfo(const Frame& request);
+  Result<Frame> HandleSearch(const Frame& request);
+  Result<Frame> HandleSearchBatch(const Frame& request);
+  Result<Frame> HandleMetrics(const Frame& request);
+
+  /// Remaps one hit list local -> global in place.
+  void RemapHits(std::vector<index::SearchHit>* hits) const;
+
+  std::unique_ptr<index::VectorIndex> index_;
+  std::vector<size_t> global_ids_;  // empty = identity mapping
+  std::string label_;
+
+  serve::Metrics metrics_;
+  serve::Counter searches_total_;
+  serve::Counter batch_queries_total_;
+  serve::Histogram search_latency_ms_;
+};
+
+}  // namespace dust::net
+
+#endif  // DUST_NET_SHARD_SERVICE_H_

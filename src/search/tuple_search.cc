@@ -89,6 +89,48 @@ void TupleSearch::IndexLake(const std::vector<const table::Table*>& lake) {
   lake_hash_ = h;
 }
 
+Status TupleSearch::UseIndex(std::unique_ptr<index::VectorIndex> index,
+                             const std::vector<const table::Table*>& lake) {
+  if (index == nullptr) {
+    return Status::InvalidArgument("UseIndex requires a non-null index");
+  }
+  size_t total_rows = 0;
+  for (const table::Table* t : lake) total_rows += t->num_rows();
+  if (index->size() != total_rows) {
+    return Status::FailedPrecondition(
+        "index covers " + std::to_string(index->size()) +
+        " tuples but the lake has " + std::to_string(total_rows));
+  }
+  if (index->dim() != encoder_->dim()) {
+    return Status::FailedPrecondition(
+        "index dim " + std::to_string(index->dim()) +
+        " != encoder dim " + std::to_string(encoder_->dim()));
+  }
+  if (index->metric() != la::Metric::kCosine) {
+    return Status::FailedPrecondition(
+        "tuple search ranks by cosine similarity; the index metric differs");
+  }
+  refs_.clear();
+  refs_.reserve(total_rows);
+  for (size_t t = 0; t < lake.size(); ++t) {
+    for (size_t r = 0; r < lake[t]->num_rows(); ++r) {
+      refs_.push_back({t, r});
+    }
+  }
+  // Same lake-state hash IndexLake computes, so result-cache invalidation
+  // behaves identically whichever way the index arrived.
+  uint64_t h = ChainHash(0, std::string("dust-tuple-lake-v1"));
+  h = ChainHash(h, lake.size());
+  for (const table::Table* t : lake) {
+    h = ChainHash(h, t->name());
+    h = ChainHash(h, t->num_columns());
+    h = ChainHash(h, t->num_rows());
+  }
+  lake_hash_ = h;
+  index_ = std::move(index);
+  return Status::Ok();
+}
+
 uint64_t TupleSearch::QueryFingerprint(const table::Table& query) const {
   uint64_t h = ChainHash(0, std::string("dust-query-fp-v1"));
   h = ChainHash(h, query.num_rows());

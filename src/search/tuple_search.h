@@ -51,6 +51,22 @@ class TupleSearch {
   /// Encodes and indexes every row of every lake table.
   void IndexLake(const std::vector<const table::Table*>& lake);
 
+  /// Installs an already-built tuple index over `lake` instead of encoding
+  /// and building one — the distributed serving path, where `index` is a
+  /// net::RouterIndex viewing remote shards (or an index loaded from disk).
+  /// The index must cover exactly the lake's tuples in append order: its
+  /// size must equal the lake's total row count and its dim/metric must
+  /// match the encoder (cosine). Builds refs_ and the lake-state hash
+  /// exactly as IndexLake would, so caching and query semantics are
+  /// unchanged.
+  Status UseIndex(std::unique_ptr<index::VectorIndex> index,
+                  const std::vector<const table::Table*>& lake);
+
+  /// The installed lake index; nullptr before IndexLake/UseIndex. Exposed
+  /// so a CLI can persist the built index (io::SaveIndex) for shard servers
+  /// to load.
+  const index::VectorIndex* lake_index() const { return index_.get(); }
+
   /// Top-k lake tuples by maximum cosine similarity to any query tuple.
   /// Legacy one-shot spelling: calling before IndexLake aborts (programming
   /// error in a batch run), and a row-less query returns no hits. Serving

@@ -28,7 +28,10 @@ class BoundedQueue {
 
   /// Blocks while the queue is full (backpressure, never drops). True once
   /// `item` is enqueued; false — leaving `item` untouched — when the queue
-  /// was closed before space opened up.
+  /// was closed before space opened up. Push after Close() is well-defined
+  /// and non-blocking: it returns false immediately and `item` keeps its
+  /// value, so the producer can complete the request itself (fail the
+  /// promise, run inline) instead of leaking it.
   bool Push(T&& item) {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock,

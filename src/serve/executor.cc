@@ -54,17 +54,21 @@ void Executor::WorkerLoop() {
 }
 
 void Executor::Enqueue(std::function<void()> task) {
-  if (threads_.empty()) {
-    // Inline executor: no workers to hand off to.
-    task();
-    tasks_run_.fetch_add(1, std::memory_order_relaxed);
-    return;
+  if (!threads_.empty()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!stopping_) {
+      tasks_.push_back(std::move(task));
+      lock.unlock();
+      task_ready_.notify_one();
+      return;
+    }
+    // Submitted during destruction: workers may already have seen an empty
+    // queue and exited, so a queued task could be orphaned and its future
+    // never become ready. Defined semantics: run it inline on the caller.
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push_back(std::move(task));
-  }
-  task_ready_.notify_one();
+  // Inline executor (no workers) or stopping: execute on the calling thread.
+  task();
+  tasks_run_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::future<void> Executor::Submit(std::function<void()> fn) {

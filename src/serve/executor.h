@@ -49,6 +49,9 @@ class Executor {
   /// Enqueues `fn` for execution on a pool thread (inline when the pool is
   /// empty). The future becomes ready when `fn` returns; `fn` must not
   /// throw (the library does not use exceptions across API boundaries).
+  /// A Submit that races with destruction runs `fn` inline on the calling
+  /// thread instead of queuing it — the future always becomes ready, never
+  /// broken or orphaned.
   std::future<void> Submit(std::function<void()> fn);
 
   /// Runs body(0..n-1), each index exactly once, and returns when all have

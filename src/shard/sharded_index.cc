@@ -236,6 +236,13 @@ void ShardedIndex::SetExecutor(serve::Executor* executor) {
   }
 }
 
+std::unique_ptr<index::VectorIndex> ShardedIndex::TakeShard(
+    size_t s, std::vector<size_t>* global_ids) {
+  DUST_CHECK(s < shards_.size());
+  *global_ids = std::move(shard_ids_[s]);
+  return std::move(shards_[s]);
+}
+
 std::string ShardedIndex::name() const {
   return "Sharded[" + std::to_string(shards_.size()) + "x" +
          (shards_.empty() ? config_.child_type : shards_[0]->name()) + "]";

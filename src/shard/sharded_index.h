@@ -128,6 +128,13 @@ class ShardedIndex : public index::VectorIndex {
     return shard_ids_[s][local];
   }
 
+  /// Moves shard `s` and its local->global id mapping out, for serving one
+  /// shard of a saved sharded lake as a standalone process (dust_shardd).
+  /// Consumes this index: after any TakeShard the ShardedIndex must only be
+  /// destroyed, never searched or saved.
+  std::unique_ptr<index::VectorIndex> TakeShard(
+      size_t s, std::vector<size_t>* global_ids);
+
  private:
   /// Shard the next Add lands in under the configured placement policy.
   size_t PlaceShard(const la::Vec& v) const;

@@ -1,0 +1,594 @@
+// Tests for src/net: frame encode/decode round trips (bit-exact floats),
+// corrupt/torn/oversized frame rejection (fuzz loop included), the
+// request-id echo contract, client deadlines, error envelopes, and router
+// parity — a RouterIndex over loopback shard servers must answer
+// bit-identically to the in-process ShardedIndex over the same vectors,
+// and must degrade (not fail) when a shard goes down mid-run.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/connection.h"
+#include "net/frame.h"
+#include "net/router_index.h"
+#include "net/server.h"
+#include "net/shard_service.h"
+#include "serve/executor.h"
+#include "shard/sharded_index.h"
+#include "util/rng.h"
+
+namespace dust::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using index::SearchHit;
+using index::VectorIndex;
+
+Clock::time_point DeadlineIn(int ms) {
+  return Clock::now() + std::chrono::milliseconds(ms);
+}
+
+std::vector<la::Vec> RandomUnitVectors(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<la::Vec> out;
+  for (size_t i = 0; i < n; ++i) {
+    la::Vec v(dim);
+    for (float& x : v) x = static_cast<float>(rng.NextGaussian());
+    la::NormalizeInPlace(&v);
+    out.push_back(v);
+  }
+  return out;
+}
+
+/// A connected AF_UNIX stream pair wrapped in Connections — the transport
+/// tests need real fds but no network.
+struct SocketPair {
+  Connection a;
+  Connection b;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+    a = Connection(fds[0]);
+    b = Connection(fds[1]);
+  }
+};
+
+// --- frame layer ------------------------------------------------------------
+
+TEST(FrameTest, HeaderRoundTrip) {
+  Frame frame;
+  frame.type = MessageType::kSearchRequest;
+  frame.request_id = 0xDEADBEEFCAFEF00DULL;
+  frame.payload = "hello";
+  const std::string bytes = EncodeFrame(frame);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + 5);
+  FrameHeader header;
+  ASSERT_TRUE(DecodeFrameHeader(bytes.data(), &header).ok());
+  EXPECT_EQ(header.type, MessageType::kSearchRequest);
+  EXPECT_EQ(header.request_id, 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(header.payload_len, 5u);
+}
+
+TEST(FrameTest, BadMagicRejected) {
+  Frame frame;
+  frame.payload = "x";
+  std::string bytes = EncodeFrame(frame);
+  bytes[0] ^= 0x5A;
+  FrameHeader header;
+  const Status decoded = DecodeFrameHeader(bytes.data(), &header);
+  EXPECT_EQ(decoded.code(), StatusCode::kIoError);
+}
+
+TEST(FrameTest, UnknownTypeRejected) {
+  Frame frame;
+  std::string bytes = EncodeFrame(frame);
+  bytes[4] = static_cast<char>(200);  // type byte: not a known MessageType
+  FrameHeader header;
+  EXPECT_EQ(DecodeFrameHeader(bytes.data(), &header).code(),
+            StatusCode::kIoError);
+}
+
+TEST(FrameTest, OversizedLengthRejectedBeforeAllocation) {
+  Frame frame;
+  std::string bytes = EncodeFrame(frame);
+  const uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(&bytes[kFrameHeaderBytes - 4], &huge, sizeof(huge));
+  FrameHeader header;
+  EXPECT_EQ(DecodeFrameHeader(bytes.data(), &header).code(),
+            StatusCode::kIoError);
+  // 0xFFFFFFFF must not overflow header+payload arithmetic either.
+  const uint32_t max = 0xFFFFFFFFu;
+  std::memcpy(&bytes[kFrameHeaderBytes - 4], &max, sizeof(max));
+  EXPECT_EQ(DecodeFrameHeader(bytes.data(), &header).code(),
+            StatusCode::kIoError);
+}
+
+TEST(FrameTest, SearchMessagesRoundTripBitExact) {
+  SearchRequestMessage request;
+  request.k = 7;
+  request.query = {1.5f, -0.0f, 3.25e-30f, 7.0f};
+  SearchRequestMessage request_back;
+  ASSERT_TRUE(
+      DecodeSearchRequest(EncodeSearchRequest(request), &request_back).ok());
+  EXPECT_EQ(request_back.k, 7u);
+  ASSERT_EQ(request_back.query.size(), request.query.size());
+  for (size_t i = 0; i < request.query.size(); ++i) {
+    uint32_t a = 0, b = 0;
+    std::memcpy(&a, &request.query[i], 4);
+    std::memcpy(&b, &request_back.query[i], 4);
+    EXPECT_EQ(a, b) << "float bits perturbed at " << i;
+  }
+
+  SearchResponseMessage response;
+  response.hits = {{42, 0.125f}, {7, 1.0f - 0x1p-24f}};
+  SearchResponseMessage response_back;
+  ASSERT_TRUE(
+      DecodeSearchResponse(EncodeSearchResponse(response), &response_back)
+          .ok());
+  ASSERT_EQ(response_back.hits.size(), 2u);
+  EXPECT_EQ(response_back.hits[0].id, 42u);
+  EXPECT_EQ(response_back.hits[0].distance, 0.125f);
+  EXPECT_EQ(response_back.hits[1].id, 7u);
+  EXPECT_EQ(response_back.hits[1].distance, 1.0f - 0x1p-24f);
+}
+
+TEST(FrameTest, BatchMessagesRoundTrip) {
+  SearchBatchRequestMessage request;
+  request.k = 3;
+  request.queries = {{1.0f, 2.0f}, {3.0f, 4.0f}, {5.0f, 6.0f}};
+  SearchBatchRequestMessage back;
+  ASSERT_TRUE(
+      DecodeSearchBatchRequest(EncodeSearchBatchRequest(request), &back).ok());
+  EXPECT_EQ(back.k, 3u);
+  ASSERT_EQ(back.queries.size(), 3u);
+  EXPECT_EQ(back.queries[2], (la::Vec{5.0f, 6.0f}));
+
+  SearchBatchResponseMessage response;
+  response.results = {{{1, 0.5f}}, {}, {{2, 0.25f}, {3, 0.75f}}};
+  SearchBatchResponseMessage response_back;
+  ASSERT_TRUE(DecodeSearchBatchResponse(EncodeSearchBatchResponse(response),
+                                        &response_back)
+                  .ok());
+  ASSERT_EQ(response_back.results.size(), 3u);
+  EXPECT_TRUE(response_back.results[1].empty());
+  EXPECT_EQ(response_back.results[2][1].id, 3u);
+}
+
+TEST(FrameTest, TruncatedPayloadRejected) {
+  SearchRequestMessage request;
+  request.k = 5;
+  request.query = {1.0f, 2.0f, 3.0f};
+  std::string payload = EncodeSearchRequest(request);
+  SearchRequestMessage back;
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    const Status decoded =
+        DecodeSearchRequest(payload.substr(0, cut), &back);
+    EXPECT_EQ(decoded.code(), StatusCode::kIoError) << "cut at " << cut;
+  }
+}
+
+TEST(FrameTest, FuzzedPayloadsNeverCrash) {
+  // Random corruption of valid payloads must yield ok or IoError — never a
+  // crash, hang, or oversized allocation (counts are validated against the
+  // bytes present).
+  SearchBatchRequestMessage request;
+  request.k = 4;
+  request.queries = RandomUnitVectors(3, 8, 11);
+  const std::string valid = EncodeSearchBatchRequest(request);
+  Rng rng(1234);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string corrupt = valid;
+    const size_t flips = 1 + rng.NextBelow(8);
+    for (size_t f = 0; f < flips; ++f) {
+      corrupt[rng.NextBelow(corrupt.size())] ^=
+          static_cast<char>(1 + rng.NextBelow(255));
+    }
+    if (rng.NextBernoulli(0.3)) {
+      corrupt.resize(rng.NextBelow(corrupt.size() + 1));
+    }
+    SearchBatchRequestMessage out;
+    const Status decoded = DecodeSearchBatchRequest(corrupt, &out);
+    if (decoded.ok()) {
+      // Decoded data may be garbage but must be bounded by the input.
+      size_t total = 0;
+      for (const la::Vec& q : out.queries) total += q.size();
+      EXPECT_LE(total * sizeof(float), corrupt.size());
+    } else {
+      EXPECT_EQ(decoded.code(), StatusCode::kIoError);
+    }
+  }
+}
+
+TEST(FrameTest, ErrorEnvelopeRoundTripsStatus) {
+  const Status original = Status::InvalidArgument("bad dim");
+  const Frame frame = MakeErrorFrame(99, original);
+  EXPECT_EQ(frame.type, MessageType::kError);
+  EXPECT_EQ(frame.request_id, 99u);
+  const Status back = DecodeErrorEnvelope(frame.payload);
+  EXPECT_EQ(back.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(back.message(), "bad dim");
+}
+
+TEST(FrameTest, OkErrorEnvelopeIsProtocolViolation) {
+  // An error frame claiming "Ok" is corruption: it must not decode into a
+  // success a caller would mistake for a response.
+  PayloadWriter writer;
+  writer.PutU8(StatusCodeToWire(StatusCode::kOk));
+  writer.PutString("not really an error");
+  EXPECT_EQ(DecodeErrorEnvelope(writer.Take()).code(), StatusCode::kIoError);
+}
+
+// --- endpoint parsing -------------------------------------------------------
+
+TEST(ParseEndpointTest, AcceptsHostPort) {
+  std::string host;
+  uint16_t port = 0;
+  ASSERT_TRUE(ParseEndpoint("127.0.0.1:8080", &host, &port).ok());
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 8080);
+}
+
+TEST(ParseEndpointTest, RejectsMalformed) {
+  std::string host;
+  uint16_t port = 0;
+  for (const char* bad :
+       {"127.0.0.1", ":80", "host:", "host:0", "host:65536", "host:8x0"}) {
+    EXPECT_FALSE(ParseEndpoint(bad, &host, &port).ok()) << bad;
+  }
+}
+
+// --- connection transport ---------------------------------------------------
+
+TEST(ConnectionTest, FrameRoundTripOverSocketPair) {
+  SocketPair pair;
+  Frame sent;
+  sent.type = MessageType::kPing;
+  sent.request_id = 321;
+  sent.payload = std::string(100 * 1024, 'z');  // bigger than one recv chunk
+  std::thread writer(
+      [&] { ASSERT_TRUE(pair.a.WriteFrame(sent, DeadlineIn(2000)).ok()); });
+  Frame got;
+  ASSERT_TRUE(pair.b.ReadFrame(&got, DeadlineIn(2000)).ok());
+  writer.join();
+  EXPECT_EQ(got.type, MessageType::kPing);
+  EXPECT_EQ(got.request_id, 321u);
+  EXPECT_EQ(got.payload, sent.payload);
+}
+
+TEST(ConnectionTest, ReadDeadlineExpires) {
+  SocketPair pair;
+  Frame frame;
+  const Status read = pair.b.ReadFrame(&frame, DeadlineIn(50));
+  EXPECT_EQ(read.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ConnectionTest, CleanCloseAtFrameBoundaryIsUnavailable) {
+  SocketPair pair;
+  pair.a.Close();
+  Frame frame;
+  // The peer retired the connection between frames — transient, retryable.
+  EXPECT_EQ(pair.b.ReadFrame(&frame, DeadlineIn(1000)).code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(ConnectionTest, TornFrameIsIoError) {
+  SocketPair pair;
+  Frame sent;
+  sent.type = MessageType::kPing;
+  sent.payload = "full payload";
+  const std::string bytes = EncodeFrame(sent);
+  // Deliver the header plus half the payload, then hang up mid-frame.
+  const std::string torn = bytes.substr(0, kFrameHeaderBytes + 4);
+  ASSERT_EQ(::send(pair.a.fd(), torn.data(), torn.size(), 0),
+            static_cast<ssize_t>(torn.size()));
+  pair.a.Close();
+  Frame frame;
+  EXPECT_EQ(pair.b.ReadFrame(&frame, DeadlineIn(1000)).code(),
+            StatusCode::kIoError);
+}
+
+TEST(ConnectionTest, CorruptHeaderOnWireIsIoError) {
+  SocketPair pair;
+  const std::string garbage(kFrameHeaderBytes, '\x7f');
+  ASSERT_EQ(::send(pair.a.fd(), garbage.data(), garbage.size(), 0),
+            static_cast<ssize_t>(garbage.size()));
+  Frame frame;
+  EXPECT_EQ(pair.b.ReadFrame(&frame, DeadlineIn(1000)).code(),
+            StatusCode::kIoError);
+}
+
+// --- server + service -------------------------------------------------------
+
+/// One in-process shard server: a flat child taken out of a ShardedIndex,
+/// served over loopback exactly as dust_shardd would.
+struct TestShardServer {
+  std::unique_ptr<ShardService> service;
+  std::unique_ptr<Server> server;
+  std::string endpoint;
+
+  TestShardServer(std::unique_ptr<VectorIndex> index,
+                  std::vector<size_t> global_ids, const std::string& label,
+                  serve::Executor* executor) {
+    service = std::make_unique<ShardService>(std::move(index),
+                                             std::move(global_ids), label);
+    server = std::make_unique<Server>(executor);
+    EXPECT_TRUE(service->RegisterOn(server.get()).ok());
+    EXPECT_TRUE(server->Start("127.0.0.1", 0).ok());
+    endpoint = "127.0.0.1:" + std::to_string(server->port());
+  }
+};
+
+/// Baseline ShardedIndex plus a loopback server per shard (children taken
+/// from an identically-built second ShardedIndex — deterministic build,
+/// identical contents).
+struct Cluster {
+  static constexpr size_t kDim = 12;
+  static constexpr size_t kShards = 3;
+  serve::Executor executor{4};
+  std::unique_ptr<shard::ShardedIndex> baseline;
+  std::vector<std::unique_ptr<TestShardServer>> servers;
+  std::vector<std::string> endpoints;
+
+  explicit Cluster(size_t num_vectors = 200, uint64_t seed = 5) {
+    const auto vectors = RandomUnitVectors(num_vectors, kDim, seed);
+    shard::ShardedIndexConfig config;
+    config.child_type = "flat";
+    config.num_shards = kShards;
+    baseline = std::make_unique<shard::ShardedIndex>(
+        kDim, la::Metric::kCosine, config);
+    baseline->AddAll(vectors);
+    auto donor = std::make_unique<shard::ShardedIndex>(
+        kDim, la::Metric::kCosine, config);
+    donor->AddAll(vectors);
+    for (size_t s = 0; s < kShards; ++s) {
+      std::vector<size_t> global_ids;
+      std::unique_ptr<VectorIndex> child = donor->TakeShard(s, &global_ids);
+      servers.push_back(std::make_unique<TestShardServer>(
+          std::move(child), std::move(global_ids),
+          "shard" + std::to_string(s), &executor));
+      endpoints.push_back(servers.back()->endpoint);
+    }
+  }
+};
+
+void ExpectSameHits(const std::vector<SearchHit>& expected,
+                    const std::vector<SearchHit>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].id, actual[i].id) << "rank " << i;
+    // Exact float equality on purpose: distances cross the wire as raw
+    // bits, so remoting must not perturb them at all.
+    EXPECT_EQ(expected[i].distance, actual[i].distance) << "rank " << i;
+  }
+}
+
+TEST(RouterIndexTest, ConnectValidatesTopology) {
+  Cluster cluster;
+  auto connected = RouterIndex::Connect(cluster.endpoints);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  const std::unique_ptr<RouterIndex>& router = connected.value();
+  EXPECT_EQ(router->dim(), Cluster::kDim);
+  EXPECT_EQ(router->size(), cluster.baseline->size());
+  EXPECT_EQ(router->num_shards(), Cluster::kShards);
+  EXPECT_EQ(router->metric(), la::Metric::kCosine);
+  for (size_t s = 0; s < Cluster::kShards; ++s) {
+    EXPECT_EQ(router->shard_size(s), cluster.baseline->shard_size(s));
+  }
+}
+
+TEST(RouterIndexTest, ConnectFailsWhenAShardIsDown) {
+  Cluster cluster;
+  std::vector<std::string> endpoints = cluster.endpoints;
+  cluster.servers[1]->server->Shutdown();
+  // Strict topology: a router must not come up silently missing a shard.
+  auto connected = RouterIndex::Connect(endpoints);
+  EXPECT_FALSE(connected.ok());
+}
+
+TEST(RouterIndexTest, SearchBitIdenticalToInProcessShardedIndex) {
+  Cluster cluster;
+  auto connected = RouterIndex::Connect(cluster.endpoints);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  std::unique_ptr<RouterIndex> router = std::move(connected).value();
+  router->SetExecutor(&cluster.executor);
+  const auto queries = RandomUnitVectors(20, Cluster::kDim, 77);
+  for (const la::Vec& query : queries) {
+    ExpectSameHits(cluster.baseline->Search(query, 10),
+                   router->Search(query, 10));
+  }
+  // k larger than the lake: every vector comes back, still bit-identical.
+  ExpectSameHits(cluster.baseline->Search(queries[0], 1000),
+                 router->Search(queries[0], 1000));
+}
+
+TEST(RouterIndexTest, SearchBatchBitIdenticalToInProcessShardedIndex) {
+  Cluster cluster;
+  auto connected = RouterIndex::Connect(cluster.endpoints);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  std::unique_ptr<RouterIndex> router = std::move(connected).value();
+  const auto queries = RandomUnitVectors(16, Cluster::kDim, 78);
+  const auto expected =
+      cluster.baseline->SearchBatch(queries, 5, &cluster.executor);
+  const auto actual = router->SearchBatch(queries, 5, &cluster.executor);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t q = 0; q < expected.size(); ++q) {
+    ExpectSameHits(expected[q], actual[q]);
+  }
+  EXPECT_EQ(router->stats().partial_results, 0u);
+}
+
+TEST(RouterIndexTest, DeadShardDegradesToPartialResults) {
+  Cluster cluster;
+  auto connected = RouterIndex::Connect(cluster.endpoints);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  std::unique_ptr<RouterIndex> router = std::move(connected).value();
+  const auto queries = RandomUnitVectors(4, Cluster::kDim, 79);
+  // Healthy first: pooled connections to every shard exist.
+  ExpectSameHits(cluster.baseline->Search(queries[0], 10),
+                 router->Search(queries[0], 10));
+  cluster.servers[1]->server->Shutdown();
+  // Expected degraded answer: the merge over the surviving shards only.
+  const size_t kK = 10;
+  auto surviving_merge = [&](const la::Vec& query) {
+    std::vector<SearchHit> hits;
+    for (size_t s = 0; s < Cluster::kShards; ++s) {
+      if (s == 1) continue;
+      for (SearchHit hit : cluster.baseline->shard(s).Search(query, kK)) {
+        hit.id = cluster.baseline->global_id(s, hit.id);
+        hits.push_back(hit);
+      }
+    }
+    index::FinalizeHits(&hits, kK);
+    return hits;
+  };
+  for (const la::Vec& query : queries) {
+    ExpectSameHits(surviving_merge(query), router->Search(query, kK));
+  }
+  const RouterStats stats = router->stats();
+  EXPECT_GT(stats.partial_results, 0u);
+  EXPECT_GT(stats.rpc_failures, 0u);
+  EXPECT_GT(stats.retries, 0u);  // kUnavailable is retried before degrading
+
+  // The batch path degrades the same way.
+  const auto batch =
+      router->SearchBatch({queries[0], queries[1]}, kK, &cluster.executor);
+  ASSERT_EQ(batch.size(), 2u);
+  ExpectSameHits(surviving_merge(queries[0]), batch[0]);
+  ExpectSameHits(surviving_merge(queries[1]), batch[1]);
+}
+
+TEST(RouterIndexTest, FederatedMetricsCarryShardLabels) {
+  Cluster cluster;
+  auto connected = RouterIndex::Connect(cluster.endpoints);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  std::unique_ptr<RouterIndex> router = std::move(connected).value();
+  (void)router->Search(RandomUnitVectors(1, Cluster::kDim, 80)[0], 5);
+  const std::string text = router->FederatedMetricsText();
+  for (const std::string& endpoint : cluster.endpoints) {
+    EXPECT_NE(text.find("shard=\"" + endpoint + "\""), std::string::npos)
+        << text;
+  }
+  EXPECT_NE(text.find("shard_searches_total"), std::string::npos);
+  // A downed shard becomes a comment, not a scrape failure.
+  cluster.servers[2]->server->Shutdown();
+  const std::string degraded = router->FederatedMetricsText();
+  EXPECT_NE(degraded.find("unreachable"), std::string::npos);
+}
+
+TEST(ServerTest, EchoesRequestIdOnResponsesAndErrors) {
+  Cluster cluster;
+  std::string host;
+  uint16_t port = 0;
+  ASSERT_TRUE(ParseEndpoint(cluster.endpoints[0], &host, &port).ok());
+  auto dialed = Connection::Dial(host, port, 1000);
+  ASSERT_TRUE(dialed.ok());
+  Connection conn = std::move(dialed).value();
+
+  Frame ping;
+  ping.type = MessageType::kPing;
+  ping.request_id = 4242;
+  Frame pong;
+  ASSERT_TRUE(conn.Call(ping, &pong, DeadlineIn(2000)).ok());
+  EXPECT_EQ(pong.type, MessageType::kPong);
+  EXPECT_EQ(pong.request_id, 4242u);
+
+  // A handler failure answers with a kError envelope, same id echoed.
+  SearchRequestMessage bad;
+  bad.k = 3;
+  bad.query = la::Vec(Cluster::kDim + 1, 0.5f);  // wrong dim
+  Frame request;
+  request.type = MessageType::kSearchRequest;
+  request.request_id = 777;
+  request.payload = EncodeSearchRequest(bad);
+  Frame response;
+  ASSERT_TRUE(conn.Call(request, &response, DeadlineIn(2000)).ok());
+  EXPECT_EQ(response.type, MessageType::kError);
+  EXPECT_EQ(response.request_id, 777u);
+  EXPECT_EQ(DecodeErrorEnvelope(response.payload).code(),
+            StatusCode::kInvalidArgument);
+
+  // A type nobody handles is Unimplemented, not a hang or a dropped frame.
+  Frame unhandled;
+  unhandled.type = MessageType::kSearchResponse;
+  unhandled.request_id = 888;
+  Frame unhandled_response;
+  ASSERT_TRUE(
+      conn.Call(unhandled, &unhandled_response, DeadlineIn(2000)).ok());
+  EXPECT_EQ(unhandled_response.type, MessageType::kError);
+  EXPECT_EQ(unhandled_response.request_id, 888u);
+  EXPECT_EQ(DecodeErrorEnvelope(unhandled_response.payload).code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(ServerTest, SlowHandlerTripsClientDeadline) {
+  Server server(nullptr);  // handlers inline on the event loop
+  server.RegisterHandler(MessageType::kPing, [](const Frame&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    Frame pong;
+    pong.type = MessageType::kPong;
+    return pong;
+  });
+  ASSERT_TRUE(server.Start("127.0.0.1", 0).ok());
+  auto dialed = Connection::Dial("127.0.0.1", server.port(), 1000);
+  ASSERT_TRUE(dialed.ok());
+  Connection conn = std::move(dialed).value();
+  Frame ping;
+  ping.type = MessageType::kPing;
+  ping.request_id = 1;
+  Frame pong;
+  EXPECT_EQ(conn.Call(ping, &pong, DeadlineIn(50)).code(),
+            StatusCode::kDeadlineExceeded);
+  server.Shutdown();
+}
+
+TEST(ServerTest, CorruptStreamGetsErrorEnvelopeAndSessionRetired) {
+  Cluster cluster;
+  std::string host;
+  uint16_t port = 0;
+  ASSERT_TRUE(ParseEndpoint(cluster.endpoints[0], &host, &port).ok());
+  auto dialed = Connection::Dial(host, port, 1000);
+  ASSERT_TRUE(dialed.ok());
+  Connection conn = std::move(dialed).value();
+  const std::string garbage(kFrameHeaderBytes, '\x42');
+  ASSERT_EQ(::send(conn.fd(), garbage.data(), garbage.size(), 0),
+            static_cast<ssize_t>(garbage.size()));
+  Frame frame;
+  // The server answers with a best-effort kError (request id 0) and closes.
+  const Status read = conn.ReadFrame(&frame, DeadlineIn(2000));
+  if (read.ok()) {
+    EXPECT_EQ(frame.type, MessageType::kError);
+    EXPECT_EQ(frame.request_id, 0u);
+    // After the envelope the stream ends.
+    Frame next;
+    EXPECT_FALSE(conn.ReadFrame(&next, DeadlineIn(2000)).ok());
+  } else {
+    // The close can race ahead of our read of the envelope.
+    EXPECT_NE(read.code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+TEST(InjectMetricLabelTest, LabelsPlainAndLabeledSeries) {
+  const std::string text =
+      "# comment line\n"
+      "requests_total 41\n"
+      "latency_ms_bucket{le=\"5\"} 7\n"
+      "\n"
+      "noise\n";
+  const std::string out = InjectMetricLabel(text, "shard", "h:1");
+  EXPECT_NE(out.find("# comment line\n"), std::string::npos);
+  EXPECT_NE(out.find("requests_total{shard=\"h:1\"} 41\n"), std::string::npos);
+  EXPECT_NE(out.find("latency_ms_bucket{shard=\"h:1\",le=\"5\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("\nnoise\n"), std::string::npos);  // passthrough
+}
+
+}  // namespace
+}  // namespace dust::net

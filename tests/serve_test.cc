@@ -140,6 +140,61 @@ TEST(BoundedQueueTest, CloseDrainsAdmittedItemsThenReportsEmpty) {
   EXPECT_FALSE(queue.Pop(&out));  // drained
 }
 
+TEST(BoundedQueueTest, PushAfterCloseRejectsImmediatelyLeavingItemIntact) {
+  // Pins the post-Close producer contract: Push on a closed queue returns
+  // false without blocking — even when the queue is full, which would
+  // otherwise park the producer forever — and leaves `item` with its value
+  // so the producer can complete the request itself.
+  BoundedQueue<std::string> queue(1);
+  ASSERT_TRUE(queue.Push(std::string("admitted")));  // queue now full
+  queue.Close();
+  std::string rejected = "survives-close";
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(queue.Push(std::move(rejected)));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(2));  // returned, did not block
+  EXPECT_EQ(rejected, "survives-close");        // not moved-from, not lost
+  // The item admitted before Close still drains; the rejected one never
+  // entered the queue or its counters.
+  std::string out;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, "admitted");
+  EXPECT_FALSE(queue.Pop(&out));
+  EXPECT_EQ(queue.total_pushed(), 1u);
+}
+
+TEST(ExecutorTest, SubmitRacingDestructionAlwaysReadiesTheFuture) {
+  // Pins the Submit/destruction race: a Submit that lands while the
+  // destructor is stopping the pool must still produce a ready future
+  // (run inline on the caller), never a broken or orphaned one.
+  std::atomic<bool> destroying{false};
+  std::atomic<bool> late_task_ran{false};
+  std::future<void> late_future;
+  auto* executor = new Executor(1);
+  std::promise<void> first_task_started;
+  std::future<void> first_future = executor->Submit([&] {
+    first_task_started.set_value();
+    while (!destroying.load()) std::this_thread::yield();
+    // Give the destructor time to set stopping_; if it has not yet, the
+    // task is queued and drained instead — the future is ready either way.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    late_future = executor->Submit([&] { late_task_ran.store(true); });
+  });
+  first_task_started.get_future().wait();
+  std::thread destroyer([&] {
+    destroying.store(true);
+    delete executor;  // blocks joining the worker still inside the task
+  });
+  destroyer.join();
+  ASSERT_TRUE(first_future.valid());
+  EXPECT_EQ(first_future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  ASSERT_TRUE(late_future.valid());
+  EXPECT_EQ(late_future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_TRUE(late_task_ran.load());
+}
+
 TEST(BoundedQueueTest, PopUntilTimesOutOnEmptyQueue) {
   BoundedQueue<int> queue(4);
   int out = 0;

@@ -47,6 +47,8 @@
 #include "core/pipeline.h"
 #include "embed/tuple_encoder.h"
 #include "index/vector_index.h"
+#include "io/index_io.h"
+#include "net/router_index.h"
 #include "search/tuple_search.h"
 #include "serve/query_server.h"
 #include "shard/sharded_index.h"
@@ -86,6 +88,14 @@ struct CliOptions {
   size_t cache_entries = core::ServingConfig{}.cache_entries;
   size_t cache_bytes = core::ServingConfig{}.cache_bytes;
   std::string metrics_out_path;
+  // Distributed serving (PR 7): route queries to remote dust_shardd
+  // processes instead of an in-process index.
+  std::string router_endpoints;     // comma-separated host:port list
+  std::string save_tuple_index_path;  // build the tuple index, save, exit
+  std::string dump_hits_path;       // write baseline hits, bit-exact
+  bool allow_partial = false;
+  size_t deadline_ms = 5000;
+  size_t rpc_retries = 1;
 };
 
 void Usage() {
@@ -101,7 +111,11 @@ void Usage() {
       "                [--serve [--threads N] [--batch-window-us U]\n"
       "                 [--batch-max N] [--queue N] [--clients N]\n"
       "                 [--requests N] [--cache N] [--cache-bytes N]\n"
-      "                 [--metrics-out metrics.txt]]\n"
+      "                 [--metrics-out metrics.txt]\n"
+      "                 [--router host:port,... [--allow-partial]\n"
+      "                  [--deadline-ms N] [--rpc-retries N]]\n"
+      "                 [--dump-hits hits.txt]]\n"
+      "                [--save-tuple-index <file>]\n"
       "       --serve starts an async tuple-search server over the lake and\n"
       "       drives it with a synthetic closed-loop client (--clients\n"
       "       concurrent clients, --requests total queries), printing QPS\n"
@@ -111,6 +125,16 @@ void Usage() {
       "       hits resolve without entering the batch queue); --cache-bytes\n"
       "       bounds it in bytes; --metrics-out writes the server's metrics\n"
       "       registry as Prometheus-style name/value text\n"
+      "       --router fans --serve queries out to remote dust_shardd\n"
+      "       processes (endpoints in shard order) instead of building an\n"
+      "       in-process index; --allow-partial tolerates parity mismatches\n"
+      "       only while the router reports degraded (partial) results;\n"
+      "       --deadline-ms bounds each shard RPC, --rpc-retries bounds\n"
+      "       retries of transient failures\n"
+      "       --dump-hits writes the baseline hit list with bit-exact\n"
+      "       similarities for cross-process comparison\n"
+      "       --save-tuple-index builds the tuple-level index (honoring\n"
+      "       --index/--shards) and saves it for dust_shardd to load\n"
       "       --save-index without --query builds the lake index and exits;\n"
       "       --load-index serves queries from a saved snapshot without\n"
       "       re-embedding the lake\n"
@@ -246,6 +270,26 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       }
     } else if (arg == "--metrics-out" && (value = next())) {
       options->metrics_out_path = value;
+    } else if (arg == "--router" && (value = next())) {
+      options->router_endpoints = value;
+    } else if (arg == "--save-tuple-index" && (value = next())) {
+      options->save_tuple_index_path = value;
+    } else if (arg == "--dump-hits" && (value = next())) {
+      options->dump_hits_path = value;
+    } else if (arg == "--allow-partial") {
+      options->allow_partial = true;
+    } else if (arg == "--deadline-ms" && (value = next())) {
+      if (!ParseSize("--deadline-ms", value, &options->deadline_ms)) {
+        return false;
+      }
+      if (options->deadline_ms == 0) {
+        std::fprintf(stderr, "--deadline-ms must be >= 1\n");
+        return false;
+      }
+    } else if (arg == "--rpc-retries" && (value = next())) {
+      if (!ParseSize("--rpc-retries", value, &options->rpc_retries)) {
+        return false;
+      }
     } else if (arg == "--k" && (value = next())) {
       if (!ParseSize("--k", value, &options->k)) return false;
     } else if (arg == "--tables" && (value = next())) {
@@ -321,6 +365,31 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     std::fprintf(stderr, "--metrics-out requires --serve\n");
     return false;
   }
+  if (!options->router_endpoints.empty() && !options->serve) {
+    std::fprintf(stderr, "--router requires --serve\n");
+    return false;
+  }
+  if (options->allow_partial && options->router_endpoints.empty()) {
+    std::fprintf(stderr, "--allow-partial requires --router\n");
+    return false;
+  }
+  if (!options->dump_hits_path.empty() && !options->serve) {
+    std::fprintf(stderr, "--dump-hits requires --serve\n");
+    return false;
+  }
+  if (!options->save_tuple_index_path.empty()) {
+    if (options->serve || !options->save_index_path.empty() ||
+        !options->load_index_path.empty()) {
+      std::fprintf(stderr,
+                   "--save-tuple-index is exclusive with --serve/"
+                   "--save-index/--load-index\n");
+      return false;
+    }
+    if (options->engine != "starmie") {
+      std::fprintf(stderr, "--save-tuple-index needs the starmie engine\n");
+      return false;
+    }
+  }
   if (!options->save_index_path.empty() && !options->load_index_path.empty()) {
     std::fprintf(stderr, "--save-index and --load-index are exclusive\n");
     return false;
@@ -332,23 +401,18 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     return false;
   }
   // --query is optional only for a build-and-save invocation.
-  bool build_only =
-      !options->save_index_path.empty() && options->query_path.empty();
+  bool build_only = (!options->save_index_path.empty() ||
+                     !options->save_tuple_index_path.empty()) &&
+                    options->query_path.empty();
   return !options->lake_dir.empty() &&
          (build_only || !options->query_path.empty()) && options->k > 0;
 }
 
-/// --serve: builds a tuple-level index over the lake, starts the async
-/// QueryServer, and drives it with a synthetic closed-loop client (each of
-/// --clients threads keeps exactly one request in flight until --requests
-/// queries have been served). Every response is verified bit-identical to
-/// the sequential SearchTuples baseline. Returns the process exit code.
-int RunServeMode(const CliOptions& options,
-                 const std::vector<const table::Table*>& lake,
-                 const table::Table& query) {
+/// The tuple-index configuration shared by --serve, --save-tuple-index, and
+/// the shard servers that load the saved artifact: every entry point must
+/// agree on these knobs or bit-parity across processes is off the table.
+search::TupleSearchConfig MakeTupleConfig(const CliOptions& options) {
   search::TupleSearchConfig config;
-  // Same index/shard/HNSW knobs the pipeline path accepts, applied to the
-  // tuple index.
   config.index_type = options.index;
   if (options.shards > 0) {
     config.index_type =
@@ -356,20 +420,123 @@ int RunServeMode(const CliOptions& options,
   }
   config.index_options.hnsw_m = options.hnsw_m;
   config.index_options.hnsw_ef_search = options.hnsw_ef;
+  return config;
+}
+
+std::shared_ptr<embed::PretrainedTupleEncoder> MakeTupleEncoder() {
   embed::EmbedderConfig encoder_config;
   encoder_config.dim = 64;
-  auto encoder = std::make_shared<embed::PretrainedTupleEncoder>(
+  return std::make_shared<embed::PretrainedTupleEncoder>(
       std::shared_ptr<embed::TextEmbedder>(
           embed::MakeEmbedder(embed::ModelFamily::kRoberta, encoder_config)));
-  search::TupleSearch search(encoder, config);
-  Stopwatch index_watch;
+}
+
+/// Splits "a,b,c" into {"a","b","c"}; empty segments are dropped.
+std::vector<std::string> SplitCommas(const std::string& list) {
+  std::vector<std::string> parts;
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t end = list.find(',', pos);
+    if (end == std::string::npos) end = list.size();
+    if (end > pos) parts.push_back(list.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return parts;
+}
+
+/// Writes hits as "table,row,<hex double bits>" lines — the similarity is
+/// dumped as its exact bit pattern, so `cmp` between two runs proves
+/// bit-identical results with no formatting round-trip in the way.
+bool DumpHitsFile(const std::string& path,
+                  const std::vector<search::TupleHit>& hits) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  for (const search::TupleHit& hit : hits) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(hit.similarity));
+    std::memcpy(&bits, &hit.similarity, sizeof(bits));
+    std::fprintf(f, "%zu,%zu,%016llx\n", hit.ref.table_index,
+                 hit.ref.row_index, static_cast<unsigned long long>(bits));
+  }
+  return std::fclose(f) == 0;
+}
+
+/// --save-tuple-index: builds the tuple-level index over the lake (the same
+/// one --serve would build) and persists it with io::SaveIndex so shard
+/// servers (dust_shardd) can load it. Returns the process exit code.
+int RunSaveTupleIndex(const CliOptions& options,
+                      const std::vector<const table::Table*>& lake) {
+  search::TupleSearch search(MakeTupleEncoder(), MakeTupleConfig(options));
+  Stopwatch watch;
   search.IndexLake(lake);
   std::printf("indexed %zu lake tuples in %.3fs\n", search.num_indexed(),
-              index_watch.Seconds());
+              watch.Seconds());
+  Status saved =
+      io::SaveIndex(*search.lake_index(), options.save_tuple_index_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "cannot save tuple index: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote tuple index %s (%s)\n",
+              options.save_tuple_index_path.c_str(),
+              search.lake_index()->name().c_str());
+  return 0;
+}
+
+/// --serve: builds a tuple-level index over the lake (or, with --router,
+/// connects to remote dust_shardd shards), starts the async QueryServer,
+/// and drives it with a synthetic closed-loop client (each of --clients
+/// threads keeps exactly one request in flight until --requests queries
+/// have been served). Every response is verified bit-identical to the
+/// sequential SearchTuples baseline. Returns the process exit code.
+int RunServeMode(const CliOptions& options,
+                 const std::vector<const table::Table*>& lake,
+                 const table::Table& query) {
+  search::TupleSearch search(MakeTupleEncoder(), MakeTupleConfig(options));
+  net::RouterIndex* router = nullptr;  // owned by `search` once installed
+  Stopwatch index_watch;
+  if (!options.router_endpoints.empty()) {
+    net::RouterOptions router_options;
+    router_options.deadline_ms = static_cast<int>(options.deadline_ms);
+    router_options.max_attempts = 1 + static_cast<int>(options.rpc_retries);
+    Result<std::unique_ptr<net::RouterIndex>> connected =
+        net::RouterIndex::Connect(SplitCommas(options.router_endpoints),
+                                  router_options);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "cannot connect router: %s\n",
+                   connected.status().ToString().c_str());
+      return 1;
+    }
+    std::unique_ptr<net::RouterIndex> owned = std::move(connected).value();
+    router = owned.get();
+    Status used = search.UseIndex(std::move(owned), lake);
+    if (!used.ok()) {
+      std::fprintf(stderr, "router does not match the lake: %s\n",
+                   used.ToString().c_str());
+      return 1;
+    }
+    std::printf("router over %zu shards (%zu tuples) ready in %.3fs\n",
+                router->num_shards(), search.num_indexed(),
+                index_watch.Seconds());
+  } else {
+    search.IndexLake(lake);
+    std::printf("indexed %zu lake tuples in %.3fs\n", search.num_indexed(),
+                index_watch.Seconds());
+  }
 
   // Sequential baseline: the parity oracle every served result must match.
   const std::vector<search::TupleHit> baseline =
       search.SearchTuples(query, options.k);
+  if (!options.dump_hits_path.empty()) {
+    if (!DumpHitsFile(options.dump_hits_path, baseline)) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   options.dump_hits_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu baseline hits to %s\n", baseline.size(),
+                options.dump_hits_path.c_str());
+  }
 
   serve::QueryServerOptions server_options;
   server_options.threads = options.threads;
@@ -446,20 +613,47 @@ int RunServeMode(const CliOptions& options,
   }
   std::printf("server %s\n", serve::ReadinessName(server.readiness()));
   std::printf("\nmetrics:\n%s", server.metrics().RenderTable().c_str());
+  bool partial = false;
+  if (router != nullptr) {
+    const net::RouterStats rstats = router->stats();
+    partial = rstats.partial_results > 0;
+    std::printf(
+        "router: rpcs=%llu failures=%llu retries=%llu "
+        "partial_results=%llu partial=%s\n",
+        static_cast<unsigned long long>(rstats.rpcs),
+        static_cast<unsigned long long>(rstats.rpc_failures),
+        static_cast<unsigned long long>(rstats.retries),
+        static_cast<unsigned long long>(rstats.partial_results),
+        partial ? "true" : "false");
+  }
   if (!options.metrics_out_path.empty()) {
     // Machine-readable exposition for scrapers/CI: name{label} value lines.
+    // With --router, every reachable shard's metrics follow, each series
+    // labeled shard="host:port".
     std::FILE* f = std::fopen(options.metrics_out_path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write %s\n",
                    options.metrics_out_path.c_str());
       return 1;
     }
-    const std::string text = server.metrics().RenderText();
+    std::string text = server.metrics().RenderText();
+    if (router != nullptr) text += router->FederatedMetricsText();
     std::fwrite(text.data(), 1, text.size(), f);
     std::fclose(f);
     std::printf("wrote metrics to %s\n", options.metrics_out_path.c_str());
   }
   if (failures.load() > 0 || mismatches.load() > 0) {
+    // With --allow-partial, a degraded run (a shard died mid-run, the
+    // router kept answering from the survivors) is an expected outcome, not
+    // a failure — but only when the router actually reports degradation;
+    // mismatches with every shard healthy are real bugs either way.
+    if (options.allow_partial && partial) {
+      std::printf(
+          "serve degraded: %zu errors, %zu parity mismatches tolerated "
+          "(--allow-partial, router reported partial results)\n",
+          failures.load(), mismatches.load());
+      return 0;
+    }
     std::fprintf(stderr, "serve FAILED: %zu errors, %zu parity mismatches\n",
                  failures.load(), mismatches.load());
     return 1;
@@ -525,10 +719,13 @@ int main(int argc, char** argv) {
                 lake_storage.size());
   }
 
-  if (options.serve) {
+  if (options.serve || !options.save_tuple_index_path.empty()) {
     std::vector<const table::Table*> lake;
     lake.reserve(lake_storage.size());
     for (const table::Table& t : lake_storage) lake.push_back(&t);
+    if (!options.save_tuple_index_path.empty()) {
+      return RunSaveTupleIndex(options, lake);
+    }
     return RunServeMode(options, lake, query);
   }
 

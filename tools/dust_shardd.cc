@@ -1,0 +1,234 @@
+// dust_shardd — one shard of a distributed tuple-search lake as a process.
+//
+// Loads a saved index file (io::LoadIndex). When the file is a sharded
+// index (DUSTSHRD manifest) and --shard N is given, serves only child N
+// with its local->global id mapping, so the hits it answers carry the same
+// global ids the in-process ShardedIndex would produce; a plain index file
+// is served as-is with identity ids. Answers the shard RPCs (PING, INFO,
+// SEARCH, SEARCH_BATCH, METRICS) over the length-prefixed frame protocol
+// until SIGTERM/SIGINT, then shuts down cleanly.
+//
+// Usage:
+//   dust_shardd --index lake.idx --shard 1 --port 0 --port-file p1.port
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "io/index_io.h"
+#include "net/server.h"
+#include "net/shard_service.h"
+#include "serve/executor.h"
+#include "shard/sharded_index.h"
+#include "util/status.h"
+
+namespace {
+
+struct ShardDaemonOptions {
+  std::string index_path;
+  int shard = -1;  // -1: serve the loaded index whole
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0: pick a free port (see --port-file)
+  std::string port_file;
+  std::string label;
+  size_t threads = 0;  // 0: hardware concurrency
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: dust_shardd --index <file> [--shard <n>] [--host <ip>]\n"
+      "                   [--port <p>] [--port-file <path>] [--label <name>]\n"
+      "                   [--threads <n>]\n"
+      "\n"
+      "Serves one index shard over the dust frame protocol until SIGTERM.\n"
+      "  --index      index file saved by dust_cli --save-tuple-index or\n"
+      "               io::SaveIndex (plain or sharded/DUSTSHRD)\n"
+      "  --shard      child to serve when --index is a sharded file; hits\n"
+      "               are answered with lake-global ids\n"
+      "  --port       0 (default) binds a free port\n"
+      "  --port-file  write the bound port (decimal, newline) once listening\n"
+      "  --threads    handler pool size (default: hardware concurrency)\n");
+}
+
+bool ParseArgs(int argc, char** argv, ShardDaemonOptions* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--index") {
+      const char* v = next("--index");
+      if (v == nullptr) return false;
+      opts->index_path = v;
+    } else if (arg == "--shard") {
+      const char* v = next("--shard");
+      if (v == nullptr) return false;
+      opts->shard = std::atoi(v);
+    } else if (arg == "--host") {
+      const char* v = next("--host");
+      if (v == nullptr) return false;
+      opts->host = v;
+    } else if (arg == "--port") {
+      const char* v = next("--port");
+      if (v == nullptr) return false;
+      opts->port = std::atoi(v);
+    } else if (arg == "--port-file") {
+      const char* v = next("--port-file");
+      if (v == nullptr) return false;
+      opts->port_file = v;
+    } else if (arg == "--label") {
+      const char* v = next("--label");
+      if (v == nullptr) return false;
+      opts->label = v;
+    } else if (arg == "--threads") {
+      const char* v = next("--threads");
+      if (v == nullptr) return false;
+      opts->threads = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (opts->index_path.empty()) {
+    std::fprintf(stderr, "--index is required\n");
+    return false;
+  }
+  if (opts->port < 0 || opts->port > 65535) {
+    std::fprintf(stderr, "--port out of range\n");
+    return false;
+  }
+  return true;
+}
+
+// Self-pipe signal bridge: the handler only writes one byte; main blocks on
+// the read end, so shutdown logic runs on the main thread, not in a signal
+// context.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnShutdownSignal(int) {
+  const char byte = 's';
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using dust::Result;
+  using dust::Status;
+
+  ShardDaemonOptions opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    PrintUsage();
+    return 2;
+  }
+
+  Result<std::unique_ptr<dust::index::VectorIndex>> loaded =
+      dust::io::LoadIndex(opts.index_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "dust_shardd: cannot load %s: %s\n",
+                 opts.index_path.c_str(),
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<dust::index::VectorIndex> index = std::move(loaded).value();
+  std::vector<size_t> global_ids;  // empty = identity
+  if (opts.shard >= 0) {
+    auto* sharded = dynamic_cast<dust::shard::ShardedIndex*>(index.get());
+    if (sharded == nullptr) {
+      std::fprintf(stderr,
+                   "dust_shardd: --shard %d given but %s is not a sharded "
+                   "index (type %s)\n",
+                   opts.shard, opts.index_path.c_str(),
+                   index->type_tag().c_str());
+      return 1;
+    }
+    if (static_cast<size_t>(opts.shard) >= sharded->num_shards()) {
+      std::fprintf(stderr,
+                   "dust_shardd: --shard %d out of range (file has %zu "
+                   "shards)\n",
+                   opts.shard, sharded->num_shards());
+      return 1;
+    }
+    std::unique_ptr<dust::index::VectorIndex> child =
+        sharded->TakeShard(static_cast<size_t>(opts.shard), &global_ids);
+    index = std::move(child);  // the gutted sharded wrapper is dropped here
+  }
+  if (opts.label.empty()) {
+    opts.label = opts.shard >= 0 ? "shard" + std::to_string(opts.shard)
+                                 : opts.index_path;
+  }
+
+  const size_t threads =
+      opts.threads > 0
+          ? opts.threads
+          : std::max<size_t>(1, std::thread::hardware_concurrency());
+  dust::serve::Executor executor(threads);
+  index->SetExecutor(&executor);
+
+  dust::net::ShardService service(std::move(index), std::move(global_ids),
+                                  opts.label);
+  dust::net::Server server(&executor);
+  Status registered = service.RegisterOn(&server);
+  if (!registered.ok()) {
+    std::fprintf(stderr, "dust_shardd: %s\n", registered.ToString().c_str());
+    return 1;
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "dust_shardd: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  std::signal(SIGTERM, OnShutdownSignal);
+  std::signal(SIGINT, OnShutdownSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  Status started = server.Start(opts.host, static_cast<uint16_t>(opts.port));
+  if (!started.ok()) {
+    std::fprintf(stderr, "dust_shardd: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  if (!opts.port_file.empty()) {
+    // Written (and flushed) only after listen succeeds, so a launcher can
+    // poll the file to learn the bound port.
+    std::ofstream out(opts.port_file, std::ios::trunc);
+    out << server.port() << "\n";
+    out.close();
+    if (!out) {
+      std::fprintf(stderr, "dust_shardd: cannot write %s\n",
+                   opts.port_file.c_str());
+      server.Shutdown();
+      return 1;
+    }
+  }
+  std::fprintf(stderr,
+               "dust_shardd: serving %s (%zu vectors, dim %zu) on %s:%u\n",
+               opts.label.c_str(), service.index().size(),
+               service.index().dim(), opts.host.c_str(), server.port());
+
+  // Block until a shutdown signal lands.
+  for (;;) {
+    struct pollfd pfd{g_signal_pipe[0], POLLIN, 0};
+    const int n = ::poll(&pfd, 1, -1);
+    if (n > 0) break;
+    if (n < 0 && errno != EINTR) break;
+  }
+  std::fprintf(stderr, "dust_shardd: shutting down %s\n", opts.label.c_str());
+  server.Shutdown();
+  return 0;
+}
