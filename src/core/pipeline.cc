@@ -5,6 +5,7 @@
 #include "embed/column_embedder.h"
 #include "index/vector_index.h"
 #include "io/index_io.h"
+#include "search/cascade/cascade_search.h"
 #include "search/embedding_search.h"
 #include "search/overlap_search.h"
 #include "shard/sharded_index.h"
@@ -15,7 +16,9 @@ namespace dust::core {
 namespace {
 
 /// Snapshot file format version; bump on any layout change.
-constexpr uint32_t kSnapshotFormatVersion = 1;
+/// v2: engine state carries cascade signals (per-table type signatures and
+/// MinHash value sketches) behind a flag byte.
+constexpr uint32_t kSnapshotFormatVersion = 2;
 
 // Staleness hashing chains every field through the library's FNV-1a
 // (text::HashString), running hash as the next call's seed. The resulting
@@ -49,6 +52,10 @@ DustPipeline::DustPipeline(PipelineConfig config,
     : config_(std::move(config)), tuple_encoder_(std::move(tuple_encoder)) {
   DUST_CHECK(tuple_encoder_ != nullptr);
   if (config_.engine == "d3l") {
+    // The cascade's layers live in the starmie engine's retrieval path;
+    // silently ignoring the request would mis-report what is serving.
+    DUST_CHECK(!config_.cascade.enabled &&
+               "the retrieval cascade requires the starmie engine");
     search::OverlapSearchConfig overlap;
     overlap.embedding_dim = config_.embedding_dim;
     overlap.seed = config_.seed;
@@ -73,6 +80,7 @@ DustPipeline::DustPipeline(PipelineConfig config,
       embedding.shortlist =
           PipelineConfig::DefaultShortlist(config_.num_tables);
     }
+    embedding.cascade = config_.cascade;
     search_ = std::make_unique<search::EmbeddingUnionSearch>(embedding);
   }
 }
@@ -97,6 +105,7 @@ uint64_t DustPipeline::SnapshotHash(
   h = ChainHash(h, static_cast<uint64_t>(config_.column_model));
   h = ChainHash(h, static_cast<uint64_t>(config_.column_serialization));
   h = ChainHash(h, static_cast<uint64_t>(config_.metric));
+  h = search::cascade::ChainCascadeConfig(h, config_.cascade);
   h = ChainHash(h, lake.size());
   for (const table::Table* t : lake) {
     h = ChainHash(h, t->name());

@@ -18,6 +18,7 @@
 #include "align/tuple_builder.h"
 #include "diversify/dust_diversifier.h"
 #include "embed/tuple_encoder.h"
+#include "search/cascade/candidate_stage.h"
 #include "search/union_search.h"
 #include "table/table.h"
 #include "util/status.h"
@@ -69,6 +70,13 @@ struct PipelineConfig {
   /// with index::ValidateIndexOptions.
   size_t hnsw_m = 0;
   size_t hnsw_ef_search = 0;
+  /// Staged retrieval cascade for the starmie engine: type prefilter and
+  /// MinHash prescreen ahead of the vector shortlist (src/search/cascade/).
+  /// Default-off; the d3l engine rejects it at pipeline construction. Every
+  /// knob shapes results, so all of them are baked into the snapshot
+  /// staleness hash, and IndexLake's per-table sketches persist in
+  /// snapshots (format v2).
+  search::cascade::CascadeConfig cascade;
 
   /// Shortlist used when an approximate search_index is requested with
   /// search_shortlist == 0.
@@ -141,6 +149,12 @@ class DustPipeline {
   /// the executor must outlive the pipeline or be unset first.
   void SetExecutor(serve::Executor* executor) {
     search_->SetExecutor(executor);
+  }
+
+  /// Cumulative per-stage cascade statistics of the search engine (see
+  /// CascadeSearch::StatsSummary); empty for engines without a cascade.
+  std::string CascadeStatsSummary() const {
+    return search_->CascadeStatsSummary();
   }
 
   const PipelineConfig& config() const { return config_; }

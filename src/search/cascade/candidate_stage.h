@@ -1,0 +1,113 @@
+// Staged retrieval cascade — the candidate-set pipeline the search engines
+// run every query through (ROADMAP "Multi-stage retrieval cascade").
+//
+// The shape follows PEXESO's block-and-verify pivot filtering and the
+// EasyTUS production pipeline: prune candidates with signals that cost
+// microseconds (column-type signatures), then cents (MinHash Jaccard), then
+// dollars (vector shortlist), and only pay the exact rerank for the
+// survivors. Every stage narrows one shared CandidateSet and reports its
+// in/out counts and elapsed time, so the reduction each layer buys is
+// observable per query (StageStats) and cumulatively (serve::Metrics).
+//
+// The flat path is the degenerate cascade — shortlist + rerank with no
+// prefilters — not a separate code path, so cascade top-k stays verifiably
+// consistent with it (bit-identical when the prefilters are off).
+#ifndef DUST_SEARCH_CASCADE_CANDIDATE_STAGE_H_
+#define DUST_SEARCH_CASCADE_CANDIDATE_STAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "la/vector_ops.h"
+#include "search/minhash.h"
+#include "search/union_search.h"
+#include "util/status.h"
+
+namespace dust::serve {
+class Executor;
+}  // namespace dust::serve
+
+namespace dust::search::cascade {
+
+/// Per-stage knobs, threaded from PipelineConfig / TupleSearchConfig down
+/// to the stages. Every field shapes results, so all of them are baked into
+/// the snapshot staleness hash (ChainCascadeConfig) and the tuple-search
+/// config hash.
+struct CascadeConfig {
+  /// Master switch; off = the degenerate (flat-equivalent) cascade.
+  bool enabled = false;
+  /// Layer 1: column-count/type-signature prefilter.
+  bool prefilter = true;
+  /// Layer 2: MinHash value-overlap prescreen.
+  bool prescreen = true;
+  /// Minimum fraction of the query's columns a candidate must cover with
+  /// type-compatible columns to survive the prefilter.
+  double prefilter_min_type_overlap = 0.5;
+  /// Candidates with more than this many columns per query column are
+  /// pruned (wide junk tables rarely union cleanly).
+  double prefilter_max_column_ratio = 4.0;
+  /// Candidates kept by the prescreen (0 disables the cut; a candidate set
+  /// already at or under the cap passes through untouched).
+  size_t prescreen_keep = 64;
+  /// MinHash sketch width for the prescreen (per-table value sketches are
+  /// built at IndexLake time and persisted in snapshots).
+  size_t minhash_hashes = 64;
+  uint64_t minhash_seed = 0xD057CA5CADEULL;
+};
+
+/// Column-type signature of a table — the layer-1 prefilter's entire view
+/// of a candidate, cheap enough to compare in nanoseconds.
+struct TableSignature {
+  uint64_t columns = 0;
+  uint64_t numeric_columns = 0;
+};
+
+/// What one stage did to one query's candidate set.
+struct StageStats {
+  std::string stage;
+  size_t in = 0;
+  size_t out = 0;
+  double micros = 0.0;
+};
+
+/// The shared state a query threads through the cascade: the surviving
+/// candidate table ids, the query-side signals each stage may need, and the
+/// final ranked hits the rerank stage fills in. Stages only ever narrow
+/// `tables`; the driver owns ordering and accounting.
+struct CandidateSet {
+  /// Final result size requested (the rerank stage truncates to it).
+  size_t n = 0;
+  /// Shared thread pool for stages that fan out (may be null).
+  serve::Executor* executor = nullptr;
+  /// Query-side signals; a stage that needs one left null fails closed
+  /// with an Internal error rather than guessing.
+  TableSignature query_signature;
+  const MinHashSketch* query_sketch = nullptr;
+  const la::Vec* query_profile = nullptr;
+  /// Surviving candidate lake-table ids, narrowed stage by stage.
+  std::vector<size_t> tables;
+  /// Ranked results, filled by the rerank stage.
+  std::vector<TableHit> hits;
+};
+
+/// One layer of the cascade. Implementations must be const-thread-safe:
+/// the serving path runs many queries through the same stage objects
+/// concurrently.
+class CandidateStage {
+ public:
+  virtual ~CandidateStage() = default;
+
+  /// Stable stage name — the StageStats label and the metric-name suffix
+  /// (dust_cascade_stage_<name>_*).
+  virtual std::string name() const = 0;
+
+  /// Narrows (or ranks) `set` in place. Errors mean a wiring bug (missing
+  /// query signal, candidate id out of range), never a bad query.
+  virtual Status Run(CandidateSet& set) const = 0;
+};
+
+}  // namespace dust::search::cascade
+
+#endif  // DUST_SEARCH_CASCADE_CANDIDATE_STAGE_H_

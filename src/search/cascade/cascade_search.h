@@ -1,0 +1,65 @@
+// CascadeSearch — the driver that runs a query's CandidateSet through its
+// stage list, timing every stage and accounting in/out candidate counts
+// both per query (StageStats) and cumulatively (atomic instruments
+// exported through serve::Metrics as dust_cascade_stage_*).
+#ifndef DUST_SEARCH_CASCADE_CASCADE_SEARCH_H_
+#define DUST_SEARCH_CASCADE_CASCADE_SEARCH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "search/cascade/candidate_stage.h"
+#include "serve/metrics.h"
+
+namespace dust::search::cascade {
+
+/// Chains every CascadeConfig knob into a running FNV-1a hash — the
+/// snapshot staleness hash and the tuple-search config hash both fold this
+/// in, so any cascade drift invalidates persisted state and cache entries.
+uint64_t ChainCascadeConfig(uint64_t h, const CascadeConfig& config);
+
+/// Stage-list runner with cumulative per-stage observability. The
+/// instrument set is fixed at construction (metrics must be registerable
+/// before the first query); running a stage whose name was not declared is
+/// an Internal error, not a silent accounting gap.
+class CascadeSearch {
+ public:
+  explicit CascadeSearch(std::vector<std::string> stage_names);
+
+  /// Runs `set` through `stages` in order, recording per-stage in/out
+  /// candidate counts and elapsed microseconds into the cumulative
+  /// instruments and, when `stats` is non-null, into one StageStats entry
+  /// per stage. Thread-safe: instruments are atomics and `set` is caller-
+  /// owned.
+  Status Run(const std::vector<const CandidateStage*>& stages,
+             CandidateSet& set, std::vector<StageStats>* stats) const;
+
+  /// Registers, per declared stage name:
+  ///   dust_cascade_stage_<name>_runs_total
+  ///   dust_cascade_stage_<name>_in_total
+  ///   dust_cascade_stage_<name>_out_total   (counters)
+  ///   dust_cascade_stage_<name>_micros      (histogram)
+  /// Instruments are owned here; this object must outlive the registry.
+  void RegisterMetrics(serve::Metrics* metrics) const;
+
+  /// Human-readable cumulative summary, one line per stage that has run;
+  /// empty before any traffic.
+  std::string StatsSummary() const;
+
+ private:
+  struct Instruments {
+    serve::Counter runs;
+    serve::Counter in;
+    serve::Counter out;
+    serve::Histogram micros;
+    Instruments();
+  };
+
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<Instruments>> instruments_;  // parallel to names_
+};
+
+}  // namespace dust::search::cascade
+
+#endif  // DUST_SEARCH_CASCADE_CASCADE_SEARCH_H_

@@ -1,6 +1,7 @@
 #include "search/embedding_search.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "align/hungarian.h"
 #include "io/index_io.h"
@@ -8,7 +9,31 @@
 namespace dust::search {
 
 EmbeddingUnionSearch::EmbeddingUnionSearch(EmbeddingSearchConfig config)
-    : config_(config), encoder_(config.encoder) {}
+    : config_(config),
+      encoder_(config.encoder),
+      cascade_({"prefilter", "prescreen", "shortlist", "rerank"}),
+      prefilter_stage_(&lake_signatures_, &config_.cascade),
+      prescreen_stage_(&lake_sketches_, &config_.cascade),
+      shortlist_stage_(&profile_index_, &lake_profiles_, config_.shortlist) {}
+
+void EmbeddingUnionSearch::RebuildCascadeSignals(
+    const std::vector<const table::Table*>& lake) {
+  lake_signatures_.clear();
+  lake_sketches_.clear();
+  if (!config_.cascade.enabled) return;
+  lake_signatures_.reserve(lake.size());
+  for (const table::Table* t : lake) {
+    lake_signatures_.push_back(cascade::SignatureOf(*t));
+  }
+  if (config_.cascade.prescreen) {
+    lake_sketches_.reserve(lake.size());
+    for (const table::Table* t : lake) {
+      lake_sketches_.emplace_back(cascade::TableValueSample(*t),
+                                  config_.cascade.minhash_hashes,
+                                  config_.cascade.minhash_seed);
+    }
+  }
+}
 
 void EmbeddingUnionSearch::IndexLake(
     const std::vector<const table::Table*>& lake) {
@@ -36,6 +61,7 @@ void EmbeddingUnionSearch::IndexLake(
   } else {
     profile_index_.reset();
   }
+  RebuildCascadeSignals(lake);
 }
 
 void EmbeddingUnionSearch::SetExecutor(serve::Executor* executor) {
@@ -64,34 +90,54 @@ std::vector<TableHit> EmbeddingUnionSearch::SearchTables(
     const table::Table& query, size_t n) const {
   std::vector<la::Vec> query_cols = encoder_.EncodeTable(query);
 
-  // Candidate set: everything, or an index shortlist over table profiles.
-  std::vector<size_t> candidates;
+  cascade::CandidateSet set;
+  set.n = n;
+  set.executor = executor_;
+  set.tables.resize(lake_columns_.size());
+  for (size_t t = 0; t < set.tables.size(); ++t) set.tables[t] = t;
+
+  // Stage list for this query: optional prefilters, then the (possibly
+  // degenerate) shortlist, then the exact rerank. Query-side signals are
+  // computed only for the stages that will consume them.
+  std::vector<const cascade::CandidateStage*> stages;
+  if (config_.cascade.enabled && config_.cascade.prefilter) {
+    set.query_signature = cascade::SignatureOf(query);
+    stages.push_back(&prefilter_stage_);
+  }
+  MinHashSketch query_sketch;
+  if (config_.cascade.enabled && config_.cascade.prescreen) {
+    query_sketch = MinHashSketch(cascade::TableValueSample(query),
+                                 config_.cascade.minhash_hashes,
+                                 config_.cascade.minhash_seed);
+    set.query_sketch = &query_sketch;
+    stages.push_back(&prescreen_stage_);
+  }
+  la::Vec profile;
   if (profile_index_ != nullptr && config_.shortlist > 0) {
-    la::Vec profile(encoder_.dim(), 0.0f);
+    profile.assign(encoder_.dim(), 0.0f);
     if (!query_cols.empty()) {
       profile = la::Mean(query_cols);
       la::NormalizeInPlace(&profile);
     }
-    for (const index::SearchHit& hit :
-         profile_index_->Search(profile, config_.shortlist)) {
-      candidates.push_back(hit.id);
-    }
-  } else {
-    candidates.resize(lake_columns_.size());
-    for (size_t t = 0; t < candidates.size(); ++t) candidates[t] = t;
+    set.query_profile = &profile;
   }
+  stages.push_back(&shortlist_stage_);
+  cascade::ExactRerankStage rerank(
+      [this, &query_cols](size_t t) {
+        return TableScore(query_cols, lake_columns_[t]);
+      });
+  stages.push_back(&rerank);
 
-  std::vector<TableHit> hits;
-  hits.reserve(candidates.size());
-  for (size_t t : candidates) {
-    hits.push_back({t, TableScore(query_cols, lake_columns_[t])});
+  std::vector<cascade::StageStats> stats;
+  Status status = cascade_.Run(stages, set, &stats);
+  // Stage errors mean an engine wiring bug (missing signal, id out of
+  // range), never a bad query — fail loud.
+  DUST_CHECK(status.ok());
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    last_stats_ = std::move(stats);
   }
-  std::sort(hits.begin(), hits.end(), [](const TableHit& a, const TableHit& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.table_index < b.table_index;
-  });
-  if (hits.size() > n) hits.resize(n);
-  return hits;
+  return std::move(set.hits);
 }
 
 Status EmbeddingUnionSearch::SaveState(io::IndexWriter* writer) const {
@@ -104,6 +150,22 @@ Status EmbeddingUnionSearch::SaveState(io::IndexWriter* writer) const {
   DUST_RETURN_IF_ERROR(writer->status());
   if (profile_index_ != nullptr) {
     DUST_RETURN_IF_ERROR(io::WriteIndex(*profile_index_, writer));
+  }
+  // Cascade signals (snapshot format v2). A flag byte keeps disabled
+  // configs round-tripping with no cascade payload at all.
+  writer->WriteU8(config_.cascade.enabled ? 1 : 0);
+  if (config_.cascade.enabled) {
+    writer->WriteU64(lake_signatures_.size());
+    for (const cascade::TableSignature& sig : lake_signatures_) {
+      writer->WriteU64(sig.columns);
+      writer->WriteU64(sig.numeric_columns);
+    }
+    writer->WriteU64(lake_sketches_.size());
+    for (const MinHashSketch& sketch : lake_sketches_) {
+      writer->WriteU8(sketch.empty() ? 1 : 0);
+      writer->WriteU64(sketch.mins().size());
+      for (uint64_t m : sketch.mins()) writer->WriteU64(m);
+    }
   }
   return writer->status();
 }
@@ -136,6 +198,56 @@ Status EmbeddingUnionSearch::LoadState(io::IndexReader* reader) {
   if ((config_.shortlist > 0) != (has_index != 0)) {
     return Status::FailedPrecondition(
         "snapshot shortlist index does not match engine config");
+  }
+  uint8_t cascade_enabled = 0;
+  DUST_RETURN_IF_ERROR(reader->ReadU8(&cascade_enabled));
+  if ((cascade_enabled != 0) != config_.cascade.enabled) {
+    return Status::FailedPrecondition(
+        "snapshot cascade signals do not match engine config");
+  }
+  lake_signatures_.clear();
+  lake_sketches_.clear();
+  if (cascade_enabled != 0) {
+    uint64_t num_signatures = 0;
+    DUST_RETURN_IF_ERROR(
+        reader->ReadCount(2 * sizeof(uint64_t), &num_signatures));
+    if (num_signatures != num_tables) {
+      return Status::IoError("snapshot cascade signature count mismatch");
+    }
+    lake_signatures_.reserve(num_signatures);
+    for (uint64_t t = 0; t < num_signatures; ++t) {
+      cascade::TableSignature sig;
+      DUST_RETURN_IF_ERROR(reader->ReadU64(&sig.columns));
+      DUST_RETURN_IF_ERROR(reader->ReadU64(&sig.numeric_columns));
+      lake_signatures_.push_back(sig);
+    }
+    uint64_t num_sketches = 0;
+    DUST_RETURN_IF_ERROR(reader->ReadCount(sizeof(uint8_t), &num_sketches));
+    if (num_sketches != 0 && num_sketches != num_tables) {
+      return Status::IoError("snapshot cascade sketch count mismatch");
+    }
+    lake_sketches_.reserve(num_sketches);
+    for (uint64_t t = 0; t < num_sketches; ++t) {
+      uint8_t sketch_empty = 0;
+      DUST_RETURN_IF_ERROR(reader->ReadU8(&sketch_empty));
+      uint64_t num_mins = 0;
+      DUST_RETURN_IF_ERROR(reader->ReadCount(sizeof(uint64_t), &num_mins));
+      if (num_mins != config_.cascade.minhash_hashes) {
+        return Status::FailedPrecondition(
+            "snapshot prescreen sketch width does not match engine config");
+      }
+      std::vector<uint64_t> mins(num_mins, 0);
+      for (uint64_t m = 0; m < num_mins; ++m) {
+        DUST_RETURN_IF_ERROR(reader->ReadU64(&mins[m]));
+      }
+      lake_sketches_.push_back(
+          MinHashSketch::FromState(std::move(mins), sketch_empty != 0));
+    }
+    if (config_.cascade.prescreen && lake_sketches_.size() != num_tables) {
+      return Status::FailedPrecondition(
+          "snapshot has no prescreen sketches but the engine config enables "
+          "the prescreen stage");
+    }
   }
   return Status::Ok();
 }

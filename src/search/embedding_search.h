@@ -1,15 +1,23 @@
 // Starmie-style union search (Fan et al., PVLDB'23): contextualized column
 // embeddings per table; a candidate's unionability score is the max-weight
 // bipartite matching between its columns and the query's (cosine weights).
-// A vector index over table-level profiles (mean column embedding)
-// shortlists candidates faiss-style before exact matching.
+//
+// Every query runs through the retrieval cascade (src/search/cascade/):
+// optional type prefilter and MinHash prescreen, then the vector shortlist
+// over table-level profiles (mean column embedding, faiss-style), then the
+// exact bipartite rerank. The flat path is the degenerate two-stage
+// cascade (shortlist + rerank) — not a separate code path — so cascade
+// results with the prefilters off are bit-identical to it.
 #ifndef DUST_SEARCH_EMBEDDING_SEARCH_H_
 #define DUST_SEARCH_EMBEDDING_SEARCH_H_
 
 #include <memory>
+#include <mutex>
 
 #include "embed/starmie_encoder.h"
 #include "index/vector_index.h"
+#include "search/cascade/cascade_search.h"
+#include "search/cascade/stages.h"
 #include "search/union_search.h"
 
 namespace dust::search {
@@ -25,6 +33,11 @@ struct EmbeddingSearchConfig {
   /// Tuning knobs forwarded to the shortlist index (HNSW M/ef_search, IVF
   /// nlist/nprobe; 0 keeps defaults).
   index::IndexOptions index_options;
+  /// Staged candidate cascade ahead of the shortlist (type prefilter +
+  /// MinHash prescreen); default-off. IndexLake builds the per-table
+  /// signatures and value sketches when enabled, and SaveState persists
+  /// them so serving processes skip the re-sketch.
+  cascade::CascadeConfig cascade;
 };
 
 class EmbeddingUnionSearch : public UnionSearch {
@@ -36,19 +49,37 @@ class EmbeddingUnionSearch : public UnionSearch {
                                      size_t n) const override;
   std::string name() const override { return "Starmie"; }
 
-  /// Persists the per-table column embeddings, the table profiles, and (when
-  /// a shortlist is configured) the built profile index — everything
-  /// IndexLake computes from the raw tables.
+  /// Persists the per-table column embeddings, the table profiles, (when a
+  /// shortlist is configured) the built profile index, and (when the
+  /// cascade is enabled) the per-table type signatures and MinHash value
+  /// sketches — everything IndexLake computes from the raw tables.
   Status SaveState(io::IndexWriter* writer) const override;
   /// Restores SaveState output. The engine must be constructed with the same
-  /// config as at save time (the pipeline's snapshot hash enforces this);
-  /// a shortlist mismatch between config and stored index is rejected.
+  /// config as at save time (the pipeline's snapshot hash enforces this); a
+  /// shortlist or cascade mismatch between config and stored state is
+  /// rejected.
   Status LoadState(io::IndexReader* reader) override;
 
   /// Installs a shared executor on the shortlist profile index (kept across
-  /// IndexLake/LoadState rebuilds), routing its scatter through pooled
-  /// threads on the serving path.
+  /// IndexLake/LoadState rebuilds) and on the rerank stage's scoring
+  /// fan-out, routing both through pooled threads on the serving path.
   void SetExecutor(serve::Executor* executor) override;
+
+  /// Cumulative per-stage cascade summary (see CascadeSearch::StatsSummary).
+  std::string CascadeStatsSummary() const override {
+    return cascade_.StatsSummary();
+  }
+  /// Registers dust_cascade_stage_* instruments into `metrics`; this engine
+  /// must outlive the registry.
+  void RegisterCascadeMetrics(serve::Metrics* metrics) const {
+    cascade_.RegisterMetrics(metrics);
+  }
+  /// Per-stage stats of the most recent SearchTables call (benchmarks and
+  /// the CLI read per-layer reduction ratios from here).
+  std::vector<cascade::StageStats> last_stage_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return last_stats_;
+  }
 
   /// Column embeddings of an indexed lake table (for Starmie (B)/(H)).
   const std::vector<la::Vec>& ColumnEmbeddings(size_t table_index) const {
@@ -59,6 +90,9 @@ class EmbeddingUnionSearch : public UnionSearch {
  private:
   double TableScore(const std::vector<la::Vec>& query_cols,
                     const std::vector<la::Vec>& lake_cols) const;
+  /// Rebuilds the cascade's lake-side signals (type signatures, value
+  /// sketches) from raw tables; cleared when the cascade is disabled.
+  void RebuildCascadeSignals(const std::vector<const table::Table*>& lake);
 
   EmbeddingSearchConfig config_;
   embed::StarmieEncoder encoder_;
@@ -66,6 +100,17 @@ class EmbeddingUnionSearch : public UnionSearch {
   std::vector<la::Vec> lake_profiles_;  // mean column embedding per table
   std::unique_ptr<index::VectorIndex> profile_index_;
   serve::Executor* executor_ = nullptr;  // re-applied on index rebuilds
+  // Cascade state. The stage objects borrow the signal vectors and the
+  // index slot by pointer, so IndexLake/LoadState rebuilds never have to
+  // reconstruct them.
+  std::vector<cascade::TableSignature> lake_signatures_;
+  std::vector<MinHashSketch> lake_sketches_;
+  cascade::CascadeSearch cascade_;
+  cascade::TypePrefilterStage prefilter_stage_;
+  cascade::MinHashPrescreenStage prescreen_stage_;
+  cascade::VectorShortlistStage shortlist_stage_;
+  mutable std::mutex stats_mutex_;
+  mutable std::vector<cascade::StageStats> last_stats_;
 };
 
 }  // namespace dust::search

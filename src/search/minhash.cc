@@ -25,8 +25,19 @@ MinHashSketch::MinHashSketch(const std::vector<std::string>& items,
   }
 }
 
+MinHashSketch MinHashSketch::FromState(std::vector<uint64_t> mins,
+                                       bool empty) {
+  MinHashSketch sketch;
+  sketch.mins_ = std::move(mins);
+  sketch.empty_ = empty;
+  return sketch;
+}
+
 double MinHashSketch::EstimateJaccard(const MinHashSketch& other) const {
-  DUST_CHECK(mins_.size() == other.mins_.size());
+  // Sketches of mismatched width estimate collision rates of unrelated
+  // permutations, and zero-width sketches would divide by zero — both are
+  // "no usable signal", reported as zero similarity instead of garbage.
+  if (mins_.size() != other.mins_.size() || mins_.empty()) return 0.0;
   if (empty_ || other.empty_) return 0.0;
   size_t equal = 0;
   for (size_t h = 0; h < mins_.size(); ++h) {

@@ -12,15 +12,28 @@ namespace dust::search {
 /// Fixed-width MinHash sketch of a string set.
 class MinHashSketch {
  public:
+  /// Zero-width sketch of the empty set (placeholder; estimates 0 against
+  /// everything).
+  MinHashSketch() = default;
+
   /// Builds a sketch with `num_hashes` permutations (seeded deterministically).
   MinHashSketch(const std::vector<std::string>& items, size_t num_hashes = 64,
                 uint64_t seed = 7777);
 
-  /// Estimated Jaccard similarity with another sketch (same configuration).
+  /// Reconstructs a persisted sketch (the io snapshot round-trip); `mins`
+  /// must be the `mins()` of a sketch saved with the same configuration.
+  static MinHashSketch FromState(std::vector<uint64_t> mins, bool empty);
+
+  /// Estimated Jaccard similarity with another sketch of the same
+  /// configuration. Incomparable sketches — different widths, or zero
+  /// width — and empty sets estimate 0.0 rather than aborting or dividing
+  /// by zero.
   double EstimateJaccard(const MinHashSketch& other) const;
 
   size_t num_hashes() const { return mins_.size(); }
   bool empty() const { return empty_; }
+  /// Raw per-permutation minima (snapshot persistence).
+  const std::vector<uint64_t>& mins() const { return mins_; }
 
  private:
   std::vector<uint64_t> mins_;

@@ -8,12 +8,33 @@
 
 namespace dust::search {
 
+Status ValidateOverlapConfig(const OverlapSearchConfig& config) {
+  const double weights[] = {config.weight_name, config.weight_values,
+                            config.weight_format, config.weight_embedding};
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument(
+          "overlap signal weights must be nonnegative");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument(
+        "overlap signal weights are all zero; every unionability signal is "
+        "muted and all scores would be 0");
+  }
+  return Status::Ok();
+}
+
 OverlapUnionSearch::OverlapUnionSearch(OverlapSearchConfig config)
     : config_(config),
       embedder_(embed::MakeEmbedder(
           embed::ModelFamily::kFastText,
           embed::DefaultConfigFor(embed::ModelFamily::kFastText,
-                                  config.embedding_dim, config.seed))) {}
+                                  config.embedding_dim, config.seed))) {
+  DUST_CHECK(ValidateOverlapConfig(config_).ok());
+}
 
 OverlapUnionSearch::ColumnSignature OverlapUnionSearch::SignColumn(
     const table::Column& column) const {

@@ -25,6 +25,12 @@ struct OverlapSearchConfig {
   double weight_embedding = 0.25;
 };
 
+/// Rejects meaningless signal weightings with InvalidArgument: any negative
+/// weight (a signal cannot count against unionability) or an all-zero total
+/// (every signal muted, all scores identically 0). Config loaders should
+/// pre-validate; the engine constructor aborts on an invalid config.
+Status ValidateOverlapConfig(const OverlapSearchConfig& config);
+
 class OverlapUnionSearch : public UnionSearch {
  public:
   explicit OverlapUnionSearch(OverlapSearchConfig config = {});

@@ -18,13 +18,18 @@ namespace {
 /// Fuses per-query-tuple hit lists into the top-k lake tuples: a lake
 /// tuple's score is its best similarity to any query tuple (so exact copies
 /// rank first). Deterministic — ties break by (table, row) provenance.
+/// A non-empty `allowed` bitmap (the cascade's surviving tables) drops hits
+/// from pruned tables before fusion; empty means every table is allowed.
 std::vector<TupleHit> FuseTupleHits(
     const std::vector<std::vector<index::SearchHit>>& per_tuple_hits,
     size_t begin, size_t count, const std::vector<table::TupleRef>& refs,
-    size_t k) {
+    size_t k, const std::vector<char>& allowed) {
   std::unordered_map<size_t, double> best_similarity;
   for (size_t t = begin; t < begin + count; ++t) {
     for (const index::SearchHit& hit : per_tuple_hits[t]) {
+      if (!allowed.empty() && allowed[refs[hit.id].table_index] == 0) {
+        continue;
+      }
       double similarity = 1.0 - static_cast<double>(hit.distance);
       auto [it, inserted] = best_similarity.try_emplace(hit.id, similarity);
       if (!inserted && similarity > it->second) it->second = similarity;
@@ -87,6 +92,8 @@ void TupleSearch::IndexLake(const std::vector<const table::Table*>& lake) {
     h = ChainHash(h, t->num_rows());
   }
   lake_hash_ = h;
+  num_tables_ = lake.size();
+  RebuildCascadeSignals(lake);
 }
 
 Status TupleSearch::UseIndex(std::unique_ptr<index::VectorIndex> index,
@@ -127,8 +134,71 @@ Status TupleSearch::UseIndex(std::unique_ptr<index::VectorIndex> index,
     h = ChainHash(h, t->num_rows());
   }
   lake_hash_ = h;
+  num_tables_ = lake.size();
+  RebuildCascadeSignals(lake);
   index_ = std::move(index);
   return Status::Ok();
+}
+
+void TupleSearch::RebuildCascadeSignals(
+    const std::vector<const table::Table*>& lake) {
+  lake_signatures_.clear();
+  lake_sketches_.clear();
+  if (!config_.cascade.enabled) return;
+  lake_signatures_.reserve(lake.size());
+  for (const table::Table* t : lake) {
+    lake_signatures_.push_back(cascade::SignatureOf(*t));
+  }
+  if (config_.cascade.prescreen) {
+    lake_sketches_.reserve(lake.size());
+    for (const table::Table* t : lake) {
+      lake_sketches_.emplace_back(cascade::TableValueSample(*t),
+                                  config_.cascade.minhash_hashes,
+                                  config_.cascade.minhash_seed);
+    }
+  }
+}
+
+Status TupleSearch::CascadeAllowedTables(const table::Table& query,
+                                         std::vector<char>* allowed) const {
+  allowed->clear();
+  if (!config_.cascade.enabled) return Status::Ok();
+  const bool prefilter =
+      config_.cascade.prefilter && !lake_signatures_.empty();
+  const bool prescreen = config_.cascade.prescreen && !lake_sketches_.empty();
+  if (!prefilter && !prescreen) return Status::Ok();
+  cascade::CandidateSet set;
+  set.n = num_tables_;
+  set.tables.resize(num_tables_);
+  for (size_t t = 0; t < num_tables_; ++t) set.tables[t] = t;
+  std::vector<const cascade::CandidateStage*> stages;
+  if (prefilter) {
+    set.query_signature = cascade::SignatureOf(query);
+    stages.push_back(&prefilter_stage_);
+  }
+  MinHashSketch query_sketch;
+  if (prescreen) {
+    query_sketch = MinHashSketch(cascade::TableValueSample(query),
+                                 config_.cascade.minhash_hashes,
+                                 config_.cascade.minhash_seed);
+    set.query_sketch = &query_sketch;
+    stages.push_back(&prescreen_stage_);
+  }
+  DUST_RETURN_IF_ERROR(cascade_.Run(stages, set, nullptr));
+  if (set.tables.size() >= num_tables_) return Status::Ok();  // no pruning
+  allowed->assign(num_tables_, 0);
+  for (size_t t : set.tables) (*allowed)[t] = 1;
+  return Status::Ok();
+}
+
+void TupleSearch::RegisterCascadeMetrics(serve::Metrics* metrics) const {
+  if (!config_.cascade.enabled) return;
+  cascade_.RegisterMetrics(metrics);
+}
+
+std::string TupleSearch::CascadeStatsSummary() const {
+  if (!config_.cascade.enabled) return std::string();
+  return cascade_.StatsSummary();
 }
 
 uint64_t TupleSearch::QueryFingerprint(const table::Table& query) const {
@@ -152,6 +222,9 @@ uint64_t TupleSearch::ConfigHash() const {
   h = ChainHash(h, config_.index_options.ivf_nprobe);
   h = ChainHash(h, encoder_->name());
   h = ChainHash(h, encoder_->dim());
+  // Cascade knobs shape which tables may contribute hits, so cache entries
+  // must not cross cascade configs.
+  h = cascade::ChainCascadeConfig(h, config_.cascade);
   return h;
 }
 
@@ -226,8 +299,18 @@ std::vector<Result<std::vector<TupleHit>>> TupleSearch::SearchTuplesBatch(
         index_->SearchBatch(embeddings, fetch, executor);
     const auto fuse_member = [&](size_t m) {
       const size_t i = members[m];
+      // Per-request cascade: prune candidate tables with the cheap layers
+      // before fusion pays attention to their tuples. Stage objects are
+      // const-shared, so members cascade concurrently.
+      std::vector<char> allowed;
+      Status cascade_status =
+          CascadeAllowedTables(*queries[i].table, &allowed);
+      if (!cascade_status.ok()) {
+        results[i] = cascade_status;
+        return;
+      }
       results[i] = FuseTupleHits(hits, offsets[m], offsets[m + 1] - offsets[m],
-                                 refs_, queries[i].k);
+                                 refs_, queries[i].k, allowed);
     };
     if (executor != nullptr) {
       executor->ParallelFor(members.size(), fuse_member);

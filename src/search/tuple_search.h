@@ -10,6 +10,8 @@
 
 #include "embed/tuple_encoder.h"
 #include "index/vector_index.h"
+#include "search/cascade/cascade_search.h"
+#include "search/cascade/stages.h"
 #include "table/table.h"
 #include "util/status.h"
 
@@ -33,6 +35,12 @@ struct TupleSearchConfig {
   size_t per_query_candidates = 200;
   /// Tuning knobs forwarded to the tuple index (0 keeps defaults).
   index::IndexOptions index_options;
+  /// Candidate-table cascade ahead of tuple fusion: when enabled, the type
+  /// prefilter and MinHash prescreen prune lake tables per request and
+  /// fused hits are restricted to the surviving tables. Default-off; with
+  /// both stage toggles off (or when nothing is pruned) results are
+  /// bit-identical to the flat path.
+  cascade::CascadeConfig cascade;
 };
 
 /// Indexes all tuples of a lake with a TupleEncoder and retrieves the top-k
@@ -116,12 +124,38 @@ class TupleSearch {
   /// edits.
   uint64_t LakeStateHash() const { return lake_hash_; }
 
+  /// Registers the cascade's dust_cascade_stage_* instruments into
+  /// `metrics` (no-op when the cascade is disabled); this object must
+  /// outlive the registry.
+  void RegisterCascadeMetrics(serve::Metrics* metrics) const;
+  /// Cumulative per-stage cascade summary; empty when disabled or before
+  /// any traffic.
+  std::string CascadeStatsSummary() const;
+
  private:
+  /// Runs the enabled prefilter stages over the lake's tables for one
+  /// query. `allowed` comes back empty when every table survives (the
+  /// common case and the disabled case — fusion then skips the bitmap
+  /// test entirely); otherwise allowed[t] != 0 marks survivors.
+  Status CascadeAllowedTables(const table::Table& query,
+                              std::vector<char>* allowed) const;
+  /// Rebuilds the cascade's lake-side signals (type signatures, value
+  /// sketches) from raw tables; cleared when the cascade is disabled.
+  void RebuildCascadeSignals(const std::vector<const table::Table*>& lake);
+
   std::shared_ptr<embed::TupleEncoder> encoder_;
   TupleSearchConfig config_;
   std::unique_ptr<index::VectorIndex> index_;
   std::vector<table::TupleRef> refs_;
   uint64_t lake_hash_ = 0;
+  size_t num_tables_ = 0;
+  std::vector<cascade::TableSignature> lake_signatures_;
+  std::vector<MinHashSketch> lake_sketches_;
+  cascade::CascadeSearch cascade_{{"prefilter", "prescreen"}};
+  cascade::TypePrefilterStage prefilter_stage_{&lake_signatures_,
+                                               &config_.cascade};
+  cascade::MinHashPrescreenStage prescreen_stage_{&lake_sketches_,
+                                                  &config_.cascade};
 };
 
 }  // namespace dust::search

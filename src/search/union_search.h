@@ -59,6 +59,10 @@ class UnionSearch {
   /// processes create zero threads per query. Engines without an index
   /// ignore it. Install during setup, before concurrent traffic.
   virtual void SetExecutor(serve::Executor* executor) { (void)executor; }
+
+  /// Cumulative per-stage statistics of the engine's retrieval cascade,
+  /// human-readable; engines without a staged retrieval path return empty.
+  virtual std::string CascadeStatsSummary() const { return std::string(); }
 };
 
 }  // namespace dust::search

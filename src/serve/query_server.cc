@@ -61,6 +61,9 @@ void QueryServer::RegisterMetrics() {
     return static_cast<double>(executor_.tasks_run());
   });
   if (cache_ != nullptr) cache_->RegisterWith(&metrics_);
+  // Cascade stage instruments (dust_cascade_stage_*) live in the search
+  // object, which outlives the server; no-op when the cascade is disabled.
+  search_->RegisterCascadeMetrics(&metrics_);
 }
 
 std::future<QueryServer::TupleResult> QueryServer::Submit(

@@ -362,6 +362,127 @@ TEST_F(PipelineFixture, SaveSnapshotBeforeIndexLakeFails) {
   EXPECT_EQ(saved.code(), StatusCode::kFailedPrecondition);
 }
 
+// --- retrieval cascade ------------------------------------------------------
+
+TEST_F(PipelineFixture, CascadeWithPrefiltersOffIsBitIdenticalToFlat) {
+  // The flat path IS the degenerate cascade: with both prefilter layers
+  // disabled, every index type must return exactly the same tables (exact
+  // float equality on scores) and tuples as the cascade-free config.
+  for (const char* index : {"flat", "ivf", "lsh", "hnsw"}) {
+    PipelineConfig flat_config;
+    flat_config.num_tables = 5;
+    flat_config.search_index = index;
+    flat_config.search_shortlist = 8;
+    DustPipeline flat(flat_config, TestEncoder());
+    flat.IndexLake(*lake_);
+
+    PipelineConfig cascade_config = flat_config;
+    cascade_config.cascade.enabled = true;
+    cascade_config.cascade.prefilter = false;
+    cascade_config.cascade.prescreen = false;
+    DustPipeline cascaded(cascade_config, TestEncoder());
+    cascaded.IndexLake(*lake_);
+
+    for (size_t q = 0; q < benchmark_->queries.size(); ++q) {
+      const Table& query = benchmark_->queries[q].data;
+      auto expected = flat.Run(query, 8);
+      auto actual = cascaded.Run(query, 8);
+      // Parity covers failures too: when an approximate shortlist (LSH on
+      // this small lake) finds nothing for a query, both paths must agree.
+      ASSERT_EQ(expected.ok(), actual.ok())
+          << index << ": " << actual.status().ToString();
+      if (!expected.ok()) {
+        EXPECT_EQ(expected.status().code(), actual.status().code()) << index;
+        continue;
+      }
+      ASSERT_EQ(expected.value().tables.size(), actual.value().tables.size())
+          << index;
+      for (size_t t = 0; t < expected.value().tables.size(); ++t) {
+        EXPECT_EQ(expected.value().tables[t].table_index,
+                  actual.value().tables[t].table_index)
+            << index;
+        EXPECT_EQ(expected.value().tables[t].score,
+                  actual.value().tables[t].score)
+            << index;
+      }
+      ASSERT_EQ(expected.value().provenance.size(),
+                actual.value().provenance.size())
+          << index;
+      for (size_t i = 0; i < expected.value().provenance.size(); ++i) {
+        EXPECT_EQ(expected.value().provenance[i].table_index,
+                  actual.value().provenance[i].table_index)
+            << index;
+        EXPECT_EQ(expected.value().provenance[i].row_index,
+                  actual.value().provenance[i].row_index)
+            << index;
+      }
+    }
+  }
+}
+
+TEST_F(PipelineFixture, CascadeSnapshotRoundTripServesIdenticalResults) {
+  PipelineConfig config;
+  config.num_tables = 5;
+  config.search_shortlist = 8;
+  config.cascade.enabled = true;
+
+  DustPipeline offline(config, TestEncoder());
+  offline.IndexLake(*lake_);
+  const std::string path = SnapshotPath("pipeline_snapshot_cascade.bin");
+  ASSERT_TRUE(SavePipelineSnapshot(offline, path).ok());
+
+  // The serving process restores the persisted signals (type signatures,
+  // MinHash sketches) instead of re-deriving them from the lake.
+  DustPipeline online(config, TestEncoder());
+  Status loaded = LoadPipelineSnapshot(&online, path, *lake_);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+  for (size_t q = 0; q < benchmark_->queries.size(); ++q) {
+    const Table& query = benchmark_->queries[q].data;
+    auto expected = offline.Run(query, 8);
+    auto actual = online.Run(query, 8);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    ASSERT_EQ(expected.value().tables.size(), actual.value().tables.size());
+    for (size_t t = 0; t < expected.value().tables.size(); ++t) {
+      EXPECT_EQ(expected.value().tables[t].table_index,
+                actual.value().tables[t].table_index);
+      EXPECT_EQ(expected.value().tables[t].score,
+                actual.value().tables[t].score);
+    }
+  }
+  EXPECT_NE(online.CascadeStatsSummary().find("stage prefilter"),
+            std::string::npos);
+}
+
+TEST_F(PipelineFixture, CascadeKnobDriftRejectsSnapshot) {
+  PipelineConfig config;
+  config.num_tables = 5;
+  config.search_shortlist = 8;
+  config.cascade.enabled = true;
+
+  DustPipeline offline(config, TestEncoder());
+  offline.IndexLake(*lake_);
+  const std::string path = SnapshotPath("pipeline_snapshot_cascade_knob.bin");
+  ASSERT_TRUE(SavePipelineSnapshot(offline, path).ok());
+
+  // Every cascade knob shapes results, so each is in the staleness hash: a
+  // server tuned differently must rebuild, not silently serve stale state.
+  PipelineConfig retuned = config;
+  retuned.cascade.prescreen_keep = 16;
+  DustPipeline wrong_keep(retuned, TestEncoder());
+  Status stale = LoadPipelineSnapshot(&wrong_keep, path, *lake_);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.code(), StatusCode::kFailedPrecondition);
+
+  // And a cascade snapshot must not load into a cascade-free server.
+  PipelineConfig disabled = config;
+  disabled.cascade.enabled = false;
+  DustPipeline no_cascade(disabled, TestEncoder());
+  stale = LoadPipelineSnapshot(&no_cascade, path, *lake_);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.code(), StatusCode::kFailedPrecondition);
+}
+
 TEST_F(PipelineFixture, D3lEngineSnapshotUnimplemented) {
   PipelineConfig config;
   config.num_tables = 5;

@@ -45,6 +45,53 @@ TEST(MinHashTest, EmptySetsScoreZero) {
   EXPECT_TRUE(empty.empty());
 }
 
+TEST(MinHashTest, EmptyVersusEmptyScoresZero) {
+  // Two empty sketches agree on every permutation slot; without the empty
+  // guard that would read as J = 1 for two sets with no members at all.
+  MinHashSketch a({}, 64);
+  MinHashSketch b({}, 64);
+  EXPECT_DOUBLE_EQ(a.EstimateJaccard(b), 0.0);
+}
+
+TEST(MinHashTest, MismatchedWidthsScoreZeroInsteadOfGarbage) {
+  // Sketches of different widths are not comparable (slot i hashes under
+  // different permutations); the estimate degrades to 0, never aborts.
+  MinHashSketch narrow({"a", "b"}, 32);
+  MinHashSketch wide({"a", "b"}, 64);
+  EXPECT_DOUBLE_EQ(narrow.EstimateJaccard(wide), 0.0);
+  EXPECT_DOUBLE_EQ(wide.EstimateJaccard(narrow), 0.0);
+}
+
+TEST(MinHashTest, ZeroHashSketchesScoreZero) {
+  // num_hashes == 0 would divide 0/0 into NaN without the guard.
+  MinHashSketch a({"a"}, 0);
+  MinHashSketch b({"a"}, 0);
+  EXPECT_DOUBLE_EQ(a.EstimateJaccard(b), 0.0);
+}
+
+TEST(OverlapConfigTest, DefaultsValidate) {
+  EXPECT_TRUE(ValidateOverlapConfig(OverlapSearchConfig{}).ok());
+}
+
+TEST(OverlapConfigTest, NegativeWeightRejected) {
+  OverlapSearchConfig config;
+  config.weight_format = -0.1;
+  Status status = ValidateOverlapConfig(config);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OverlapConfigTest, AllZeroWeightsRejected) {
+  OverlapSearchConfig config;
+  config.weight_name = 0.0;
+  config.weight_values = 0.0;
+  config.weight_format = 0.0;
+  config.weight_embedding = 0.0;
+  Status status = ValidateOverlapConfig(config);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
 TEST(ExactJaccardTest, HandCheckedValues) {
   EXPECT_DOUBLE_EQ(ExactJaccard({"a", "b"}, {"b", "c"}), 1.0 / 3.0);
   EXPECT_DOUBLE_EQ(ExactJaccard({}, {}), 0.0);

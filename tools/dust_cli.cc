@@ -96,6 +96,12 @@ struct CliOptions {
   bool allow_partial = false;
   size_t deadline_ms = 5000;
   size_t rpc_retries = 1;
+  // Retrieval cascade (PR 8): candidate prefilters ahead of the vector
+  // shortlist, for both the pipeline and --serve paths.
+  bool cascade = false;
+  std::string cascade_stages;  // raw --cascade-stages value
+  bool cascade_prefilter = true;
+  bool cascade_prescreen = true;
 };
 
 void Usage() {
@@ -108,6 +114,7 @@ void Usage() {
       "                [--metric cosine|euclidean|manhattan]\n"
       "                [--shortlist N] [--out result.csv] [--p N] [--s N]\n"
       "                [--save-index <snapshot> | --load-index <snapshot>]\n"
+      "                [--cascade [--cascade-stages prefilter,prescreen]]\n"
       "                [--serve [--threads N] [--batch-window-us U]\n"
       "                 [--batch-max N] [--queue N] [--clients N]\n"
       "                 [--requests N] [--cache N] [--cache-bytes N]\n"
@@ -143,7 +150,12 @@ void Usage() {
       "       tune the HNSW graph degree and query beam width\n"
       "       --metric selects the tuple distance delta(.) used for\n"
       "       diversification; table search scoring is always cosine\n"
-      "       (Starmie-style embedding similarity)\n");
+      "       (Starmie-style embedding similarity)\n"
+      "       --cascade enables the staged retrieval cascade (type\n"
+      "       prefilter -> MinHash prescreen -> vector shortlist -> exact\n"
+      "       rerank) for the starmie engine, in both pipeline and --serve\n"
+      "       modes; --cascade-stages restricts the prefilter layers to a\n"
+      "       comma-separated subset of {prefilter, prescreen}\n");
 }
 
 /// Parses a non-negative integer: digits only (strtoul alone would skip
@@ -169,6 +181,19 @@ bool ParseSize(const char* flag, const char* value, size_t* out) {
   }
   *out = static_cast<size_t>(parsed);
   return true;
+}
+
+/// Splits "a,b,c" into {"a","b","c"}; empty segments are dropped.
+std::vector<std::string> SplitCommas(const std::string& list) {
+  std::vector<std::string> parts;
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t end = list.find(',', pos);
+    if (end == std::string::npos) end = list.size();
+    if (end > pos) parts.push_back(list.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return parts;
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -228,6 +253,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
                      value);
         return false;
       }
+    } else if (arg == "--cascade") {
+      options->cascade = true;
+    } else if (arg == "--cascade-stages" && (value = next())) {
+      options->cascade_stages = value;
     } else if (arg == "--serve") {
       options->serve = true;
     } else if (arg == "--threads" && (value = next())) {
@@ -313,6 +342,35 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     // Reject here for a usage error instead of the factory's DUST_CHECK
     // abort deep inside IndexLake.
     std::fprintf(stderr, "unknown --index type: %s\n", options->index.c_str());
+    return false;
+  }
+  if (!options->cascade_stages.empty() && !options->cascade) {
+    // A stage subset without the cascade itself is a contradiction —
+    // reject it instead of silently running flat.
+    std::fprintf(stderr, "--cascade-stages requires --cascade\n");
+    return false;
+  }
+  if (!options->cascade_stages.empty()) {
+    options->cascade_prefilter = false;
+    options->cascade_prescreen = false;
+    for (const std::string& stage : SplitCommas(options->cascade_stages)) {
+      if (stage == "prefilter") {
+        options->cascade_prefilter = true;
+      } else if (stage == "prescreen") {
+        options->cascade_prescreen = true;
+      } else {
+        std::fprintf(stderr,
+                     "unknown cascade stage: %s (expected a comma-separated "
+                     "subset of: prefilter, prescreen)\n",
+                     stage.c_str());
+        return false;
+      }
+    }
+  }
+  if (options->cascade && options->engine != "starmie") {
+    std::fprintf(stderr,
+                 "--cascade requires the starmie engine (the d3l engine has "
+                 "no staged retrieval path)\n");
     return false;
   }
   if (options->shards > 0 && shard::IsShardedSpec(options->index)) {
@@ -411,6 +469,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
 /// The tuple-index configuration shared by --serve, --save-tuple-index, and
 /// the shard servers that load the saved artifact: every entry point must
 /// agree on these knobs or bit-parity across processes is off the table.
+/// The cascade knobs shared by the pipeline and --serve entry points.
+search::cascade::CascadeConfig MakeCascadeConfig(const CliOptions& options) {
+  search::cascade::CascadeConfig config;
+  config.enabled = options.cascade;
+  config.prefilter = options.cascade_prefilter;
+  config.prescreen = options.cascade_prescreen;
+  return config;
+}
+
 search::TupleSearchConfig MakeTupleConfig(const CliOptions& options) {
   search::TupleSearchConfig config;
   config.index_type = options.index;
@@ -420,6 +487,7 @@ search::TupleSearchConfig MakeTupleConfig(const CliOptions& options) {
   }
   config.index_options.hnsw_m = options.hnsw_m;
   config.index_options.hnsw_ef_search = options.hnsw_ef;
+  config.cascade = MakeCascadeConfig(options);
   return config;
 }
 
@@ -429,19 +497,6 @@ std::shared_ptr<embed::PretrainedTupleEncoder> MakeTupleEncoder() {
   return std::make_shared<embed::PretrainedTupleEncoder>(
       std::shared_ptr<embed::TextEmbedder>(
           embed::MakeEmbedder(embed::ModelFamily::kRoberta, encoder_config)));
-}
-
-/// Splits "a,b,c" into {"a","b","c"}; empty segments are dropped.
-std::vector<std::string> SplitCommas(const std::string& list) {
-  std::vector<std::string> parts;
-  size_t pos = 0;
-  while (pos <= list.size()) {
-    size_t end = list.find(',', pos);
-    if (end == std::string::npos) end = list.size();
-    if (end > pos) parts.push_back(list.substr(pos, end - pos));
-    pos = end + 1;
-  }
-  return parts;
 }
 
 /// Writes hits as "table,row,<hex double bits>" lines — the similarity is
@@ -612,6 +667,9 @@ int RunServeMode(const CliOptions& options,
         static_cast<unsigned long long>(stats.cache_invalidations));
   }
   std::printf("server %s\n", serve::ReadinessName(server.readiness()));
+  if (options.cascade) {
+    std::printf("cascade stages:\n%s", search.CascadeStatsSummary().c_str());
+  }
   std::printf("\nmetrics:\n%s", server.metrics().RenderTable().c_str());
   bool partial = false;
   if (router != nullptr) {
@@ -771,6 +829,7 @@ int main(int argc, char** argv) {
       }
     }
   }
+  config.cascade = MakeCascadeConfig(options);
   config.num_tables = options.tables;
   // The diversification tuple distance delta(.) (Sec. 3.1). The search
   // phase's shortlist index and table scoring are cosine by construction
@@ -847,6 +906,9 @@ int main(int argc, char** argv) {
       "\ntimings: search %.3fs  align %.3fs  embed %.3fs  diversify %.3fs\n",
       r.timings.search_seconds, r.timings.align_seconds,
       r.timings.embed_seconds, r.timings.diversify_seconds);
+  if (options.cascade) {
+    std::printf("cascade stages:\n%s", pipeline.CascadeStatsSummary().c_str());
+  }
 
   if (!options.out_path.empty()) {
     Status written = table::WriteCsvFile(r.output, options.out_path);
