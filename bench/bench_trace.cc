@@ -1,0 +1,153 @@
+// bench_trace — serving throughput with tracing off vs fully on
+// (google-benchmark). The CI bench-smoke job runs BM_Trace* with
+// --benchmark_out=BENCH_trace.json and asserts sampled QPS stays within
+// 15% of unsampled QPS (trace-overhead step): observability must not buy
+// insight with serving throughput.
+//
+//   - BM_TraceQueryServer/sample:0 — tracing compiled in but unsampled:
+//     the Span constructor reads one thread-local flag and returns. This
+//     is the production default and must price at (approximately) zero.
+//   - BM_TraceQueryServer/sample:1 — every request traced: id allocation,
+//     clock reads, and collector inserts for the full span tree (serve,
+//     cache_probe, queue_wait, search, encode, index_search, fuse).
+//   - BM_TraceSpanOverhead — microbenchmark of one sampled span
+//     (clock x2 + striped ring insert), the unit cost the server pays
+//     per instrumented section.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "obs/trace.h"
+#include "search/tuple_search.h"
+#include "serve/query_server.h"
+#include "table/table.h"
+#include "util/rng.h"
+
+using namespace dust;
+
+namespace {
+
+constexpr size_t kRequestsPerIteration = 128;
+constexpr size_t kClients = 8;
+constexpr size_t kK = 10;
+
+table::Table MakeWordTable(const std::string& name, size_t rows,
+                           uint64_t seed) {
+  Rng rng(seed);
+  table::Table t(name);
+  std::vector<table::Value> cities, countries, codes;
+  for (size_t r = 0; r < rows; ++r) {
+    cities.emplace_back("city" + std::to_string(rng.NextBelow(800)));
+    countries.emplace_back("country" + std::to_string(rng.NextBelow(60)));
+    codes.emplace_back("code" + std::to_string(rng.NextBelow(2000)));
+  }
+  DUST_CHECK(t.AddColumn("city", std::move(cities)).ok());
+  DUST_CHECK(t.AddColumn("country", std::move(countries)).ok());
+  DUST_CHECK(t.AddColumn("code", std::move(codes)).ok());
+  return t;
+}
+
+struct TraceWorkload {
+  std::vector<table::Table> lake_storage;
+  std::vector<table::Table> queries;
+  std::unique_ptr<search::TupleSearch> search;
+};
+
+const TraceWorkload& Workload() {
+  static const TraceWorkload* workload = [] {
+    auto* w = new TraceWorkload();
+    for (size_t t = 0; t < 32; ++t) {
+      w->lake_storage.push_back(
+          MakeWordTable("lake" + std::to_string(t), 40, 500 + t));
+    }
+    for (size_t q = 0; q < 32; ++q) {
+      w->queries.push_back(MakeWordTable("q" + std::to_string(q), 6, 9000 + q));
+    }
+    w->search =
+        std::make_unique<search::TupleSearch>(bench::MakeBenchEncoder());
+    std::vector<const table::Table*> lake;
+    for (const table::Table& t : w->lake_storage) lake.push_back(&t);
+    w->search->IndexLake(lake);
+    return w;
+  }();
+  return *workload;
+}
+
+void RunClosedLoop(size_t clients, size_t total,
+                   const std::function<void(size_t)>& one_request) {
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> fleet;
+  fleet.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    fleet.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < total; i = next.fetch_add(1)) {
+        one_request(i);
+      }
+    });
+  }
+  for (std::thread& t : fleet) t.join();
+}
+
+/// Closed-loop QPS through the QueryServer at sample rate 0 or 1. The two
+/// runs share workload, thread count, and batching config, so the QPS
+/// ratio isolates tracing's cost. items_per_second is QPS.
+void BM_TraceQueryServer(benchmark::State& state) {
+  const bool sampled = state.range(0) != 0;
+  const TraceWorkload& w = Workload();
+  serve::QueryServerOptions options;
+  options.threads = 4;
+  options.batch_window_us = 200;
+  options.max_batch = 32;
+  options.queue_capacity = 256;
+  options.trace_sample_rate = sampled ? 1.0 : 0.0;
+  serve::QueryServer server(w.search.get(), options);
+  for (auto _ : state) {
+    RunClosedLoop(kClients, kRequestsPerIteration, [&](size_t i) {
+      const table::Table& query = w.queries[i % w.queries.size()];
+      auto result = server.Submit(query, kK).get();
+      benchmark::DoNotOptimize(result.ok());
+    });
+  }
+  server.Shutdown();
+  const serve::QueryServerStats stats = server.stats();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRequestsPerIteration));
+  state.counters["p99_ms"] = stats.p99_ms;
+  state.counters["spans_recorded"] = static_cast<double>(
+      obs::SpanCollector::Global().recorded_total());
+  state.SetLabel(sampled ? "sample=1" : "sample=0");
+}
+BENCHMARK(BM_TraceQueryServer)
+    ->ArgNames({"sample"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Unit cost of one span: sampled = 2 clock reads + a name copy + a striped
+/// ring insert; unsampled = one thread-local read. Both paths in one
+/// benchmark keep the comparison honest.
+void BM_TraceSpanOverhead(benchmark::State& state) {
+  const bool sampled = state.range(0) != 0;
+  obs::SpanCollector collector(obs::SpanCollector::kDefaultCapacity,
+                               obs::SpanCollector::kDefaultStripes);
+  obs::ScopedTraceContext scope(
+      obs::TraceContext{obs::NewTraceId(), obs::NewSpanId(), sampled});
+  for (auto _ : state) {
+    obs::Span span("bench_section", &collector);
+    benchmark::DoNotOptimize(span.recording());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel(sampled ? "sampled" : "unsampled");
+}
+BENCHMARK(BM_TraceSpanOverhead)->ArgNames({"sample"})->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -183,6 +183,9 @@ Status DecodeInfo(const std::string& payload, InfoMessage* m) {
 
 std::string EncodeSearchRequest(const SearchRequestMessage& m) {
   PayloadWriter w;
+  w.PutU64(m.trace_id);
+  w.PutU64(m.parent_span_id);
+  w.PutU8(m.sampled);
   w.PutU64(m.k);
   w.PutVec(m.query);
   return w.Take();
@@ -191,6 +194,9 @@ std::string EncodeSearchRequest(const SearchRequestMessage& m) {
 Status DecodeSearchRequest(const std::string& payload,
                            SearchRequestMessage* m) {
   PayloadReader r(payload);
+  DUST_RETURN_IF_ERROR(r.GetU64(&m->trace_id));
+  DUST_RETURN_IF_ERROR(r.GetU64(&m->parent_span_id));
+  DUST_RETURN_IF_ERROR(r.GetU8(&m->sampled));
   DUST_RETURN_IF_ERROR(r.GetU64(&m->k));
   DUST_RETURN_IF_ERROR(r.GetVec(&m->query, 0));
   return Status::Ok();
@@ -239,6 +245,9 @@ Status DecodeSearchResponse(const std::string& payload,
 
 std::string EncodeSearchBatchRequest(const SearchBatchRequestMessage& m) {
   PayloadWriter w;
+  w.PutU64(m.trace_id);
+  w.PutU64(m.parent_span_id);
+  w.PutU8(m.sampled);
   w.PutU64(m.k);
   w.PutU32(static_cast<uint32_t>(m.queries.size()));
   for (const la::Vec& q : m.queries) w.PutVec(q);
@@ -248,6 +257,9 @@ std::string EncodeSearchBatchRequest(const SearchBatchRequestMessage& m) {
 Status DecodeSearchBatchRequest(const std::string& payload,
                                 SearchBatchRequestMessage* m) {
   PayloadReader r(payload);
+  DUST_RETURN_IF_ERROR(r.GetU64(&m->trace_id));
+  DUST_RETURN_IF_ERROR(r.GetU64(&m->parent_span_id));
+  DUST_RETURN_IF_ERROR(r.GetU8(&m->sampled));
   DUST_RETURN_IF_ERROR(r.GetU64(&m->k));
   // Every query still owes its own u32 length prefix.
   uint32_t count = 0;

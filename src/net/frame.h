@@ -149,8 +149,15 @@ struct InfoMessage {
   std::string shard_label;   ///< diagnostic name ("shard2", path, ...)
 };
 
-/// kSearchRequest: one query vector, top-k.
+/// kSearchRequest: one query vector, top-k. The trace fields ride first in
+/// the payload: `trace_id`/`parent_span_id` continue the router-side trace
+/// on the shard (the parent is the router's per-shard RPC span), `sampled`
+/// (any nonzero byte) tells the shard to record spans. Untraced requests
+/// send zeros.
 struct SearchRequestMessage {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  uint8_t sampled = 0;
   uint64_t k = 0;
   la::Vec query;
 };
@@ -162,8 +169,13 @@ struct SearchResponseMessage {
   std::vector<index::SearchHit> hits;
 };
 
-/// kSearchBatchRequest: the whole micro-batch in one frame, one k.
+/// kSearchBatchRequest: the whole micro-batch in one frame, one k. Trace
+/// fields as in SearchRequestMessage (one context per frame — the batch
+/// is traced under its owning request).
 struct SearchBatchRequestMessage {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  uint8_t sampled = 0;
   uint64_t k = 0;
   std::vector<la::Vec> queries;
 };

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "io/index_io.h"
+#include "obs/trace.h"
 #include "serve/executor.h"
 
 namespace dust::net {
@@ -145,6 +146,9 @@ std::string RouterIndex::name() const {
 std::vector<index::SearchHit> RouterIndex::Search(const la::Vec& query,
                                                   size_t k) const {
   queries_.fetch_add(1, std::memory_order_relaxed);
+  // Captured by value: the ParallelFor lambda re-installs it on whichever
+  // pool thread runs the call so shard RPC spans parent correctly.
+  const obs::TraceContext trace_ctx = obs::CurrentContext();
   SearchRequestMessage request;
   request.k = k;
   request.query = query;
@@ -152,8 +156,22 @@ std::vector<index::SearchHit> RouterIndex::Search(const la::Vec& query,
   std::vector<std::vector<index::SearchHit>> per_shard(shards_.size());
   std::atomic<size_t> failed{0};
   auto call_one = [&](size_t s) {
+    obs::ScopedTraceContext trace_scope(trace_ctx);
+    obs::Span rpc_span("rpc:" + shards_[s]->label);
+    const std::string* body = &payload;
+    std::string traced_payload;
+    if (rpc_span.recording()) {
+      // Sampled: re-encode this shard's copy so the remote trace parents
+      // under the RPC span. Unsampled requests share one payload.
+      SearchRequestMessage traced = request;
+      traced.trace_id = trace_ctx.trace_id;
+      traced.parent_span_id = rpc_span.span_id();
+      traced.sampled = 1;
+      traced_payload = EncodeSearchRequest(traced);
+      body = &traced_payload;
+    }
     Frame response;
-    Status called = CallShard(s, MessageType::kSearchRequest, payload,
+    Status called = CallShard(s, MessageType::kSearchRequest, *body,
                               MessageType::kSearchResponse, &response);
     SearchResponseMessage decoded;
     if (called.ok()) called = DecodeSearchResponse(response.payload, &decoded);
@@ -188,6 +206,7 @@ std::vector<std::vector<index::SearchHit>> RouterIndex::SearchBatch(
   std::vector<std::vector<index::SearchHit>> results(queries.size());
   if (queries.empty()) return results;
   queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+  const obs::TraceContext trace_ctx = obs::CurrentContext();
   SearchBatchRequestMessage request;
   request.k = k;
   request.queries = queries;
@@ -196,8 +215,21 @@ std::vector<std::vector<index::SearchHit>> RouterIndex::SearchBatch(
       shards_.size());
   std::atomic<size_t> failed{0};
   auto call_one = [&](size_t s) {
+    obs::ScopedTraceContext trace_scope(trace_ctx);
+    obs::Span rpc_span("rpc:" + shards_[s]->label);
+    const std::string* body = &payload;
+    std::string traced_payload;
+    if (rpc_span.recording()) {
+      rpc_span.AddTag("batch", static_cast<uint64_t>(queries.size()));
+      SearchBatchRequestMessage traced = request;
+      traced.trace_id = trace_ctx.trace_id;
+      traced.parent_span_id = rpc_span.span_id();
+      traced.sampled = 1;
+      traced_payload = EncodeSearchBatchRequest(traced);
+      body = &traced_payload;
+    }
     Frame response;
-    Status called = CallShard(s, MessageType::kSearchBatchRequest, payload,
+    Status called = CallShard(s, MessageType::kSearchBatchRequest, *body,
                               MessageType::kSearchBatchResponse, &response);
     SearchBatchResponseMessage decoded;
     if (called.ok()) {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "io/index_io.h"
+#include "obs/trace.h"
 
 namespace dust::net {
 
@@ -101,6 +102,11 @@ Result<Frame> ShardService::HandleSearch(const Frame& request) {
         "query dim " + std::to_string(msg.query.size()) +
         " != index dim " + std::to_string(index_->dim()));
   }
+  // Continue the router's trace: the parent span id on the wire is the
+  // router-side RPC span, so one trace_id stitches both processes.
+  obs::ScopedTraceContext trace_scope(
+      obs::TraceContext{msg.trace_id, msg.parent_span_id, msg.sampled != 0});
+  obs::Span span("shard:search");
   const auto start = Clock::now();
   SearchResponseMessage out;
   out.hits = index_->Search(msg.query, static_cast<size_t>(msg.k));
@@ -123,6 +129,10 @@ Result<Frame> ShardService::HandleSearchBatch(const Frame& request) {
           " != index dim " + std::to_string(index_->dim()));
     }
   }
+  obs::ScopedTraceContext trace_scope(
+      obs::TraceContext{msg.trace_id, msg.parent_span_id, msg.sampled != 0});
+  obs::Span span("shard:search_batch");
+  span.AddTag("batch", static_cast<uint64_t>(msg.queries.size()));
   const auto start = Clock::now();
   SearchBatchResponseMessage out;
   // No executor here on purpose: handler tasks already run on the server's

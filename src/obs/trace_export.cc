@@ -1,0 +1,177 @@
+#include "obs/trace_export.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dust {
+namespace obs {
+namespace {
+
+std::string EscapeJson(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string HexId(uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+// Chrome wants small stable tids; fold the hashed thread id down while
+// keeping distinct threads almost surely distinct within one trace file.
+uint64_t CompactTid(uint64_t thread_id) { return thread_id % 1000000; }
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<SpanRecord>& records,
+                              const std::string& process_label) {
+  const long long pid = static_cast<long long>(::getpid());
+  std::string out = "{\"traceEvents\":[\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%lld,"
+                "\"tid\":0,\"args\":{\"name\":\"%s\"}}",
+                pid, EscapeJson(process_label).c_str());
+  out += buf;
+  for (const SpanRecord& record : records) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\n{\"name\":\"%s\",\"cat\":\"dust\",\"ph\":\"X\","
+                  "\"ts\":%lld,\"dur\":%lld,\"pid\":%lld,\"tid\":%llu,",
+                  EscapeJson(record.name).c_str(),
+                  static_cast<long long>(record.start_us),
+                  static_cast<long long>(record.duration_us), pid,
+                  static_cast<unsigned long long>(
+                      CompactTid(record.thread_id)));
+    out += buf;
+    out += "\"args\":{\"trace_id\":\"" + HexId(record.trace_id) +
+           "\",\"span_id\":\"" + HexId(record.span_id) +
+           "\",\"parent_span_id\":\"" + HexId(record.parent_span_id) + "\"";
+    if (!record.tags.empty()) {
+      out += ",\"tags\":\"" + EscapeJson(record.tags) + "\"";
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<SpanRecord>& records,
+                        const std::string& process_label) {
+  const std::string json = ExportChromeTrace(records, process_label);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace output file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return Status::IoError("short write to trace output file: " + path);
+  }
+  return Status::Ok();
+}
+
+std::string RenderSpanTree(uint64_t trace_id,
+                           const std::vector<SpanRecord>& records) {
+  std::vector<const SpanRecord*> spans;
+  for (const SpanRecord& record : records) {
+    if (record.trace_id == trace_id) spans.push_back(&record);
+  }
+  if (spans.empty()) {
+    return "trace " + HexId(trace_id) + " (no spans retained)\n";
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord* a, const SpanRecord* b) {
+              if (a->start_us != b->start_us) return a->start_us < b->start_us;
+              return a->span_id < b->span_id;
+            });
+  const int64_t origin_us = spans.front()->start_us;
+
+  std::unordered_set<uint64_t> known;
+  for (const SpanRecord* span : spans) known.insert(span->span_id);
+  std::unordered_map<uint64_t, std::vector<const SpanRecord*>> children;
+  std::vector<const SpanRecord*> roots;
+  for (const SpanRecord* span : spans) {
+    if (span->parent_span_id != 0 && known.count(span->parent_span_id) > 0 &&
+        span->parent_span_id != span->span_id) {
+      children[span->parent_span_id].push_back(span);
+    } else {
+      roots.push_back(span);
+    }
+  }
+
+  std::string out = "trace " + HexId(trace_id) + " (" +
+                    std::to_string(spans.size()) + " spans)\n";
+  // Iterative DFS with a depth cap as a guard against malformed cycles.
+  struct Frame {
+    const SpanRecord* span;
+    size_t depth;
+  };
+  std::vector<Frame> stack;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.push_back({*it, 0});
+  }
+  constexpr size_t kMaxDepth = 64;
+  char line[192];
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    std::string indent(2 * (frame.depth + 1), ' ');
+    std::snprintf(line, sizeof(line), "%s%s %.3fms @+%.3fms%s%s\n",
+                  indent.c_str(), frame.span->name.c_str(),
+                  static_cast<double>(frame.span->duration_us) / 1000.0,
+                  static_cast<double>(frame.span->start_us - origin_us) /
+                      1000.0,
+                  frame.span->tags.empty() ? "" : " ",
+                  frame.span->tags.c_str());
+    out += line;
+    if (frame.depth + 1 >= kMaxDepth) continue;
+    auto it = children.find(frame.span->span_id);
+    if (it == children.end()) continue;
+    for (auto child = it->second.rbegin(); child != it->second.rend();
+         ++child) {
+      stack.push_back({*child, frame.depth + 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace dust

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/trace.h"
 #include "text/hashing.h"
 #include "util/stopwatch.h"
 
@@ -74,10 +75,13 @@ Status CascadeSearch::Run(const std::vector<const CandidateStage*>& stages,
                               "' was not declared at construction");
     }
     const size_t in = set.tables.size();
+    obs::Span span("stage:" + name);
     Stopwatch watch;
     DUST_RETURN_IF_ERROR(stage->Run(set));
     const double micros = watch.Seconds() * 1e6;
     const size_t out = set.tables.size();
+    span.AddTag("in", static_cast<uint64_t>(in));
+    span.AddTag("out", static_cast<uint64_t>(out));
     Instruments& instruments = *instruments_[slot];
     instruments.runs.Increment();
     instruments.in.Increment(in);

@@ -7,6 +7,7 @@
 
 #include <cstring>
 
+#include "obs/trace.h"
 #include "serve/executor.h"
 #include "text/hashing.h"
 #include "util/status.h"
@@ -263,6 +264,9 @@ std::vector<Result<std::vector<TupleHit>>> TupleSearch::SearchTuplesBatch(
   // would perturb fusion inputs and break bit-parity with the sequential
   // path. In steady state every request uses per_query_candidates, so a
   // batch is a single group and a single SearchBatch call.
+  // Captured by value so ParallelFor members re-install the batch's trace
+  // on whichever pool thread runs them.
+  const obs::TraceContext trace_ctx = obs::CurrentContext();
   std::map<size_t, std::vector<size_t>> groups_by_fetch;
   for (size_t i = 0; i < queries.size(); ++i) {
     if (queries[i].table == nullptr || queries[i].table->num_rows() == 0) {
@@ -282,6 +286,9 @@ std::vector<Result<std::vector<TupleHit>>> TupleSearch::SearchTuplesBatch(
     }
     std::vector<la::Vec> embeddings(offsets.back());
     const auto encode_member = [&](size_t m) {
+      obs::ScopedTraceContext trace_scope(trace_ctx);
+      obs::Span span("encode");
+      span.AddTag("member", static_cast<uint64_t>(m));
       const table::Table& query = *queries[members[m]].table;
       for (size_t r = 0; r < query.num_rows(); ++r) {
         embeddings[offsets[m] + r] = encoder_->EncodeSerialized(
@@ -295,9 +302,16 @@ std::vector<Result<std::vector<TupleHit>>> TupleSearch::SearchTuplesBatch(
     } else {
       for (size_t m = 0; m < members.size(); ++m) encode_member(m);
     }
-    const std::vector<std::vector<index::SearchHit>> hits =
-        index_->SearchBatch(embeddings, fetch, executor);
+    std::vector<std::vector<index::SearchHit>> hits;
+    {
+      obs::Span span("index_search");
+      span.AddTag("rows", static_cast<uint64_t>(embeddings.size()));
+      hits = index_->SearchBatch(embeddings, fetch, executor);
+    }
     const auto fuse_member = [&](size_t m) {
+      obs::ScopedTraceContext trace_scope(trace_ctx);
+      obs::Span span("fuse");
+      span.AddTag("member", static_cast<uint64_t>(m));
       const size_t i = members[m];
       // Per-request cascade: prune candidate tables with the cheap layers
       // before fusion pays attention to their tuples. Stage objects are

@@ -30,6 +30,11 @@ std::string FormatValue(double v) {
   return buffer;
 }
 
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 }  // namespace
 
 Histogram::Histogram(std::vector<double> upper_bounds)
@@ -167,14 +172,22 @@ std::string Metrics::RenderText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const auto& [name, instrument] : instruments_) {
+    // Prometheus exposition format wants each metric preceded by a # TYPE
+    // line. Callbacks are pull-gauges, except the _total convention marks
+    // a monotonically increasing series.
     if (instrument.counter != nullptr) {
+      out += "# TYPE " + name + " counter\n";
       out += name + " " + std::to_string(instrument.counter->value()) + "\n";
     } else if (instrument.gauge != nullptr) {
+      out += "# TYPE " + name + " gauge\n";
       out += name + " " + std::to_string(instrument.gauge->value()) + "\n";
     } else if (instrument.callback) {
+      out += "# TYPE " + name +
+             (EndsWith(name, "_total") ? " counter\n" : " gauge\n");
       out += name + " " + FormatValue(instrument.callback()) + "\n";
     } else if (instrument.histogram != nullptr) {
       const Histogram& h = *instrument.histogram;
+      out += "# TYPE " + name + " histogram\n";
       // Cumulative buckets, Prometheus-style: le="x" counts samples <= x.
       uint64_t cumulative = 0;
       for (size_t i = 0; i < h.num_buckets(); ++i) {

@@ -2,7 +2,20 @@
 
 #include <utility>
 
+#include "obs/trace_export.h"
+#include "util/logging.h"
+
 namespace dust::serve {
+
+namespace {
+
+int64_t ToSteadyMicros(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 QueryServer::QueryServer(const search::TupleSearch* search,
                          QueryServerOptions options)
@@ -12,8 +25,10 @@ QueryServer::QueryServer(const search::TupleSearch* search,
       queue_(options.queue_capacity),
       latency_ms_(Histogram::LatencyBoundsMs()),
       batch_occupancy_(Histogram::OccupancyBounds()),
+      sampler_(options.trace_sample_rate),
       dispatcher_([this] { DispatchLoop(); }) {
   DUST_CHECK(search_ != nullptr);
+  DUST_CHECK(obs::ValidSampleRate(options_.trace_sample_rate));
   if (options_.cache_entries > 0) {
     ResultCacheOptions cache_options;
     cache_options.capacity_entries = options_.cache_entries;
@@ -35,6 +50,13 @@ void QueryServer::RegisterMetrics() {
   metrics_.RegisterCounter("dust_serve_served_total", &served_);
   metrics_.RegisterCounter("dust_serve_rejected_total", &rejected_);
   metrics_.RegisterCounter("dust_serve_batches_total", &batches_);
+  metrics_.RegisterCounter("dust_slow_queries_total", &slow_queries_);
+  metrics_.RegisterCallback("dust_trace_spans_recorded_total", [] {
+    return static_cast<double>(obs::SpanCollector::Global().recorded_total());
+  });
+  metrics_.RegisterCallback("dust_trace_spans_dropped_total", [] {
+    return static_cast<double>(obs::SpanCollector::Global().dropped_total());
+  });
   metrics_.RegisterHistogram("dust_serve_latency_ms", &latency_ms_);
   metrics_.RegisterHistogram("dust_serve_batch_occupancy", &batch_occupancy_);
   // Pull-gauges: the queue, executor, and lifecycle already track these;
@@ -83,21 +105,30 @@ std::future<QueryServer::TupleResult> QueryServer::Submit(
   request.query = &query;
   request.k = k;
   request.admitted = arrival;
+  if (options_.trace_sample_rate > 0.0 && sampler_.Sample()) {
+    request.trace.trace_id = obs::NewTraceId();
+    request.trace.span_id = obs::NewSpanId();  // the root "serve" span
+    request.trace.sampled = true;
+  }
   if (cache_ != nullptr && !shutdown_.load()) {
     // Fingerprint + probe on the client's thread, ahead of queue admission:
     // a hit resolves here and never occupies batch capacity, so hot-query
     // traffic cannot crowd out cold queries (and the dispatcher never
     // serializes behind cache work).
     request.cacheable = true;
-    request.cache_key = {search_->QueryFingerprint(query), k,
-                         cache_config_hash_};
-    request.snapshot_hash = search_->LakeStateHash();
     std::vector<search::TupleHit> cached;
-    if (cache_->Lookup(request.cache_key, request.snapshot_hash, &cached)) {
+    bool hit = false;
+    {
+      obs::ScopedTraceContext trace_scope(request.trace);
+      obs::Span probe_span("cache_probe");
+      request.cache_key = {search_->QueryFingerprint(query), k,
+                           cache_config_hash_};
+      request.snapshot_hash = search_->LakeStateHash();
+      hit = cache_->Lookup(request.cache_key, request.snapshot_hash, &cached);
+    }
+    if (hit) {
       submitted_.Increment();
-      latency_ms_.Record(std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - arrival)
-                             .count());
+      ObserveCompletion(request, std::chrono::steady_clock::now());
       promise.set_value(std::move(cached));
       return future;
     }
@@ -137,21 +168,37 @@ void QueryServer::DispatchLoop() {
 }
 
 void QueryServer::Dispatch(std::vector<Request>* batch) {
+  // Every traced request charges its time on the queue to a queue_wait
+  // span; the first traced request "owns" the batch-level search span (the
+  // batch runs once, so its spans can only live on one trace).
+  const auto batch_start = std::chrono::steady_clock::now();
+  const Request* trace_owner = nullptr;
+  for (const Request& request : *batch) {
+    if (!request.trace.sampled) continue;
+    if (trace_owner == nullptr) trace_owner = &request;
+    obs::RecordSpan(request.trace.trace_id, 0, request.trace.span_id,
+                    "queue_wait", ToSteadyMicros(request.admitted),
+                    ToSteadyMicros(batch_start));
+  }
   std::vector<search::TupleSearch::TupleQuery> queries;
   queries.reserve(batch->size());
   for (const Request& request : *batch) {
     queries.push_back({request.query, request.k});
   }
-  std::vector<TupleResult> results =
-      search_->SearchTuplesBatch(queries, &executor_);
+  std::vector<TupleResult> results;
+  {
+    obs::ScopedTraceContext trace_scope(
+        trace_owner != nullptr ? trace_owner->trace : obs::TraceContext{});
+    obs::Span search_span("search");
+    search_span.AddTag("batch", static_cast<uint64_t>(batch->size()));
+    results = search_->SearchTuplesBatch(queries, &executor_);
+  }
   const auto now = std::chrono::steady_clock::now();
   batches_.Increment();
   batch_occupancy_.Record(static_cast<double>(batch->size()));
   served_.Increment(batch->size());
   for (const Request& request : *batch) {
-    latency_ms_.Record(
-        std::chrono::duration<double, std::milli>(now - request.admitted)
-            .count());
+    ObserveCompletion(request, now);
   }
   for (size_t i = 0; i < batch->size(); ++i) {
     Request& request = (*batch)[i];
@@ -162,6 +209,34 @@ void QueryServer::Dispatch(std::vector<Request>* batch) {
                      results[i].value());
     }
     request.promise.set_value(std::move(results[i]));
+  }
+}
+
+void QueryServer::ObserveCompletion(
+    const Request& request, std::chrono::steady_clock::time_point done) {
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(done - request.admitted)
+          .count();
+  latency_ms_.Record(latency_ms);
+  if (request.trace.sampled) {
+    // The root span closes when the request resolves; children (cache
+    // probe, queue wait, search) recorded earlier parent under its id.
+    obs::RecordSpan(request.trace.trace_id, request.trace.span_id, 0, "serve",
+                    ToSteadyMicros(request.admitted), ToSteadyMicros(done));
+  }
+  if (options_.slow_query_ms >= 0.0 && latency_ms >= options_.slow_query_ms) {
+    slow_queries_.Increment();
+    std::string tree;
+    if (request.trace.sampled) {
+      tree = "\n" + obs::RenderSpanTree(
+                        request.trace.trace_id,
+                        obs::SpanCollector::Global().CollectTrace(
+                            request.trace.trace_id));
+    }
+    DUST_LOG(Warning) << "slow query: " << latency_ms << " ms >= "
+                      << options_.slow_query_ms << " ms threshold, trace_id=0x"
+                      << std::hex << request.trace.trace_id << std::dec
+                      << tree;
   }
 }
 

@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "search/tuple_search.h"
 #include "serve/bounded_queue.h"
 #include "serve/executor.h"
@@ -62,6 +63,14 @@ struct QueryServerOptions {
   size_t cache_bytes = size_t{64} << 20;
   /// Result cache lock stripes (1 = globally LRU-ordered).
   size_t cache_stripes = 16;
+  /// Fraction of requests traced into obs::SpanCollector::Global() with a
+  /// deterministic sampler; 0 disables tracing entirely (no clock reads on
+  /// the hot path), 1 traces everything. Must be a finite value in [0, 1].
+  double trace_sample_rate = 0.0;
+  /// Requests whose Submit -> future-ready latency meets or exceeds this
+  /// threshold (ms) are logged at WARN with their trace id and span tree.
+  /// Negative disables the slow-query log; 0 logs every request.
+  double slow_query_ms = -1.0;
 };
 
 /// Serving counters and latency percentiles (Submit -> future ready).
@@ -140,11 +149,18 @@ class QueryServer {
     bool cacheable = false;
     ResultCache::Key cache_key;
     uint64_t snapshot_hash = 0;
+    /// Sampled at admission; `span_id` is the root "serve" span, recorded
+    /// when the request resolves. All-zero when the request is untraced.
+    obs::TraceContext trace;
   };
 
   void DispatchLoop();
   void Dispatch(std::vector<Request>* batch);
   void RegisterMetrics();
+  /// Records latency, the root "serve" span, and the slow-query log for a
+  /// resolving request.
+  void ObserveCompletion(const Request& request,
+                         std::chrono::steady_clock::time_point done);
 
   const search::TupleSearch* search_;
   const QueryServerOptions options_;
@@ -161,8 +177,10 @@ class QueryServer {
   Counter served_;
   Counter rejected_;
   Counter batches_;
+  Counter slow_queries_;
   Histogram latency_ms_;
   Histogram batch_occupancy_;
+  obs::Sampler sampler_;
 
   std::thread dispatcher_;  // last member: starts after state is ready
 };

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "io/index_io.h"
+#include "obs/trace.h"
 #include "serve/executor.h"
 #include "text/hashing.h"
 #include "util/status.h"
@@ -167,10 +168,14 @@ std::vector<index::SearchHit> ShardedIndex::Search(const la::Vec& query,
   // Scatter: every shard answers top-k in parallel (a hit beyond a shard's
   // own top-k can never enter the merged top-k, so per-shard k is enough).
   std::vector<std::vector<index::SearchHit>> per_shard(shards_.size());
+  const obs::TraceContext trace_ctx = obs::CurrentContext();
   if (shards_.size() > 1 && executor_ != nullptr) {
     // Serving path: the scatter reuses the shared pool instead of creating
     // shards_-1 threads on every query.
     executor_->ParallelFor(shards_.size(), [&](size_t s) {
+      obs::ScopedTraceContext trace_scope(trace_ctx);
+      obs::Span span("scatter");
+      span.AddTag("shard", static_cast<uint64_t>(s));
       per_shard[s] = shards_[s]->Search(query, k);
     });
   } else if (shards_.size() > 1) {
@@ -212,8 +217,10 @@ std::vector<std::vector<index::SearchHit>> ShardedIndex::SearchBatch(
   // query.)
   std::vector<std::vector<std::vector<index::SearchHit>>> per_shard;
   per_shard.reserve(shards_.size());
-  for (const std::unique_ptr<index::VectorIndex>& shard : shards_) {
-    per_shard.push_back(shard->SearchBatch(queries, k, executor));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    obs::Span span("scatter_batch");
+    span.AddTag("shard", static_cast<uint64_t>(s));
+    per_shard.push_back(shards_[s]->SearchBatch(queries, k, executor));
   }
   for (size_t q = 0; q < queries.size(); ++q) {
     std::vector<index::SearchHit> hits;

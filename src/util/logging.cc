@@ -1,12 +1,18 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <ctime>
+#include <functional>
 #include <iostream>
+#include <thread>
 
 namespace dust {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,20 +29,46 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 namespace internal {
 
+std::string FormatLogPrefix(LogLevel level, const char* file, int line) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char timestamp[80];
+  std::snprintf(timestamp, sizeof(timestamp),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", tm.tm_year + 1900,
+                tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min, tm.tm_sec,
+                millis);
+  // A short stable per-thread id keeps the prefix readable.
+  const unsigned long tid = static_cast<unsigned long>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % 100000);
+  const char* base = std::strrchr(file, '/');
+  char prefix[160];
+  std::snprintf(prefix, sizeof(prefix), "[%s %s tid=%lu %s:%d] ", timestamp,
+                LevelName(level), tid, base ? base + 1 : file, line);
+  return prefix;
+}
+
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  const char* base = std::strrchr(file, '/');
-  stream_ << "[" << LevelName(level) << " " << (base ? base + 1 : file) << ":"
-          << line << "] ";
+  stream_ << FormatLogPrefix(level, file, line);
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) >= static_cast<int>(g_level)) {
+  if (static_cast<int>(level_) >=
+      static_cast<int>(g_level.load(std::memory_order_relaxed))) {
     std::cerr << stream_.str() << std::endl;
   }
 }

@@ -1,5 +1,8 @@
-// Minimal severity-filtered logger used by long-running benches and the
-// training loop. Single-threaded by design (the library is single-threaded).
+// Minimal severity-filtered logger. Thread-safe: the active level is an
+// atomic, and each message is flushed to stderr as one write so lines from
+// concurrent threads do not interleave mid-line. The prefix carries an
+// ISO-8601 UTC timestamp and a thread id so interleaved multi-threaded
+// logs stay attributable.
 #ifndef DUST_UTIL_LOGGING_H_
 #define DUST_UTIL_LOGGING_H_
 
@@ -11,10 +14,15 @@ namespace dust {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Sets the minimum level that is emitted to stderr. Default: kInfo.
+/// Thread-safe (relaxed atomic).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
 namespace internal {
+
+/// "[<ISO-8601 UTC ms> <LEVEL> tid=<id> <file>:<line>] " — exposed for
+/// tests.
+std::string FormatLogPrefix(LogLevel level, const char* file, int line);
 
 class LogMessage {
  public:

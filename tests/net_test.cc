@@ -21,6 +21,7 @@
 #include "net/router_index.h"
 #include "net/server.h"
 #include "net/shard_service.h"
+#include "obs/trace.h"
 #include "serve/executor.h"
 #include "shard/sharded_index.h"
 #include "util/rng.h"
@@ -115,10 +116,16 @@ TEST(FrameTest, SearchMessagesRoundTripBitExact) {
   SearchRequestMessage request;
   request.k = 7;
   request.query = {1.5f, -0.0f, 3.25e-30f, 7.0f};
+  request.trace_id = 0xFEEDFACE12345678ULL;
+  request.parent_span_id = 0x0102030405060708ULL;
+  request.sampled = 1;
   SearchRequestMessage request_back;
   ASSERT_TRUE(
       DecodeSearchRequest(EncodeSearchRequest(request), &request_back).ok());
   EXPECT_EQ(request_back.k, 7u);
+  EXPECT_EQ(request_back.trace_id, 0xFEEDFACE12345678ULL);
+  EXPECT_EQ(request_back.parent_span_id, 0x0102030405060708ULL);
+  EXPECT_EQ(request_back.sampled, 1);
   ASSERT_EQ(request_back.query.size(), request.query.size());
   for (size_t i = 0; i < request.query.size(); ++i) {
     uint32_t a = 0, b = 0;
@@ -144,10 +151,16 @@ TEST(FrameTest, BatchMessagesRoundTrip) {
   SearchBatchRequestMessage request;
   request.k = 3;
   request.queries = {{1.0f, 2.0f}, {3.0f, 4.0f}, {5.0f, 6.0f}};
+  request.trace_id = 0xABCDEF;
+  request.parent_span_id = 0x123456;
+  request.sampled = 1;
   SearchBatchRequestMessage back;
   ASSERT_TRUE(
       DecodeSearchBatchRequest(EncodeSearchBatchRequest(request), &back).ok());
   EXPECT_EQ(back.k, 3u);
+  EXPECT_EQ(back.trace_id, 0xABCDEFu);
+  EXPECT_EQ(back.parent_span_id, 0x123456u);
+  EXPECT_EQ(back.sampled, 1);
   ASSERT_EQ(back.queries.size(), 3u);
   EXPECT_EQ(back.queries[2], (la::Vec{5.0f, 6.0f}));
 
@@ -178,10 +191,14 @@ TEST(FrameTest, TruncatedPayloadRejected) {
 TEST(FrameTest, FuzzedPayloadsNeverCrash) {
   // Random corruption of valid payloads must yield ok or IoError — never a
   // crash, hang, or oversized allocation (counts are validated against the
-  // bytes present).
+  // bytes present). Nonzero trace fields put the propagation prefix under
+  // the same corruption coverage as the vectors.
   SearchBatchRequestMessage request;
   request.k = 4;
   request.queries = RandomUnitVectors(3, 8, 11);
+  request.trace_id = 0x1122334455667788ULL;
+  request.parent_span_id = 0x99AABBCCDDEEFF00ULL;
+  request.sampled = 1;
   const std::string valid = EncodeSearchBatchRequest(request);
   Rng rng(1234);
   for (int iter = 0; iter < 500; ++iter) {
@@ -481,6 +498,72 @@ TEST(RouterIndexTest, FederatedMetricsCarryShardLabels) {
   cluster.servers[2]->server->Shutdown();
   const std::string degraded = router->FederatedMetricsText();
   EXPECT_NE(degraded.find("unreachable"), std::string::npos);
+}
+
+TEST(RouterIndexTest, TraceStitchesAcrossRouterAndShards) {
+  Cluster cluster;
+  auto connected = RouterIndex::Connect(cluster.endpoints);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  std::unique_ptr<RouterIndex> router = std::move(connected).value();
+  router->SetExecutor(&cluster.executor);
+  obs::SpanCollector::Global().Clear();
+  const uint64_t trace_id = obs::NewTraceId();
+  const uint64_t root_span_id = obs::NewSpanId();
+  {
+    obs::ScopedTraceContext scope(
+        obs::TraceContext{trace_id, root_span_id, true});
+    (void)router->Search(RandomUnitVectors(1, Cluster::kDim, 81)[0], 5);
+  }
+  // The loopback shard servers live in this process, so the global collector
+  // holds both sides of every RPC under the single propagated trace id.
+  const std::vector<obs::SpanRecord> spans =
+      obs::SpanCollector::Global().CollectTrace(trace_id);
+  std::vector<const obs::SpanRecord*> rpc_spans;
+  std::vector<const obs::SpanRecord*> shard_spans;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name.rfind("rpc:", 0) == 0) rpc_spans.push_back(&span);
+    if (span.name == "shard:search") shard_spans.push_back(&span);
+  }
+  ASSERT_EQ(rpc_spans.size(), Cluster::kShards);
+  ASSERT_EQ(shard_spans.size(), Cluster::kShards);
+  for (const obs::SpanRecord* rpc : rpc_spans) {
+    EXPECT_EQ(rpc->trace_id, trace_id);
+    EXPECT_EQ(rpc->parent_span_id, root_span_id);
+  }
+  // Each shard-side span parents under exactly one router-side rpc span:
+  // the link crossed the wire intact.
+  for (const obs::SpanRecord* shard : shard_spans) {
+    EXPECT_EQ(shard->trace_id, trace_id);
+    size_t parents = 0;
+    for (const obs::SpanRecord* rpc : rpc_spans) {
+      if (shard->parent_span_id == rpc->span_id) ++parents;
+    }
+    EXPECT_EQ(parents, 1u) << "shard span has no unique rpc parent";
+  }
+
+  // The batch path stitches the same way.
+  obs::SpanCollector::Global().Clear();
+  const uint64_t batch_trace = obs::NewTraceId();
+  {
+    obs::ScopedTraceContext scope(
+        obs::TraceContext{batch_trace, obs::NewSpanId(), true});
+    (void)router->SearchBatch(RandomUnitVectors(4, Cluster::kDim, 82), 5,
+                              &cluster.executor);
+  }
+  const std::vector<obs::SpanRecord> batch_spans =
+      obs::SpanCollector::Global().CollectTrace(batch_trace);
+  size_t batch_rpcs = 0, batch_shards = 0;
+  for (const obs::SpanRecord& span : batch_spans) {
+    if (span.name.rfind("rpc:", 0) == 0) ++batch_rpcs;
+    if (span.name == "shard:search_batch") ++batch_shards;
+  }
+  EXPECT_EQ(batch_rpcs, Cluster::kShards);
+  EXPECT_EQ(batch_shards, Cluster::kShards);
+
+  // An unsampled search must leave the collector untouched.
+  obs::SpanCollector::Global().Clear();
+  (void)router->Search(RandomUnitVectors(1, Cluster::kDim, 83)[0], 5);
+  EXPECT_TRUE(obs::SpanCollector::Global().Snapshot().empty());
 }
 
 TEST(ServerTest, EchoesRequestIdOnResponsesAndErrors) {

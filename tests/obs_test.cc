@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+
+namespace dust::obs {
+namespace {
+
+TEST(SamplerTest, RateValidation) {
+  EXPECT_TRUE(ValidSampleRate(0.0));
+  EXPECT_TRUE(ValidSampleRate(1.0));
+  EXPECT_TRUE(ValidSampleRate(0.25));
+  EXPECT_FALSE(ValidSampleRate(-0.1));
+  EXPECT_FALSE(ValidSampleRate(1.5));
+  EXPECT_FALSE(ValidSampleRate(std::nan("")));
+  EXPECT_FALSE(ValidSampleRate(std::numeric_limits<double>::infinity()));
+}
+
+TEST(SamplerTest, ZeroNeverSamplesOneAlwaysSamples) {
+  Sampler off(0.0);
+  Sampler on(1.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(off.Sample());
+    EXPECT_TRUE(on.Sample());
+  }
+}
+
+TEST(SamplerTest, RateIsDeterministicAndExact) {
+  // floor((n+1)*r) > floor(n*r) admits exactly floor(n*r) of the first n
+  // decisions — 250 of 1000 at rate 0.25, independent of timing.
+  Sampler sampler(0.25);
+  int sampled = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (sampler.Sample()) ++sampled;
+  }
+  EXPECT_EQ(sampled, 250);
+  // And the pattern is deterministic: a fresh sampler repeats it.
+  Sampler again(0.25);
+  std::vector<bool> first;
+  for (int i = 0; i < 40; ++i) first.push_back(again.Sample());
+  Sampler third(0.25);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(first[i], third.Sample());
+}
+
+TEST(TraceContextTest, ScopedInstallAndRestore) {
+  EXPECT_FALSE(CurrentContext().sampled);
+  EXPECT_EQ(CurrentContext().trace_id, 0u);
+  {
+    ScopedTraceContext outer(TraceContext{7, 8, true});
+    EXPECT_EQ(CurrentContext().trace_id, 7u);
+    EXPECT_EQ(CurrentContext().span_id, 8u);
+    EXPECT_TRUE(CurrentContext().sampled);
+    {
+      ScopedTraceContext inner(TraceContext{9, 10, false});
+      EXPECT_EQ(CurrentContext().trace_id, 9u);
+      EXPECT_FALSE(CurrentContext().sampled);
+    }
+    EXPECT_EQ(CurrentContext().trace_id, 7u);
+  }
+  EXPECT_EQ(CurrentContext().trace_id, 0u);
+}
+
+TEST(TraceContextTest, NewIdsAreNonZeroAndDistinct) {
+  const uint64_t a = NewTraceId();
+  const uint64_t b = NewTraceId();
+  const uint64_t c = NewSpanId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(c, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(SpanTest, UnsampledSpanRecordsNothing) {
+  SpanCollector collector(64, 1);
+  {
+    Span span("noop", &collector);
+    EXPECT_FALSE(span.recording());
+    EXPECT_EQ(span.span_id(), 0u);
+    span.AddTag("k", uint64_t{3});  // must be a no-op, not a crash
+  }
+  EXPECT_EQ(collector.recorded_total(), 0u);
+  EXPECT_TRUE(collector.Snapshot().empty());
+}
+
+TEST(SpanTest, NestedSpansRecordParentLinks) {
+  SpanCollector collector(64, 1);
+  const uint64_t trace_id = NewTraceId();
+  const uint64_t root_id = NewSpanId();
+  uint64_t outer_id = 0;
+  {
+    ScopedTraceContext scope(TraceContext{trace_id, root_id, true});
+    Span outer("outer", &collector);
+    EXPECT_TRUE(outer.recording());
+    outer_id = outer.span_id();
+    outer.AddTag("k", uint64_t{30});
+    outer.AddTag("mode", "batch");
+    {
+      Span inner("inner", &collector);
+      EXPECT_EQ(CurrentContext().span_id, inner.span_id());
+    }
+    // Inner's scope restored outer as the current parent.
+    EXPECT_EQ(CurrentContext().span_id, outer_id);
+  }
+  const std::vector<SpanRecord> records = collector.Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  // Sorted by start time: outer starts first.
+  EXPECT_EQ(records[0].name, "outer");
+  EXPECT_EQ(records[0].trace_id, trace_id);
+  EXPECT_EQ(records[0].parent_span_id, root_id);
+  EXPECT_EQ(records[0].tags, "k=30,mode=batch");
+  EXPECT_EQ(records[1].name, "inner");
+  EXPECT_EQ(records[1].parent_span_id, outer_id);
+  EXPECT_GE(records[1].start_us, records[0].start_us);
+}
+
+TEST(SpanTest, ManualRecordSpan) {
+  SpanCollector collector(64, 1);
+  const uint64_t id =
+      RecordSpan(42, 0, 7, "queue_wait", 1000, 3500, &collector);
+  EXPECT_NE(id, 0u);
+  const std::vector<SpanRecord> records = collector.Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].trace_id, 42u);
+  EXPECT_EQ(records[0].span_id, id);
+  EXPECT_EQ(records[0].parent_span_id, 7u);
+  EXPECT_EQ(records[0].start_us, 1000);
+  EXPECT_EQ(records[0].duration_us, 2500);
+  // An explicit span id is kept verbatim; a backwards interval clamps to 0.
+  RecordSpan(42, 99, 7, "clamped", 5000, 4000, &collector);
+  const std::vector<SpanRecord> after = collector.Snapshot();
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(after[1].span_id, 99u);
+  EXPECT_EQ(after[1].duration_us, 0);
+}
+
+TEST(SpanCollectorTest, RingDropsOldestAndCounts) {
+  SpanCollector collector(4, 1);  // one stripe of 4 slots
+  for (uint64_t i = 1; i <= 6; ++i) {
+    SpanRecord record;
+    record.trace_id = 1;
+    record.span_id = i;
+    record.name = "s" + std::to_string(i);
+    record.start_us = static_cast<int64_t>(i);
+    collector.Record(std::move(record));
+  }
+  EXPECT_EQ(collector.recorded_total(), 6u);
+  EXPECT_EQ(collector.dropped_total(), 2u);  // spans 1 and 2 were evicted
+  const std::vector<SpanRecord> records = collector.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.front().span_id, 3u);
+  EXPECT_EQ(records.back().span_id, 6u);
+  collector.Clear();
+  EXPECT_EQ(collector.recorded_total(), 0u);
+  EXPECT_EQ(collector.dropped_total(), 0u);
+  EXPECT_TRUE(collector.Snapshot().empty());
+}
+
+TEST(SpanCollectorTest, ConcurrentRecordIsBoundedAndSafe) {
+  SpanCollector collector(256, 8);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&collector, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SpanRecord record;
+        record.trace_id = static_cast<uint64_t>(t) + 1;
+        record.span_id = static_cast<uint64_t>(t * kPerThread + i) + 1;
+        record.name = "w";
+        record.start_us = i;
+        collector.Record(std::move(record));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(collector.recorded_total(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  const std::vector<SpanRecord> records = collector.Snapshot();
+  EXPECT_LE(records.size(), collector.capacity());
+  EXPECT_EQ(collector.recorded_total() - collector.dropped_total(),
+            records.size());
+}
+
+TEST(CollectTraceTest, FiltersByTraceId) {
+  SpanCollector collector(64, 1);
+  RecordSpan(1, 0, 0, "a", 10, 20, &collector);
+  RecordSpan(2, 0, 0, "b", 15, 25, &collector);
+  RecordSpan(1, 0, 0, "c", 30, 40, &collector);
+  const std::vector<SpanRecord> trace = collector.CollectTrace(1);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].name, "a");
+  EXPECT_EQ(trace[1].name, "c");
+}
+
+TEST(ChromeExportTest, EmitsWellFormedEvents) {
+  SpanCollector collector(64, 1);
+  const uint64_t trace_id = 0xabc;
+  const uint64_t root = RecordSpan(trace_id, 0, 0, "serve", 100, 900,
+                                   &collector);
+  RecordSpan(trace_id, 0, root, "cache \"probe\"", 120, 150, &collector);
+  const std::string json =
+      ExportChromeTrace(collector.Snapshot(), "unit_test");
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"serve\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":800"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":\"0xabc\""), std::string::npos);
+  // Quotes inside names must be escaped or the JSON is invalid.
+  EXPECT_NE(json.find("cache \\\"probe\\\""), std::string::npos);
+  EXPECT_EQ(json.find("cache \"probe\""), std::string::npos);
+}
+
+TEST(SpanTreeTest, RendersIndentedHierarchy) {
+  SpanCollector collector(64, 1);
+  const uint64_t trace_id = 0x77;
+  const uint64_t root = RecordSpan(trace_id, 0, 0, "serve", 0, 10000,
+                                   &collector);
+  const uint64_t search = RecordSpan(trace_id, 0, root, "search", 2000, 9000,
+                                     &collector);
+  RecordSpan(trace_id, 0, search, "fuse", 6000, 8000, &collector);
+  RecordSpan(trace_id, 0, root, "cache_probe", 100, 300, &collector);
+  // A span whose parent lives in another process renders as a root.
+  RecordSpan(trace_id, 0, 0xdead, "shard:search", 3000, 5000, &collector);
+  const std::string tree = RenderSpanTree(trace_id, collector.Snapshot());
+  EXPECT_NE(tree.find("trace 0x77 (5 spans)"), std::string::npos);
+  EXPECT_NE(tree.find("\n  serve 10.000ms @+0.000ms"), std::string::npos);
+  EXPECT_NE(tree.find("\n    cache_probe 0.200ms @+0.100ms"),
+            std::string::npos);
+  EXPECT_NE(tree.find("\n    search 7.000ms @+2.000ms"), std::string::npos);
+  EXPECT_NE(tree.find("\n      fuse 2.000ms @+6.000ms"), std::string::npos);
+  EXPECT_NE(tree.find("\n  shard:search 2.000ms @+3.000ms"),
+            std::string::npos);
+  // An unknown trace renders a placeholder instead of an empty string.
+  EXPECT_NE(RenderSpanTree(0x123456, collector.Snapshot()).find("no spans"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dust::obs

@@ -21,6 +21,7 @@
 
 #include "embed/embedder.h"
 #include "embed/tuple_encoder.h"
+#include "obs/trace.h"
 #include "search/embedding_search.h"
 #include "search/tuple_search.h"
 #include "serve/bounded_queue.h"
@@ -277,10 +278,21 @@ TEST(MetricsTest, RenderTextIsPrometheusShaped) {
   metrics.RegisterGauge("dust_queue_depth", &depth);
   metrics.RegisterHistogram("dust_latency_ms", &latency);
   metrics.RegisterCallback("dust_ready", [] { return 1.0; });
+  metrics.RegisterCallback("dust_synthetic_total", [] { return 4.0; });
   const std::string text = metrics.RenderText();
   EXPECT_NE(text.find("dust_requests_total 7\n"), std::string::npos);
   EXPECT_NE(text.find("dust_queue_depth 3\n"), std::string::npos);
   EXPECT_NE(text.find("dust_ready 1\n"), std::string::npos);
+  // Each series carries a # TYPE line; callbacks advertise as gauges unless
+  // the _total suffix marks them monotone.
+  EXPECT_NE(text.find("# TYPE dust_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dust_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dust_latency_ms histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dust_ready gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dust_synthetic_total counter\n"),
+            std::string::npos);
   // Histogram buckets are cumulative: le="10" counts the le="1" sample too,
   // and +Inf counts everything.
   EXPECT_NE(text.find("dust_latency_ms_bucket{le=\"1\"} 1\n"),
@@ -857,6 +869,75 @@ TEST_F(ServeFixture, ReadinessAndMetricsSurfaceLifecycle) {
   server.Shutdown();
   EXPECT_EQ(server.readiness(), Readiness::kDraining);
   EXPECT_NE(server.metrics().RenderText().find("dust_serve_ready 2\n"),
+            std::string::npos);
+}
+
+// --- tracing + slow-query log -----------------------------------------------
+
+TEST_F(ServeFixture, TracedRequestRecordsFullSpanTreeAndSlowLog) {
+  obs::SpanCollector::Global().Clear();
+  QueryServerOptions options;
+  options.threads = 2;
+  options.cache_entries = 16;
+  options.trace_sample_rate = 1.0;
+  options.slow_query_ms = 0.0;  // every request is "slow": forces the log
+  QueryServer server(search_, options);
+  ASSERT_TRUE(server.Submit((*queries_)[0], 5).get().ok());
+  // Same query again: resolves on the cache path, also traced + logged.
+  ASSERT_TRUE(server.Submit((*queries_)[0], 5).get().ok());
+  server.Shutdown();
+
+  const std::vector<obs::SpanRecord> spans =
+      obs::SpanCollector::Global().Snapshot();
+  auto count = [&](const char* name) {
+    size_t n = 0;
+    for (const obs::SpanRecord& span : spans) {
+      if (span.name == name) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("serve"), 2u);  // one root per request
+  EXPECT_EQ(count("cache_probe"), 2u);
+  EXPECT_EQ(count("queue_wait"), 1u);  // only the miss sat on the queue
+  EXPECT_EQ(count("search"), 1u);
+  EXPECT_GE(count("encode"), 1u);
+  EXPECT_GE(count("index_search"), 1u);
+  EXPECT_GE(count("fuse"), 1u);
+  // The two requests are distinct traces, and every span belongs to one of
+  // them with an intact parent chain up to the request's root span.
+  uint64_t roots[2] = {0, 0};
+  size_t root_count = 0;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == "serve") {
+      ASSERT_LT(root_count, 2u);
+      roots[root_count++] = span.trace_id;
+    }
+  }
+  EXPECT_NE(roots[0], roots[1]);
+  for (const obs::SpanRecord& span : spans) {
+    EXPECT_TRUE(span.trace_id == roots[0] || span.trace_id == roots[1])
+        << span.name << " carries a foreign trace id";
+  }
+
+  const std::string text = server.metrics().RenderText();
+  EXPECT_NE(text.find("dust_slow_queries_total 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dust_trace_spans_recorded_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dust_trace_spans_dropped_total 0\n"),
+            std::string::npos);
+}
+
+TEST_F(ServeFixture, UnsampledServingRecordsNoSpans) {
+  obs::SpanCollector::Global().Clear();
+  QueryServerOptions options;
+  options.cache_entries = 16;  // default trace_sample_rate = 0.0
+  QueryServer server(search_, options);
+  ASSERT_TRUE(server.Submit((*queries_)[1], 5).get().ok());
+  ASSERT_TRUE(server.Submit((*queries_)[1], 5).get().ok());
+  server.Shutdown();
+  EXPECT_TRUE(obs::SpanCollector::Global().Snapshot().empty());
+  // slow_query_ms defaults to disabled: nothing counted either.
+  EXPECT_NE(server.metrics().RenderText().find("dust_slow_queries_total 0\n"),
             std::string::npos);
 }
 

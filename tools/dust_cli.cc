@@ -35,8 +35,10 @@
 #include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <future>
@@ -49,6 +51,8 @@
 #include "index/vector_index.h"
 #include "io/index_io.h"
 #include "net/router_index.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "search/tuple_search.h"
 #include "serve/query_server.h"
 #include "shard/sharded_index.h"
@@ -102,6 +106,11 @@ struct CliOptions {
   std::string cascade_stages;  // raw --cascade-stages value
   bool cascade_prefilter = true;
   bool cascade_prescreen = true;
+  // Tracing / slow-query log (PR 9). trace_sample_rate < 0 means "unset":
+  // ParseArgs resolves it to 1.0 when --trace-out is given, else 0.0.
+  std::string trace_out_path;
+  double trace_sample_rate = -1.0;
+  double slow_query_ms = -1.0;  // < 0 disables the slow-query log
 };
 
 void Usage() {
@@ -119,6 +128,8 @@ void Usage() {
       "                 [--batch-max N] [--queue N] [--clients N]\n"
       "                 [--requests N] [--cache N] [--cache-bytes N]\n"
       "                 [--metrics-out metrics.txt]\n"
+      "                 [--trace-out trace.json] [--trace-sample R]\n"
+      "                 [--slow-query-ms MS]\n"
       "                 [--router host:port,... [--allow-partial]\n"
       "                  [--deadline-ms N] [--rpc-retries N]]\n"
       "                 [--dump-hits hits.txt]]\n"
@@ -132,6 +143,12 @@ void Usage() {
       "       hits resolve without entering the batch queue); --cache-bytes\n"
       "       bounds it in bytes; --metrics-out writes the server's metrics\n"
       "       registry as Prometheus-style name/value text\n"
+      "       --trace-out writes every recorded span as Chrome trace-event\n"
+      "       JSON (load in chrome://tracing or ui.perfetto.dev) after the\n"
+      "       run; --trace-sample sets the fraction of requests traced in\n"
+      "       [0,1] (default 1 with --trace-out, else 0); --slow-query-ms\n"
+      "       logs queries at or above MS end-to-end at WARN with their\n"
+      "       trace id and span tree (0 logs every request)\n"
       "       --router fans --serve queries out to remote dust_shardd\n"
       "       processes (endpoints in shard order) instead of building an\n"
       "       in-process index; --allow-partial tolerates parity mismatches\n"
@@ -180,6 +197,21 @@ bool ParseSize(const char* flag, const char* value, size_t* out) {
     return false;
   }
   *out = static_cast<size_t>(parsed);
+  return true;
+}
+
+/// Parses a finite double with no trailing junk; range checks are the
+/// caller's. " 1.5x" and overflowing values are rejected, not truncated.
+bool ParseDouble(const char* flag, const char* value, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(parsed)) {
+    std::fprintf(stderr, "%s expects a finite number, got: %s\n", flag, value);
+    return false;
+  }
+  *out = parsed;
   return true;
 }
 
@@ -299,6 +331,26 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       }
     } else if (arg == "--metrics-out" && (value = next())) {
       options->metrics_out_path = value;
+    } else if (arg == "--trace-out" && (value = next())) {
+      options->trace_out_path = value;
+    } else if (arg == "--trace-sample" && (value = next())) {
+      if (!ParseDouble("--trace-sample", value, &options->trace_sample_rate)) {
+        return false;
+      }
+      if (!obs::ValidSampleRate(options->trace_sample_rate)) {
+        std::fprintf(stderr,
+                     "--trace-sample must be a rate within [0, 1], got: %s\n",
+                     value);
+        return false;
+      }
+    } else if (arg == "--slow-query-ms" && (value = next())) {
+      if (!ParseDouble("--slow-query-ms", value, &options->slow_query_ms)) {
+        return false;
+      }
+      if (options->slow_query_ms < 0.0) {
+        std::fprintf(stderr, "--slow-query-ms must be >= 0, got: %s\n", value);
+        return false;
+      }
     } else if (arg == "--router" && (value = next())) {
       options->router_endpoints = value;
     } else if (arg == "--save-tuple-index" && (value = next())) {
@@ -422,6 +474,23 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   if (!options->metrics_out_path.empty() && !options->serve) {
     std::fprintf(stderr, "--metrics-out requires --serve\n");
     return false;
+  }
+  if (!options->trace_out_path.empty() && !options->serve) {
+    std::fprintf(stderr, "--trace-out requires --serve\n");
+    return false;
+  }
+  if (options->trace_sample_rate >= 0.0 && !options->serve) {
+    std::fprintf(stderr, "--trace-sample requires --serve\n");
+    return false;
+  }
+  if (options->slow_query_ms >= 0.0 && !options->serve) {
+    std::fprintf(stderr, "--slow-query-ms requires --serve\n");
+    return false;
+  }
+  if (options->trace_sample_rate < 0.0) {
+    // Asking for a trace file implies tracing everything; otherwise the
+    // sampler stays off and tracing costs nothing.
+    options->trace_sample_rate = options->trace_out_path.empty() ? 0.0 : 1.0;
   }
   if (!options->router_endpoints.empty() && !options->serve) {
     std::fprintf(stderr, "--router requires --serve\n");
@@ -600,6 +669,8 @@ int RunServeMode(const CliOptions& options,
   server_options.batch_window_us = options.batch_window_us;
   server_options.cache_entries = options.cache_entries;
   server_options.cache_bytes = options.cache_bytes;
+  server_options.trace_sample_rate = options.trace_sample_rate;
+  server_options.slow_query_ms = options.slow_query_ms;
   serve::QueryServer server(&search, server_options);
   // Readiness gate: a deploy script would poll this before routing traffic.
   if (server.readiness() != serve::Readiness::kReady) {
@@ -699,6 +770,30 @@ int RunServeMode(const CliOptions& options,
     std::fwrite(text.data(), 1, text.size(), f);
     std::fclose(f);
     std::printf("wrote metrics to %s\n", options.metrics_out_path.c_str());
+  }
+  if (!options.trace_out_path.empty()) {
+    const obs::SpanCollector& collector = obs::SpanCollector::Global();
+    const std::vector<obs::SpanRecord> spans = collector.Snapshot();
+    Status wrote =
+        obs::WriteChromeTrace(options.trace_out_path, spans, "dust_cli");
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu spans to %s (%llu recorded, %llu dropped)\n",
+                spans.size(), options.trace_out_path.c_str(),
+                static_cast<unsigned long long>(collector.recorded_total()),
+                static_cast<unsigned long long>(collector.dropped_total()));
+    // Show one end-to-end request so the trace is inspectable without a
+    // viewer; the last root span is the most representative (warmed up).
+    for (auto it = spans.rbegin(); it != spans.rend(); ++it) {
+      if (it->name != "serve") continue;
+      std::printf("sample trace:\n%s",
+                  obs::RenderSpanTree(it->trace_id,
+                                      collector.CollectTrace(it->trace_id))
+                      .c_str());
+      break;
+    }
   }
   if (failures.load() > 0 || mismatches.load() > 0) {
     // With --allow-partial, a degraded run (a shard died mid-run, the

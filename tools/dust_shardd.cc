@@ -26,6 +26,8 @@
 #include "io/index_io.h"
 #include "net/server.h"
 #include "net/shard_service.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "serve/executor.h"
 #include "shard/sharded_index.h"
 #include "util/status.h"
@@ -40,6 +42,7 @@ struct ShardDaemonOptions {
   std::string port_file;
   std::string label;
   size_t threads = 0;  // 0: hardware concurrency
+  std::string trace_out;  // write shard-side spans as Chrome JSON on exit
 };
 
 void PrintUsage() {
@@ -47,7 +50,7 @@ void PrintUsage() {
       stderr,
       "usage: dust_shardd --index <file> [--shard <n>] [--host <ip>]\n"
       "                   [--port <p>] [--port-file <path>] [--label <name>]\n"
-      "                   [--threads <n>]\n"
+      "                   [--threads <n>] [--trace-out <trace.json>]\n"
       "\n"
       "Serves one index shard over the dust frame protocol until SIGTERM.\n"
       "  --index      index file saved by dust_cli --save-tuple-index or\n"
@@ -56,7 +59,10 @@ void PrintUsage() {
       "               are answered with lake-global ids\n"
       "  --port       0 (default) binds a free port\n"
       "  --port-file  write the bound port (decimal, newline) once listening\n"
-      "  --threads    handler pool size (default: hardware concurrency)\n");
+      "  --threads    handler pool size (default: hardware concurrency)\n"
+      "  --trace-out  write spans recorded for sampled requests (the router\n"
+      "               propagates trace ids over SEARCH frames) as Chrome\n"
+      "               trace-event JSON at shutdown\n");
 }
 
 bool ParseArgs(int argc, char** argv, ShardDaemonOptions* opts) {
@@ -97,6 +103,10 @@ bool ParseArgs(int argc, char** argv, ShardDaemonOptions* opts) {
       const char* v = next("--threads");
       if (v == nullptr) return false;
       opts->threads = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--trace-out") {
+      const char* v = next("--trace-out");
+      if (v == nullptr) return false;
+      opts->trace_out = v;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       std::exit(0);
@@ -230,5 +240,20 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "dust_shardd: shutting down %s\n", opts.label.c_str());
   server.Shutdown();
+  if (!opts.trace_out.empty()) {
+    // After Shutdown every handler has drained, so the snapshot is final.
+    const dust::obs::SpanCollector& collector =
+        dust::obs::SpanCollector::Global();
+    const std::vector<dust::obs::SpanRecord> spans = collector.Snapshot();
+    Status wrote = dust::obs::WriteChromeTrace(opts.trace_out, spans,
+                                               "dust_shardd:" + opts.label);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "dust_shardd: %s\n", wrote.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "dust_shardd: wrote %zu spans to %s (%llu dropped)\n",
+                 spans.size(), opts.trace_out.c_str(),
+                 static_cast<unsigned long long>(collector.dropped_total()));
+  }
   return 0;
 }
