@@ -25,11 +25,29 @@ void FlatIndex::AddAll(const std::vector<la::Vec>& vectors) {
 
 std::vector<SearchHit> FlatIndex::Search(const la::Vec& query,
                                          size_t k) const {
+  std::vector<SearchHit> hits;
+  if (num_dead_ > 0) {
+    // Tombstoned store: gather the live ids and score only those, so the
+    // top-k truncation never spends a slot on a dead vector.
+    std::vector<size_t> live;
+    live.reserve(live_size());
+    for (size_t id = 0; id < vectors_.size(); ++id) {
+      if (!IsDead(id)) live.push_back(id);
+    }
+    std::vector<float> distances(live.size());
+    la::DistanceToMany(metric_, query, vectors_, norms_.data(), live.data(),
+                       live.size(), distances.data());
+    hits.reserve(live.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+      hits.push_back({live[i], distances[i]});
+    }
+    FinalizeHits(&hits, k);
+    return hits;
+  }
   // One-to-many batch kernel over the whole store; the norm cache makes
   // each cosine candidate a single fused dot product.
   std::vector<float> distances;
   la::DistanceToMany(metric_, query, vectors_, norms_, &distances);
-  std::vector<SearchHit> hits;
   hits.reserve(vectors_.size());
   for (size_t id = 0; id < vectors_.size(); ++id) {
     hits.push_back({id, distances[id]});

@@ -29,6 +29,16 @@ class FlatIndex : public VectorIndex {
   Status LoadPayload(io::IndexReader* reader) override;
 
   const la::Vec& vector(size_t id) const { return vectors_[id]; }
+  bool GetVector(size_t id, la::Vec* out) const override {
+    if (id >= vectors_.size()) return false;
+    *out = vectors_[id];
+    return true;
+  }
+
+ protected:
+  std::unique_ptr<VectorIndex> CloneEmpty() const override {
+    return std::make_unique<FlatIndex>(dim_, metric_);
+  }
 
  private:
   size_t dim_;

@@ -76,7 +76,8 @@ uint32_t HnswIndex::GreedyStep(const la::Vec& query, uint32_t entry,
 
 std::vector<SearchHit> HnswIndex::SearchLayer(const la::Vec& query,
                                               uint32_t entry, size_t ef,
-                                              int level) const {
+                                              int level,
+                                              bool exclude_dead) const {
   // Epoch-stamped visited marks: reusing one buffer avoids zeroing O(n)
   // bytes per call (which would make bulk construction quadratic in
   // memory-clearing work). thread_local keeps concurrent SearchBatch
@@ -98,8 +99,11 @@ std::vector<SearchHit> HnswIndex::SearchLayer(const la::Vec& query,
   std::priority_queue<SearchHit, std::vector<SearchHit>, CloserFirst>
       candidates;
   std::priority_queue<SearchHit, std::vector<SearchHit>, FartherFirst> best;
+  // Tombstoned nodes stay in `candidates` — they are graph waypoints the
+  // beam must traverse to keep the graph connected — but never enter
+  // `best`, so the returned set holds only live nodes.
   candidates.push({entry, entry_dist});
-  best.push({entry, entry_dist});
+  if (!exclude_dead || !IsDead(entry)) best.push({entry, entry_dist});
 
   // Scratch for the batched neighbor expansion (per-thread, like the
   // visited marks above).
@@ -127,8 +131,10 @@ std::vector<SearchHit> HnswIndex::SearchLayer(const la::Vec& query,
       float d = frontier_distances[i];
       if (best.size() < ef || d < best.top().distance) {
         candidates.push({frontier[i], d});
-        best.push({frontier[i], d});
-        if (best.size() > ef) best.pop();
+        if (!exclude_dead || !IsDead(frontier[i])) {
+          best.push({frontier[i], d});
+          if (best.size() > ef) best.pop();
+        }
       }
     }
   }
@@ -240,13 +246,26 @@ void HnswIndex::Add(const la::Vec& v) {
 
 std::vector<SearchHit> HnswIndex::Search(const la::Vec& query,
                                          size_t k) const {
-  if (vectors_.empty() || k == 0) return {};
+  if (vectors_.empty() || k == 0 || live_size() == 0) return {};
   uint32_t current = entry_point_;
   for (int l = max_level_; l > 0; --l) {
+    // The upper-layer descent only picks a starting point, so tombstoned
+    // waypoints are fine here; filtering happens on the layer-0 beam.
     current = GreedyStep(query, current, l);
   }
   size_t ef = std::max(config_.ef_search, k);
-  std::vector<SearchHit> hits = SearchLayer(query, current, ef, 0);
+  if (num_dead_ > 0) {
+    // Dead nodes never enter the result window (SearchLayer keeps them as
+    // traversal waypoints only), so the beam just needs proportionally
+    // more exploration to meet the same number of live vectors: scale ef
+    // by the dead fraction instead of adding the full tombstone count,
+    // which would throttle QPS far below the clean index at modest delete
+    // rates.
+    ef = std::min(vectors_.size(),
+                  (ef * vectors_.size() + live_size() - 1) / live_size());
+  }
+  std::vector<SearchHit> hits =
+      SearchLayer(query, current, ef, 0, /*exclude_dead=*/num_dead_ > 0);
   FinalizeHits(&hits, k);
   return hits;
 }

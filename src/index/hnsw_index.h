@@ -50,6 +50,20 @@ class HnswIndex : public VectorIndex {
   int max_level() const { return max_level_; }
   const HnswConfig& config() const { return config_; }
 
+  bool GetVector(size_t id, la::Vec* out) const override {
+    if (id >= vectors_.size()) return false;
+    *out = vectors_[id];
+    return true;
+  }
+
+ protected:
+  /// Compaction re-inserts the survivors into a fresh graph (same config,
+  /// RNG reset from the seed) — exactly the index a from-scratch build over
+  /// the survivors would produce.
+  std::unique_ptr<VectorIndex> CloneEmpty() const override {
+    return std::make_unique<HnswIndex>(dim_, metric_, config_);
+  }
+
  private:
   /// Adjacency per layer; neighbors[l] exists for l in [0, node_level].
   struct Node {
@@ -77,9 +91,11 @@ class HnswIndex : public VectorIndex {
   uint32_t GreedyStep(const la::Vec& query, uint32_t entry, int level) const;
 
   /// Best-first beam search on one layer; returns up to `ef` closest nodes,
-  /// unsorted.
+  /// unsorted. With `exclude_dead`, tombstoned nodes are still expanded as
+  /// routing waypoints but never returned.
   std::vector<SearchHit> SearchLayer(const la::Vec& query, uint32_t entry,
-                                     size_t ef, int level) const;
+                                     size_t ef, int level,
+                                     bool exclude_dead = false) const;
 
   /// Paper's select-neighbors heuristic (Algorithm 4): prefers candidates
   /// closer to the new point than to any already-kept neighbor, which keeps

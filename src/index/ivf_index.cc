@@ -11,6 +11,22 @@ void IvfFlatIndex::Add(const la::Vec& v) {
   DUST_CHECK(v.size() == dim_);
   vectors_.push_back(v);
   norms_.push_back(la::Norm(v));
+  if (trained() && !centroids_.empty()) {
+    // Incremental ingest into a trained (e.g. just-loaded) index: assign
+    // the vector to its nearest existing centroid instead of invalidating
+    // the clustering — a full lazy retrain would defeat post-load Add.
+    // Centroids drift from optimal as the store grows; Train() after a
+    // bulk ingest re-clusters from scratch.
+    std::vector<float> centroid_distances;
+    la::DistanceToMany(metric_, v, centroids_, centroid_norms_,
+                       &centroid_distances);
+    size_t best = 0;
+    for (size_t c = 1; c < centroids_.size(); ++c) {
+      if (centroid_distances[c] < centroid_distances[best]) best = c;
+    }
+    lists_[best].push_back(vectors_.size() - 1);
+    return;
+  }
   trained_.store(false, std::memory_order_release);  // lists are stale
 }
 
@@ -59,17 +75,24 @@ std::vector<SearchHit> IvfFlatIndex::Search(const la::Vec& query,
   }
   FinalizeHits(&centroid_hits, std::min(config_.nprobe, centroids_.size()));
 
-  std::vector<SearchHit> hits;
-  std::vector<float> list_distances;
+  // Gather the probed lists' live candidates (tombstones skipped before
+  // scoring, so the top-k truncation only ever sees live ids), then score
+  // them with one batched gathered kernel call.
+  std::vector<size_t> candidates;
   for (const SearchHit& ch : centroid_hits) {
-    const std::vector<size_t>& list = lists_[ch.id];
-    if (list.empty()) continue;
-    list_distances.resize(list.size());
-    la::DistanceToMany(metric_, query, vectors_, norms_.data(), list.data(),
-                       list.size(), list_distances.data());
-    for (size_t i = 0; i < list.size(); ++i) {
-      hits.push_back({list[i], list_distances[i]});
+    for (size_t id : lists_[ch.id]) {
+      if (!IsDead(id)) candidates.push_back(id);
     }
+  }
+  std::vector<SearchHit> hits;
+  if (candidates.empty()) return hits;
+  std::vector<float> candidate_distances(candidates.size());
+  la::DistanceToMany(metric_, query, vectors_, norms_.data(),
+                     candidates.data(), candidates.size(),
+                     candidate_distances.data());
+  hits.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    hits.push_back({candidates[i], candidate_distances[i]});
   }
   FinalizeHits(&hits, k);
   return hits;

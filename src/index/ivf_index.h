@@ -25,10 +25,14 @@ class IvfFlatIndex : public VectorIndex {
                IvfConfig config = {})
       : dim_(dim), metric_(metric), config_(config) {}
 
+  /// Appends a vector. Before the first training pass, additions just
+  /// accumulate for the lazy build; on a trained index (including one
+  /// restored by LoadPayload) the vector is assigned to its nearest
+  /// existing centroid so incremental ingest never forces a full retrain.
   void Add(const la::Vec& v) override;
 
   /// Clusters the stored vectors into nlist lists. Called automatically on
-  /// first Search if needed; adding after training re-assigns lazily.
+  /// first Search if needed.
   void Train();
 
   std::vector<SearchHit> Search(const la::Vec& query, size_t k) const override;
@@ -46,6 +50,17 @@ class IvfFlatIndex : public VectorIndex {
   /// of a built-but-unsearched index.
   Status SavePayload(io::IndexWriter* writer) const override;
   Status LoadPayload(io::IndexReader* reader) override;
+
+  bool GetVector(size_t id, la::Vec* out) const override {
+    if (id >= vectors_.size()) return false;
+    *out = vectors_[id];
+    return true;
+  }
+
+ protected:
+  std::unique_ptr<VectorIndex> CloneEmpty() const override {
+    return std::make_unique<IvfFlatIndex>(dim_, metric_, config_);
+  }
 
  private:
   /// Lazy one-time build shared by Search and SavePayload: double-checked

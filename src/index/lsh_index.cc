@@ -63,20 +63,27 @@ std::vector<SearchHit> LshIndex::Search(const la::Vec& query, size_t k) const {
     }
   }
 
-  // Scan each probed bucket with the gathered batch kernel; cached norms
-  // make every cosine candidate one fused dot product.
-  std::vector<SearchHit> hits;
-  std::vector<float> bucket_distances;
+  // Gather the probed buckets' live candidates (tombstones skipped before
+  // scoring, never after the top-k truncation), then scan them with the
+  // gathered batch kernel; cached norms make every cosine candidate one
+  // fused dot product.
+  std::vector<size_t> candidates;
   for (uint64_t code : probes) {
     auto it = buckets_.find(code);
     if (it == buckets_.end()) continue;
-    const std::vector<size_t>& ids = it->second;
-    bucket_distances.resize(ids.size());
-    la::DistanceToMany(metric_, query, vectors_, norms_.data(), ids.data(),
-                       ids.size(), bucket_distances.data());
-    for (size_t i = 0; i < ids.size(); ++i) {
-      hits.push_back({ids[i], bucket_distances[i]});
+    for (size_t id : it->second) {
+      if (!IsDead(id)) candidates.push_back(id);
     }
+  }
+  std::vector<SearchHit> hits;
+  if (candidates.empty()) return hits;
+  std::vector<float> candidate_distances(candidates.size());
+  la::DistanceToMany(metric_, query, vectors_, norms_.data(),
+                     candidates.data(), candidates.size(),
+                     candidate_distances.data());
+  hits.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    hits.push_back({candidates[i], candidate_distances[i]});
   }
   FinalizeHits(&hits, k);
   return hits;

@@ -40,6 +40,23 @@ class LshIndex : public VectorIndex {
   /// Signature of a vector (exposed for tests).
   uint64_t Signature(const la::Vec& v) const;
 
+  bool GetVector(size_t id, la::Vec* out) const override {
+    if (id >= vectors_.size()) return false;
+    *out = vectors_[id];
+    return true;
+  }
+
+ protected:
+  /// The clone copies this index's hyperplanes verbatim (not just the
+  /// seed), so a compacted index hashes queries into exactly the buckets
+  /// the original would — even for an index loaded from a file whose
+  /// hyperplanes predate a generator change.
+  std::unique_ptr<VectorIndex> CloneEmpty() const override {
+    auto clone = std::make_unique<LshIndex>(dim_, metric_, config_);
+    clone->hyperplanes_ = hyperplanes_;
+    return clone;
+  }
+
  private:
   size_t dim_;
   la::Metric metric_;

@@ -19,6 +19,78 @@ void VectorIndex::AddAll(const std::vector<la::Vec>& vectors) {
   for (const la::Vec& v : vectors) Add(v);
 }
 
+bool VectorIndex::Remove(size_t id) {
+  if (id >= size()) return false;
+  if (dead_.size() < size()) dead_.resize(size(), 0);
+  if (dead_[id] != 0) return false;
+  dead_[id] = 1;
+  ++num_dead_;
+  return true;
+}
+
+size_t VectorIndex::RemoveAll(const std::vector<size_t>& ids) {
+  size_t removed = 0;
+  for (size_t id : ids) {
+    if (Remove(id)) ++removed;
+  }
+  return removed;
+}
+
+std::vector<size_t> VectorIndex::Tombstones() const {
+  std::vector<size_t> ids;
+  ids.reserve(num_dead_);
+  for (size_t id = 0; id < dead_.size(); ++id) {
+    if (dead_[id] != 0) ids.push_back(id);
+  }
+  return ids;
+}
+
+Status VectorIndex::ApplyTombstones(const std::vector<size_t>& ids) {
+  for (size_t id : ids) {
+    if (id >= size()) {
+      return Status::IoError("tombstone id " + std::to_string(id) +
+                             " out of range for index of size " +
+                             std::to_string(size()));
+    }
+    if (!Remove(id)) {
+      return Status::IoError("duplicate tombstone id " + std::to_string(id));
+    }
+  }
+  return Status::Ok();
+}
+
+bool VectorIndex::GetVector(size_t /*id*/, la::Vec* /*out*/) const {
+  return false;
+}
+
+Result<std::unique_ptr<VectorIndex>> VectorIndex::Compact(
+    std::vector<size_t>* remap) const {
+  std::unique_ptr<VectorIndex> compacted = CloneEmpty();
+  if (compacted == nullptr) {
+    return Status::Unimplemented("index type " + type_tag() +
+                                 " does not support compaction");
+  }
+  remap->assign(size(), kInvalidId);
+  std::vector<la::Vec> live;
+  live.reserve(live_size());
+  la::Vec v;
+  for (size_t id = 0; id < size(); ++id) {
+    if (IsDead(id)) continue;
+    if (!GetVector(id, &v)) {
+      return Status::Internal("index type " + type_tag() +
+                              " could not reproduce stored vector " +
+                              std::to_string(id));
+    }
+    (*remap)[id] = live.size();
+    live.push_back(v);
+  }
+  // Bulk re-add in ascending id order: the compacted index is exactly what
+  // a fresh build over the survivors would produce.
+  compacted->AddAll(live);
+  compacted->SetExecutor(executor_);
+  return std::move(compacted);
+}
+
 void FinalizeHits(std::vector<SearchHit>* hits, size_t k) {
   std::sort(hits->begin(), hits->end(),
             [](const SearchHit& a, const SearchHit& b) {

@@ -6,6 +6,7 @@
 #define DUST_INDEX_VECTOR_INDEX_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,9 +32,18 @@ struct SearchHit {
   float distance = 0.0f;
 };
 
-/// Append-only vector index with top-k nearest-neighbor search.
+/// Mutable vector index with top-k nearest-neighbor search. Vectors are
+/// appended (ids assigned in insertion order) and deleted by tombstone:
+/// Remove marks an id dead without touching the stored data, Search skips
+/// dead ids before scoring (so k live hits come back whenever k live
+/// vectors exist), and Compact rewrites the index without its tombstones.
+/// Mutations are not synchronized against in-flight searches — quiesce
+/// traffic before mutating, exactly as with SetExecutor.
 class VectorIndex {
  public:
+  /// Sentinel id in Compact remaps for vectors that were tombstoned.
+  static constexpr size_t kInvalidId = static_cast<size_t>(-1);
+
   virtual ~VectorIndex() = default;
 
   /// Appends a vector; its id is the number of vectors added before it.
@@ -75,10 +85,62 @@ class VectorIndex {
       const std::vector<la::Vec>& queries, size_t k,
       serve::Executor* executor) const;
 
+  /// Tombstones the vector with this id. Returns false (and changes
+  /// nothing) when the id is out of range or already dead. The id stays
+  /// valid — size() is unchanged, and graph indexes may keep the dead
+  /// vector as a routing waypoint — but Search never returns it again.
+  virtual bool Remove(size_t id);
+
+  /// Tombstones every id in `ids`; returns how many were newly removed
+  /// (out-of-range and already-dead ids are skipped, matching Remove).
+  virtual size_t RemoveAll(const std::vector<size_t>& ids);
+
   virtual size_t size() const = 0;
   virtual size_t dim() const = 0;
   virtual std::string name() const = 0;
   virtual la::Metric metric() const = 0;
+
+  /// Number of vectors Search can still return: size() minus tombstones.
+  virtual size_t live_size() const { return size() - num_dead_; }
+
+  /// Number of tombstoned ids.
+  size_t num_tombstones() const { return num_dead_; }
+
+  /// True when `id` has been tombstoned.
+  bool IsDead(size_t id) const {
+    return id < dead_.size() && dead_[id] != 0;
+  }
+
+  /// All tombstoned ids in ascending order — what io::WriteIndex persists.
+  std::vector<size_t> Tombstones() const;
+
+  /// Marks every id in `ids` dead, rejecting out-of-range and duplicate
+  /// ids with IoError (the loader path: a corrupt tombstone list must not
+  /// half-apply). Routes through Remove so subclasses with routed removal
+  /// keep their bookkeeping.
+  Status ApplyTombstones(const std::vector<size_t>& ids);
+
+  /// True when the type's payload already embeds its tombstones (the
+  /// sharded index persists them inside each child), telling io::WriteIndex
+  /// to emit an empty top-level tombstone list instead of duplicating them.
+  virtual bool TombstonesInPayload() const { return false; }
+
+  /// Copies the stored vector for `id` (dead or alive) into `*out`.
+  /// Returns false when the id is out of range or the index cannot
+  /// reproduce stored vectors (e.g. a remote view). The raw-data hook
+  /// Compact is built on.
+  virtual bool GetVector(size_t id, la::Vec* out) const;
+
+  /// Rebuilds this index without its tombstones: live vectors are re-added
+  /// in ascending id order to a fresh index with the same config.
+  /// `*remap` gets one entry per old id — the new id for live vectors,
+  /// kInvalidId for tombstoned ones — so callers can rewrite their own
+  /// id-keyed state. Exact index types (flat; lsh, whose hyperplanes are
+  /// copied; ivf at full probe) return bit-identical search results to the
+  /// tombstoned original; approximate types may re-rank as a rebuild
+  /// would. Unimplemented for indexes that cannot reproduce their vectors.
+  virtual Result<std::unique_ptr<VectorIndex>> Compact(
+      std::vector<size_t>* remap) const;
 
   /// Stable on-disk type name — the same string MakeVectorIndex accepts
   /// ("flat", "hnsw", "ivf", "lsh").
@@ -110,7 +172,17 @@ class VectorIndex {
   serve::Executor* executor() const { return executor_; }
 
  protected:
+  /// A fresh, empty index with this index's config (dim, metric, tuning
+  /// knobs, and any derived state that must match exactly, like LSH
+  /// hyperplanes). The construction hook Compact is built on; nullptr
+  /// (the default) makes Compact return Unimplemented.
+  virtual std::unique_ptr<VectorIndex> CloneEmpty() const { return nullptr; }
+
   serve::Executor* executor_ = nullptr;
+  /// Tombstone bitmap, sized lazily on first Remove (append-heavy indexes
+  /// pay nothing until a delete happens). dead_[id] != 0 => tombstoned.
+  std::vector<uint8_t> dead_;
+  size_t num_dead_ = 0;
 };
 
 /// Sorts hits ascending by (distance, id) and truncates to k.

@@ -227,6 +227,15 @@ Status WriteIndex(const index::VectorIndex& index, IndexWriter* writer) {
   writer->WriteU8(tag);
   writer->WriteU8(MetricTag(index.metric()));
   writer->WriteU64(index.dim());
+  // Format v2: the tombstone id list sits between the header and the type
+  // payload. Types whose payload already embeds tombstones (the sharded
+  // manifest persists each child's own list) write an empty section here so
+  // the ids are never applied twice on load.
+  if (index.TombstonesInPayload()) {
+    writer->WriteIds({});
+  } else {
+    writer->WriteIds(index.Tombstones());
+  }
   DUST_RETURN_IF_ERROR(writer->status());
   return index.SavePayload(writer);
 }
@@ -235,10 +244,11 @@ Result<std::unique_ptr<index::VectorIndex>> ReadIndex(IndexReader* reader) {
   DUST_RETURN_IF_ERROR(reader->ExpectMagic(kIndexMagic, "DUST index"));
   uint32_t version = 0;
   DUST_RETURN_IF_ERROR(reader->ReadU32(&version));
-  if (version != kIndexFormatVersion) {
-    return Status::IoError("unsupported index format version " +
-                           std::to_string(version) + " (expected " +
-                           std::to_string(kIndexFormatVersion) + ")");
+  if (version < kMinIndexFormatVersion || version > kIndexFormatVersion) {
+    return Status::IoError(
+        "unsupported index format version " + std::to_string(version) +
+        " (expected " + std::to_string(kMinIndexFormatVersion) + ".." +
+        std::to_string(kIndexFormatVersion) + ")");
   }
   uint8_t type_tag = 0;
   uint8_t metric_tag = 0;
@@ -260,9 +270,20 @@ Result<std::unique_ptr<index::VectorIndex>> ReadIndex(IndexReader* reader) {
   // euclidean) must surface as a Status, not trip MakeVectorIndex's
   // internal DUST_CHECK.
   DUST_RETURN_IF_ERROR(index::ValidateIndexMetric(type, metric));
+  // Format v2 tombstone section. ReadIds bounds-checks the count against
+  // the remaining bytes before allocating, so an oversized or truncated
+  // tombstone list is rejected without a huge allocation; v1 files simply
+  // have no section (empty tombstone set).
+  std::vector<size_t> tombstones;
+  if (version >= 2) {
+    DUST_RETURN_IF_ERROR(reader->ReadIds(&tombstones));
+  }
   std::unique_ptr<index::VectorIndex> index =
       index::MakeVectorIndex(type, static_cast<size_t>(dim), metric);
   DUST_RETURN_IF_ERROR(index->LoadPayload(reader));
+  // Applied after the payload so the ids can be validated against the
+  // loaded size; out-of-range or duplicate ids reject the file.
+  DUST_RETURN_IF_ERROR(index->ApplyTombstones(tombstones));
   return index;
 }
 

@@ -35,8 +35,14 @@
 namespace dust::io {
 
 /// Current index file format version. Bump when the header or any payload
-/// layout changes; readers reject files with a different version.
-inline constexpr uint32_t kIndexFormatVersion = 1;
+/// layout changes. Version 2 inserts a tombstone id list between the
+/// common header and the type payload; version-1 files (no tombstone
+/// section) still load, with an empty tombstone set. Readers reject any
+/// other version.
+inline constexpr uint32_t kIndexFormatVersion = 2;
+
+/// Oldest index file format version ReadIndex still accepts.
+inline constexpr uint32_t kMinIndexFormatVersion = 1;
 
 /// 8-byte magic at the start of a standalone index file.
 inline constexpr char kIndexMagic[8] = {'D', 'U', 'S', 'T',

@@ -77,6 +77,12 @@ class RouterIndex : public index::VectorIndex {
   /// The router serves a frozen remote lake; building happens shard-side.
   void Add(const la::Vec& v) override;
 
+  /// Removals also happen shard-side (delete + re-save + restart the
+  /// shard); the router's view is read-only, so these refuse instead of
+  /// mutating a mapping the remote shards would never see.
+  bool Remove(size_t /*id*/) override { return false; }
+  size_t RemoveAll(const std::vector<size_t>& /*ids*/) override { return 0; }
+
   size_t size() const override { return total_; }
   size_t dim() const override { return dim_; }
   std::string name() const override;

@@ -39,8 +39,14 @@ void EmbeddingUnionSearch::IndexLake(
     const std::vector<const table::Table*>& lake) {
   lake_columns_.clear();
   lake_profiles_.clear();
+  lake_names_.clear();
   lake_columns_.reserve(lake.size());
   lake_profiles_.reserve(lake.size());
+  lake_names_.reserve(lake.size());
+  lake_removed_.assign(lake.size(), 0);
+  for (const table::Table* t : lake) {
+    lake_names_.push_back(t->name());
+  }
   for (const table::Table* t : lake) {
     std::vector<la::Vec> cols = encoder_.EncodeTable(*t);
     la::Vec profile(encoder_.dim(), 0.0f);
@@ -69,6 +75,58 @@ void EmbeddingUnionSearch::SetExecutor(serve::Executor* executor) {
   if (profile_index_ != nullptr) profile_index_->SetExecutor(executor);
 }
 
+Status EmbeddingUnionSearch::RemoveTable(const std::string& name) {
+  if (lake_names_.size() != lake_columns_.size()) {
+    return Status::FailedPrecondition(
+        "engine state was restored from a snapshot, which does not carry "
+        "table names; re-run IndexLake before mutating");
+  }
+  for (size_t t = 0; t < lake_names_.size(); ++t) {
+    if (lake_removed_[t] != 0 || lake_names_[t] != name) continue;
+    lake_removed_[t] = 1;
+    // Tombstone the profile too so an untouched candidate set delegating
+    // straight to the index can never shortlist the removed table.
+    if (profile_index_ != nullptr) profile_index_->Remove(t);
+    return Status::Ok();
+  }
+  return Status::NotFound("no live table named " + name + " in the lake");
+}
+
+Status EmbeddingUnionSearch::AddTable(const table::Table& table) {
+  if (lake_names_.size() != lake_columns_.size()) {
+    return Status::FailedPrecondition(
+        "engine state was restored from a snapshot, which does not carry "
+        "table names; re-run IndexLake before mutating");
+  }
+  for (size_t t = 0; t < lake_names_.size(); ++t) {
+    if (lake_removed_[t] == 0 && lake_names_[t] == table.name()) {
+      return Status::InvalidArgument(
+          "a live table named " + table.name() +
+          " is already indexed; RemoveTable it first to replace it");
+    }
+  }
+  std::vector<la::Vec> cols = encoder_.EncodeTable(table);
+  la::Vec profile(encoder_.dim(), 0.0f);
+  if (!cols.empty()) {
+    profile = la::Mean(cols);
+    la::NormalizeInPlace(&profile);
+  }
+  if (profile_index_ != nullptr) profile_index_->Add(profile);
+  lake_columns_.push_back(std::move(cols));
+  lake_profiles_.push_back(std::move(profile));
+  lake_names_.push_back(table.name());
+  lake_removed_.push_back(0);
+  if (config_.cascade.enabled) {
+    lake_signatures_.push_back(cascade::SignatureOf(table));
+    if (config_.cascade.prescreen) {
+      lake_sketches_.emplace_back(cascade::TableValueSample(table),
+                                  config_.cascade.minhash_hashes,
+                                  config_.cascade.minhash_seed);
+    }
+  }
+  return Status::Ok();
+}
+
 double EmbeddingUnionSearch::TableScore(
     const std::vector<la::Vec>& query_cols,
     const std::vector<la::Vec>& lake_cols) const {
@@ -93,8 +151,13 @@ std::vector<TableHit> EmbeddingUnionSearch::SearchTables(
   cascade::CandidateSet set;
   set.n = n;
   set.executor = executor_;
-  set.tables.resize(lake_columns_.size());
-  for (size_t t = 0; t < set.tables.size(); ++t) set.tables[t] = t;
+  set.tables.reserve(lake_columns_.size());
+  // Removed tables never enter the candidate set. With none removed this
+  // is the full identity set and every stage behaves exactly as before.
+  for (size_t t = 0; t < lake_columns_.size(); ++t) {
+    if (t < lake_removed_.size() && lake_removed_[t] != 0) continue;
+    set.tables.push_back(t);
+  }
 
   // Stage list for this query: optional prefilters, then the (possibly
   // degenerate) shortlist, then the exact rerank. Query-side signals are
@@ -173,6 +236,10 @@ Status EmbeddingUnionSearch::SaveState(io::IndexWriter* writer) const {
 Status EmbeddingUnionSearch::LoadState(io::IndexReader* reader) {
   uint64_t num_tables = 0;
   DUST_RETURN_IF_ERROR(reader->ReadCount(sizeof(uint64_t), &num_tables));
+  // Snapshots predate mutations and carry no table names: every restored
+  // table is live, and RemoveTable refuses until IndexLake runs again.
+  lake_names_.clear();
+  lake_removed_.assign(num_tables, 0);
   lake_columns_.assign(num_tables, {});
   for (uint64_t t = 0; t < num_tables; ++t) {
     DUST_RETURN_IF_ERROR(reader->ReadVecs(&lake_columns_[t], encoder_.dim()));

@@ -65,6 +65,27 @@ class EmbeddingUnionSearch : public UnionSearch {
   /// fan-out, routing both through pooled threads on the serving path.
   void SetExecutor(serve::Executor* executor) override;
 
+  /// Removes the live table named `name`: its slot is kept (table_index
+  /// stability) but it leaves the candidate set and, when a shortlist is
+  /// configured, its profile is tombstoned in the index. Requires table
+  /// names, which IndexLake records but snapshots do not carry —
+  /// FailedPrecondition after LoadState (re-run IndexLake to mutate).
+  Status RemoveTable(const std::string& name) override;
+
+  /// Encodes and appends `table` as a new lake table; its profile joins
+  /// the shortlist index and (when the cascade is enabled) its signature
+  /// and sketch extend the prefilter signals.
+  Status AddTable(const table::Table& table) override;
+
+  /// Live (non-removed) tables currently searchable.
+  size_t num_live_tables() const {
+    size_t live = 0;
+    for (size_t t = 0; t < lake_columns_.size(); ++t) {
+      if (t >= lake_removed_.size() || lake_removed_[t] == 0) ++live;
+    }
+    return live;
+  }
+
   /// Cumulative per-stage cascade summary (see CascadeSearch::StatsSummary).
   std::string CascadeStatsSummary() const override {
     return cascade_.StatsSummary();
@@ -98,6 +119,12 @@ class EmbeddingUnionSearch : public UnionSearch {
   embed::StarmieEncoder encoder_;
   std::vector<std::vector<la::Vec>> lake_columns_;
   std::vector<la::Vec> lake_profiles_;  // mean column embedding per table
+  /// Table names (IndexLake order) — the RemoveTable lookup key. Empty
+  /// after LoadState: snapshots do not carry names, so restored engines
+  /// reject mutations instead of guessing.
+  std::vector<std::string> lake_names_;
+  /// lake_removed_[t] != 0 marks a removed table; sized with the lake.
+  std::vector<char> lake_removed_;
   std::unique_ptr<index::VectorIndex> profile_index_;
   serve::Executor* executor_ = nullptr;  // re-applied on index rebuilds
   // Cascade state. The stage objects borrow the signal vectors and the

@@ -85,15 +85,7 @@ void TupleSearch::IndexLake(const std::vector<const table::Table*>& lake) {
       refs_.push_back({t, r});
     }
   }
-  uint64_t h = ChainHash(0, std::string("dust-tuple-lake-v1"));
-  h = ChainHash(h, lake.size());
-  for (const table::Table* t : lake) {
-    h = ChainHash(h, t->name());
-    h = ChainHash(h, t->num_columns());
-    h = ChainHash(h, t->num_rows());
-  }
-  lake_hash_ = h;
-  num_tables_ = lake.size();
+  ResetLakeTables(lake);
   RebuildCascadeSignals(lake);
 }
 
@@ -126,18 +118,134 @@ Status TupleSearch::UseIndex(std::unique_ptr<index::VectorIndex> index,
     }
   }
   // Same lake-state hash IndexLake computes, so result-cache invalidation
-  // behaves identically whichever way the index arrived.
-  uint64_t h = ChainHash(0, std::string("dust-tuple-lake-v1"));
-  h = ChainHash(h, lake.size());
-  for (const table::Table* t : lake) {
-    h = ChainHash(h, t->name());
-    h = ChainHash(h, t->num_columns());
-    h = ChainHash(h, t->num_rows());
-  }
-  lake_hash_ = h;
-  num_tables_ = lake.size();
+  // behaves identically whichever way the index arrived. Every lake table
+  // is treated as live: a persisted index that carries tombstones should be
+  // compacted before its lake directory is shrunk to match.
+  ResetLakeTables(lake);
   RebuildCascadeSignals(lake);
   index_ = std::move(index);
+  return Status::Ok();
+}
+
+void TupleSearch::ResetLakeTables(const std::vector<const table::Table*>& lake) {
+  tables_.clear();
+  tables_.reserve(lake.size());
+  size_t first = 0;
+  for (const table::Table* t : lake) {
+    tables_.push_back(
+        {t->name(), t->num_columns(), t->num_rows(), first, false});
+    first += t->num_rows();
+  }
+  num_tables_ = tables_.size();
+  mutations_ = 0;
+  RecomputeLakeHash();
+}
+
+void TupleSearch::RecomputeLakeHash() {
+  uint64_t h = ChainHash(0, std::string("dust-tuple-lake-v1"));
+  size_t live = 0;
+  for (const LakeTable& t : tables_) live += t.removed ? 0 : 1;
+  h = ChainHash(h, live);
+  for (const LakeTable& t : tables_) {
+    if (t.removed) continue;
+    h = ChainHash(h, t.name);
+    h = ChainHash(h, t.num_columns);
+    h = ChainHash(h, t.num_rows);
+  }
+  // The mutation counter keeps every intermediate lake state distinct:
+  // remove b + re-add an identical b yields a different hash than never
+  // mutating, so entries cached against the intermediate (b-less) lake can
+  // never be served again.
+  h = ChainHash(h, mutations_);
+  lake_hash_ = h;
+}
+
+Status TupleSearch::RemoveTable(const std::string& name) {
+  if (index_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no lake index; call IndexLake/UseIndex before mutating");
+  }
+  for (LakeTable& t : tables_) {
+    if (t.removed || t.name != name) continue;
+    std::vector<size_t> ids(t.num_rows);
+    for (size_t r = 0; r < t.num_rows; ++r) ids[r] = t.first_tuple_id + r;
+    index_->RemoveAll(ids);
+    t.removed = true;
+    ++mutations_;
+    RecomputeLakeHash();
+    return Status::Ok();
+  }
+  return Status::NotFound("no live table named " + name + " in the lake");
+}
+
+Status TupleSearch::AddTable(const table::Table& table) {
+  if (index_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no lake index; call IndexLake/UseIndex before mutating");
+  }
+  for (const LakeTable& t : tables_) {
+    if (!t.removed && t.name == table.name()) {
+      return Status::InvalidArgument(
+          "a live table named " + table.name() +
+          " is already indexed; RemoveTable it first to replace it");
+    }
+  }
+  std::vector<la::Vec> rows = encoder_->EncodeTableRows(table);
+  const size_t first = index_->size();
+  const size_t table_index = tables_.size();
+  index_->AddAll(rows);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    refs_.push_back({table_index, r});
+  }
+  tables_.push_back(
+      {table.name(), table.num_columns(), table.num_rows(), first, false});
+  num_tables_ = tables_.size();
+  if (config_.cascade.enabled) {
+    lake_signatures_.push_back(cascade::SignatureOf(table));
+    if (config_.cascade.prescreen) {
+      lake_sketches_.emplace_back(cascade::TableValueSample(table),
+                                  config_.cascade.minhash_hashes,
+                                  config_.cascade.minhash_seed);
+    }
+  }
+  ++mutations_;
+  RecomputeLakeHash();
+  return Status::Ok();
+}
+
+Status TupleSearch::CompactIndex() {
+  if (index_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no lake index; call IndexLake/UseIndex before compacting");
+  }
+  if (index_->num_tombstones() == 0) return Status::Ok();
+  std::vector<size_t> remap;
+  Result<std::unique_ptr<index::VectorIndex>> compacted =
+      index_->Compact(&remap);
+  DUST_RETURN_IF_ERROR(compacted.status());
+  // Survivors keep their relative order under Compact's remap, so the new
+  // refs are the old ones with the dead rows squeezed out.
+  std::vector<table::TupleRef> live_refs;
+  live_refs.reserve(index_->live_size());
+  for (size_t id = 0; id < refs_.size(); ++id) {
+    if (remap[id] != index::VectorIndex::kInvalidId) {
+      live_refs.push_back(refs_[id]);
+    }
+  }
+  refs_ = std::move(live_refs);
+  // Renumber the live tables' ranges. Tables were only ever appended, so
+  // live entries stay in ascending tuple-id order and the new first id is a
+  // running prefix sum over live row counts.
+  size_t next = 0;
+  for (LakeTable& t : tables_) {
+    if (t.removed) continue;
+    t.first_tuple_id = next;
+    next += t.num_rows;
+  }
+  index_ = std::move(compacted).value();
+  // lake_hash_ stays untouched on purpose: the set of live tuples and all
+  // similarities are identical, so results cached pre-compaction remain
+  // correct post-compaction.
   return Status::Ok();
 }
 
@@ -170,8 +278,14 @@ Status TupleSearch::CascadeAllowedTables(const table::Table& query,
   if (!prefilter && !prescreen) return Status::Ok();
   cascade::CandidateSet set;
   set.n = num_tables_;
-  set.tables.resize(num_tables_);
-  for (size_t t = 0; t < num_tables_; ++t) set.tables[t] = t;
+  set.tables.reserve(num_tables_);
+  // Removed tables never enter the candidate set — their tuples are
+  // tombstoned anyway, but excluding them here keeps the stages from
+  // scoring signatures of tables that cannot contribute hits.
+  for (size_t t = 0; t < num_tables_; ++t) {
+    if (t < tables_.size() && tables_[t].removed) continue;
+    set.tables.push_back(t);
+  }
   std::vector<const cascade::CandidateStage*> stages;
   if (prefilter) {
     set.query_signature = cascade::SignatureOf(query);

@@ -75,6 +75,55 @@ class TupleSearch {
   /// to load.
   const index::VectorIndex* lake_index() const { return index_.get(); }
 
+  // --- lake mutations ------------------------------------------------------
+  //
+  // A lake is no longer frozen at IndexLake time: tables can be deleted and
+  // added while the process keeps serving. Deletes tombstone the table's
+  // tuple-id range in the index (skipped before scoring, so top-k still
+  // returns k live tuples whenever k exist); adds encode and append. Every
+  // mutation bumps LakeStateHash, so the serving result cache and snapshot
+  // staleness checks invalidate automatically — a mutated lake never serves
+  // a pre-mutation cached hit. Mutations are not synchronized against
+  // in-flight searches; like SetExecutor, quiesce the server first.
+
+  /// Tombstones every tuple of the live table named `name`. NotFound if no
+  /// live table has that name; FailedPrecondition before IndexLake/UseIndex.
+  Status RemoveTable(const std::string& name);
+
+  /// Encodes and appends `table` as a new lake table. InvalidArgument if a
+  /// live table already carries its name (RemoveTable it first — re-adding
+  /// under the same name is how a table is replaced in place).
+  Status AddTable(const table::Table& table);
+
+  /// Rewrites the index without tombstones (index::VectorIndex::Compact)
+  /// and renumbers tuple ids/refs under the returned remap. Results are
+  /// preserved exactly: live tuples keep their relative order, similarities
+  /// are untouched, and LakeStateHash does not change (compaction is a
+  /// representation change, not a lake mutation), so cached results stay
+  /// valid. Assumes tombstones came from RemoveTable (whole-table ranges).
+  Status CompactIndex();
+
+  /// Live (non-tombstoned) tuples in the lake index; 0 before indexing.
+  size_t lake_live_vectors() const {
+    return index_ ? index_->live_size() : 0;
+  }
+  /// Tombstoned tuples awaiting compaction.
+  size_t lake_tombstoned_vectors() const {
+    return index_ ? index_->num_tombstones() : 0;
+  }
+  /// Count of RemoveTable/AddTable calls since the lake was (re)indexed.
+  uint64_t lake_mutations() const { return mutations_; }
+
+  /// Tables ever indexed (removed ones keep their slot so TupleRef
+  /// table_index values stay stable across mutations).
+  size_t num_tables() const { return tables_.size(); }
+  const std::string& table_name(size_t table_index) const {
+    return tables_[table_index].name;
+  }
+  bool table_removed(size_t table_index) const {
+    return tables_[table_index].removed;
+  }
+
   /// Top-k lake tuples by maximum cosine similarity to any query tuple.
   /// Legacy one-shot spelling: calling before IndexLake aborts (programming
   /// error in a batch run), and a row-less query returns no hits. Serving
@@ -116,10 +165,14 @@ class TupleSearch {
   /// two servers with different configs never share entries.
   uint64_t ConfigHash() const;
 
-  /// Hash of the indexed lake's shape (table names, row/column counts),
-  /// recomputed by IndexLake; 0 before any lake is indexed. The result
-  /// cache's staleness guard: a re-indexed or swapped lake changes the
-  /// hash, invalidating every entry computed against the old lake. Like the
+  /// Hash of the indexed lake's shape (live table names, row/column counts)
+  /// chained with the mutation counter; recomputed by IndexLake and by
+  /// every RemoveTable/AddTable; 0 before any lake is indexed. The result
+  /// cache's staleness guard: a re-indexed, swapped, or mutated lake
+  /// changes the hash, invalidating every entry computed against the old
+  /// lake — and because the mutation counter is chained in, removing a
+  /// table and re-adding an identical one still yields a fresh hash
+  /// (entries from the intermediate states can never resurrect). Like the
   /// pipeline SnapshotHash, it detects reshaped lakes, not in-place cell
   /// edits.
   uint64_t LakeStateHash() const { return lake_hash_; }
@@ -143,12 +196,33 @@ class TupleSearch {
   /// sketches) from raw tables; cleared when the cascade is disabled.
   void RebuildCascadeSignals(const std::vector<const table::Table*>& lake);
 
+  /// Shape of one indexed lake table, retained across mutations. Removed
+  /// tables keep their slot (table_index stability) but leave the hash and
+  /// the cascade candidate set.
+  struct LakeTable {
+    std::string name;
+    size_t num_columns = 0;
+    size_t num_rows = 0;
+    /// Tuple id of the table's first row at index time (pre-compaction ids
+    /// until CompactIndex renumbers).
+    size_t first_tuple_id = 0;
+    bool removed = false;
+  };
+
+  /// Rebuilds tables_ from a freshly (re)indexed lake and resets the
+  /// mutation counter.
+  void ResetLakeTables(const std::vector<const table::Table*>& lake);
+  /// Recomputes lake_hash_ from the live tables_ entries + mutations_.
+  void RecomputeLakeHash();
+
   std::shared_ptr<embed::TupleEncoder> encoder_;
   TupleSearchConfig config_;
   std::unique_ptr<index::VectorIndex> index_;
   std::vector<table::TupleRef> refs_;
   uint64_t lake_hash_ = 0;
   size_t num_tables_ = 0;
+  std::vector<LakeTable> tables_;
+  uint64_t mutations_ = 0;
   std::vector<cascade::TableSignature> lake_signatures_;
   std::vector<MinHashSketch> lake_sketches_;
   cascade::CascadeSearch cascade_{{"prefilter", "prescreen"}};

@@ -82,6 +82,18 @@ void QueryServer::RegisterMetrics() {
   metrics_.RegisterCallback("dust_executor_tasks_total", [this] {
     return static_cast<double>(executor_.tasks_run());
   });
+  // Mutable-lake gauges: live vs tombstoned tuples and the mutation
+  // counter, sampled from the search object so deletes/adds made while
+  // serving show up on the next scrape.
+  metrics_.RegisterCallback("dust_mutable_live_vectors", [this] {
+    return static_cast<double>(search_->lake_live_vectors());
+  });
+  metrics_.RegisterCallback("dust_mutable_tombstoned_vectors", [this] {
+    return static_cast<double>(search_->lake_tombstoned_vectors());
+  });
+  metrics_.RegisterCallback("dust_lake_mutations_total", [this] {
+    return static_cast<double>(search_->lake_mutations());
+  });
   if (cache_ != nullptr) cache_->RegisterWith(&metrics_);
   // Cascade stage instruments (dust_cascade_stage_*) live in the search
   // object, which outlives the server; no-op when the cascade is disabled.

@@ -236,6 +236,36 @@ std::vector<std::vector<index::SearchHit>> ShardedIndex::SearchBatch(
   return results;
 }
 
+void ShardedIndex::EnsureRemovalMap() const {
+  if (removal_map_.size() == total_) return;
+  removal_map_.assign(total_, {0, 0});
+  for (size_t s = 0; s < shard_ids_.size(); ++s) {
+    for (size_t local = 0; local < shard_ids_[s].size(); ++local) {
+      removal_map_[shard_ids_[s][local]] = {s, local};
+    }
+  }
+}
+
+bool ShardedIndex::Remove(size_t id) {
+  if (id >= total_) return false;
+  EnsureRemovalMap();
+  const auto [s, local] = removal_map_[id];
+  if (!shards_[s]->Remove(local)) return false;
+  // Mirror the tombstone at the global level so IsDead/live_size answer
+  // without consulting the children.
+  if (dead_.size() < total_) dead_.resize(total_, 0);
+  dead_[id] = 1;
+  ++num_dead_;
+  return true;
+}
+
+bool ShardedIndex::GetVector(size_t id, la::Vec* out) const {
+  if (id >= total_) return false;
+  EnsureRemovalMap();
+  const auto [s, local] = removal_map_[id];
+  return shards_[s]->GetVector(local, out);
+}
+
 void ShardedIndex::SetExecutor(serve::Executor* executor) {
   index::VectorIndex::SetExecutor(executor);
   for (const std::unique_ptr<index::VectorIndex>& shard : shards_) {
@@ -362,6 +392,20 @@ Status ShardedIndex::LoadPayload(io::IndexReader* reader) {
   for (const std::unique_ptr<index::VectorIndex>& shard : shards_) {
     shard->SetExecutor(executor_);
   }
+  // Rebuild the global tombstone view from the children's own (persisted)
+  // tombstones: each child local id maps back through shard_ids_. The
+  // removal map is stale for the new id space; drop it so the next
+  // Remove/GetVector rebuilds it.
+  dead_.clear();
+  num_dead_ = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (size_t local : shards_[s]->Tombstones()) {
+      if (dead_.size() < total_) dead_.resize(total_, 0);
+      dead_[shard_ids_[s][local]] = 1;
+      ++num_dead_;
+    }
+  }
+  removal_map_.clear();
   return Status::Ok();
 }
 

@@ -103,6 +103,20 @@ class ShardedIndex : public index::VectorIndex {
   /// per-query scatter and the children's batch fan-out reuse one pool.
   void SetExecutor(serve::Executor* executor) override;
 
+  /// Routes the removal to the owning shard via the (lazily built) global
+  /// -> (shard, local) map, then mirrors the tombstone at the global level
+  /// so IsDead/Tombstones see the same ids an unsharded index would.
+  bool Remove(size_t id) override;
+
+  /// Each child persists its own tombstones inside the manifest's embedded
+  /// index files; the top-level v2 section stays empty to avoid applying
+  /// them twice, and LoadPayload rebuilds the global view from the
+  /// children.
+  bool TombstonesInPayload() const override { return true; }
+
+  /// Routes to the owning shard's stored vector (for Compact).
+  bool GetVector(size_t id, la::Vec* out) const override;
+
   size_t size() const override { return total_; }
   size_t dim() const override { return dim_; }
   std::string name() const override;
@@ -135,9 +149,20 @@ class ShardedIndex : public index::VectorIndex {
   std::unique_ptr<index::VectorIndex> TakeShard(
       size_t s, std::vector<size_t>* global_ids);
 
+ protected:
+  /// Compacted rebuilds re-place every survivor under the same policy —
+  /// exactly the index a fresh build over the survivors would produce.
+  std::unique_ptr<index::VectorIndex> CloneEmpty() const override {
+    return std::make_unique<ShardedIndex>(dim_, metric_, config_);
+  }
+
  private:
   /// Shard the next Add lands in under the configured placement policy.
   size_t PlaceShard(const la::Vec& v) const;
+
+  /// (Re)builds removal_map_ when it is stale (appends bump total_ past its
+  /// size; LoadPayload clears it).
+  void EnsureRemovalMap() const;
 
   size_t dim_;
   la::Metric metric_;
@@ -147,6 +172,10 @@ class ShardedIndex : public index::VectorIndex {
   /// scatter side (global -> shard) only exists implicitly: ids are
   /// assigned at Add time and never looked up by global id.
   std::vector<std::vector<size_t>> shard_ids_;
+  /// Inverse of shard_ids_ — removal_map_[global] = (shard, local id) —
+  /// built lazily on the first Remove/GetVector and kept until the id
+  /// space changes (appends rebuild it by size mismatch, loads clear it).
+  mutable std::vector<std::pair<size_t, size_t>> removal_map_;
   size_t total_ = 0;
 };
 

@@ -235,8 +235,8 @@ class SavedShardedFileTest : public ::testing::Test {
     path_ = TempPath("sharded_patched.idx");
     ASSERT_TRUE(sharded.Save(path_).ok());
     bytes_ = ReadFileBytes(path_);
-    // header (22 bytes) + manifest magic (8) + ...
-    ASSERT_GT(bytes_.size(), 30u);
+    // header (22 bytes) + empty tombstone section (8) + manifest magic (8)
+    ASSERT_GT(bytes_.size(), 38u);
   }
   std::string path_;
   std::string bytes_;
@@ -244,7 +244,7 @@ class SavedShardedFileTest : public ::testing::Test {
 
 TEST_F(SavedShardedFileTest, CorruptManifestMagicRejected) {
   std::string patched = bytes_;
-  patched[22] = 'X';  // first byte of the DUSTSHRD manifest magic
+  patched[30] = 'X';  // first byte of the DUSTSHRD manifest magic
   WriteFileBytes(path_, patched);
   auto loaded = LoadIndex(path_);
   ASSERT_FALSE(loaded.ok());
@@ -272,6 +272,7 @@ void BeginShardedFile(IndexWriter* writer) {
   writer->WriteU8(4);  // sharded
   writer->WriteU8(0);  // cosine
   writer->WriteU64(2);  // dim
+  writer->WriteIds({});  // v2 tombstone section (sharded: always empty)
   writer->WriteBytes(kShardManifestMagic, sizeof(kShardManifestMagic));
 }
 
@@ -364,6 +365,7 @@ TEST(IndexIoTest, ShardPayloadNestedShardedChildRejectedNotCrashed) {
   writer.WriteU8(4);   // sharded-in-sharded
   writer.WriteU8(0);   // cosine
   writer.WriteU64(2);  // dim
+  writer.WriteIds({});  // v2 tombstone section
   ASSERT_TRUE(writer.Close().ok());
   auto loaded = LoadIndex(path);
   ASSERT_FALSE(loaded.ok());
@@ -388,6 +390,7 @@ TEST(IndexIoTest, ShardPayloadTypeMismatchRejected) {
   writer.WriteU8(0);   // flat, contradicting the manifest
   writer.WriteU8(0);   // cosine
   writer.WriteU64(2);  // dim
+  writer.WriteIds({});  // v2 tombstone section
   writer.WriteU64(1);  // one vector
   writer.WriteVec({1.0f, 0.0f});
   ASSERT_TRUE(writer.Close().ok());
@@ -411,6 +414,7 @@ TEST(IndexIoTest, ShardPayloadSizeMismatchRejected) {
   writer.WriteU8(0);
   writer.WriteU8(0);
   writer.WriteU64(2);
+  writer.WriteIds({});  // v2 tombstone section
   writer.WriteU64(2);  // payload: two vectors
   writer.WriteVec({1.0f, 0.0f});
   writer.WriteVec({0.0f, 1.0f});
@@ -418,6 +422,182 @@ TEST(IndexIoTest, ShardPayloadSizeMismatchRejected) {
   auto loaded = LoadIndex(path);
   ASSERT_FALSE(loaded.ok());
   EXPECT_NE(loaded.status().message().find("id mapping"), std::string::npos);
+}
+
+// --- tombstones on disk (format v2) ----------------------------------------
+
+TEST_P(RoundTripTest, TombstonesSurviveRoundTrip) {
+  const RoundTripCase& param = GetParam();
+  const size_t kDim = 16;
+  auto index = index::MakeVectorIndex(param.type, kDim, param.metric);
+  index->AddAll(RandomUnitVectors(400, kDim, 73));
+  ASSERT_EQ(index->RemoveAll({3, 17, 200, 399}), 4u);
+
+  const std::string path = TempPath(std::string("tombstones_") + param.type +
+                                    std::to_string(MetricTag(param.metric)));
+  ASSERT_TRUE(index->Save(path).ok());
+  auto loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const VectorIndex& restored = *loaded.value();
+  EXPECT_EQ(restored.size(), 400u);
+  EXPECT_EQ(restored.live_size(), 396u);
+  EXPECT_EQ(restored.Tombstones(), (std::vector<size_t>{3, 17, 200, 399}));
+  // The restored index must filter tombstones exactly like the saved one.
+  ExpectSearchParity(*index, restored, 32, 10, 9500);
+}
+
+TEST(IndexIoTest, ShardedTombstonesSurviveRoundTrip) {
+  // Sharded indexes persist tombstones inside each child (the outer v2
+  // section stays empty); the loaded global view must still match.
+  shard::ShardedIndexConfig config;
+  config.num_shards = 3;
+  shard::ShardedIndex sharded(8, la::Metric::kCosine, config);
+  sharded.AddAll(RandomUnitVectors(90, 8, 41));
+  ASSERT_EQ(sharded.RemoveAll({0, 1, 2, 50, 89}), 5u);
+
+  const std::string path = TempPath("sharded_tombstones.idx");
+  ASSERT_TRUE(sharded.Save(path).ok());
+  auto loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->live_size(), 85u);
+  EXPECT_EQ(loaded.value()->Tombstones(),
+            (std::vector<size_t>{0, 1, 2, 50, 89}));
+  ExpectSearchParity(sharded, *loaded.value(), 16, 10, 9600);
+}
+
+TEST(IndexIoTest, V1FileLoadsWithEmptyTombstoneSet) {
+  // Pre-mutation files carry version 1 and no tombstone section; they must
+  // keep loading, with every vector live.
+  const std::string path = TempPath("v1_flat.idx");
+  IndexWriter writer(path);
+  writer.WriteBytes(kIndexMagic, sizeof(kIndexMagic));
+  writer.WriteU32(1);  // format v1
+  writer.WriteU8(0);   // flat
+  writer.WriteU8(0);   // cosine
+  writer.WriteU64(2);  // dim
+  writer.WriteU64(2);  // two vectors, no tombstone section before them
+  writer.WriteVec({1.0f, 0.0f});
+  writer.WriteVec({0.0f, 1.0f});
+  ASSERT_TRUE(writer.Close().ok());
+  auto loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->size(), 2u);
+  EXPECT_EQ(loaded.value()->live_size(), 2u);
+  EXPECT_EQ(loaded.value()->num_tombstones(), 0u);
+  EXPECT_EQ(loaded.value()->Search({1.0f, 0.0f}, 1).at(0).id, 0u);
+}
+
+TEST(IndexIoTest, TruncatedTombstoneListRejected) {
+  // The tombstone count promises more ids than the file holds: rejected by
+  // the count bounds check, before any allocation or payload read.
+  const std::string path = TempPath("truncated_tombstones.idx");
+  IndexWriter writer(path);
+  writer.WriteBytes(kIndexMagic, sizeof(kIndexMagic));
+  writer.WriteU32(kIndexFormatVersion);
+  writer.WriteU8(0);     // flat
+  writer.WriteU8(0);     // cosine
+  writer.WriteU64(2);    // dim
+  writer.WriteU64(100);  // tombstone count, but no ids follow
+  writer.WriteU64(0);    // (read as the first of the promised ids)
+  ASSERT_TRUE(writer.Close().ok());
+  auto loaded = LoadIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(IndexIoTest, OutOfRangeTombstoneIdRejected) {
+  // A tombstone id past the payload's vector count means the file is
+  // corrupt (or the sections were spliced from different indexes).
+  const std::string path = TempPath("tombstone_range.idx");
+  IndexWriter writer(path);
+  writer.WriteBytes(kIndexMagic, sizeof(kIndexMagic));
+  writer.WriteU32(kIndexFormatVersion);
+  writer.WriteU8(0);   // flat
+  writer.WriteU8(0);   // cosine
+  writer.WriteU64(2);  // dim
+  writer.WriteIds({5});  // payload only has 2 vectors
+  writer.WriteU64(2);
+  writer.WriteVec({1.0f, 0.0f});
+  writer.WriteVec({0.0f, 1.0f});
+  ASSERT_TRUE(writer.Close().ok());
+  auto loaded = LoadIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  EXPECT_NE(loaded.status().message().find("out of range"), std::string::npos);
+}
+
+TEST(IndexIoTest, DuplicateTombstoneIdRejected) {
+  const std::string path = TempPath("tombstone_dup.idx");
+  IndexWriter writer(path);
+  writer.WriteBytes(kIndexMagic, sizeof(kIndexMagic));
+  writer.WriteU32(kIndexFormatVersion);
+  writer.WriteU8(0);   // flat
+  writer.WriteU8(0);   // cosine
+  writer.WriteU64(2);  // dim
+  writer.WriteIds({0, 0});
+  writer.WriteU64(2);
+  writer.WriteVec({1.0f, 0.0f});
+  writer.WriteVec({0.0f, 1.0f});
+  ASSERT_TRUE(writer.Close().ok());
+  auto loaded = LoadIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  EXPECT_NE(loaded.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(IndexIoTest, CompactedIndexRoundTripsWithoutTombstones) {
+  FlatIndex flat(8, la::Metric::kCosine);
+  flat.AddAll(RandomUnitVectors(200, 8, 47));
+  for (size_t id = 0; id < 200; id += 3) flat.Remove(id);
+  std::vector<size_t> remap;
+  auto compacted = flat.Compact(&remap);
+  ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+  EXPECT_EQ(compacted.value()->size(), flat.live_size());
+  EXPECT_EQ(compacted.value()->num_tombstones(), 0u);
+
+  const std::string path = TempPath("compacted.idx");
+  ASSERT_TRUE(compacted.value()->Save(path).ok());
+  auto loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->num_tombstones(), 0u);
+  // Loaded compacted index answers exactly like the in-memory compacted
+  // one, which in turn answers exactly like the tombstoned original modulo
+  // the id remap (flat is exact, so distances are bit-identical).
+  ExpectSearchParity(*compacted.value(), *loaded.value(), 16, 10, 9700);
+  auto queries = RandomUnitVectors(16, 8, 9800);
+  auto original_hits = flat.SearchBatch(queries, 10);
+  auto compact_hits = loaded.value()->SearchBatch(queries, 10);
+  ASSERT_EQ(original_hits.size(), compact_hits.size());
+  for (size_t q = 0; q < original_hits.size(); ++q) {
+    ASSERT_EQ(original_hits[q].size(), compact_hits[q].size());
+    for (size_t i = 0; i < original_hits[q].size(); ++i) {
+      EXPECT_EQ(remap[original_hits[q][i].id], compact_hits[q][i].id);
+      EXPECT_EQ(original_hits[q][i].distance, compact_hits[q][i].distance);
+    }
+  }
+}
+
+TEST(IndexIoTest, AddAfterLoadKeepsServing) {
+  // Incremental ingest: a loaded index accepts new vectors and returns
+  // them from searches (norm caches and graphs stay consistent).
+  for (const char* type : {"flat", "hnsw", "ivf", "lsh"}) {
+    auto index = index::MakeVectorIndex(type, 8, la::Metric::kCosine);
+    auto vectors = RandomUnitVectors(120, 8, 53);
+    index->AddAll(vectors);
+    const std::string path = TempPath(std::string("add_after_load_") + type);
+    ASSERT_TRUE(index->Save(path).ok()) << type;
+    auto loaded = LoadIndex(path);
+    ASSERT_TRUE(loaded.ok()) << type << ": " << loaded.status().ToString();
+    la::Vec probe = RandomUnitVectors(1, 8, 54)[0];
+    loaded.value()->Add(probe);
+    EXPECT_EQ(loaded.value()->size(), 121u) << type;
+    // The probe itself must come back as the top hit (distance ~0); IVF
+    // assigns it to the nearest existing centroid, LSH re-hashes it.
+    auto hits = loaded.value()->Search(probe, 1);
+    ASSERT_EQ(hits.size(), 1u) << type;
+    EXPECT_EQ(hits[0].id, 120u) << type;
+    EXPECT_NEAR(hits[0].distance, 0.0f, 1e-5f) << type;
+  }
 }
 
 // --- the IVF train-before-save guarantee -----------------------------------
@@ -475,7 +655,8 @@ class SavedFlatFileTest : public ::testing::Test {
     path_ = TempPath("patched.idx");
     ASSERT_TRUE(flat.Save(path_).ok());
     bytes_ = ReadFileBytes(path_);
-    ASSERT_GT(bytes_.size(), 22u);  // header = 8 magic + 4 version + 2 + 8
+    // header (8 magic + 4 version + 2 tags + 8 dim) + tombstone section (8)
+    ASSERT_GT(bytes_.size(), 38u);
   }
   std::string path_;
   std::string bytes_;
@@ -514,12 +695,24 @@ TEST_F(SavedFlatFileTest, TruncatedFileRejected) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
 }
 
-TEST_F(SavedFlatFileTest, OversizedCountRejectedWithoutHugeAllocation) {
-  // Patch the vector-list count (first u64 of the flat payload) to a huge
-  // value; the reader must reject it against the file size instead of
+TEST_F(SavedFlatFileTest, OversizedTombstoneCountRejectedWithoutAllocation) {
+  // Patch the v2 tombstone-list count (first u64 after the header) to a
+  // huge value; the reader must reject it against the file size instead of
   // attempting the allocation.
   std::string patched = bytes_;
   for (size_t i = 0; i < 8; ++i) patched[22 + i] = static_cast<char>(0xFF);
+  WriteFileBytes(path_, patched);
+  auto loaded = LoadIndex(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(SavedFlatFileTest, OversizedCountRejectedWithoutHugeAllocation) {
+  // Patch the vector-list count (first u64 of the flat payload, after the
+  // 22-byte header + 8-byte empty tombstone section) to a huge value; same
+  // bounds check, different field.
+  std::string patched = bytes_;
+  for (size_t i = 0; i < 8; ++i) patched[30 + i] = static_cast<char>(0xFF);
   WriteFileBytes(path_, patched);
   auto loaded = LoadIndex(path_);
   ASSERT_FALSE(loaded.ok());
@@ -553,6 +746,7 @@ TEST(IndexIoTest, HnswUnderReportedLayersRejectedNotSearched) {
   writer.WriteU8(1);   // hnsw
   writer.WriteU8(0);   // cosine
   writer.WriteU64(2);  // dim
+  writer.WriteIds({});  // v2 tombstone section
   writer.WriteU64(16);   // M
   writer.WriteU64(200);  // ef_construction
   writer.WriteU64(128);  // ef_search

@@ -354,6 +354,35 @@ TEST_F(PipelineFixture, StaleSnapshotLakeRejected) {
   EXPECT_EQ(loaded.code(), StatusCode::kFailedPrecondition);
 }
 
+TEST_F(PipelineFixture, PreMutationSnapshotRejectedAfterLakeMutation) {
+  const std::string path = SnapshotPath("pipeline_snapshot_mutated.bin");
+  ASSERT_TRUE(pipeline_->SaveSnapshot(path).ok());
+
+  // A lake mutated since the snapshot was taken — a mid-lake table deleted
+  // (not just truncated at the end) — shifts every later table's tuple-id
+  // range, so the snapshot's id mapping is a lie. It must be rejected, not
+  // served against the wrong rows.
+  std::vector<const Table*> deleted(*lake_);
+  deleted.erase(deleted.begin() + 1);
+  PipelineConfig config;
+  config.num_tables = 5;
+  DustPipeline online(config, TestEncoder());
+  Status loaded = online.LoadSnapshot(path, deleted);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.code(), StatusCode::kFailedPrecondition);
+
+  // Same for an in-place table swap that keeps the lake's size but changes
+  // a table's shape (the delete-then-re-add-under-the-same-name flow).
+  Table replacement((*lake_)[1]->name());
+  ASSERT_TRUE(replacement.AddColumn("only", {table::Value("row")}).ok());
+  std::vector<const Table*> swapped(*lake_);
+  swapped[1] = &replacement;
+  DustPipeline online2(config, TestEncoder());
+  loaded = online2.LoadSnapshot(path, swapped);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.code(), StatusCode::kFailedPrecondition);
+}
+
 TEST_F(PipelineFixture, SaveSnapshotBeforeIndexLakeFails) {
   PipelineConfig config;
   DustPipeline fresh(config, TestEncoder());

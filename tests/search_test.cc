@@ -1,8 +1,10 @@
 // Unit tests for src/search: MinHash, D3L-style and Starmie-style union
-// search, tuple-level search.
+// search, tuple-level search, and lake mutations (RemoveTable/AddTable/
+// CompactIndex) with their staleness-hash contract.
 #include <gtest/gtest.h>
 
 #include "datagen/tus_generator.h"
+#include "io/index_io.h"
 #include "embed/embedder.h"
 #include "search/embedding_search.h"
 #include "search/minhash.h"
@@ -216,6 +218,190 @@ TEST(TupleSearchTest, HonorsK) {
   Table query("q");
   ASSERT_TRUE(query.AddColumn("X", {Value("a")}).ok());
   EXPECT_EQ(search.SearchTuples(query, 2).size(), 2u);
+}
+
+// --- lake mutations ---------------------------------------------------------
+
+// Two small disjoint tables plus a TupleSearch over them, shared by the
+// mutation tests below.
+struct MutableLake {
+  Table a{"a"};
+  Table b{"b"};
+  TupleSearch search;
+
+  MutableLake()
+      : search(std::make_shared<embed::PretrainedTupleEncoder>(
+            std::shared_ptr<embed::TextEmbedder>(embed::MakeEmbedder(
+                embed::ModelFamily::kBert,
+                embed::DefaultConfigFor(embed::ModelFamily::kBert, 16))))) {
+    EXPECT_TRUE(a.AddColumn("X", {Value("apple"), Value("avocado")}).ok());
+    EXPECT_TRUE(b.AddColumn("X", {Value("banana"), Value("blueberry"),
+                                  Value("bilberry")}).ok());
+    search.IndexLake({&a, &b});
+  }
+
+  std::vector<TupleHit> Query(const std::string& cell, size_t k) {
+    Table q("q");
+    EXPECT_TRUE(q.AddColumn("X", {Value(cell)}).ok());
+    return search.SearchTuples(q, k);
+  }
+};
+
+TEST(TupleMutationTest, RemoveTableDropsItsTuplesAndBumpsHash) {
+  MutableLake lake;
+  const uint64_t fresh_hash = lake.search.LakeStateHash();
+  ASSERT_EQ(lake.search.lake_live_vectors(), 5u);
+
+  ASSERT_TRUE(lake.search.RemoveTable("b").ok());
+  EXPECT_NE(lake.search.LakeStateHash(), fresh_hash)
+      << "a mutated lake must not reuse the pre-mutation hash";
+  EXPECT_EQ(lake.search.lake_live_vectors(), 2u);
+  EXPECT_EQ(lake.search.lake_tombstoned_vectors(), 3u);
+  EXPECT_EQ(lake.search.lake_mutations(), 1u);
+
+  // Even a query aimed squarely at the removed table only sees survivors.
+  auto hits = lake.Query("banana", 5);
+  ASSERT_EQ(hits.size(), 2u);
+  for (const TupleHit& h : hits) EXPECT_EQ(h.ref.table_index, 0u);
+}
+
+TEST(TupleMutationTest, AddTableServesNewTuples) {
+  MutableLake lake;
+  const uint64_t fresh_hash = lake.search.LakeStateHash();
+  Table c("c");
+  ASSERT_TRUE(c.AddColumn("X", {Value("cherry")}).ok());
+  ASSERT_TRUE(lake.search.AddTable(c).ok());
+  EXPECT_NE(lake.search.LakeStateHash(), fresh_hash);
+  EXPECT_EQ(lake.search.lake_live_vectors(), 6u);
+
+  auto hits = lake.Query("cherry", 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].ref, (table::TupleRef{2, 0}));
+}
+
+TEST(TupleMutationTest, ReAddUnderSameNameGetsAFreshHash) {
+  // Remove "b" then add a different "b". If the hash only covered the live
+  // table shapes it would collapse back to the original value and the
+  // result cache could serve pre-mutation rows; the mutation counter in
+  // the hash chain prevents that.
+  MutableLake lake;
+  const uint64_t fresh_hash = lake.search.LakeStateHash();
+  ASSERT_TRUE(lake.search.RemoveTable("b").ok());
+  Table b2("b");
+  ASSERT_TRUE(b2.AddColumn("X", {Value("banana"), Value("blueberry"),
+                                 Value("bilberry")}).ok());
+  ASSERT_TRUE(lake.search.AddTable(b2).ok());
+  EXPECT_NE(lake.search.LakeStateHash(), fresh_hash);
+  EXPECT_EQ(lake.search.lake_mutations(), 2u);
+
+  // The re-added copy serves from its new slot, not the tombstoned one.
+  auto hits = lake.Query("banana", 6);
+  ASSERT_EQ(hits.size(), 5u);
+  for (const TupleHit& h : hits) EXPECT_NE(h.ref.table_index, 1u);
+}
+
+TEST(TupleMutationTest, MutationErrorPaths) {
+  MutableLake lake;
+  EXPECT_EQ(lake.search.RemoveTable("nope").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(lake.search.RemoveTable("b").ok());
+  EXPECT_EQ(lake.search.RemoveTable("b").code(), StatusCode::kNotFound)
+      << "removing an already-removed table";
+  Table dup("a");
+  EXPECT_TRUE(dup.AddColumn("X", {Value("z")}).ok());
+  EXPECT_EQ(lake.search.AddTable(dup).code(), StatusCode::kInvalidArgument)
+      << "a live table already owns the name";
+
+  TupleSearch unindexed(std::make_shared<embed::PretrainedTupleEncoder>(
+      std::shared_ptr<embed::TextEmbedder>(embed::MakeEmbedder(
+          embed::ModelFamily::kBert,
+          embed::DefaultConfigFor(embed::ModelFamily::kBert, 16)))));
+  EXPECT_EQ(unindexed.RemoveTable("a").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TupleMutationTest, CompactPreservesResultsAndHash) {
+  MutableLake lake;
+  ASSERT_TRUE(lake.search.RemoveTable("a").ok());
+  const uint64_t mutated_hash = lake.search.LakeStateHash();
+  auto before = lake.Query("blueberry", 3);
+  ASSERT_EQ(before.size(), 3u);
+
+  ASSERT_TRUE(lake.search.CompactIndex().ok());
+  EXPECT_EQ(lake.search.lake_tombstoned_vectors(), 0u);
+  EXPECT_EQ(lake.search.lake_live_vectors(), 3u);
+  // Compaction changes the representation, not the visible lake: cached
+  // results stay valid, so the hash must not move.
+  EXPECT_EQ(lake.search.LakeStateHash(), mutated_hash);
+
+  auto after = lake.Query("blueberry", 3);
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after[i].ref, before[i].ref) << "rank " << i;
+    EXPECT_DOUBLE_EQ(after[i].similarity, before[i].similarity)
+        << "rank " << i;
+  }
+}
+
+TEST_F(SearchFixture, EmbeddingRemoveTableExcludesItFromResults) {
+  EmbeddingUnionSearch search;
+  search.IndexLake(*lake_);
+  const size_t victim = benchmark_->unionable[0].front();
+  const std::string victim_name = (*lake_)[victim]->name();
+  ASSERT_TRUE(search.RemoveTable(victim_name).ok());
+  EXPECT_EQ(search.num_live_tables(), lake_->size() - 1);
+  auto hits = search.SearchTables(benchmark_->queries[0].data,
+                                  lake_->size());
+  EXPECT_EQ(hits.size(), lake_->size() - 1);
+  for (const TableHit& h : hits) EXPECT_NE(h.table_index, victim);
+
+  EXPECT_EQ(search.RemoveTable(victim_name).code(), StatusCode::kNotFound);
+}
+
+TEST_F(SearchFixture, EmbeddingAddTableBecomesSearchable) {
+  EmbeddingUnionSearch search;
+  search.IndexLake(*lake_);
+  // Re-adding a removed table under its own name is legal and serves from
+  // the appended slot.
+  const size_t victim = benchmark_->unionable[1].front();
+  ASSERT_TRUE(search.RemoveTable((*lake_)[victim]->name()).ok());
+  ASSERT_TRUE(search.AddTable(*(*lake_)[victim]).ok());
+  EXPECT_EQ(search.num_live_tables(), lake_->size());
+  auto hits = search.SearchTables(benchmark_->queries[1].data, 4);
+  bool found_readded = false;
+  for (const TableHit& h : hits) {
+    EXPECT_NE(h.table_index, victim) << "tombstoned slot must stay dark";
+    if (h.table_index == lake_->size()) found_readded = true;
+  }
+  EXPECT_TRUE(found_readded)
+      << "the re-added unionable table should rank in the top 4";
+
+  Table dup((*lake_)[0]->name());
+  EXPECT_TRUE(dup.AddColumn("X", {Value("z")}).ok());
+  EXPECT_EQ(search.AddTable(dup).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SearchFixture, EmbeddingMutationsRejectedAfterSnapshotRestore) {
+  const std::string path = ::testing::TempDir() + "embed_mut_state.bin";
+  EmbeddingUnionSearch search;
+  search.IndexLake(*lake_);
+  {
+    io::IndexWriter writer(path);
+    ASSERT_TRUE(search.SaveState(&writer).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  EmbeddingUnionSearch restored;
+  {
+    io::IndexReader reader(path);
+    ASSERT_TRUE(restored.LoadState(&reader).ok());
+  }
+  // Snapshots do not carry table names, so a restored engine cannot
+  // resolve mutations; it must refuse rather than guess.
+  EXPECT_EQ(restored.RemoveTable((*lake_)[0]->name()).code(),
+            StatusCode::kFailedPrecondition);
+  Table extra("extra");
+  EXPECT_TRUE(extra.AddColumn("X", {Value("z")}).ok());
+  EXPECT_EQ(restored.AddTable(extra).code(),
+            StatusCode::kFailedPrecondition);
 }
 
 }  // namespace

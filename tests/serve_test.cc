@@ -800,6 +800,56 @@ TEST(QueryServerCacheTest, ReindexedLakeServesZeroStaleHits) {
   EXPECT_GE(stats.cache_entries, 1u);
 }
 
+TEST(QueryServerCacheTest, RemovedTableNeverServedFromCache) {
+  // The mutable-lake regression: cache a query, tombstone a table the
+  // cached result drew hits from, then re-issue the same query. The server
+  // must miss (RemoveTable bumped LakeStateHash, invalidating the entry)
+  // and the recomputed answer must contain zero hits from the deleted
+  // table — a stale cached hit here would resurrect deleted rows.
+  std::vector<Table> lake_storage;
+  for (size_t t = 0; t < 6; ++t) {
+    lake_storage.push_back(
+        MakeWordTable("lake" + std::to_string(t), 15, 50 + t));
+  }
+  TupleSearch search(MakeTestEncoder());
+  std::vector<const Table*> lake;
+  for (const Table& t : lake_storage) lake.push_back(&t);
+  search.IndexLake(lake);
+  const Table query = MakeWordTable("q", 4, 9100);
+
+  QueryServerOptions options;
+  options.cache_entries = 128;
+  QueryServer server(&search, options);
+  auto first = server.Submit(query, 10).get();  // miss, inserted
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(server.Submit(query, 10).get().ok());  // hit
+  EXPECT_EQ(server.stats().cache_hits, 1u);
+
+  // Delete the table the cached top hit came from. Mutations are not
+  // synchronized against in-flight requests; none are in flight here.
+  const size_t victim = first.value()[0].ref.table_index;
+  ASSERT_TRUE(search.RemoveTable(search.table_name(victim)).ok());
+
+  auto after = server.Submit(query, 10).get();
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.value().empty());
+  for (const TupleHit& h : after.value()) {
+    EXPECT_NE(h.ref.table_index, victim)
+        << "hit from the deleted table after RemoveTable";
+  }
+  server.Shutdown();
+  const QueryServerStats stats = server.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);  // the post-mutation submit never hit
+  EXPECT_EQ(stats.cache_invalidations, 1u);
+
+  // The mutable-lake gauges sample the mutated search object live.
+  const std::string text = server.metrics().RenderText();
+  EXPECT_NE(text.find("dust_lake_mutations_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("dust_mutable_tombstoned_vectors 15\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dust_mutable_live_vectors 75\n"), std::string::npos);
+}
+
 TEST_F(ServeFixture, ConcurrentHitMissStormStaysConsistent) {
   // Clients hammer a mix of repeated (cache-hot) and rotating queries;
   // every response must match the sequential oracle whether it came from

@@ -242,6 +242,101 @@ TEST(ShardedIndexTest, AddAllMatchesPerVectorAdd) {
   }
 }
 
+// --- removals route through the global->(shard, local) map ------------------
+
+TEST(ShardedIndexTest, RemoveRoutesToOwningShard) {
+  const size_t kDim = 8;
+  auto vectors = RandomUnitVectors(30, kDim, 97);
+  for (PlacementPolicy placement :
+       {PlacementPolicy::kRoundRobin, PlacementPolicy::kHash}) {
+    ShardedIndex sharded(kDim, la::Metric::kCosine,
+                         MakeConfig("flat", 3, placement));
+    sharded.AddAll(vectors);
+    EXPECT_TRUE(sharded.Remove(7));
+    EXPECT_FALSE(sharded.Remove(7)) << "second removal of the same id";
+    EXPECT_FALSE(sharded.Remove(30)) << "id past the end of the lake";
+    EXPECT_EQ(sharded.size(), 30u);
+    EXPECT_EQ(sharded.live_size(), 29u);
+    EXPECT_TRUE(sharded.IsDead(7));
+    // Exactly one child shard carries the tombstone, and the global view
+    // agrees with the sum over children.
+    size_t child_tombstones = 0;
+    for (size_t s = 0; s < 3; ++s) {
+      child_tombstones += sharded.shard(s).num_tombstones();
+    }
+    EXPECT_EQ(child_tombstones, 1u);
+    auto hits = sharded.Search(vectors[7], 30);
+    ASSERT_EQ(hits.size(), 29u);
+    for (const SearchHit& h : hits) EXPECT_NE(h.id, 7u);
+  }
+}
+
+TEST(ShardedIndexTest, AddAfterRemoveKeepsRoutingCorrect) {
+  // Appends grow the global->(shard, local) map; removals issued after an
+  // append must still land on the owning shard, and parity with a flat
+  // index over the same survivors must hold.
+  const size_t kDim = 8;
+  auto vectors = RandomUnitVectors(20, kDim, 99);
+  auto extra = RandomUnitVectors(5, kDim, 101);
+  ShardedIndex sharded(kDim, la::Metric::kCosine,
+                       MakeConfig("flat", 3, PlacementPolicy::kRoundRobin));
+  sharded.AddAll(vectors);
+  ASSERT_EQ(sharded.RemoveAll({2, 11}), 2u);
+  for (const la::Vec& v : extra) sharded.Add(v);
+  EXPECT_TRUE(sharded.Remove(22));  // one of the appended vectors
+  EXPECT_EQ(sharded.size(), 25u);
+  EXPECT_EQ(sharded.live_size(), 22u);
+
+  index::FlatIndex survivors(kDim, la::Metric::kCosine);
+  std::vector<size_t> survivor_ids;
+  for (size_t i = 0; i < 25; ++i) {
+    if (i == 2 || i == 11 || i == 22) continue;
+    survivors.Add(i < 20 ? vectors[i] : extra[i - 20]);
+    survivor_ids.push_back(i);
+  }
+  auto queries = RandomUnitVectors(12, kDim, 103);
+  auto expected = survivors.SearchBatch(queries, 8);
+  auto actual = sharded.SearchBatch(queries, 8);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t q = 0; q < expected.size(); ++q) {
+    ASSERT_EQ(expected[q].size(), actual[q].size()) << "query " << q;
+    for (size_t i = 0; i < expected[q].size(); ++i) {
+      EXPECT_EQ(survivor_ids[expected[q][i].id], actual[q][i].id)
+          << "query " << q << " rank " << i;
+      EXPECT_EQ(expected[q][i].distance, actual[q][i].distance)
+          << "query " << q << " rank " << i;
+    }
+  }
+}
+
+TEST(ShardedIndexTest, CompactRebuildsWithoutTombstones) {
+  const size_t kDim = 8;
+  auto vectors = RandomUnitVectors(24, kDim, 105);
+  ShardedIndex sharded(kDim, la::Metric::kCosine,
+                       MakeConfig("flat", 3, PlacementPolicy::kRoundRobin));
+  sharded.AddAll(vectors);
+  ASSERT_EQ(sharded.RemoveAll({0, 5, 23}), 3u);
+  auto before = sharded.Search(vectors[1], 21);
+
+  std::vector<size_t> remap;
+  auto compacted_or = sharded.Compact(&remap);
+  ASSERT_TRUE(compacted_or.ok()) << compacted_or.status().message();
+  auto compacted = std::move(compacted_or).value();
+  EXPECT_EQ(compacted->size(), 21u);
+  EXPECT_EQ(compacted->num_tombstones(), 0u);
+  ASSERT_EQ(remap.size(), 24u);
+  EXPECT_EQ(remap[0], VectorIndex::kInvalidId);
+  EXPECT_EQ(remap[5], VectorIndex::kInvalidId);
+  EXPECT_EQ(remap[23], VectorIndex::kInvalidId);
+
+  auto after = compacted->Search(vectors[1], 21);
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(remap[before[i].id], after[i].id) << "rank " << i;
+    EXPECT_EQ(before[i].distance, after[i].distance) << "rank " << i;
+  }
+}
+
 TEST(ShardedIndexTest, NameReflectsShape) {
   ShardedIndex sharded(8, la::Metric::kCosine,
                        MakeConfig("flat", 4, PlacementPolicy::kRoundRobin));

@@ -97,6 +97,12 @@ struct CliOptions {
   std::string router_endpoints;     // comma-separated host:port list
   std::string save_tuple_index_path;  // build the tuple index, save, exit
   std::string dump_hits_path;       // write baseline hits, bit-exact
+  // Mutable lakes (PR 10): tombstoned deletes and incremental ingest
+  // against a live tuple index, applied before any query is served.
+  std::string delete_tables;        // comma-separated lake table names
+  std::string add_tables;           // comma-separated CSV paths to ingest
+  bool compact = false;             // rewrite the index without tombstones
+  std::string load_tuple_index_path;  // serve from a saved tuple index
   bool allow_partial = false;
   size_t deadline_ms = 5000;
   size_t rpc_retries = 1;
@@ -132,7 +138,10 @@ void Usage() {
       "                 [--slow-query-ms MS]\n"
       "                 [--router host:port,... [--allow-partial]\n"
       "                  [--deadline-ms N] [--rpc-retries N]]\n"
-      "                 [--dump-hits hits.txt]]\n"
+      "                 [--dump-hits hits.txt]\n"
+      "                 [--load-tuple-index <file>]\n"
+      "                 [--delete-tables a,b] [--add-tables x.csv,y.csv]\n"
+      "                 [--compact]]\n"
       "                [--save-tuple-index <file>]\n"
       "       --serve starts an async tuple-search server over the lake and\n"
       "       drives it with a synthetic closed-loop client (--clients\n"
@@ -155,8 +164,18 @@ void Usage() {
       "       only while the router reports degraded (partial) results;\n"
       "       --deadline-ms bounds each shard RPC, --rpc-retries bounds\n"
       "       retries of transient failures\n"
-      "       --dump-hits writes the baseline hit list with bit-exact\n"
-      "       similarities for cross-process comparison\n"
+      "       --dump-hits writes the baseline hit list (by table name) with\n"
+      "       bit-exact similarities for cross-process comparison\n"
+      "       --delete-tables tombstones the named lake tables (names or\n"
+      "       *.csv filenames) before serving; --add-tables ingests extra\n"
+      "       CSV files into the live index; --compact rewrites the index\n"
+      "       without tombstones after mutations; every mutation bumps the\n"
+      "       lake-state hash, so cached results from the pre-mutation lake\n"
+      "       can never be served\n"
+      "       --load-tuple-index serves from a saved tuple index instead of\n"
+      "       re-embedding the lake (the CSVs are still read for row\n"
+      "       alignment); with --serve, --save-tuple-index persists the\n"
+      "       post-mutation index\n"
       "       --save-tuple-index builds the tuple-level index (honoring\n"
       "       --index/--shards) and saves it for dust_shardd to load\n"
       "       --save-index without --query builds the lake index and exits;\n"
@@ -355,6 +374,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->router_endpoints = value;
     } else if (arg == "--save-tuple-index" && (value = next())) {
       options->save_tuple_index_path = value;
+    } else if (arg == "--load-tuple-index" && (value = next())) {
+      options->load_tuple_index_path = value;
+    } else if (arg == "--delete-tables" && (value = next())) {
+      options->delete_tables = value;
+    } else if (arg == "--add-tables" && (value = next())) {
+      options->add_tables = value;
+    } else if (arg == "--compact") {
+      options->compact = true;
     } else if (arg == "--dump-hits" && (value = next())) {
       options->dump_hits_path = value;
     } else if (arg == "--allow-partial") {
@@ -504,12 +531,38 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     std::fprintf(stderr, "--dump-hits requires --serve\n");
     return false;
   }
+  const bool mutations = !options->delete_tables.empty() ||
+                         !options->add_tables.empty() || options->compact;
+  if (mutations && !options->serve) {
+    std::fprintf(stderr,
+                 "--delete-tables/--add-tables/--compact require --serve\n");
+    return false;
+  }
+  if (mutations && !options->router_endpoints.empty()) {
+    // The router view is read-only: removals happen shard-side, so a
+    // routed lake cannot be mutated from this process.
+    std::fprintf(stderr,
+                 "--delete-tables/--add-tables/--compact cannot be used "
+                 "with --router (shards own their tombstones)\n");
+    return false;
+  }
+  if (!options->load_tuple_index_path.empty()) {
+    if (!options->serve || !options->router_endpoints.empty()) {
+      std::fprintf(stderr,
+                   "--load-tuple-index requires --serve without --router\n");
+      return false;
+    }
+  }
   if (!options->save_tuple_index_path.empty()) {
-    if (options->serve || !options->save_index_path.empty() ||
+    if (!options->save_index_path.empty() ||
         !options->load_index_path.empty()) {
       std::fprintf(stderr,
-                   "--save-tuple-index is exclusive with --serve/"
+                   "--save-tuple-index is exclusive with "
                    "--save-index/--load-index\n");
+      return false;
+    }
+    if (options->serve && !options->router_endpoints.empty()) {
+      std::fprintf(stderr, "--save-tuple-index cannot snapshot a --router\n");
       return false;
     }
     if (options->engine != "starmie") {
@@ -568,10 +621,13 @@ std::shared_ptr<embed::PretrainedTupleEncoder> MakeTupleEncoder() {
           embed::MakeEmbedder(embed::ModelFamily::kRoberta, encoder_config)));
 }
 
-/// Writes hits as "table,row,<hex double bits>" lines — the similarity is
-/// dumped as its exact bit pattern, so `cmp` between two runs proves
-/// bit-identical results with no formatting round-trip in the way.
-bool DumpHitsFile(const std::string& path,
+/// Writes hits as "table-name,row,<hex double bits>" lines — the similarity
+/// is dumped as its exact bit pattern, so `cmp` between two runs proves
+/// bit-identical results with no formatting round-trip in the way. Hits are
+/// keyed by table NAME, not index, so a dump taken before compaction (or
+/// against a larger lake directory) compares equal to one taken after the
+/// tombstoned tables are physically gone.
+bool DumpHitsFile(const std::string& path, const search::TupleSearch& search,
                   const std::vector<search::TupleHit>& hits) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
@@ -579,10 +635,77 @@ bool DumpHitsFile(const std::string& path,
     uint64_t bits = 0;
     static_assert(sizeof(bits) == sizeof(hit.similarity));
     std::memcpy(&bits, &hit.similarity, sizeof(bits));
-    std::fprintf(f, "%zu,%zu,%016llx\n", hit.ref.table_index,
+    std::fprintf(f, "%s,%zu,%016llx\n",
+                 search.table_name(hit.ref.table_index).c_str(),
                  hit.ref.row_index, static_cast<unsigned long long>(bits));
   }
   return std::fclose(f) == 0;
+}
+
+/// Applies --delete-tables / --add-tables / --compact to the live search
+/// object, printing a one-line summary per mutation. Delete names accept
+/// either the canonical table name ("b") or the lake filename ("b.csv").
+/// Returns false (after printing the error) if any mutation fails.
+bool ApplyLakeMutations(const CliOptions& options,
+                        search::TupleSearch* search) {
+  for (const std::string& requested : SplitCommas(options.delete_tables)) {
+    std::string name = requested;
+    const size_t dot = name.find_last_of('.');
+    if (dot != std::string::npos && name.substr(dot) == ".csv") {
+      name = name.substr(0, dot);
+    }
+    const size_t before = search->lake_live_vectors();
+    Status removed = search->RemoveTable(name);
+    if (!removed.ok()) {
+      std::fprintf(stderr, "cannot delete table %s: %s\n", requested.c_str(),
+                   removed.ToString().c_str());
+      return false;
+    }
+    std::printf("deleted table %s (%zu tuples tombstoned)\n", name.c_str(),
+                before - search->lake_live_vectors());
+  }
+  for (const std::string& path : SplitCommas(options.add_tables)) {
+    auto loaded = table::ReadCsvFile(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot add table %s: %s\n", path.c_str(),
+                   loaded.status().ToString().c_str());
+      return false;
+    }
+    table::Table t = std::move(loaded).value();
+    t.DropAllNullColumns();
+    if (t.num_rows() == 0 || t.num_columns() == 0) {
+      std::fprintf(stderr, "cannot add table %s: no usable rows\n",
+                   path.c_str());
+      return false;
+    }
+    Status added = search->AddTable(t);
+    if (!added.ok()) {
+      std::fprintf(stderr, "cannot add table %s: %s\n", path.c_str(),
+                   added.ToString().c_str());
+      return false;
+    }
+    std::printf("added table %s (%zu tuples)\n", t.name().c_str(),
+                t.num_rows());
+  }
+  if (options.compact) {
+    const size_t dropped = search->lake_tombstoned_vectors();
+    Status compacted = search->CompactIndex();
+    if (!compacted.ok()) {
+      std::fprintf(stderr, "cannot compact index: %s\n",
+                   compacted.ToString().c_str());
+      return false;
+    }
+    std::printf("compacted index: %zu tombstoned tuples dropped\n", dropped);
+  }
+  if (!options.delete_tables.empty() || !options.add_tables.empty()) {
+    std::printf(
+        "lake after mutations: %zu live / %zu tombstoned tuples, "
+        "%llu mutations (lake-state hash %016llx)\n",
+        search->lake_live_vectors(), search->lake_tombstoned_vectors(),
+        static_cast<unsigned long long>(search->lake_mutations()),
+        static_cast<unsigned long long>(search->LakeStateHash()));
+  }
+  return true;
 }
 
 /// --save-tuple-index: builds the tuple-level index over the lake (the same
@@ -643,17 +766,51 @@ int RunServeMode(const CliOptions& options,
     std::printf("router over %zu shards (%zu tuples) ready in %.3fs\n",
                 router->num_shards(), search.num_indexed(),
                 index_watch.Seconds());
+  } else if (!options.load_tuple_index_path.empty()) {
+    Result<std::unique_ptr<index::VectorIndex>> loaded =
+        io::LoadIndex(options.load_tuple_index_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load tuple index: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    Status used = search.UseIndex(std::move(loaded).value(), lake);
+    if (!used.ok()) {
+      std::fprintf(stderr, "tuple index does not match the lake: %s\n",
+                   used.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded tuple index %s (%zu tuples) in %.3fs\n",
+                options.load_tuple_index_path.c_str(), search.num_indexed(),
+                index_watch.Seconds());
   } else {
     search.IndexLake(lake);
     std::printf("indexed %zu lake tuples in %.3fs\n", search.num_indexed(),
                 index_watch.Seconds());
   }
 
+  // Lake mutations happen before any query is in flight (mutations are not
+  // synchronized against concurrent searches); the baseline below — and
+  // everything the server serves — sees only the post-mutation lake.
+  if (router == nullptr && !ApplyLakeMutations(options, &search)) return 1;
+  if (!options.save_tuple_index_path.empty()) {
+    Status saved =
+        io::SaveIndex(*search.lake_index(), options.save_tuple_index_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "cannot save tuple index: %s\n",
+                   saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote tuple index %s (%s)\n",
+                options.save_tuple_index_path.c_str(),
+                search.lake_index()->name().c_str());
+  }
+
   // Sequential baseline: the parity oracle every served result must match.
   const std::vector<search::TupleHit> baseline =
       search.SearchTuples(query, options.k);
   if (!options.dump_hits_path.empty()) {
-    if (!DumpHitsFile(options.dump_hits_path, baseline)) {
+    if (!DumpHitsFile(options.dump_hits_path, search, baseline)) {
       std::fprintf(stderr, "cannot write %s\n",
                    options.dump_hits_path.c_str());
       return 1;
@@ -812,6 +969,20 @@ int RunServeMode(const CliOptions& options,
     return 1;
   }
   std::printf("parity OK: all responses bit-identical to sequential search\n");
+  if (!options.delete_tables.empty()) {
+    // The mutable-lake acceptance check: every served response matched the
+    // baseline bit for bit (above), so it suffices that the baseline
+    // itself never touched a tombstoned table.
+    for (const search::TupleHit& hit : baseline) {
+      if (search.table_removed(hit.ref.table_index)) {
+        std::fprintf(stderr,
+                     "mutation check FAILED: hit from deleted table %s\n",
+                     search.table_name(hit.ref.table_index).c_str());
+        return 1;
+      }
+    }
+    std::printf("mutation check OK: no hits from deleted tables\n");
+  }
   return 0;
 }
 
@@ -876,7 +1047,10 @@ int main(int argc, char** argv) {
     std::vector<const table::Table*> lake;
     lake.reserve(lake_storage.size());
     for (const table::Table& t : lake_storage) lake.push_back(&t);
-    if (!options.save_tuple_index_path.empty()) {
+    // --serve with --save-tuple-index persists the post-mutation index as
+    // part of the serving run; only the build-only invocation goes through
+    // RunSaveTupleIndex.
+    if (!options.serve) {
       return RunSaveTupleIndex(options, lake);
     }
     return RunServeMode(options, lake, query);
